@@ -1,0 +1,38 @@
+// Command cmifbench regenerates every experiment artifact of DESIGN.md's
+// per-experiment index: the section 3.1 table, Figures 1-10, and the two
+// ablations. Run with no arguments for everything, or name experiment ids.
+//
+// Usage:
+//
+//	cmifbench [T1 F1 F2 ... A2]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, arg := range os.Args[1:] {
+		want[arg] = true
+	}
+	failed := 0
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		tbl, err := exp.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: %s: %v\n", exp.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tbl)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

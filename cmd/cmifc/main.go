@@ -1,0 +1,69 @@
+// Command cmifc validates and reformats CMIF documents: the front door of
+// the Document Structure Mapping stage.
+//
+// Usage:
+//
+//	cmifc [-form conventional|embedded] [-check] [-stats] file.cmif
+//
+// With -check, cmifc prints validation findings and exits non-zero on
+// errors; otherwise it reprints the document in the requested form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+func main() {
+	form := flag.String("form", "conventional", "output form: conventional or embedded")
+	check := flag.Bool("check", false, "validate only; print findings")
+	stats := flag.Bool("stats", false, "print document statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmifc [-form conventional|embedded] [-check] [-stats] file.cmif")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := codec.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		issues := doc.Validate()
+		for _, i := range issues {
+			fmt.Println(i)
+		}
+		if len(core.Errors(issues)) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d warnings)\n", flag.Arg(0), len(core.Warnings(issues)))
+		return
+	}
+	if *stats {
+		s := doc.Stats()
+		fmt.Printf("nodes %d (seq %d, par %d, ext %d, imm %d), depth %d, arcs %d, channels %d, styles %d\n",
+			s.Nodes, s.Seq, s.Par, s.Ext, s.Imm, s.MaxDepth, s.Arcs, s.Channels, s.Styles)
+		return
+	}
+	f := codec.Conventional
+	if *form == "embedded" {
+		f = codec.Embedded
+	}
+	out, err := codec.Encode(doc, codec.WriteOptions{Form: f})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmifc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command cmifd serves CMIF documents and data blocks over the interchange
+// protocol — the stand-in for the distributed document store of the paper's
+// section 6.
+//
+// Usage:
+//
+//	cmifd [-addr 127.0.0.1:7911] [-news N]
+//
+// With -news, the built-in evening-news corpus is preloaded under the name
+// "news". The server runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/newsdoc"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7911", "listen address")
+	news := flag.Int("news", 2, "preload the evening news with N stories (0 disables)")
+	flag.Parse()
+
+	reg := transport.NewRegistry(nil)
+	if *news > 0 {
+		doc, store, err := newsdoc.Build(newsdoc.Config{Stories: *news})
+		if err != nil {
+			fatal(err)
+		}
+		reg = transport.NewRegistry(store)
+		reg.PutDoc("news", doc)
+	}
+	srv := transport.NewServer(reg)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cmifd: serving %d documents, %d blocks on %s\n",
+		len(reg.DocNames()), reg.Store.Len(), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("cmifd: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmifd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command cmiffilter runs the Constraint Filtering stage: it evaluates a
+// CMIF document against a device profile and prints the per-leaf verdicts
+// and the supportability decision ("a structured basis upon which a given
+// system can determine whether it can support the requested document").
+//
+// Usage:
+//
+//	cmiffilter [-profile workstation|laptop|terminal] -news N
+//
+// The built-in news corpus is used because filtering needs data
+// descriptors; for external documents, pair this tool with a block store
+// served by cmifd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/filter"
+	"repro/internal/newsdoc"
+)
+
+func main() {
+	profileName := flag.String("profile", "workstation", "device profile: workstation, laptop or terminal")
+	news := flag.Int("news", 2, "evening news story count")
+	flag.Parse()
+
+	var profile filter.Profile
+	switch *profileName {
+	case "workstation":
+		profile = filter.Workstation1991
+	case "laptop":
+		profile = filter.Laptop1991
+	case "terminal":
+		profile = filter.TextTerminal
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profileName))
+	}
+
+	doc, store, err := newsdoc.Build(newsdoc.Config{Stories: *news})
+	if err != nil {
+		fatal(err)
+	}
+	fm, err := filter.Evaluate(doc, store, profile)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(fm)
+	if !fm.Supportable() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmiffilter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command cmifget fetches documents and blocks from a cmifd server.
+//
+// Usage:
+//
+//	cmifget [-addr 127.0.0.1:7911] list
+//	cmifget [-addr ...] doc <name> [-inline] [-binary]
+//	cmifget [-addr ...] block <name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7911", "server address")
+	inline := flag.Bool("inline", false, "fetch documents with inlined payloads")
+	binaryEnc := flag.Bool("binary", false, "use the binary wire encoding")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	c, err := transport.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch flag.Arg(0) {
+	case "list":
+		names, err := c.ListDocs()
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "doc":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		enc := transport.EncodingText
+		if *binaryEnc {
+			enc = transport.EncodingBinary
+		}
+		doc, err := c.GetDoc(flag.Arg(1), transport.GetDocOptions{
+			Encoding: enc, Inline: *inline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out, err := codec.Encode(doc, codec.WriteOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Fprintf(os.Stderr, "cmifget: %d wire bytes received\n", c.BytesReceived)
+	case "block":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		b, err := c.GetBlock(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cmifget: %s (%s, %d bytes)\n", b.Name, b.Medium, len(b.Payload))
+		os.Stdout.Write(b.Payload)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cmifget [-addr a] [-inline] [-binary] (list | doc <name> | block <name>)")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmifget:", err)
+	os.Exit(1)
+}

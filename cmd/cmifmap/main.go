@@ -1,0 +1,86 @@
+// Command cmifmap computes a presentation map for a CMIF document: the
+// Presentation Mapping stage of the pipeline. The map prints both as a
+// human-readable table and, with -cmif, as its CMIF-fragment serialization
+// (the form in which it travels separately from the document).
+//
+// Usage:
+//
+//	cmifmap [-screen 1152x900] [-speakers 2] [-cmif] (-news N | file.cmif)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/newsdoc"
+	"repro/internal/present"
+)
+
+func main() {
+	screen := flag.String("screen", "1152x900", "virtual screen WxH")
+	speakers := flag.Int("speakers", 2, "loudspeaker count")
+	asCMIF := flag.Bool("cmif", false, "print the map as a CMIF fragment")
+	news := flag.Int("news", 0, "use the built-in evening news with N stories")
+	flag.Parse()
+
+	w, h, err := parseScreen(*screen)
+	if err != nil {
+		fatal(err)
+	}
+	var doc *core.Document
+	switch {
+	case *news > 0:
+		doc, _, err = newsdoc.Build(newsdoc.Config{Stories: *news})
+	case flag.NArg() == 1:
+		var data []byte
+		data, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			doc, err = codec.Parse(string(data))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cmifmap [-screen WxH] [-speakers N] [-cmif] (-news N | file.cmif)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := present.MapDocument(doc, present.Options{
+		Screen: present.Screen{W: w, H: h}, Speakers: *speakers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *asCMIF {
+		out, err := codec.EncodeNode(m.ToNode(), codec.WriteOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	fmt.Print(m)
+}
+
+func parseScreen(s string) (w, h int64, err error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("screen must be WxH, got %q", s)
+	}
+	w, err = strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err = strconv.ParseInt(parts[1], 10, 64)
+	return w, h, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmifmap:", err)
+	os.Exit(1)
+}

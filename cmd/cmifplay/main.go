@@ -1,0 +1,114 @@
+// Command cmifplay schedules a CMIF document and simulates its playback,
+// printing the table of contents, the channel timeline (Figure 4b view) and
+// the playback trace.
+//
+// Usage:
+//
+//	cmifplay [-jitter 40ms] [-seed 7] [-seek 8s] [-news N] [file.cmif]
+//
+// With -news N the built-in evening-news corpus with N stories is played
+// instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/newsdoc"
+	"repro/internal/player"
+	"repro/internal/render"
+	"repro/internal/sched"
+)
+
+func main() {
+	jitter := flag.Duration("jitter", 0, "uniform device jitter bound (e.g. 40ms)")
+	seed := flag.Uint64("seed", 1, "jitter seed")
+	seek := flag.Duration("seek", -1, "analyze a seek to this time instead of playing")
+	news := flag.Int("news", 0, "play the built-in evening news with N stories")
+	flag.Parse()
+
+	var doc *core.Document
+	var err error
+	switch {
+	case *news > 0:
+		doc, _, err = newsdoc.Build(newsdoc.Config{Stories: *news})
+	case flag.NArg() == 1:
+		var data []byte
+		data, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			doc, err = codec.Parse(string(data))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cmifplay [-jitter d] [-seed n] [-seek t] (-news N | file.cmif)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if errs := core.Errors(doc.Validate()); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		fatal(fmt.Errorf("document has %d validation errors", len(errs)))
+	}
+
+	g, err := sched.Build(doc, sched.Options{DefaultLeafDuration: 500 * time.Millisecond})
+	if err != nil {
+		fatal(err)
+	}
+	s, err := g.Solve(sched.SolveOptions{Relax: true})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *seek >= 0 {
+		rep := player.AnalyzeSeek(s, *seek)
+		fmt.Printf("seek to %v: %d active leaves\n", *seek, len(rep.Active))
+		for _, n := range rep.Active {
+			fmt.Printf("  active: %s\n", n.PathString())
+		}
+		for _, a := range rep.Arcs {
+			fmt.Printf("  arc %-9s %s\n", a.State, a.Ref)
+		}
+		return
+	}
+
+	fmt.Println("table of contents:")
+	fmt.Print(render.TOCText(s))
+	fmt.Println("\nchannel timeline:")
+	fmt.Print(render.Timeline(s, render.TimelineOptions{Resolution: timelineRes(s.Makespan())}))
+
+	var model player.JitterModel
+	if *jitter > 0 {
+		model = player.UniformJitter(*seed, *jitter)
+	}
+	res, err := player.Play(g, player.Options{Jitter: model, Relax: true})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\nplayback trace:")
+	fmt.Print(res)
+	if !res.Success() {
+		os.Exit(1)
+	}
+}
+
+func timelineRes(span time.Duration) time.Duration {
+	switch {
+	case span <= 2*time.Second:
+		return 100 * time.Millisecond
+	case span <= 30*time.Second:
+		return time.Second
+	default:
+		return 5 * time.Second
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmifplay:", err)
+	os.Exit(1)
+}

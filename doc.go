@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "A Structure for
+// Transportable, Dynamic Multimedia Documents" (Bulterman, van Rossum,
+// van Liere — USENIX 1991): the CWI Multimedia Interchange Format (CMIF)
+// and the CWI/Multimedia Pipeline around it.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for paper-versus-measured results, the
+// examples/ directory for runnable programs, and cmd/ for the pipeline
+// tools. The benchmarks in bench_test.go regenerate the performance side of
+// every figure.
+package repro

@@ -1,0 +1,101 @@
+// Pipelinedemo: the full Figure-1 pipeline including network interchange.
+// A producer builds the evening news and serves it; a consumer with a
+// constrained device fetches the structure first (cheap), decides it wants
+// the document, fetches it inlined (no shared storage server), rebuilds a
+// local block store, and runs presentation mapping, constraint filtering
+// and playback locally.
+//
+//	go run ./examples/pipelinedemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/media"
+	"repro/internal/newsdoc"
+	"repro/internal/pipeline"
+	"repro/internal/player"
+	"repro/internal/present"
+	"repro/internal/transport"
+)
+
+func main() {
+	// --- producer side ---
+	doc, store, err := newsdoc.Build(newsdoc.Config{Stories: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := transport.NewRegistry(store)
+	reg.PutDoc("news", doc)
+	srv := transport.NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("producer: serving the news on %s (%d blocks, %d payload bytes)\n",
+		addr, store.Len(), store.TotalBytes())
+
+	// --- consumer side ---
+	c, err := transport.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// 1. Fetch structure only: enough to inspect, schedule and decide.
+	structure, err := c.GetDoc("news", transport.GetDocOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	structureBytes := c.BytesReceived
+	stats := structure.Stats()
+	fmt.Printf("consumer: structure is %d bytes (%d nodes, %d arcs) — decided to fetch\n",
+		structureBytes, stats.Nodes, stats.Arcs)
+
+	// 2. Fetch inlined: document plus payloads in one transfer.
+	inlined, err := c.GetDoc("news", transport.GetDocOptions{
+		Encoding: transport.EncodingBinary, Inline: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer: inlined transfer was %d bytes (%.0fx the structure)\n",
+		c.BytesReceived-structureBytes,
+		float64(c.BytesReceived-structureBytes)/float64(structureBytes))
+
+	// 3. Rebuild a local store from the inlined document.
+	localStore := media.NewStore()
+	localDoc, err := transport.Extract(inlined, localStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := localStore.VerifyAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer: rebuilt local store with %d blocks\n", localStore.Len())
+
+	// 4. Run the local stages for a constrained laptop.
+	out, err := pipeline.Run(localDoc, localStore, pipeline.Config{
+		Profile:  filter.Laptop1991,
+		Screen:   present.Screen{W: 640, H: 480},
+		Speakers: 1,
+		Jitter:   player.UniformJitter(42, 25*time.Millisecond),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconsumer pipeline outcome:")
+	fmt.Print(out.Summary())
+	fmt.Println("\npresentation map:")
+	fmt.Print(out.Presentation)
+	fmt.Println("\nfilter decisions:")
+	fmt.Print(out.FilterMap)
+	if !out.Playback.Success() {
+		log.Fatal("playback violated must arcs")
+	}
+	fmt.Println("\nplayback honoured every must relationship on the laptop")
+}

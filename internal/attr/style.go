@@ -1,0 +1,261 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StyleDict holds named styles. A style is a reusable attribute list; the
+// paper defines "style" as "a shorthand for placing a set of attributes on a
+// node" and requires that "style definitions may refer to other style
+// definitions as long as no style refers to itself, directly or indirectly"
+// (Figure 7, Style Dictionary).
+//
+// A style refers to another style by carrying a "style" attribute itself;
+// expansion is transitive with the nearer definition winning.
+type StyleDict struct {
+	styles map[string]List
+	order  []string
+}
+
+// NewStyleDict returns an empty dictionary.
+func NewStyleDict() *StyleDict {
+	return &StyleDict{styles: make(map[string]List)}
+}
+
+// Define binds name to the attribute list attrs, replacing any previous
+// definition. Definition order is preserved for deterministic serialization.
+func (d *StyleDict) Define(name string, attrs List) {
+	if _, exists := d.styles[name]; !exists {
+		d.order = append(d.order, name)
+	}
+	d.styles[name] = attrs
+}
+
+// Lookup returns the raw (unexpanded) definition of name.
+func (d *StyleDict) Lookup(name string) (List, bool) {
+	l, ok := d.styles[name]
+	return l, ok
+}
+
+// Names returns defined style names in definition order.
+func (d *StyleDict) Names() []string {
+	return append([]string(nil), d.order...)
+}
+
+// Len reports the number of defined styles.
+func (d *StyleDict) Len() int { return len(d.styles) }
+
+// CycleError reports a style that refers to itself directly or indirectly.
+type CycleError struct {
+	// Chain is the reference path that closes the cycle, e.g.
+	// ["caption", "base", "caption"].
+	Chain []string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("attr: style cycle: %v", e.Chain)
+}
+
+// UndefinedStyleError reports a reference to a style with no definition.
+type UndefinedStyleError struct {
+	Name string
+	// ReferencedBy is the style (or "" for a node) containing the reference.
+	ReferencedBy string
+}
+
+func (e *UndefinedStyleError) Error() string {
+	if e.ReferencedBy == "" {
+		return fmt.Sprintf("attr: undefined style %q", e.Name)
+	}
+	return fmt.Sprintf("attr: undefined style %q referenced by style %q",
+		e.Name, e.ReferencedBy)
+}
+
+// Validate checks the acyclicity rule and that every style reference inside
+// the dictionary resolves. It returns all problems found, deterministically
+// ordered.
+func (d *StyleDict) Validate() []error {
+	var errs []error
+	names := make([]string, 0, len(d.styles))
+	for n := range d.styles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(d.styles))
+	var stack []string
+	var visit func(name string) bool // returns true if a cycle was reported
+	visit = func(name string) bool {
+		color[name] = grey
+		stack = append(stack, name)
+		defer func() { stack = stack[:len(stack)-1] }()
+		for _, ref := range d.refsOf(name) {
+			def, ok := d.styles[ref]
+			_ = def
+			if !ok {
+				errs = append(errs, &UndefinedStyleError{Name: ref, ReferencedBy: name})
+				continue
+			}
+			switch color[ref] {
+			case white:
+				if visit(ref) {
+					return true
+				}
+			case grey:
+				// Close the chain at the repeated style.
+				chain := append(append([]string(nil), stack...), ref)
+				errs = append(errs, &CycleError{Chain: chain})
+				return true
+			}
+		}
+		color[name] = black
+		return false
+	}
+	for _, n := range names {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	return errs
+}
+
+// refsOf extracts the style names referenced by the definition of name.
+func (d *StyleDict) refsOf(name string) []string {
+	def, ok := d.styles[name]
+	if !ok {
+		return nil
+	}
+	return StyleRefs(def)
+}
+
+// StyleRefs extracts the style names referenced by an attribute list's
+// "style" attribute. The attribute may be a single ID or a list of IDs.
+func StyleRefs(l List) []string {
+	v, ok := l.Get("style")
+	if !ok {
+		return nil
+	}
+	if id, ok := v.AsID(); ok {
+		return []string{id}
+	}
+	items, ok := v.AsList()
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, it := range items {
+		if id, ok := it.Value.AsID(); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Expand applies the styles referenced by attrs, returning a new list in
+// which explicit attributes win over style attributes, earlier-listed styles
+// win over later ones, and a style's own attributes win over those of the
+// styles it references ("the nearer definition wins"). The returned list has
+// no "style" attribute.
+//
+// Expand returns an error on undefined styles or cycles.
+func (d *StyleDict) Expand(attrs List) (List, error) {
+	out := attrs.Clone()
+	refs := StyleRefs(out)
+	out.Del("style")
+	seen := make(map[string]bool)
+	var apply func(ref string, chain []string) error
+	apply = func(ref string, chain []string) error {
+		for _, c := range chain {
+			if c == ref {
+				return &CycleError{Chain: append(append([]string(nil), chain...), ref)}
+			}
+		}
+		if seen[ref] {
+			return nil
+		}
+		seen[ref] = true
+		def, ok := d.styles[ref]
+		if !ok {
+			from := ""
+			if len(chain) > 0 {
+				from = chain[len(chain)-1]
+			}
+			return &UndefinedStyleError{Name: ref, ReferencedBy: from}
+		}
+		for _, p := range def.Pairs() {
+			if p.Name == "style" {
+				continue
+			}
+			out.SetDefault(p.Name, p.Value.Clone())
+		}
+		for _, sub := range StyleRefs(def) {
+			if err := apply(sub, append(chain, ref)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, ref := range refs {
+		if err := apply(ref, nil); err != nil {
+			return List{}, err
+		}
+	}
+	return out, nil
+}
+
+// ParseStyleDict interprets a "styledict" attribute value: a list of named
+// items, each naming a style whose value is itself a list of attribute
+// pairs. Example document syntax:
+//
+//	(styledict (caption ((channel captions) (tformatting ((font helvetica) (size 12))))))
+func ParseStyleDict(v Value) (*StyleDict, error) {
+	d := NewStyleDict()
+	items, ok := v.AsList()
+	if !ok {
+		return nil, fmt.Errorf("attr: styledict must be a list, got %v", v.Kind())
+	}
+	for _, it := range items {
+		if it.Name == "" {
+			return nil, fmt.Errorf("attr: styledict entries must be named")
+		}
+		body, ok := it.Value.AsList()
+		if !ok {
+			return nil, fmt.Errorf("attr: style %q body must be a list", it.Name)
+		}
+		var l List
+		for _, sub := range body {
+			if sub.Name == "" {
+				return nil, fmt.Errorf("attr: style %q contains unnamed attribute", it.Name)
+			}
+			if l.Has(sub.Name) {
+				return nil, fmt.Errorf("attr: style %q repeats attribute %q", it.Name, sub.Name)
+			}
+			l.Set(sub.Name, sub.Value)
+		}
+		if _, dup := d.Lookup(it.Name); dup {
+			return nil, fmt.Errorf("attr: styledict repeats style %q", it.Name)
+		}
+		d.Define(it.Name, l)
+	}
+	return d, nil
+}
+
+// DictValue serializes the dictionary back to a "styledict" attribute value.
+func (d *StyleDict) DictValue() Value {
+	items := make([]Item, 0, len(d.order))
+	for _, name := range d.order {
+		def := d.styles[name]
+		body := make([]Item, 0, def.Len())
+		for _, p := range def.Pairs() {
+			body = append(body, Named(p.Name, p.Value))
+		}
+		items = append(items, Named(name, ListOf(body...)))
+	}
+	return ListOf(items...)
+}

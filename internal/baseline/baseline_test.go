@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/newsdoc"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func schedule(t *testing.T, stories int) (*core.Document, *sched.Schedule) {
+	t.Helper()
+	d, _, err := newsdoc.Build(newsdoc.Config{Stories: stories})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sched.Build(d, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Solve(sched.SolveOptions{Relax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s
+}
+
+func TestFlattenPreservesTiming(t *testing.T) {
+	_, s := schedule(t, 1)
+	fd := Flatten(s)
+	if fd.Len() == 0 {
+		t.Fatal("empty flat document")
+	}
+	if fd.Makespan() != s.Makespan() {
+		t.Errorf("makespan: flat %v vs cmif %v", fd.Makespan(), s.Makespan())
+	}
+	// Events sorted by start.
+	for i := 1; i < fd.Len(); i++ {
+		if fd.Events[i-1].Start > fd.Events[i].Start {
+			t.Fatal("flat events not sorted")
+		}
+	}
+}
+
+func TestFlatInsertShiftsEverything(t *testing.T) {
+	_, s := schedule(t, 2)
+	fd := Flatten(s)
+	n := fd.Len()
+	fd.TouchedEvents = 0
+	// Insert near the front: nearly every event is rewritten.
+	fd.InsertAt(FlatEvent{Channel: "video", Name: "breaking-news",
+		Start: time.Second, Dur: 5 * time.Second})
+	if fd.TouchedEvents < n/2 {
+		t.Errorf("front insert touched only %d of %d events", fd.TouchedEvents, n)
+	}
+	if fd.Len() != n+1 {
+		t.Errorf("Len = %d", fd.Len())
+	}
+}
+
+func TestFlatLengthenAndDelete(t *testing.T) {
+	_, s := schedule(t, 1)
+	fd := Flatten(s)
+	target := fd.Events[0].Name
+	endBefore := fd.Makespan()
+	fd.TouchedEvents = 0
+	if err := fd.Lengthen(target, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Makespan() != endBefore+2*time.Second {
+		t.Errorf("makespan after lengthen = %v", fd.Makespan())
+	}
+	if fd.TouchedEvents < 2 {
+		t.Errorf("lengthen touched %d events", fd.TouchedEvents)
+	}
+	if err := fd.Lengthen("ghost", time.Second); err == nil {
+		t.Error("lengthen of missing event succeeded")
+	}
+
+	count := fd.Len()
+	if err := fd.Delete(target); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Len() != count-1 {
+		t.Errorf("Len after delete = %d", fd.Len())
+	}
+	if err := fd.Delete("ghost"); err == nil {
+		t.Error("delete of missing event succeeded")
+	}
+}
+
+func TestCMIFEditIsLocal(t *testing.T) {
+	d, _ := schedule(t, 2)
+	leaf := core.NewImm([]byte("breaking")).SetName("breaking").
+		SetAttr("style", attr.ID("caption-style")).
+		SetAttr("duration", attr.Quantity(units.MS(1000)))
+	cost, err := InsertLeafCMIF(d, "caption", leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.NodesTouched != 2 {
+		t.Errorf("NodesTouched = %d, want 2", cost.NodesTouched)
+	}
+	// The edited document still schedules.
+	g, err := sched.Build(d, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Solve(sched.SolveOptions{Relax: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := InsertLeafCMIF(d, "ghost", core.NewImm(nil)); err == nil {
+		t.Error("insert under missing node succeeded")
+	}
+	if _, err := InsertLeafCMIF(d, "breaking", core.NewImm(nil)); err == nil {
+		t.Error("insert under leaf succeeded")
+	}
+}
+
+func TestWireSizePositive(t *testing.T) {
+	_, s := schedule(t, 1)
+	fd := Flatten(s)
+	if fd.WireSize() <= 0 {
+		t.Error("non-positive wire size")
+	}
+}
+
+func TestExpressivenessTable(t *testing.T) {
+	rows := ExpressivenessTable()
+	if len(rows) < 8 {
+		t.Fatalf("table rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.CMIF {
+			t.Errorf("CMIF cannot express %q — the reproduction contradicts the paper", r.Pattern)
+		}
+	}
+	// The baselines must each fail at least one pattern (the paper's point).
+	flatFails, structFails := 0, 0
+	for _, r := range rows {
+		if !r.FlatTimeline {
+			flatFails++
+		}
+		if !r.StructureOnly {
+			structFails++
+		}
+	}
+	if flatFails == 0 || structFails == 0 {
+		t.Error("baselines express everything; comparison is vacuous")
+	}
+}

@@ -1,0 +1,88 @@
+package codec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchTree builds a deterministic random document of roughly n nodes.
+func benchTree(n int) string {
+	rng := rand.New(rand.NewSource(1991))
+	tree := core.NewSeq() // composite root so subtrees can always attach
+	count := 1
+	for count < n {
+		sub := genTree(rng, 1)
+		tree.AddChild(sub)
+		count += sub.Count()
+	}
+	text, err := EncodeNode(tree, WriteOptions{Form: Conventional})
+	if err != nil {
+		panic(err)
+	}
+	return text
+}
+
+func BenchmarkParse(b *testing.B) {
+	for _, n := range []int{50, 500, 5000} {
+		text := benchTree(n)
+		b.Run(fmt.Sprintf("nodes-%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				if _, err := ParseNode(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, n := range []int{50, 500, 5000} {
+		tree, err := ParseNode(benchTree(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, form := range []struct {
+			name string
+			f    Form
+		}{{"conventional", Conventional}, {"embedded", Embedded}} {
+			b.Run(fmt.Sprintf("%s-nodes-%d", form.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := EncodeNode(tree, WriteOptions{Form: form.f}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBinaryCodec(b *testing.B) {
+	tree, err := ParseNode(benchTree(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := EncodeBinaryNode(tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := EncodeBinaryNode(tree); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBinaryNode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+)
+
+// TestDeepNestingParse exercises recursion depth on both codecs.
+func TestDeepNestingParse(t *testing.T) {
+	const depth = 500
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("(seq ")
+	}
+	b.WriteString("(imm (data \"x\"))")
+	for i := 0; i < depth; i++ {
+		b.WriteString(")")
+	}
+	n, err := ParseNode(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Count() != depth+1 {
+		t.Errorf("count = %d", n.Count())
+	}
+	// Round-trip through binary too.
+	data, err := EncodeBinaryNode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinaryNode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != depth+1 {
+		t.Errorf("binary count = %d", back.Count())
+	}
+}
+
+// TestBinaryDepthGuard rejects trees deeper than the guard limit without
+// exhausting the stack (crafted input, not a builder-constructed tree).
+func TestBinaryDepthGuard(t *testing.T) {
+	// Craft a malicious buffer: header + maxDepth+2 nested seq nodes each
+	// claiming one child.
+	var raw []byte
+	raw = append(raw, binaryMagic[:]...)
+	raw = append(raw, binaryVersion)
+	for i := 0; i < maxBinaryDepth+2; i++ {
+		raw = append(raw, byte(core.Seq)) // node type
+		raw = append(raw, 0)              // attrCount
+		raw = append(raw, 0)              // dataLen
+		raw = append(raw, 1)              // childCount = 1
+	}
+	if _, err := DecodeBinaryNode(raw); err == nil {
+		t.Error("over-deep binary document accepted")
+	}
+}
+
+// TestListDepthValues exercises nested list values through both codecs.
+func TestListDepthValues(t *testing.T) {
+	v := attr.Number(1)
+	for i := 0; i < 50; i++ {
+		v = attr.VList(v)
+	}
+	n := core.NewSeq()
+	n.Attrs.Set("deep", v)
+	text, err := EncodeNode(n, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := back.Attrs.Get("deep")
+	if !got.Equal(v) {
+		t.Error("deep list round trip mismatch")
+	}
+	bin, err := EncodeBinaryNode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBinaryNode(bin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerEdgeTokens covers unusual but legal token sequences.
+func TestLexerEdgeTokens(t *testing.T) {
+	cases := map[string]bool{
+		`(seq (x -))`:          true,  // empty-ID value
+		`(seq (x -7ms))`:       true,  // negative quantity
+		`(seq (x +7))`:         true,  // explicit positive
+		`(seq (x -abc))`:       true,  // sign-prefixed identifier
+		`(seq (x "a\"b"))`:     true,  // escaped quote
+		`(seq (x [1 [2 [3]]]))`: true, // nested anonymous lists
+		`(seq (x 7q))`:         false, // bad unit
+		`(seq (x @))`:          false, // illegal character
+	}
+	for src, ok := range cases {
+		_, err := ParseNode(src)
+		if ok && err != nil {
+			t.Errorf("%s: unexpected error %v", src, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("%s: accepted", src)
+		}
+	}
+}

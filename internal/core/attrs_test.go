@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"name", "styledict", "style", "channeldict",
+		"channel", "file", "tformatting", "slice", "crop", "clip", "syncarcs"} {
+		if _, ok := StandardAttrs.Lookup(name); !ok {
+			t.Errorf("Figure-7 attribute %q missing from registry", name)
+		}
+	}
+	if _, ok := StandardAttrs.Lookup("made-up"); ok {
+		t.Error("phantom attribute found")
+	}
+}
+
+func TestRegistryInheritance(t *testing.T) {
+	for name, want := range map[string]bool{
+		"channel":     true,
+		"file":        true,
+		"tformatting": true,
+		"name":        false,
+		"slice":       false,
+		"styledict":   false,
+	} {
+		if got := StandardAttrs.IsInherited(name); got != want {
+			t.Errorf("IsInherited(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if StandardAttrs.IsInherited("unknown") {
+		t.Error("unknown attribute inherits")
+	}
+}
+
+func TestRegistryCheck(t *testing.T) {
+	// Unknown attributes are always allowed (section 5.2: "a node can have
+	// arbitrary attributes").
+	if err := StandardAttrs.Check("x-custom", attr.Number(1), Seq, false); err != nil {
+		t.Errorf("custom attribute rejected: %v", err)
+	}
+	// Root-only on non-root.
+	if err := StandardAttrs.Check("styledict", attr.ListOf(), Seq, false); err == nil {
+		t.Error("root-only attribute allowed on non-root")
+	}
+	if err := StandardAttrs.Check("styledict", attr.ListOf(), Seq, true); err != nil {
+		t.Errorf("root-only attribute rejected on root: %v", err)
+	}
+	// Node-type restriction.
+	if err := StandardAttrs.Check("slice", attr.ListOf(), Seq, false); err == nil {
+		t.Error("slice allowed on seq")
+	}
+	if err := StandardAttrs.Check("slice", attr.ListOf(), Ext, false); err != nil {
+		t.Errorf("slice rejected on ext: %v", err)
+	}
+	// Kind restriction.
+	if err := StandardAttrs.Check("channel", attr.Number(1), Ext, false); err == nil {
+		t.Error("numeric channel allowed")
+	}
+}
+
+func TestRegistryNamesOrder(t *testing.T) {
+	names := StandardAttrs.Names()
+	if len(names) == 0 || names[0] != "name" {
+		t.Errorf("Names() = %v", names)
+	}
+	// NewRegistry with duplicate keeps single entry, last spec wins.
+	r := NewRegistry(
+		AttrSpec{Name: "a", Doc: "first"},
+		AttrSpec{Name: "a", Doc: "second"},
+	)
+	if len(r.Names()) != 1 {
+		t.Errorf("dup registration: %v", r.Names())
+	}
+	s, _ := r.Lookup("a")
+	if s.Doc != "second" {
+		t.Errorf("last spec did not win: %q", s.Doc)
+	}
+}
+
+func TestTFormattingRoundTrip(t *testing.T) {
+	tf := TFormatting{Font: "helvetica", Size: 12, Indent: 4, VSpace: 2}
+	back, err := ParseTFormatting(tf.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tf {
+		t.Errorf("round trip: %+v vs %+v", back, tf)
+	}
+	// Partial formatting omits zero fields.
+	tf2 := TFormatting{Font: "times"}
+	items, _ := tf2.Value().AsList()
+	if len(items) != 1 {
+		t.Errorf("zero fields serialized: %v", items)
+	}
+	// String-valued font accepted.
+	v := attr.ListOf(attr.Named("font", attr.String("New York")))
+	got, err := ParseTFormatting(v)
+	if err != nil || got.Font != "New York" {
+		t.Errorf("string font: %+v, %v", got, err)
+	}
+	// Unknown entries ignored.
+	v = attr.ListOf(attr.Named("kerning", attr.Number(1)))
+	if _, err := ParseTFormatting(v); err != nil {
+		t.Errorf("unknown entry rejected: %v", err)
+	}
+}
+
+func TestTFormattingErrors(t *testing.T) {
+	cases := []attr.Value{
+		attr.Number(1),
+		attr.ListOf(attr.Named("font", attr.Number(1))),
+		attr.ListOf(attr.Named("size", attr.ID("big"))),
+		attr.ListOf(attr.Named("indent", attr.String("far"))),
+		attr.ListOf(attr.Named("vspace", attr.VList())),
+	}
+	for i, v := range cases {
+		if _, err := ParseTFormatting(v); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	v := attr.ListOf(attr.Named("from", attr.Number(100)), attr.Named("to", attr.Number(500)))
+	r, err := ParseRange(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := r.From.AsInt(); f != 100 {
+		t.Errorf("from = %v", r.From)
+	}
+	if to, _ := r.To.AsInt(); to != 500 {
+		t.Errorf("to = %v", r.To)
+	}
+	if _, err := ParseRange(attr.Number(1)); err == nil {
+		t.Error("non-list range accepted")
+	}
+	if _, err := ParseRange(attr.ListOf(attr.Named("mid", attr.Number(1)))); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestParseCrop(t *testing.T) {
+	v := attr.ListOf(
+		attr.Named("x", attr.Number(10)), attr.Named("y", attr.Number(20)),
+		attr.Named("w", attr.Number(320)), attr.Named("h", attr.Number(200)))
+	r, err := ParseCrop(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rect || r.X != 10 || r.Y != 20 || r.W != 320 || r.H != 200 {
+		t.Errorf("crop = %+v", r)
+	}
+	bad := []attr.Value{
+		attr.ID("x"),
+		attr.ListOf(attr.Named("x", attr.String("left"))),
+		attr.ListOf(attr.Named("q", attr.Number(1))),
+		attr.ListOf(attr.Named("w", attr.Number(-1))),
+	}
+	for i, v := range bad {
+		if _, err := ParseCrop(v); err == nil {
+			t.Errorf("bad crop %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package core implements the CMIF document structure: the paper's primary
+// contribution. A CMIF document is a tree of four node types (sequential,
+// parallel, external, immediate) decorated with attribute lists, whose leaf
+// events are mapped onto synchronization channels and constrained by
+// synchronization arcs (sections 3 and 5 of the paper).
+//
+// The package provides:
+//
+//   - the document tree with named-path resolution (section 5.3.2 source and
+//     destination fields are "relative path names in the tree, by using named
+//     nodes"),
+//   - attribute inheritance ("some attributes set properties that are
+//     inherited by children ... unless explicitly overridden"),
+//   - channel dictionaries (each channel definition defines the medium used
+//     by that channel),
+//   - synchronization arcs in the tabular form of Figure 9, and
+//   - document validation implementing the paper's global consistency rules.
+//
+// Timing semantics (default arcs, the synchronization equation
+// tref+δ ≤ tactual ≤ tref+ε, and conflict detection) live in internal/sched;
+// this package only represents the structure.
+package core

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/units"
+)
+
+// Document wraps a CMIF tree root together with the dictionaries parsed from
+// it. "At the root of the tree is a general node that describes the summary
+// structure of a document ... it is a place where various directory
+// attributes are found and ... provides an implied timing reference point
+// for all other nodes" (section 5.1).
+type Document struct {
+	Root *Node
+
+	styles   *attr.StyleDict
+	channels *ChannelDict
+}
+
+// NewDocument wraps root, decoding its style and channel dictionaries.
+func NewDocument(root *Node) (*Document, error) {
+	d := &Document{Root: root}
+	if err := d.Refresh(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustDocument is NewDocument that panics on error, for static literals in
+// tests and examples.
+func MustDocument(root *Node) *Document {
+	d, err := NewDocument(root)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Refresh re-decodes the root dictionaries after the tree was edited.
+func (d *Document) Refresh() error {
+	d.styles = attr.NewStyleDict()
+	d.channels = NewChannelDict()
+	if d.Root == nil {
+		return fmt.Errorf("core: document has no root")
+	}
+	if v, ok := d.Root.Attrs.Get("styledict"); ok {
+		sd, err := attr.ParseStyleDict(v)
+		if err != nil {
+			return err
+		}
+		d.styles = sd
+	}
+	if v, ok := d.Root.Attrs.Get("channeldict"); ok {
+		cd, err := ParseChannelDict(v)
+		if err != nil {
+			return err
+		}
+		d.channels = cd
+	}
+	return nil
+}
+
+// Styles returns the document's style dictionary.
+func (d *Document) Styles() *attr.StyleDict { return d.styles }
+
+// Channels returns the document's channel dictionary.
+func (d *Document) Channels() *ChannelDict { return d.channels }
+
+// SetStyles installs a style dictionary on the root and re-decodes.
+func (d *Document) SetStyles(sd *attr.StyleDict) {
+	d.Root.Attrs.Set("styledict", sd.DictValue())
+	d.styles = sd
+}
+
+// SetChannels installs a channel dictionary on the root and re-decodes.
+func (d *Document) SetChannels(cd *ChannelDict) {
+	d.Root.Attrs.Set("channeldict", cd.DictValue())
+	d.channels = cd
+}
+
+// EffectiveAttrs computes the attributes in force on node n: the node's own
+// attributes, with its styles expanded ("at runtime, each style name is
+// looked up in the style directory of the root node"), and inheritable
+// attributes (channel, file, tformatting) filled in from ancestors. Styles
+// on ancestors are expanded before their attributes are inherited.
+func (d *Document) EffectiveAttrs(n *Node) (attr.List, error) {
+	out, err := d.styles.Expand(n.Attrs)
+	if err != nil {
+		return attr.List{}, fmt.Errorf("core: %s: %w", n.PathString(), err)
+	}
+	for p := n.Parent(); p != nil; p = p.Parent() {
+		exp, err := d.styles.Expand(p.Attrs)
+		if err != nil {
+			return attr.List{}, fmt.Errorf("core: %s: %w", p.PathString(), err)
+		}
+		for _, pair := range exp.Pairs() {
+			if StandardAttrs.IsInherited(pair.Name) {
+				out.SetDefault(pair.Name, pair.Value)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChannelOf returns the channel the node's data is directed to, resolving
+// the inherited channel attribute against the channel dictionary.
+func (d *Document) ChannelOf(n *Node) (Channel, error) {
+	eff, err := d.EffectiveAttrs(n)
+	if err != nil {
+		return Channel{}, err
+	}
+	name, ok := eff.GetID("channel")
+	if !ok {
+		return Channel{}, fmt.Errorf("core: %s has no channel attribute", n.PathString())
+	}
+	c, ok := d.channels.Lookup(name)
+	if !ok {
+		return Channel{}, fmt.Errorf("core: %s names undefined channel %q", n.PathString(), name)
+	}
+	return c, nil
+}
+
+// FileOf returns the (inherited) file attribute identifying the node's data
+// descriptor, for external nodes.
+func (d *Document) FileOf(n *Node) (string, bool) {
+	eff, err := d.EffectiveAttrs(n)
+	if err != nil {
+		return "", false
+	}
+	if s, ok := eff.GetString("file"); ok {
+		return s, true
+	}
+	if id, ok := eff.GetID("file"); ok {
+		return id, true
+	}
+	return "", false
+}
+
+// DurationOf returns the leaf event's presentation duration in document
+// time, from its (effective) duration attribute converted with the channel's
+// rates. Leaves without a duration report ok=false; composites always report
+// false (their extent derives from their children).
+func (d *Document) DurationOf(n *Node) (dur units.Quantity, ok bool) {
+	if !n.Type.IsLeaf() {
+		return units.Quantity{}, false
+	}
+	eff, err := d.EffectiveAttrs(n)
+	if err != nil {
+		return units.Quantity{}, false
+	}
+	v, okAttr := eff.Get("duration")
+	if !okAttr {
+		return units.Quantity{}, false
+	}
+	q, okNum := v.AsNumber()
+	if !okNum {
+		return units.Quantity{}, false
+	}
+	return q, true
+}
+
+// ResolverFor returns the unit resolver applicable to node n: the rates of
+// its channel when it has one, otherwise a plain time-only resolver.
+func (d *Document) ResolverFor(n *Node) *units.Resolver {
+	if c, err := d.ChannelOf(n); err == nil {
+		return c.Resolver()
+	}
+	return units.NewResolver(units.Rates{})
+}
+
+// Stats summarizes a document's structure for table-of-contents style tools
+// (the "internal table-of-contents function" of section 2).
+type Stats struct {
+	Nodes     int
+	Seq       int
+	Par       int
+	Ext       int
+	Imm       int
+	MaxDepth  int
+	Arcs      int
+	Channels  int
+	Styles    int
+	ImmBytes  int
+	NamedSet  int
+	LeafCount int
+}
+
+// Stats walks the tree and computes summary statistics.
+func (d *Document) Stats() Stats {
+	var s Stats
+	s.Channels = d.channels.Len()
+	s.Styles = d.styles.Len()
+	d.Root.Walk(func(n *Node) bool {
+		s.Nodes++
+		switch n.Type {
+		case Seq:
+			s.Seq++
+		case Par:
+			s.Par++
+		case Ext:
+			s.Ext++
+			s.LeafCount++
+		case Imm:
+			s.Imm++
+			s.LeafCount++
+			s.ImmBytes += len(n.Data)
+		}
+		if depth := n.Depth(); depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		if n.Name() != "" {
+			s.NamedSet++
+		}
+		if arcs, err := n.Arcs(); err == nil {
+			s.Arcs += len(arcs)
+		}
+		return true
+	})
+	return s
+}
+
+// Clone deep-copies the document.
+func (d *Document) Clone() *Document {
+	c, err := NewDocument(d.Root.Clone())
+	if err != nil {
+		// The source document decoded successfully; a clone cannot fail.
+		panic(fmt.Sprintf("core: clone failed: %v", err))
+	}
+	return c
+}

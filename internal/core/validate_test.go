@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/units"
+)
+
+func hasIssue(issues []Issue, code string) bool {
+	for _, i := range issues {
+		if i.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestValidateCleanDocument(t *testing.T) {
+	d := newsDocument(t)
+	issues := d.Validate()
+	if errs := Errors(issues); len(errs) != 0 {
+		t.Errorf("clean document has errors: %v", errs)
+	}
+	// graphic/captions channels are unused -> warnings expected.
+	if !hasIssue(issues, "unused-channel") {
+		t.Error("unused channels not flagged")
+	}
+}
+
+func TestValidateDupSiblingNames(t *testing.T) {
+	d := newsDocument(t)
+	story := d.Root.FindByName("story-3")
+	story.AddChild(NewImm([]byte("dup")).SetName("intro").
+		SetAttr("channel", attr.ID("labels")))
+	issues := d.Validate()
+	if !hasIssue(issues, "dup-sibling-name") {
+		t.Errorf("duplicate sibling names not flagged: %v", issues)
+	}
+	// Same name in a *different* parent is fine.
+	d2 := newsDocument(t)
+	d2.Root.FindByName("audio").AddChild(
+		NewExt().SetName("intro").
+			SetAttr("channel", attr.ID("sound")).
+			SetAttr("file", attr.String("x")))
+	if hasIssue(d2.Validate(), "dup-sibling-name") {
+		t.Error("same name under different parents flagged")
+	}
+}
+
+func TestValidateRootOnlyAttrs(t *testing.T) {
+	d := newsDocument(t)
+	story := d.Root.FindByName("story-3")
+	story.Attrs.Set("channeldict", attr.ListOf())
+	if !hasIssue(d.Validate(), "attr-spec") {
+		t.Error("channeldict on non-root not flagged")
+	}
+}
+
+func TestValidateAttrKinds(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("intro").Attrs.Set("channel", attr.String("video"))
+	if !hasIssue(d.Validate(), "attr-spec") {
+		t.Error("STRING channel value not flagged")
+	}
+}
+
+func TestValidateNodeTypeRestrictedAttrs(t *testing.T) {
+	d := newsDocument(t)
+	// slice only allowed on ext nodes.
+	d.Root.FindByName("story-3").Attrs.Set("slice",
+		attr.ListOf(attr.Named("from", attr.Number(0))))
+	if !hasIssue(d.Validate(), "attr-spec") {
+		t.Error("slice on seq node not flagged")
+	}
+}
+
+func TestValidateUndefinedChannel(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("intro").Attrs.Set("channel", attr.ID("ether"))
+	if !hasIssue(d.Validate(), "undefined-channel") {
+		t.Error("undefined channel not flagged")
+	}
+}
+
+func TestValidateExtNeedsFile(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("voice").Attrs.Del("file")
+	if !hasIssue(d.Validate(), "ext-no-file") {
+		t.Error("file-less ext node not flagged")
+	}
+	// Inherited file silences the error.
+	d.Root.FindByName("audio").Attrs.Set("file", attr.String("inherited.aud"))
+	if hasIssue(d.Validate(), "ext-no-file") {
+		t.Error("inherited file not honoured")
+	}
+}
+
+func TestValidateStyleIssues(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("label").Attrs.Set("style", attr.ID("ghost"))
+	if !hasIssue(d.Validate(), "style-ref") {
+		t.Error("undefined style ref not flagged")
+	}
+
+	sd := d.Styles()
+	sd.Define("a", attr.MustList(attr.P("style", attr.ID("b"))))
+	sd.Define("b", attr.MustList(attr.P("style", attr.ID("a"))))
+	d.SetStyles(sd)
+	if !hasIssue(d.Validate(), "styledict") {
+		t.Error("style cycle not flagged")
+	}
+}
+
+func TestValidateArcIssues(t *testing.T) {
+	d := newsDocument(t)
+	label := d.Root.FindByName("label")
+	label.AddArc(SyncArc{Source: "../ghost", Dest: ""})
+	if !hasIssue(d.Validate(), "arc-path") {
+		t.Error("unresolvable arc path not flagged")
+	}
+
+	d2 := newsDocument(t)
+	d2.Root.FindByName("label").AddArc(SyncArc{
+		Source: "..", Dest: "", MinDelay: units.MS(5), // positive min: invalid
+	})
+	if !hasIssue(d2.Validate(), "arc-fields") {
+		t.Error("invalid arc fields not flagged")
+	}
+
+	d3 := newsDocument(t)
+	d3.Root.FindByName("label").Attrs.Set("syncarcs", attr.Number(3))
+	issues := d3.Validate()
+	if !hasIssue(issues, "bad-arc") && !hasIssue(issues, "attr-spec") {
+		t.Errorf("malformed syncarcs not flagged: %v", issues)
+	}
+}
+
+func TestValidateShapeIssues(t *testing.T) {
+	d := newsDocument(t)
+	// Force a leaf with children, bypassing AddChild's panic.
+	leaf := d.Root.FindByName("intro")
+	kid := NewImm([]byte("x"))
+	kid.parent = leaf
+	kid.index = 0
+	leaf.children = append(leaf.children, kid)
+	if !hasIssue(d.Validate(), "leaf-with-children") {
+		t.Error("leaf with children not flagged")
+	}
+
+	d2 := newsDocument(t)
+	d2.Root.AddChild(NewSeq().SetName("void").SetAttr("channel", attr.ID("video")))
+	if !hasIssue(d2.Validate(), "empty-composite") {
+		t.Error("empty composite not flagged")
+	}
+}
+
+func TestValidateRangeAttrs(t *testing.T) {
+	d := newsDocument(t)
+	intro := d.Root.FindByName("intro")
+	intro.Attrs.Set("slice", attr.ListOf(attr.Named("bogus", attr.Number(1))))
+	if !hasIssue(d.Validate(), "bad-slice") {
+		t.Error("bad slice not flagged")
+	}
+
+	d2 := newsDocument(t)
+	d2.Root.FindByName("label").Attrs.Set("crop",
+		attr.ListOf(attr.Named("w", attr.Number(-4))))
+	if !hasIssue(d2.Validate(), "bad-crop") {
+		t.Error("negative crop not flagged")
+	}
+
+	d3 := newsDocument(t)
+	d3.Root.FindByName("voice").Attrs.Set("clip",
+		attr.ListOf(attr.Named("until", attr.Number(1))))
+	if !hasIssue(d3.Validate(), "bad-clip") {
+		t.Error("bad clip not flagged")
+	}
+}
+
+func TestValidateNegativeDuration(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("intro").Attrs.Set("duration", attr.Quantity(units.MS(-100)))
+	if !hasIssue(d.Validate(), "negative-duration") {
+		t.Error("negative duration not flagged")
+	}
+}
+
+func TestValidateBadTFormatting(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("label").Attrs.Set("tformatting",
+		attr.ListOf(attr.Named("size", attr.String("big"))))
+	if !hasIssue(d.Validate(), "bad-tformatting") {
+		t.Error("bad tformatting not flagged")
+	}
+}
+
+func TestErrorsWarningsSplit(t *testing.T) {
+	issues := []Issue{
+		{Severity: Error, Code: "e1"},
+		{Severity: Warning, Code: "w1"},
+		{Severity: Error, Code: "e2"},
+	}
+	if len(Errors(issues)) != 2 || len(Warnings(issues)) != 1 {
+		t.Errorf("split failed: %v / %v", Errors(issues), Warnings(issues))
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	i := Issue{Severity: Error, Path: "/x", Code: "c", Msg: "m"}
+	if i.String() != "error: /x: c: m" {
+		t.Errorf("Issue.String = %q", i.String())
+	}
+}
+
+func TestValidateIssuesSorted(t *testing.T) {
+	d := newsDocument(t)
+	d.Root.FindByName("intro").Attrs.Set("channel", attr.ID("ghost1"))
+	d.Root.FindByName("voice").Attrs.Set("channel", attr.ID("ghost2"))
+	issues := d.Validate()
+	for i := 1; i < len(issues); i++ {
+		if issues[i-1].Path > issues[i].Path {
+			t.Errorf("issues not sorted: %v before %v", issues[i-1], issues[i])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package ddbms
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/units"
+)
+
+func benchDB(b *testing.B, n int) *DB {
+	b.Helper()
+	db := New()
+	media := []string{"video", "audio", "image", "text"}
+	for i := 0; i < n; i++ {
+		desc := attr.MustList(
+			attr.P("medium", attr.ID(media[i%4])),
+			attr.P("width", attr.Number(int64(i%16)*40)),
+			attr.P("duration", attr.Quantity(units.MS(int64(i)))),
+			attr.P("title", attr.String(fmt.Sprintf("block %d", i))),
+		)
+		if err := db.Insert(fmt.Sprintf("d%06d", i), desc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	desc := attr.MustList(
+		attr.P("medium", attr.ID("video")),
+		attr.P("duration", attr.Quantity(units.MS(400))),
+	)
+	db := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle ids so the store stays bounded and the measurement is the
+		// steady-state upsert cost, not unbounded posting-list growth.
+		db.Upsert(fmt.Sprintf("d%09d", i%10000), desc)
+	}
+}
+
+func BenchmarkSelectScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		db := benchDB(b, n)
+		preds := []Pred{
+			Eq("medium", attr.ID("video")),
+			Range("duration", int64(n/4), int64(n/2), units.Millis),
+		}
+		b.Run(fmt.Sprintf("indexed-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.Select(preds...)
+			}
+		})
+		b.Run(fmt.Sprintf("linear-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.SelectLinear(preds...)
+			}
+		})
+	}
+}
+
+func BenchmarkSelectHas(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Select(Has("width"))
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	const size = 5000
+	db := benchDB(b, size)
+	desc, _ := db.Get("d000000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("d%06d", i%size)
+		db.Delete(id)
+		db.Upsert(id, desc)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tbl, err := exp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != exp.ID {
+				t.Errorf("table id %q != %q", tbl.ID, exp.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("no rows")
+			}
+			if s := tbl.String(); !strings.Contains(s, exp.ID) {
+				t.Error("rendered table missing id")
+			}
+		})
+	}
+}
+
+func TestF8Shape(t *testing.T) {
+	tbl, err := DelayWindows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's shape: with no jitter everything succeeds; with jitter,
+	// success iff the window covers it.
+	for _, row := range tbl.Rows {
+		jitter := strings.TrimSuffix(row[0], "ms")
+		window := row[1]
+		ok := row[2] == "true"
+		switch {
+		case jitter == "0" && !ok:
+			t.Errorf("no jitter but must failed: %v", row)
+		case jitter == "80" && window == "[0, 0ms]" && ok:
+			t.Errorf("hard window absorbed 80ms jitter: %v", row)
+		case jitter == "40" && window == "[0, 100ms]" && !ok:
+			t.Errorf("wide window failed small jitter: %v", row)
+		}
+	}
+}
+
+func TestF10NoMismatches(t *testing.T) {
+	tbl, err := NewsFragment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "ok" {
+			t.Errorf("figure 10 behaviour mismatch: %v", row)
+		}
+	}
+}
+
+func TestA1RatioGrowsWithDocument(t *testing.T) {
+	tbl, err := BaselineComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatal("missing rows")
+	}
+	// Flat-edit cost must grow with document size while CMIF stays flat.
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if first[2] != last[2] {
+		t.Errorf("CMIF edit cost changed with size: %v vs %v", first, last)
+	}
+	if first[3] >= last[3] && len(first[3]) >= len(last[3]) {
+		t.Errorf("flat edit cost did not grow: %v vs %v", first, last)
+	}
+}
+
+func TestA2InlineCostsMore(t *testing.T) {
+	tbl, err := TransportCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var structText, inlineText string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "structure-only, text":
+			structText = row[1]
+		case "inlined, text":
+			inlineText = row[1]
+		}
+	}
+	if structText == "" || inlineText == "" {
+		t.Fatalf("rows missing: %v", tbl.Rows)
+	}
+	if len(inlineText) <= len(structText) && inlineText <= structText {
+		t.Errorf("inlined (%s B) not larger than structure-only (%s B)", inlineText, structText)
+	}
+}

@@ -1,0 +1,391 @@
+// Package filter implements the Constraint Filtering Tools of the
+// CWI/Multimedia Pipeline: "these tools allow the end-user presentation
+// system to filter components of the document to meet local processing
+// constraints. ... Typical filterings may include 24-bit color to 8-bit
+// color, color to monochrome, high-resolution to low resolution,
+// full-frame-rate video to sub-sampled rate video."
+//
+// The filter evaluates a document against a device Profile using only
+// descriptor attributes — never payload bytes — and produces a FilterMap of
+// per-leaf decisions (pass / transform / drop). This is also where the
+// paper's conflict case 2 surfaces: "device characteristics may limit the
+// ability of a particular environment to support a given document. ... A
+// local-constraint tool should be able to flag the conflict ... CMIF plays
+// a role in signalling problems, allowing other mechanisms to provide
+// solutions." Applying the map to a block store realizes the transforms.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/sched"
+)
+
+// Profile describes a target presentation environment.
+type Profile struct {
+	Name string
+	// Media lists the media the environment can present at all. Empty
+	// means every medium.
+	Media []core.Medium
+	// ColorBits caps color depth (0 = unlimited).
+	ColorBits int64
+	// MaxWidth/MaxHeight cap raster dimensions (0 = unlimited).
+	MaxWidth  int64
+	MaxHeight int64
+	// MaxFrameRate caps video frame rate (0 = unlimited).
+	MaxFrameRate int64
+	// BandwidthBytesPerSec caps average payload consumption (0 =
+	// unlimited).
+	BandwidthBytesPerSec int64
+}
+
+// Supports reports whether the profile can present medium m.
+func (p Profile) Supports(m core.Medium) bool {
+	if len(p.Media) == 0 {
+		return true
+	}
+	for _, mm := range p.Media {
+		if mm == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Workstation1991 is a period-appropriate capable device.
+var Workstation1991 = Profile{
+	Name:         "workstation",
+	ColorBits:    8,
+	MaxWidth:     1280,
+	MaxHeight:    1024,
+	MaxFrameRate: 25,
+}
+
+// Laptop1991 is a constrained monochrome device.
+var Laptop1991 = Profile{
+	Name:                 "laptop",
+	ColorBits:            1,
+	MaxWidth:             640,
+	MaxHeight:            480,
+	MaxFrameRate:         10,
+	BandwidthBytesPerSec: 512 << 10,
+}
+
+// TextTerminal cannot present continuous media at all.
+var TextTerminal = Profile{
+	Name:  "terminal",
+	Media: []core.Medium{core.MediumText},
+}
+
+// Action classifies a per-leaf decision.
+type Action int
+
+const (
+	// Pass presents the block unchanged.
+	Pass Action = iota
+	// Transform presents the block after the listed transforms.
+	Transform
+	// Drop cannot present the block at all.
+	Drop
+)
+
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Transform:
+		return "transform"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// TransformKind enumerates the filterings the paper lists.
+type TransformKind int
+
+const (
+	// Quantize reduces color depth.
+	Quantize TransformKind = iota
+	// Downres halves resolution (possibly repeatedly).
+	Downres
+	// Subsample divides video frame rate.
+	Subsample
+)
+
+func (k TransformKind) String() string {
+	switch k {
+	case Quantize:
+		return "quantize"
+	case Downres:
+		return "downres"
+	case Subsample:
+		return "subsample"
+	default:
+		return fmt.Sprintf("transform(%d)", int(k))
+	}
+}
+
+// TransformSpec is one planned transform with its parameter (target bits,
+// halving count, or subsample factor).
+type TransformSpec struct {
+	Kind  TransformKind
+	Param int64
+}
+
+func (t TransformSpec) String() string {
+	return fmt.Sprintf("%s(%d)", t.Kind, t.Param)
+}
+
+// Decision is the verdict for one leaf node.
+type Decision struct {
+	Node       *core.Node
+	File       string // data descriptor name ("" for immediate nodes)
+	Action     Action
+	Transforms []TransformSpec
+	Reason     string
+}
+
+// FilterMap is the filter tool's output: the constraint mapping for one
+// document on one device ("the assumption is that this tool manages a
+// constraint mapping; the actual constraint implementation will be
+// supported by user level, operating system, or hardware level modules").
+type FilterMap struct {
+	Profile   Profile
+	Decisions []Decision
+	// BandwidthNeeded is the average payload rate of the passing document,
+	// bytes/second over the scheduled makespan.
+	BandwidthNeeded int64
+	// BandwidthOK reports whether the profile's bandwidth cap holds.
+	BandwidthOK bool
+}
+
+// Supportable reports whether the environment can present the whole
+// document (possibly transformed): no drops and bandwidth within budget.
+func (m *FilterMap) Supportable() bool {
+	if !m.BandwidthOK {
+		return false
+	}
+	for _, d := range m.Decisions {
+		if d.Action == Drop {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts tallies decisions by action.
+func (m *FilterMap) Counts() (pass, transform, drop int) {
+	for _, d := range m.Decisions {
+		switch d.Action {
+		case Pass:
+			pass++
+		case Transform:
+			transform++
+		case Drop:
+			drop++
+		}
+	}
+	return
+}
+
+// Evaluate computes the filter map for a document against a profile. The
+// store provides descriptors for external nodes; immediate nodes are judged
+// on their node attributes alone. Only descriptors are consulted — the
+// point the paper makes about working on "relatively small clusters of
+// data" — so Evaluate never touches payloads.
+func Evaluate(d *core.Document, store *media.Store, p Profile) (*FilterMap, error) {
+	fm := &FilterMap{Profile: p, BandwidthOK: true}
+	var totalBytes int64
+
+	var evalErr error
+	d.Root.Walk(func(n *core.Node) bool {
+		if evalErr != nil || !n.Type.IsLeaf() {
+			return evalErr == nil
+		}
+		dec := Decision{Node: n}
+
+		var medium core.Medium
+		var blk *media.Block
+		if n.Type == core.Ext {
+			file, ok := d.FileOf(n)
+			if !ok {
+				dec.Action = Drop
+				dec.Reason = "external node has no file attribute"
+				fm.Decisions = append(fm.Decisions, dec)
+				return true
+			}
+			dec.File = file
+			b, ok := store.GetByName(file)
+			if !ok {
+				dec.Action = Drop
+				dec.Reason = fmt.Sprintf("descriptor %q not in store", file)
+				fm.Decisions = append(fm.Decisions, dec)
+				return true
+			}
+			blk = b
+			medium = b.Medium
+			totalBytes += int64(len(b.Payload))
+		} else {
+			medium = immMedium(d, n)
+			totalBytes += int64(len(n.Data))
+		}
+
+		if !p.Supports(medium) {
+			dec.Action = Drop
+			dec.Reason = fmt.Sprintf("device cannot present %v", medium)
+			fm.Decisions = append(fm.Decisions, dec)
+			return true
+		}
+
+		if blk != nil {
+			dec.Transforms = planTransforms(blk, p)
+		}
+		if len(dec.Transforms) > 0 {
+			dec.Action = Transform
+			var parts []string
+			for _, tr := range dec.Transforms {
+				parts = append(parts, tr.String())
+			}
+			dec.Reason = strings.Join(parts, ", ")
+		}
+		fm.Decisions = append(fm.Decisions, dec)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	// Bandwidth: average over the scheduled makespan.
+	if p.BandwidthBytesPerSec > 0 {
+		g, err := sched.Build(d, sched.Options{DefaultLeafDuration: 100 * time.Millisecond})
+		if err != nil {
+			return nil, fmt.Errorf("filter: bandwidth analysis: %w", err)
+		}
+		s, err := g.Solve(sched.SolveOptions{Relax: true})
+		if err != nil {
+			return nil, fmt.Errorf("filter: bandwidth analysis: %w", err)
+		}
+		if span := s.Makespan(); span > 0 {
+			fm.BandwidthNeeded = totalBytes * int64(time.Second) / int64(span)
+			fm.BandwidthOK = fm.BandwidthNeeded <= p.BandwidthBytesPerSec
+		}
+	}
+	return fm, nil
+}
+
+// immMedium decides an immediate node's medium from its effective "medium"
+// attribute; the paper's default is text.
+func immMedium(d *core.Document, n *core.Node) core.Medium {
+	eff, err := d.EffectiveAttrs(n)
+	if err == nil {
+		if id, ok := eff.GetID("medium"); ok {
+			if m, err := core.ParseMedium(id); err == nil {
+				return m
+			}
+		}
+	}
+	return core.MediumText
+}
+
+// planTransforms derives the transform chain needed to fit blk into p,
+// using descriptor attributes only.
+func planTransforms(b *media.Block, p Profile) []TransformSpec {
+	var out []TransformSpec
+	raster := b.Medium == core.MediumImage || b.Medium == core.MediumVideo
+	if !raster {
+		return nil
+	}
+	if p.ColorBits > 0 && b.ColorBits() > p.ColorBits {
+		out = append(out, TransformSpec{Kind: Quantize, Param: p.ColorBits})
+	}
+	if p.MaxWidth > 0 || p.MaxHeight > 0 {
+		w, h := b.Width(), b.Height()
+		halvings := int64(0)
+		for (p.MaxWidth > 0 && w > p.MaxWidth) || (p.MaxHeight > 0 && h > p.MaxHeight) {
+			w /= 2
+			h /= 2
+			halvings++
+			if w == 0 || h == 0 {
+				break
+			}
+		}
+		if halvings > 0 {
+			out = append(out, TransformSpec{Kind: Downres, Param: halvings})
+		}
+	}
+	if p.MaxFrameRate > 0 && b.Medium == core.MediumVideo {
+		if rate, ok := b.Descriptor.GetInt(media.DescFrameRate); ok && rate > p.MaxFrameRate {
+			// Pick the smallest integral factor that both divides the rate
+			// and lands at or under the cap.
+			for f := int64(2); f <= rate; f++ {
+				if rate%f == 0 && rate/f <= p.MaxFrameRate {
+					out = append(out, TransformSpec{Kind: Subsample, Param: f})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Apply realizes the filter map against the store, returning a new store
+// holding transformed blocks under the original names (so the document's
+// file attributes keep resolving). Dropped entries are omitted.
+func Apply(fm *FilterMap, store *media.Store) (*media.Store, error) {
+	out := media.NewStore()
+	done := map[string]bool{}
+	for _, dec := range fm.Decisions {
+		if dec.File == "" || dec.Action == Drop || done[dec.File] {
+			continue
+		}
+		done[dec.File] = true
+		b, ok := store.GetByName(dec.File)
+		if !ok {
+			return nil, fmt.Errorf("filter: %q vanished from store", dec.File)
+		}
+		for _, tr := range dec.Transforms {
+			var err error
+			switch tr.Kind {
+			case Quantize:
+				b, err = media.Quantize(b, tr.Param)
+			case Downres:
+				b, err = media.Downres(b, int(tr.Param))
+			case Subsample:
+				b, err = media.SubsampleFrames(b, tr.Param)
+			default:
+				err = fmt.Errorf("filter: unknown transform %v", tr.Kind)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("filter: applying %v to %q: %w", tr, dec.File, err)
+			}
+		}
+		b.Name = dec.File
+		out.Put(b)
+	}
+	return out, nil
+}
+
+// String renders the filter map as a report.
+func (m *FilterMap) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "filter map for %q: supportable=%v", m.Profile.Name, m.Supportable())
+	if m.Profile.BandwidthBytesPerSec > 0 {
+		fmt.Fprintf(&b, " (needs %d B/s of %d)", m.BandwidthNeeded, m.Profile.BandwidthBytesPerSec)
+	}
+	b.WriteString("\n")
+	sorted := append([]Decision(nil), m.Decisions...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Node.PathString() < sorted[j].Node.PathString()
+	})
+	for _, dec := range sorted {
+		fmt.Fprintf(&b, "  %-9s %-30s %s\n", dec.Action, dec.Node.PathString(), dec.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+// Package hyper implements the extension the paper sketches in section 3.2:
+// "we suspect that this general problem [hyper access] can be addressed via
+// the definition of conditional synchronization arcs that point to events on
+// separate channels."
+//
+// Two conditional constructs are supported, both predicated on a reader
+// environment (a set of key=value bindings such as lang=en or audience=
+// expert):
+//
+//   - conditional nodes: a "when" attribute on any node removes the subtree
+//     when the condition is false (multilingual captions, optional detail);
+//   - conditional synchronization arcs: the Cond field of core.SyncArc; a
+//     false condition removes the arc.
+//
+// Specialize evaluates a document against an environment, yielding an
+// ordinary CMIF document playable by the standard pipeline — hyper
+// navigation reduces to re-specialization at choice points.
+package hyper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+)
+
+// Env is a reader environment: the bindings conditions are evaluated
+// against.
+type Env map[string]string
+
+// Clause is one k=v or k!=v test.
+type Clause struct {
+	Key    string
+	Value  string
+	Negate bool
+}
+
+// Eval evaluates the clause. A missing key compares as the empty string.
+func (c Clause) Eval(env Env) bool {
+	got := env[c.Key]
+	if c.Negate {
+		return got != c.Value
+	}
+	return got == c.Value
+}
+
+// Cond is a conjunction of clauses ("lang=en,audience!=expert").
+type Cond struct {
+	Clauses []Clause
+}
+
+// Eval evaluates the conjunction; the empty condition is true.
+func (c Cond) Eval(env Env) bool {
+	for _, cl := range c.Clauses {
+		if !cl.Eval(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the condition in its parse syntax.
+func (c Cond) String() string {
+	parts := make([]string, len(c.Clauses))
+	for i, cl := range c.Clauses {
+		op := "="
+		if cl.Negate {
+			op = "!="
+		}
+		parts[i] = cl.Key + op + cl.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseCond parses a comma-separated conjunction of k=v / k!=v clauses.
+func ParseCond(s string) (Cond, error) {
+	var c Cond
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var cl Clause
+		if i := strings.Index(part, "!="); i >= 0 {
+			cl = Clause{Key: strings.TrimSpace(part[:i]),
+				Value: strings.TrimSpace(part[i+2:]), Negate: true}
+		} else if i := strings.Index(part, "="); i >= 0 {
+			cl = Clause{Key: strings.TrimSpace(part[:i]),
+				Value: strings.TrimSpace(part[i+1:])}
+		} else {
+			return Cond{}, fmt.Errorf("hyper: clause %q has no = or !=", part)
+		}
+		if cl.Key == "" {
+			return Cond{}, fmt.Errorf("hyper: clause %q has empty key", part)
+		}
+		c.Clauses = append(c.Clauses, cl)
+	}
+	return c, nil
+}
+
+// WhenAttr is the conditional-node attribute name.
+const WhenAttr = "when"
+
+// SetWhen places a condition on a node (authoring helper).
+func SetWhen(n *core.Node, cond string) *core.Node {
+	return n.SetAttr(WhenAttr, attr.String(cond))
+}
+
+// Specialize evaluates doc against env: subtrees whose "when" condition is
+// false are removed, surviving "when" attributes are stripped, and arcs
+// with false conditions are dropped (surviving arc conditions are cleared).
+// The input document is not modified.
+func Specialize(doc *core.Document, env Env) (*core.Document, error) {
+	clone := doc.Clone()
+	if err := pruneNodes(clone.Root, env); err != nil {
+		return nil, err
+	}
+	var err error
+	clone.Root.Walk(func(n *core.Node) bool {
+		if err != nil {
+			return false
+		}
+		arcs, aerr := n.Arcs()
+		if aerr != nil {
+			err = aerr
+			return false
+		}
+		if len(arcs) == 0 {
+			return true
+		}
+		var kept []core.SyncArc
+		for _, a := range arcs {
+			cond, perr := ParseCond(a.Cond)
+			if perr != nil {
+				err = fmt.Errorf("hyper: %s: %w", n.PathString(), perr)
+				return false
+			}
+			if !cond.Eval(env) {
+				continue
+			}
+			a.Cond = ""
+			kept = append(kept, a)
+		}
+		n.Attrs.Del("syncarcs")
+		for _, a := range kept {
+			n.AddArc(a)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := clone.Refresh(); err != nil {
+		return nil, err
+	}
+	return clone, nil
+}
+
+// pruneNodes removes subtrees with false "when" conditions, bottom-up so
+// indices stay valid.
+func pruneNodes(n *core.Node, env Env) error {
+	for i := n.NumChildren() - 1; i >= 0; i-- {
+		child := n.Child(i)
+		keep, err := nodeEnabled(child, env)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			n.RemoveChild(i)
+			continue
+		}
+		if err := pruneNodes(child, env); err != nil {
+			return err
+		}
+		child.Attrs.Del(WhenAttr)
+	}
+	return nil
+}
+
+func nodeEnabled(n *core.Node, env Env) (bool, error) {
+	v, ok := n.Attrs.Get(WhenAttr)
+	if !ok {
+		return true, nil
+	}
+	s, ok := v.AsString()
+	if !ok {
+		if s, ok = v.AsID(); !ok {
+			return false, fmt.Errorf("hyper: %s: when attribute must be a string", n.PathString())
+		}
+	}
+	cond, err := ParseCond(s)
+	if err != nil {
+		return false, fmt.Errorf("hyper: %s: %w", n.PathString(), err)
+	}
+	return cond.Eval(env), nil
+}
+
+// Variables lists every key referenced by any condition in the document —
+// the knobs a navigator can expose to the reader.
+func Variables(doc *core.Document) []string {
+	seen := map[string]bool{}
+	doc.Root.Walk(func(n *core.Node) bool {
+		if v, ok := n.Attrs.Get(WhenAttr); ok {
+			if s, ok := v.AsString(); ok {
+				if c, err := ParseCond(s); err == nil {
+					for _, cl := range c.Clauses {
+						seen[cl.Key] = true
+					}
+				}
+			}
+		}
+		if arcs, err := n.Arcs(); err == nil {
+			for _, a := range arcs {
+				if c, err := ParseCond(a.Cond); err == nil {
+					for _, cl := range c.Clauses {
+						seen[cl.Key] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,251 @@
+package hyper
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func TestParseCond(t *testing.T) {
+	c, err := ParseCond("lang=en,audience!=expert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clauses) != 2 || c.Clauses[0].Key != "lang" || !c.Clauses[1].Negate {
+		t.Errorf("parsed %+v", c)
+	}
+	if c.String() != "lang=en,audience!=expert" {
+		t.Errorf("String = %q", c.String())
+	}
+	if _, err := ParseCond("novalue"); err == nil {
+		t.Error("clause without = accepted")
+	}
+	if _, err := ParseCond("=x"); err == nil {
+		t.Error("empty key accepted")
+	}
+	empty, err := ParseCond("  ")
+	if err != nil || !empty.Eval(Env{}) {
+		t.Error("empty condition should be true")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	c, _ := ParseCond("lang=en")
+	if !c.Eval(Env{"lang": "en"}) {
+		t.Error("match failed")
+	}
+	if c.Eval(Env{"lang": "nl"}) {
+		t.Error("mismatch passed")
+	}
+	if c.Eval(Env{}) {
+		t.Error("missing key passed")
+	}
+	n, _ := ParseCond("lang!=en")
+	if !n.Eval(Env{}) || !n.Eval(Env{"lang": "nl"}) || n.Eval(Env{"lang": "en"}) {
+		t.Error("negation broken")
+	}
+	conj, _ := ParseCond("a=1,b=2")
+	if !conj.Eval(Env{"a": "1", "b": "2"}) || conj.Eval(Env{"a": "1"}) {
+		t.Error("conjunction broken")
+	}
+}
+
+// bilingual builds a document with Dutch and English caption branches and a
+// conditional arc.
+func bilingual(t *testing.T) *core.Document {
+	t.Helper()
+	root := core.NewPar().SetName("story")
+	video := core.NewExt().SetName("video").
+		SetAttr("channel", attr.ID("video")).
+		SetAttr("file", attr.String("v.vid")).
+		SetAttr("duration", attr.Quantity(units.MS(500)))
+	capEN := core.NewImm([]byte("worth ten million...")).SetName("cap-en").
+		SetAttr("channel", attr.ID("captions")).
+		SetAttr("duration", attr.Quantity(units.MS(500)))
+	SetWhen(capEN, "lang=en")
+	capNL := core.NewImm([]byte("waarde van tien miljoen...")).SetName("cap-nl").
+		SetAttr("channel", attr.ID("captions")).
+		SetAttr("duration", attr.Quantity(units.MS(500)))
+	SetWhen(capNL, "lang=nl")
+	// Conditional arc: captions sync to video start only for subtitled
+	// languages.
+	capEN.AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.Must,
+		Source: "../video", SrcEnd: core.Begin, Dest: "",
+		MaxDelay: units.MS(0), Cond: "lang=en",
+	})
+	root.Add(video, capEN, capNL)
+	d, err := core.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "video", Medium: core.MediumVideo, Rates: units.Rates{FrameRate: 25}})
+	cd.Define(core.Channel{Name: "captions", Medium: core.MediumText})
+	d.SetChannels(cd)
+	return d
+}
+
+func TestSpecializeSelectsBranch(t *testing.T) {
+	d := bilingual(t)
+	en, err := Specialize(d, Env{"lang": "en"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.Root.FindByName("cap-en") == nil {
+		t.Error("english caption pruned")
+	}
+	if en.Root.FindByName("cap-nl") != nil {
+		t.Error("dutch caption survived")
+	}
+	// Surviving nodes lose their when attributes.
+	if en.Root.FindByName("cap-en").Attrs.Has(WhenAttr) {
+		t.Error("when attribute not stripped")
+	}
+	// Surviving arcs lose their conditions.
+	arcs, err := en.Root.FindByName("cap-en").Arcs()
+	if err != nil || len(arcs) != 1 {
+		t.Fatalf("arcs = %v, %v", arcs, err)
+	}
+	if arcs[0].Cond != "" {
+		t.Errorf("arc condition not cleared: %q", arcs[0].Cond)
+	}
+	// Original untouched.
+	if d.Root.FindByName("cap-nl") == nil {
+		t.Error("Specialize mutated the original")
+	}
+	// The specialized document schedules normally.
+	g, err := sched.Build(en, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Solve(sched.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecializeDropsFalseArcs(t *testing.T) {
+	d := bilingual(t)
+	nl, err := Specialize(d, Env{"lang": "nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Root.FindByName("cap-en") != nil {
+		t.Error("english caption survived")
+	}
+	nlCap := nl.Root.FindByName("cap-nl")
+	if nlCap == nil {
+		t.Fatal("dutch caption pruned")
+	}
+	arcs, _ := nlCap.Arcs()
+	if len(arcs) != 0 {
+		t.Errorf("dutch caption has arcs: %v", arcs)
+	}
+}
+
+func TestSpecializeUnknownEnvDropsAllConditionals(t *testing.T) {
+	d := bilingual(t)
+	none, err := Specialize(d, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Root.FindByName("cap-en") != nil || none.Root.FindByName("cap-nl") != nil {
+		t.Error("conditional branches survived empty env")
+	}
+	if none.Root.FindByName("video") == nil {
+		t.Error("unconditional node pruned")
+	}
+}
+
+func TestSpecializeNestedConditions(t *testing.T) {
+	root := core.NewSeq().SetName("r")
+	outer := core.NewSeq().SetName("outer")
+	SetWhen(outer, "detail=full")
+	inner := core.NewImm([]byte("deep")).SetName("inner")
+	SetWhen(inner, "lang=en")
+	outer.AddChild(inner)
+	root.AddChild(outer)
+	d, err := core.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer false: whole subtree gone regardless of inner.
+	s1, err := Specialize(d, Env{"lang": "en"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Root.FindByName("outer") != nil {
+		t.Error("outer survived")
+	}
+	// Outer true, inner false: outer stays, inner pruned.
+	s2, err := Specialize(d, Env{"detail": "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Root.FindByName("outer") == nil || s2.Root.FindByName("inner") != nil {
+		t.Error("nested pruning wrong")
+	}
+}
+
+func TestSpecializeErrors(t *testing.T) {
+	root := core.NewSeq().SetName("r")
+	bad := core.NewImm([]byte("x")).SetName("bad")
+	bad.Attrs.Set(WhenAttr, attr.String("oops"))
+	root.AddChild(bad)
+	d, err := core.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Specialize(d, Env{}); err == nil {
+		t.Error("malformed when condition accepted")
+	}
+
+	root2 := core.NewSeq().SetName("r")
+	badArc := core.NewImm([]byte("x")).SetName("x")
+	badArc.AddArc(core.SyncArc{Source: "..", Dest: "", Cond: "nope"})
+	root2.AddChild(badArc)
+	d2, err := core.NewDocument(root2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Specialize(d2, Env{}); err == nil {
+		t.Error("malformed arc condition accepted")
+	}
+}
+
+func TestVariables(t *testing.T) {
+	d := bilingual(t)
+	vars := Variables(d)
+	if len(vars) != 1 || vars[0] != "lang" {
+		t.Errorf("Variables = %v", vars)
+	}
+	// A second variable via a when on a fresh node.
+	extra := core.NewImm([]byte("x")).SetName("extra")
+	SetWhen(extra, "detail=full")
+	d.Root.AddChild(extra)
+	vars = Variables(d)
+	if len(vars) != 2 || vars[0] != "detail" || vars[1] != "lang" {
+		t.Errorf("Variables = %v", vars)
+	}
+}
+
+func TestWhenAsIDAccepted(t *testing.T) {
+	root := core.NewSeq().SetName("r")
+	n := core.NewImm([]byte("x")).SetName("n")
+	n.Attrs.Set(WhenAttr, attr.ID("lang=en"))
+	root.AddChild(n)
+	d, err := core.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Specialize(d, Env{"lang": "en"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root.FindByName("n") == nil {
+		t.Error("ID-valued when not honoured")
+	}
+}

@@ -1,0 +1,201 @@
+// Package media implements CMIF data blocks and data descriptors (Figure 2
+// of the paper) together with synthetic capture tools standing in for the
+// paper's hardware-backed Media Block Capture Tools.
+//
+// "Data blocks contain data that is typically associated with a single
+// medium ... The fundamental property that a data block has is atomicity."
+// "Data block descriptors are collections of attributes that describe the
+// nature of the data block ... Example attributes may be structure
+// information on the data block (its format, its resolution, its length,
+// the resources required to support it, etc.)"
+//
+// Substitution note (DESIGN.md): payloads are deterministic synthetic bytes.
+// CMIF tools never interpret payloads — only descriptor attributes flow
+// through the pipeline — so synthetic blocks exercise exactly the same code
+// paths as captured media.
+package media
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Block is one atomic single-medium data block plus its descriptor.
+type Block struct {
+	// ID is the content address (hex SHA-256 of medium and payload).
+	ID string
+	// Name is the human-oriented identifier used by "file" attributes.
+	Name string
+	// Medium classifies the payload.
+	Medium core.Medium
+	// Payload is the raw data. Never interpreted by document tools.
+	Payload []byte
+	// Descriptor carries the block's attributes.
+	Descriptor attr.List
+}
+
+// Standard descriptor attribute names.
+const (
+	// DescFormat is the encoding format identifier (e.g. "gray8",
+	// "pcm8", "utf8"). The paper encourages carrying well-accepted
+	// format names even though formats are orthogonal to CMIF.
+	DescFormat = "format"
+	// DescDuration is the intrinsic presentation length.
+	DescDuration = "duration"
+	// DescWidth and DescHeight give raster dimensions.
+	DescWidth  = "width"
+	DescHeight = "height"
+	// DescFrameRate and DescSampleRate carry media rates.
+	DescFrameRate  = "framerate"
+	DescSampleRate = "samplerate"
+	// DescFrames and DescSamples count media units.
+	DescFrames  = "frames"
+	DescSamples = "samples"
+	// DescBytes is the payload size.
+	DescBytes = "bytes"
+	// DescColorBits is bits per pixel (color depth).
+	DescColorBits = "colorbits"
+	// DescResources lists resource requirements (IDs) the paper mentions.
+	DescResources = "resources"
+	// DescTitle is a human-readable title.
+	DescTitle = "title"
+	// DescLang is a language tag for text blocks.
+	DescLang = "lang"
+)
+
+// computeID returns the content address for a payload.
+func computeID(m core.Medium, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(m.String()))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// NewBlock builds a block, computing its content address and filling the
+// universal descriptor attributes (bytes, format defaulting by medium).
+func NewBlock(name string, m core.Medium, payload []byte, desc attr.List) *Block {
+	b := &Block{
+		ID:         computeID(m, payload),
+		Name:       name,
+		Medium:     m,
+		Payload:    payload,
+		Descriptor: desc.Clone(),
+	}
+	b.Descriptor.Set(DescBytes, attr.Number(int64(len(payload))))
+	b.Descriptor.SetDefault(DescFormat, attr.ID(defaultFormat(m)))
+	return b
+}
+
+func defaultFormat(m core.Medium) string {
+	switch m {
+	case core.MediumVideo:
+		return "gray8-frames"
+	case core.MediumAudio:
+		return "pcm8"
+	case core.MediumImage:
+		return "gray8"
+	case core.MediumGraphic:
+		return "strokes"
+	default:
+		return "utf8"
+	}
+}
+
+// Duration returns the block's intrinsic presentation length from its
+// descriptor, resolved with the block's own rates.
+func (b *Block) Duration() (time.Duration, bool) {
+	v, ok := b.Descriptor.Get(DescDuration)
+	if !ok {
+		return 0, false
+	}
+	q, ok := v.AsNumber()
+	if !ok {
+		return 0, false
+	}
+	d, err := b.Resolver().Duration(q)
+	if err != nil {
+		return 0, false
+	}
+	return d, true
+}
+
+// Resolver builds a unit resolver from the descriptor's rate attributes.
+func (b *Block) Resolver() *units.Resolver {
+	var r units.Rates
+	if n, ok := b.Descriptor.GetInt(DescFrameRate); ok {
+		r.FrameRate = n
+	}
+	if n, ok := b.Descriptor.GetInt(DescSampleRate); ok {
+		r.SampleRate = n
+	}
+	return units.NewResolver(r)
+}
+
+// Width and Height return raster dimensions (0 when absent).
+func (b *Block) Width() int64 {
+	n, _ := b.Descriptor.GetInt(DescWidth)
+	return n
+}
+
+// Height returns the raster height (0 when absent).
+func (b *Block) Height() int64 {
+	n, _ := b.Descriptor.GetInt(DescHeight)
+	return n
+}
+
+// Frames returns the frame count for video blocks (0 when absent).
+func (b *Block) Frames() int64 {
+	n, _ := b.Descriptor.GetInt(DescFrames)
+	return n
+}
+
+// Samples returns the sample count for audio blocks (0 when absent).
+func (b *Block) Samples() int64 {
+	n, _ := b.Descriptor.GetInt(DescSamples)
+	return n
+}
+
+// ColorBits returns the color depth (8 when absent, matching the synthetic
+// generators).
+func (b *Block) ColorBits() int64 {
+	if n, ok := b.Descriptor.GetInt(DescColorBits); ok {
+		return n
+	}
+	return 8
+}
+
+// Verify recomputes the content address and checks descriptor/payload
+// agreement; used after transport and by property tests.
+func (b *Block) Verify() error {
+	if want := computeID(b.Medium, b.Payload); b.ID != want {
+		return fmt.Errorf("media: block %q content address mismatch", b.Name)
+	}
+	if n, ok := b.Descriptor.GetInt(DescBytes); ok && n != int64(len(b.Payload)) {
+		return fmt.Errorf("media: block %q bytes attribute %d != payload %d",
+			b.Name, n, len(b.Payload))
+	}
+	return nil
+}
+
+// Clone deep-copies the block.
+func (b *Block) Clone() *Block {
+	return &Block{
+		ID:         b.ID,
+		Name:       b.Name,
+		Medium:     b.Medium,
+		Payload:    append([]byte(nil), b.Payload...),
+		Descriptor: b.Descriptor.Clone(),
+	}
+}
+
+// String summarizes the block.
+func (b *Block) String() string {
+	return fmt.Sprintf("%s %s (%d bytes)", b.Medium, b.Name, len(b.Payload))
+}

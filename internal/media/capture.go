@@ -1,0 +1,161 @@
+package media
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Capture tools: deterministic synthetic stand-ins for the pipeline's Media
+// Block Capture Tools ("our concern is not with the hardware technology
+// associated with the capture of a particular medium ... our focus is on
+// providing descriptive tools").
+//
+// All generators are pure functions of their arguments (including the seed),
+// so experiments are reproducible bit-for-bit.
+
+// xorshift is a tiny deterministic PRNG for payload synthesis.
+type xorshift uint64
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	x := xorshift(seed)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func (x *xorshift) byteAt() byte { return byte(x.next() >> 32) }
+
+// CaptureVideo synthesizes a video block: frames of w×h 8-bit pixels with a
+// moving gradient, concatenated frame-major.
+func CaptureVideo(name string, frames, w, h int, fps int64, seed uint64) *Block {
+	if frames < 0 || w <= 0 || h <= 0 || fps <= 0 {
+		panic(fmt.Sprintf("media: CaptureVideo(%q): bad dimensions %dx%dx%d@%d",
+			name, frames, w, h, fps))
+	}
+	rng := newXorshift(seed)
+	base := rng.byteAt()
+	payload := make([]byte, frames*w*h)
+	for f := 0; f < frames; f++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				payload[f*w*h+y*w+x] = byte(int(base) + f*3 + x + y)
+			}
+		}
+	}
+	desc := attr.MustList(
+		attr.P(DescWidth, attr.Number(int64(w))),
+		attr.P(DescHeight, attr.Number(int64(h))),
+		attr.P(DescFrames, attr.Number(int64(frames))),
+		attr.P(DescFrameRate, attr.Number(fps)),
+		attr.P(DescColorBits, attr.Number(8)),
+		attr.P(DescDuration, attr.Quantity(units.Q(int64(frames), units.Frames))),
+	)
+	return NewBlock(name, core.MediumVideo, payload, desc)
+}
+
+// CaptureAudio synthesizes an audio block: 8-bit signed samples of a
+// triangle wave at freqHz, sampled at rate samples/second for ms
+// milliseconds.
+func CaptureAudio(name string, ms int64, rate int64, freqHz int64, seed uint64) *Block {
+	if ms < 0 || rate <= 0 || freqHz <= 0 {
+		panic(fmt.Sprintf("media: CaptureAudio(%q): bad parameters", name))
+	}
+	n := int(ms * rate / 1000)
+	rng := newXorshift(seed)
+	phase := int64(rng.next() % 97)
+	payload := make([]byte, n)
+	period := rate / freqHz
+	if period <= 0 {
+		period = 1
+	}
+	for i := 0; i < n; i++ {
+		pos := (int64(i) + phase) % period
+		// Triangle wave in [-120, 120].
+		var v int64
+		half := period / 2
+		if half == 0 {
+			half = 1
+		}
+		if pos < half {
+			v = -120 + 240*pos/half
+		} else {
+			v = 120 - 240*(pos-half)/half
+		}
+		payload[i] = byte(int8(v))
+	}
+	desc := attr.MustList(
+		attr.P(DescSampleRate, attr.Number(rate)),
+		attr.P(DescSamples, attr.Number(int64(n))),
+		attr.P(DescDuration, attr.Quantity(units.Q(int64(n), units.Samples))),
+	)
+	return NewBlock(name, core.MediumAudio, payload, desc)
+}
+
+// CaptureImage synthesizes a single w×h 8-bit raster image.
+func CaptureImage(name string, w, h int, seed uint64) *Block {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("media: CaptureImage(%q): bad dimensions %dx%d", name, w, h))
+	}
+	rng := newXorshift(seed)
+	payload := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			payload[y*w+x] = byte(int(rng.byteAt())/4 + x*2 + y*2)
+		}
+	}
+	desc := attr.MustList(
+		attr.P(DescWidth, attr.Number(int64(w))),
+		attr.P(DescHeight, attr.Number(int64(h))),
+		attr.P(DescColorBits, attr.Number(8)),
+	)
+	return NewBlock(name, core.MediumImage, payload, desc)
+}
+
+// CaptureText wraps UTF-8 text as a text block. Reading duration is
+// estimated at a fixed words-per-minute rate so captions get plausible
+// intrinsic lengths.
+func CaptureText(name, text, lang string) *Block {
+	words := len(strings.Fields(text))
+	const wpm = 180
+	ms := int64(words) * 60000 / wpm
+	if ms == 0 && len(text) > 0 {
+		ms = 250
+	}
+	desc := attr.MustList(
+		attr.P(DescLang, attr.ID(lang)),
+		attr.P(DescDuration, attr.Quantity(units.MS(ms))),
+	)
+	return NewBlock(name, core.MediumText, []byte(text), desc)
+}
+
+// CaptureGraphic synthesizes a vector-graphic block: a stroke list encoded
+// as (x1,y1,x2,y2) byte quadruples, the kind of "graphics program" output
+// the paper allows data blocks to be.
+func CaptureGraphic(name string, strokes int, seed uint64) *Block {
+	if strokes < 0 {
+		panic(fmt.Sprintf("media: CaptureGraphic(%q): negative strokes", name))
+	}
+	rng := newXorshift(seed)
+	payload := make([]byte, strokes*4)
+	for i := range payload {
+		payload[i] = rng.byteAt()
+	}
+	desc := attr.MustList(
+		attr.P("strokes", attr.Number(int64(strokes))),
+	)
+	return NewBlock(name, core.MediumGraphic, payload, desc)
+}

@@ -1,0 +1,82 @@
+package media
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	s.Put(CaptureVideo("clip.vid", 4, 8, 8, 25, 1))
+	s.Put(CaptureAudio("voice.aud", 100, 8000, 440, 2))
+	s.Put(CaptureText("label.txt", "Story 3. Paintings", "en"))
+
+	if err := SaveDir(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), s.Len())
+	}
+	for _, name := range s.Names() {
+		a, _ := s.GetByName(name)
+		b, ok := back.GetByName(name)
+		if !ok {
+			t.Errorf("%s missing after reload", name)
+			continue
+		}
+		if a.ID != b.ID || a.Medium != b.Medium || !a.Descriptor.Equal(b.Descriptor) {
+			t.Errorf("%s mismatch after reload", name)
+		}
+	}
+	if err := back.VerifyAll(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadDirDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	b := CaptureText("x.txt", "original content", "en")
+	s.Put(b)
+	if err := SaveDir(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload on disk.
+	path := filepath.Join(dir, "blocks", b.ID+".bin")
+	if err := os.WriteFile(path, []byte("tampered!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("tampered payload loaded without error")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory loaded")
+	}
+	// Unparseable manifest.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, manifestName), []byte("(junk"), 0o644)
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("bad manifest loaded")
+	}
+	// Manifest referencing a missing payload.
+	dir2 := t.TempDir()
+	s := NewStore()
+	blk := CaptureText("y.txt", "content", "en")
+	s.Put(blk)
+	if err := SaveDir(s, dir2); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir2, "blocks", blk.ID+".bin"))
+	if _, err := LoadDir(dir2); err == nil {
+		t.Error("missing payload loaded")
+	}
+}

@@ -1,0 +1,231 @@
+package media
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Block operations implementing the Figure-7 range attributes (Slice, Clip,
+// Crop) and the constraint-filter transforms (sub-sampling, quantization,
+// down-resolution). Every operation returns a new block with a corrected
+// descriptor; inputs are never mutated.
+
+// SliceBytes extracts payload bytes [from, to) — the "slice" attribute for
+// external nodes specifying binary data.
+func SliceBytes(b *Block, from, to int64) (*Block, error) {
+	if from < 0 || to < from || to > int64(len(b.Payload)) {
+		return nil, fmt.Errorf("media: slice [%d,%d) out of range for %d bytes",
+			from, to, len(b.Payload))
+	}
+	out := NewBlock(fmt.Sprintf("%s[%d:%d]", b.Name, from, to),
+		b.Medium, append([]byte(nil), b.Payload[from:to]...), b.Descriptor)
+	// Byte slicing invalidates unit counts and duration.
+	out.Descriptor.Del(DescFrames)
+	out.Descriptor.Del(DescSamples)
+	out.Descriptor.Del(DescDuration)
+	return out, nil
+}
+
+// Clip extracts samples [from, to) of an audio block — the "clip" attribute
+// ("a part of a sound fragment").
+func Clip(b *Block, from, to int64) (*Block, error) {
+	if b.Medium != core.MediumAudio {
+		return nil, fmt.Errorf("media: clip on %v block %q", b.Medium, b.Name)
+	}
+	n := b.Samples()
+	if from < 0 || to < from || to > n {
+		return nil, fmt.Errorf("media: clip [%d,%d) out of range for %d samples",
+			from, to, n)
+	}
+	out := NewBlock(fmt.Sprintf("%s[clip %d:%d]", b.Name, from, to),
+		core.MediumAudio, append([]byte(nil), b.Payload[from:to]...), b.Descriptor)
+	out.Descriptor.Set(DescSamples, attr.Number(to-from))
+	out.Descriptor.Set(DescDuration, attr.Quantity(units.Q(to-from, units.Samples)))
+	return out, nil
+}
+
+// Crop extracts a sub-rectangle of an image block — the "crop" attribute
+// ("a subimage of an image").
+func Crop(b *Block, x, y, w, h int64) (*Block, error) {
+	if b.Medium != core.MediumImage {
+		return nil, fmt.Errorf("media: crop on %v block %q", b.Medium, b.Name)
+	}
+	bw, bh := b.Width(), b.Height()
+	if x < 0 || y < 0 || w < 0 || h < 0 || x+w > bw || y+h > bh {
+		return nil, fmt.Errorf("media: crop %dx%d+%d+%d out of %dx%d", w, h, x, y, bw, bh)
+	}
+	payload := make([]byte, w*h)
+	for row := int64(0); row < h; row++ {
+		copy(payload[row*w:(row+1)*w], b.Payload[(y+row)*bw+x:(y+row)*bw+x+w])
+	}
+	out := NewBlock(fmt.Sprintf("%s[crop %dx%d+%d+%d]", b.Name, w, h, x, y),
+		core.MediumImage, payload, b.Descriptor)
+	out.Descriptor.Set(DescWidth, attr.Number(w))
+	out.Descriptor.Set(DescHeight, attr.Number(h))
+	return out, nil
+}
+
+// ClipFrames extracts frames [from, to) of a video block, the video
+// analogue of Clip used by editing tools.
+func ClipFrames(b *Block, from, to int64) (*Block, error) {
+	if b.Medium != core.MediumVideo {
+		return nil, fmt.Errorf("media: frame clip on %v block %q", b.Medium, b.Name)
+	}
+	n := b.Frames()
+	if from < 0 || to < from || to > n {
+		return nil, fmt.Errorf("media: frame clip [%d,%d) out of range for %d frames",
+			from, to, n)
+	}
+	frameBytes := b.Width() * b.Height()
+	out := NewBlock(fmt.Sprintf("%s[frames %d:%d]", b.Name, from, to),
+		core.MediumVideo,
+		append([]byte(nil), b.Payload[from*frameBytes:to*frameBytes]...),
+		b.Descriptor)
+	out.Descriptor.Set(DescFrames, attr.Number(to-from))
+	out.Descriptor.Set(DescDuration, attr.Quantity(units.Q(to-from, units.Frames)))
+	return out, nil
+}
+
+// SubsampleFrames keeps every factor'th frame and divides the frame rate,
+// preserving intrinsic duration — the constraint filter's "full-frame-rate
+// video to sub-sampled rate video".
+func SubsampleFrames(b *Block, factor int64) (*Block, error) {
+	if b.Medium != core.MediumVideo {
+		return nil, fmt.Errorf("media: subsample on %v block %q", b.Medium, b.Name)
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("media: subsample factor %d < 1", factor)
+	}
+	rate, _ := b.Descriptor.GetInt(DescFrameRate)
+	if rate%factor != 0 {
+		return nil, fmt.Errorf("media: frame rate %d not divisible by %d", rate, factor)
+	}
+	frames, frameBytes := b.Frames(), b.Width()*b.Height()
+	kept := (frames + factor - 1) / factor
+	payload := make([]byte, 0, kept*frameBytes)
+	for f := int64(0); f < frames; f += factor {
+		payload = append(payload, b.Payload[f*frameBytes:(f+1)*frameBytes]...)
+	}
+	out := NewBlock(fmt.Sprintf("%s[/%d fps]", b.Name, factor),
+		core.MediumVideo, payload, b.Descriptor)
+	out.Descriptor.Set(DescFrames, attr.Number(kept))
+	out.Descriptor.Set(DescFrameRate, attr.Number(rate/factor))
+	out.Descriptor.Set(DescDuration, attr.Quantity(units.Q(kept, units.Frames)))
+	return out, nil
+}
+
+// Quantize reduces color depth to bits (1..8) — "24-bit color to 8-bit
+// color, color to monochrome". Applies to image and video payloads.
+func Quantize(b *Block, bits int64) (*Block, error) {
+	if b.Medium != core.MediumImage && b.Medium != core.MediumVideo {
+		return nil, fmt.Errorf("media: quantize on %v block %q", b.Medium, b.Name)
+	}
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("media: quantize to %d bits", bits)
+	}
+	if bits >= b.ColorBits() {
+		return b.Clone(), nil
+	}
+	shift := uint(8 - bits)
+	payload := make([]byte, len(b.Payload))
+	for i, p := range b.Payload {
+		payload[i] = (p >> shift) << shift
+	}
+	out := NewBlock(fmt.Sprintf("%s[%dbit]", b.Name, bits), b.Medium, payload, b.Descriptor)
+	out.Descriptor.Set(DescColorBits, attr.Number(bits))
+	return out, nil
+}
+
+// Downres halves raster resolution pow times by 2×2 averaging — "high
+// resolution to low resolution". Applies to images and per-frame to video.
+func Downres(b *Block, pow int) (*Block, error) {
+	if b.Medium != core.MediumImage && b.Medium != core.MediumVideo {
+		return nil, fmt.Errorf("media: downres on %v block %q", b.Medium, b.Name)
+	}
+	if pow < 0 {
+		return nil, fmt.Errorf("media: downres power %d < 0", pow)
+	}
+	out := b.Clone()
+	for i := 0; i < pow; i++ {
+		w, h := out.Width(), out.Height()
+		if w < 2 || h < 2 {
+			return nil, fmt.Errorf("media: cannot downres %dx%d further", w, h)
+		}
+		nw, nh := w/2, h/2
+		frames := int64(1)
+		if out.Medium == core.MediumVideo {
+			frames = out.Frames()
+		}
+		payload := make([]byte, frames*nw*nh)
+		for f := int64(0); f < frames; f++ {
+			src := out.Payload[f*w*h : (f+1)*w*h]
+			dst := payload[f*nw*nh : (f+1)*nw*nh]
+			for y := int64(0); y < nh; y++ {
+				for x := int64(0); x < nw; x++ {
+					sum := int(src[(2*y)*w+2*x]) + int(src[(2*y)*w+2*x+1]) +
+						int(src[(2*y+1)*w+2*x]) + int(src[(2*y+1)*w+2*x+1])
+					dst[y*nw+x] = byte(sum / 4)
+				}
+			}
+		}
+		next := NewBlock(fmt.Sprintf("%s[half]", out.Name), out.Medium, payload, out.Descriptor)
+		next.Descriptor.Set(DescWidth, attr.Number(nw))
+		next.Descriptor.Set(DescHeight, attr.Number(nh))
+		out = next
+	}
+	return out, nil
+}
+
+// ApplyRegion interprets a node's slice/clip/crop attribute against a block,
+// dispatching to the matching operation. This is how external-node range
+// attributes are realized at presentation time.
+func ApplyRegion(b *Block, attrName string, v attr.Value) (*Block, error) {
+	switch attrName {
+	case "slice":
+		r, err := core.ParseRange(v)
+		if err != nil {
+			return nil, err
+		}
+		from, to, err := rangeBounds(r, int64(len(b.Payload)))
+		if err != nil {
+			return nil, err
+		}
+		return SliceBytes(b, from, to)
+	case "clip":
+		r, err := core.ParseRange(v)
+		if err != nil {
+			return nil, err
+		}
+		from, to, err := rangeBounds(r, b.Samples())
+		if err != nil {
+			return nil, err
+		}
+		return Clip(b, from, to)
+	case "crop":
+		r, err := core.ParseCrop(v)
+		if err != nil {
+			return nil, err
+		}
+		return Crop(b, r.X, r.Y, r.W, r.H)
+	default:
+		return nil, fmt.Errorf("media: unknown region attribute %q", attrName)
+	}
+}
+
+// rangeBounds extracts numeric from/to out of a parsed range, defaulting to
+// [0, limit).
+func rangeBounds(r core.Region, limit int64) (from, to int64, err error) {
+	from, to = 0, limit
+	if r.From.Kind() == attr.KindNumber {
+		q, _ := r.From.AsNumber()
+		from = q.Value
+	}
+	if r.To.Kind() == attr.KindNumber {
+		q, _ := r.To.AsNumber()
+		to = q.Value
+	}
+	return from, to, nil
+}

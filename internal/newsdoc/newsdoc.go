@@ -1,0 +1,258 @@
+// Package newsdoc builds the paper's running example: the Evening News of
+// section 4 and the stolen-paintings fragment of Figure 10, complete with
+// synthetic media blocks. It is the shared corpus for the examples, the
+// figure-reproduction experiments and the benchmarks.
+//
+// Figure 10's channels and synchronization, as built here for each story:
+//
+//	audio:   one voice block per story segment (Dutch narration)
+//	video:   talking head → crime scene report → talking head
+//	graphic: painting one → painting two → insurance graph
+//	caption: seven text blocks (English translation)
+//	label:   story name, museum name, announcer name
+//
+// Arcs (section 5.3.4): the graphic channel is start-synchronized with the
+// audio; the second and third illustrations are explicitly synchronized;
+// captions are start-synchronized with the video ("not synchronized at all
+// with the audio; this allows one story to be presented for local
+// consumption and another for global presentation"); an arc runs from the
+// end of the second caption to the start of the second graphic (offset
+// use); and the end of the fourth caption gates the next video block, which
+// "may require a freeze-frame video operation".
+package newsdoc
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/units"
+)
+
+// Config sizes the generated broadcast.
+type Config struct {
+	// Stories is the number of news stories (≥ 1); default 3.
+	Stories int
+	// FrameW/FrameH size the synthetic video frames; default 64x48
+	// (realistically tiny: payload size matters only relatively).
+	FrameW, FrameH int
+	// Seed drives the synthetic media generators.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Stories <= 0 {
+		c.Stories = 3
+	}
+	if c.FrameW <= 0 {
+		c.FrameW = 64
+	}
+	if c.FrameH <= 0 {
+		c.FrameH = 48
+	}
+}
+
+// captionTexts are the Figure 10 caption blocks.
+var captionTexts = [7]string{
+	"intro text",
+	"set-up location",
+	"public out cry",
+	"painting value: worth ten million...",
+	"intro text for witnesses",
+	"witness reports",
+	"humorous close",
+}
+
+// labelTexts are the Figure 10 label blocks.
+var labelTexts = [3]string{"story name", "museum name", "announcer name"}
+
+// Build constructs the news document and its media store.
+func Build(cfg Config) (*core.Document, *media.Store, error) {
+	cfg.defaults()
+	store := media.NewStore()
+	root := core.NewPar().SetName("news")
+	root.Attrs.Set("title", attr.String("The Evening News"))
+
+	for i := 0; i < cfg.Stories; i++ {
+		story, err := buildStory(i, cfg, store)
+		if err != nil {
+			return nil, nil, err
+		}
+		root.AddChild(story)
+	}
+
+	d, err := core.NewDocument(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.SetChannels(Channels())
+	d.SetStyles(Styles())
+	// Stories run one after another: the broadcast is a par of stories
+	// only so that each story's five channels stay siblings; sequence the
+	// stories with hard arcs story(i).begin = story(i-1).end.
+	for i := 1; i < cfg.Stories; i++ {
+		root.Child(i).AddArc(core.SyncArc{
+			DestEnd: core.Begin, Strict: core.Must,
+			Source: fmt.Sprintf("../story-%d", i-1), SrcEnd: core.End,
+			Dest: "", MaxDelay: units.MS(0),
+		})
+	}
+	if err := d.Refresh(); err != nil {
+		return nil, nil, err
+	}
+	return d, store, nil
+}
+
+// Channels defines the five Figure-4 channels with placement preferences.
+func Channels() *core.ChannelDict {
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "video", Medium: core.MediumVideo,
+		Rates: units.Rates{FrameRate: 25}})
+	cd.Define(core.Channel{Name: "audio", Medium: core.MediumAudio,
+		Rates: units.Rates{SampleRate: 8000}})
+	graphic := core.Channel{Name: "graphic", Medium: core.MediumImage}
+	cd.Define(graphic)
+	captions := core.Channel{Name: "captions", Medium: core.MediumText}
+	captions.Attrs.Set("region", attr.ID("bottom"))
+	captions.Attrs.Set("lang", attr.ID("en"))
+	cd.Define(captions)
+	labels := core.Channel{Name: "labels", Medium: core.MediumText}
+	labels.Attrs.Set("region", attr.ID("top"))
+	labels.Attrs.Set("prefheight", attr.Number(40))
+	cd.Define(labels)
+	return cd
+}
+
+// Styles defines the caption and label styles used by the text nodes.
+func Styles() *attr.StyleDict {
+	sd := attr.NewStyleDict()
+	sd.Define("caption-style", attr.MustList(
+		attr.P("channel", attr.ID("captions")),
+		attr.P("tformatting", attr.ListOf(
+			attr.Named("font", attr.ID("helvetica")),
+			attr.Named("size", attr.Number(14)),
+		)),
+	))
+	sd.Define("label-style", attr.MustList(
+		attr.P("channel", attr.ID("labels")),
+		attr.P("tformatting", attr.ListOf(
+			attr.Named("font", attr.ID("helvetica-bold")),
+			attr.Named("size", attr.Number(18)),
+		)),
+	))
+	return sd
+}
+
+// buildStory assembles one story: five parallel channel sequences plus the
+// Figure-10 arcs.
+func buildStory(idx int, cfg Config, store *media.Store) (*core.Node, error) {
+	seed := cfg.Seed + uint64(idx)*1000
+	story := core.NewPar().SetName(fmt.Sprintf("story-%d", idx))
+	story.Attrs.Set("title", attr.String(fmt.Sprintf("Story %d. Paintings", idx+1)))
+
+	// --- video: talking head, crime scene, talking head ---
+	vseq := core.NewSeq().SetName("video").SetAttr("channel", attr.ID("video"))
+	for j, part := range []struct {
+		name   string
+		frames int
+	}{
+		{"talking-head-1", 100}, // 4s at 25fps
+		{"crime-scene", 200},    // 8s
+		{"talking-head-2", 75},  // 3s
+	} {
+		file := fmt.Sprintf("story%d-%s.vid", idx, part.name)
+		store.Put(media.CaptureVideo(file, part.frames, cfg.FrameW, cfg.FrameH, 25, seed+uint64(j)))
+		vseq.AddChild(core.NewExt().SetName(part.name).
+			SetAttr("file", attr.String(file)).
+			SetAttr("duration", attr.Quantity(units.Q(int64(part.frames), units.Frames))))
+	}
+
+	// --- audio: one narration block spanning the story ---
+	aseq := core.NewSeq().SetName("audio").SetAttr("channel", attr.ID("audio"))
+	voiceFile := fmt.Sprintf("story%d-voice.aud", idx)
+	store.Put(media.CaptureAudio(voiceFile, 15000, 8000, 440, seed+10))
+	aseq.AddChild(core.NewExt().SetName("voice").
+		SetAttr("file", attr.String(voiceFile)).
+		SetAttr("duration", attr.Quantity(units.Q(15000*8, units.Samples))))
+
+	// --- graphic: painting one, painting two, insurance graph ---
+	gseq := core.NewSeq().SetName("graphic").SetAttr("channel", attr.ID("graphic"))
+	for j, g := range []string{"painting-one", "painting-two", "insurance-graph"} {
+		file := fmt.Sprintf("story%d-%s.img", idx, g)
+		store.Put(media.CaptureImage(file, 320, 240, seed+20+uint64(j)))
+		gseq.AddChild(core.NewExt().SetName(g).
+			SetAttr("file", attr.String(file)).
+			SetAttr("duration", attr.Quantity(units.Sec(4))))
+	}
+
+	// --- captions: seven translated text blocks ---
+	cseq := core.NewSeq().SetName("caption")
+	for j, text := range captionTexts {
+		name := fmt.Sprintf("cap-%d", j+1)
+		node := core.NewImm([]byte(text)).SetName(name).
+			SetAttr("style", attr.ID("caption-style")).
+			SetAttr("duration", attr.Quantity(units.MS(2000)))
+		cseq.AddChild(node)
+	}
+
+	// --- labels: three occasional titles ---
+	lseq := core.NewSeq().SetName("label")
+	for j, text := range labelTexts {
+		name := fmt.Sprintf("label-%d", j+1)
+		node := core.NewImm([]byte(text)).SetName(name).
+			SetAttr("style", attr.ID("label-style")).
+			SetAttr("duration", attr.Quantity(units.MS(3000)))
+		lseq.AddChild(node)
+	}
+
+	story.Add(vseq, aseq, gseq, cseq, lseq)
+
+	// --- Figure 10 arcs ---
+	// Graphic channel start-synchronized with the audio start (±80ms may).
+	gseq.AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.May,
+		Source: "../audio", SrcEnd: core.Begin, Dest: "",
+		MaxDelay: units.MS(80),
+	})
+	// Explicit synchronization between the second and third illustration:
+	// insurance graph must follow painting two within [0, 500ms].
+	g3 := gseq.Child(2)
+	g3.AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.Must,
+		Source: "../painting-two", SrcEnd: core.End, Dest: "",
+		MaxDelay: units.MS(500),
+	})
+	// Captions start-synchronized with the video portion (hard must).
+	cseq.AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.Must,
+		Source: "../video", SrcEnd: core.Begin, Dest: "",
+		MaxDelay: units.MS(0),
+	})
+	// End of the second caption to the start of the second graphic, with a
+	// 250ms offset: the offset-in-arc illustration.
+	g2 := gseq.Child(1)
+	g2.AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.May,
+		Source: "../../caption/cap-2", SrcEnd: core.End,
+		Offset: units.MS(250), Dest: "",
+		MaxDelay: units.MS(100),
+	})
+	// End of the fourth caption gates the crime-scene video block: "a new
+	// video sequence may not start until the caption text is over. This
+	// may require a freeze-frame video operation."
+	crime := vseq.Child(1)
+	crime.AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.Must,
+		Source: "../../caption/cap-4", SrcEnd: core.End, Dest: "",
+		MaxDelay: units.InfiniteQuantity(),
+	})
+	// Labels linked to other portions of the display: museum label starts
+	// with the crime scene.
+	lseq.Child(1).AddArc(core.SyncArc{
+		DestEnd: core.Begin, Strict: core.May,
+		Source: "../../video/crime-scene", SrcEnd: core.Begin, Dest: "",
+		MaxDelay: units.MS(150),
+	})
+	return story, nil
+}

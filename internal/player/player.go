@@ -1,0 +1,293 @@
+// Package player implements the Document Viewing stage of the
+// CWI/Multimedia Pipeline as a deterministic discrete-event playback
+// simulator. It stands in for physical playout devices (DESIGN.md
+// substitution 2): virtual channels consume leaf events under an injectable
+// latency model, and the Must/May semantics of section 5.3.2 decide what
+// happens when a device cannot honour a window:
+//
+//   - Must arcs are enforced "even at the expense of overall system
+//     performance": other events are delayed (stalled, freeze-framed) to
+//     keep the relationship.
+//   - May arcs are "desirable but not essential": when a latency makes one
+//     unsatisfiable, it is dropped and recorded, and playback proceeds.
+//
+// Mechanically, playback is a re-solve of the document's constraint system
+// with runtime latency constraints added. This makes the simulation exact:
+// the trace is the earliest feasible execution of the perturbed system, and
+// every residual constraint violation is a genuine Must failure.
+package player
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// JitterModel produces the start-up latency a channel device adds to a leaf
+// event. Deterministic models keep experiments reproducible.
+type JitterModel func(n *core.Node, channel string) time.Duration
+
+// NoJitter is the ideal-device model.
+func NoJitter(*core.Node, string) time.Duration { return 0 }
+
+// UniformJitter returns a deterministic pseudo-random latency in [0, max)
+// derived from the node path, the channel name and the seed.
+func UniformJitter(seed uint64, max time.Duration) JitterModel {
+	if max <= 0 {
+		return NoJitter
+	}
+	return func(n *core.Node, channel string) time.Duration {
+		h := seed ^ 0xcbf29ce484222325
+		for _, c := range []byte(n.PathString()) {
+			h = (h ^ uint64(c)) * 0x100000001b3
+		}
+		for _, c := range []byte(channel) {
+			h = (h ^ uint64(c)) * 0x100000001b3
+		}
+		h ^= h >> 33
+		return time.Duration(h % uint64(max))
+	}
+}
+
+// ChannelJitter applies a fixed latency to every event of one channel —
+// e.g. a slow image decoder on the graphic channel.
+func ChannelJitter(channel string, latency time.Duration) JitterModel {
+	return func(_ *core.Node, ch string) time.Duration {
+		if ch == channel {
+			return latency
+		}
+		return 0
+	}
+}
+
+// Options configures a playback run.
+type Options struct {
+	// Jitter is the device latency model; nil means ideal devices.
+	Jitter JitterModel
+	// Relax permits dropping May arcs to absorb latencies.
+	Relax bool
+	// Strategy picks the May arc to drop on a conflict.
+	Strategy sched.RelaxStrategy
+}
+
+// ActionKind classifies trace entries.
+type ActionKind int
+
+const (
+	// ActionStart is a leaf event starting on its channel.
+	ActionStart ActionKind = iota
+	// ActionEnd is a leaf event completing.
+	ActionEnd
+	// ActionFreeze marks a leaf held beyond its intrinsic duration
+	// (freeze-frame / stretch).
+	ActionFreeze
+	// ActionLate marks a leaf that started after its planned time.
+	ActionLate
+)
+
+func (a ActionKind) String() string {
+	switch a {
+	case ActionStart:
+		return "start"
+	case ActionEnd:
+		return "end"
+	case ActionFreeze:
+		return "freeze"
+	case ActionLate:
+		return "late"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// TraceEntry is one observable playback action.
+type TraceEntry struct {
+	At      time.Duration
+	Channel string
+	Node    *core.Node
+	Action  ActionKind
+	// Detail carries action-specific quantities (lateness, freeze length).
+	Detail time.Duration
+}
+
+func (e TraceEntry) String() string {
+	s := fmt.Sprintf("%10v  %-10s %-7s %s", e.At, e.Channel, e.Action, e.Node.PathString())
+	if e.Detail != 0 {
+		s += fmt.Sprintf(" (%v)", e.Detail)
+	}
+	return s
+}
+
+// Result is the outcome of a playback run.
+type Result struct {
+	// Actual holds the realized event times, indexed by sched.EventID.
+	Actual []time.Duration
+	// Trace lists observable actions in time order.
+	Trace []TraceEntry
+	// DroppedMay lists May arcs sacrificed to absorb latencies.
+	DroppedMay []sched.ArcRef
+	// MustViolations lists Must arcs that no amount of stalling could
+	// satisfy; a correct environment refuses to claim success here.
+	MustViolations []sched.ArcRef
+	// MaxDrift is the largest |actual − planned| over all events.
+	MaxDrift time.Duration
+	// TotalStretch sums freeze-frame time over all leaves.
+	TotalStretch time.Duration
+	// FinishedAt is the realized makespan.
+	FinishedAt time.Duration
+}
+
+// Success reports whether every Must relationship was honoured.
+func (r *Result) Success() bool { return len(r.MustViolations) == 0 }
+
+// Play simulates the document under the given options. The planned schedule
+// is computed from graph g (which must have been built with stretchable
+// leaves for freeze-frame semantics).
+func Play(g *sched.Graph, opts Options) (*Result, error) {
+	planned, err := g.Solve(sched.SolveOptions{Relax: opts.Relax, Strategy: opts.Strategy})
+	if err != nil {
+		return nil, fmt.Errorf("player: planning failed: %w", err)
+	}
+	jitter := opts.Jitter
+	if jitter == nil {
+		jitter = NoJitter
+	}
+
+	doc := g.Doc()
+	run := g.Clone()
+	rootBegin := run.Begin(doc.Root)
+	doc.Root.Walk(func(n *core.Node) bool {
+		if !n.Type.IsLeaf() {
+			return true
+		}
+		ch := channelName(doc, n)
+		if lat := jitter(n, ch); lat > 0 {
+			run.AddRuntimeLower(rootBegin, run.Begin(n),
+				planned.StartOf(n)+lat,
+				fmt.Sprintf("device latency %v on %s", lat, n.PathString()))
+		}
+		return true
+	})
+
+	// Re-solve with latencies. May arcs absorb what they can; residual
+	// conflicts are Must failures, dropped one at a time and recorded.
+	dropped := append([]sched.ArcRef(nil), planned.Dropped...)
+	var violations []sched.ArcRef
+	var actual *sched.Schedule
+	for {
+		s, err := run.Solve(sched.SolveOptions{Relax: opts.Relax, Strategy: opts.Strategy})
+		if err == nil {
+			actual = s
+			dropped = append(dropped, s.Dropped...)
+			break
+		}
+		var ce *sched.ConflictError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		musts := ce.MustArcs()
+		if len(musts) == 0 {
+			return nil, fmt.Errorf("player: irreducible conflict: %w", ce)
+		}
+		victim := musts[0]
+		violations = append(violations, victim)
+		run = run.WithoutArc(victim)
+	}
+
+	res := &Result{
+		Actual:         actual.Times(),
+		DroppedMay:     dedupeRefs(dropped),
+		MustViolations: violations,
+	}
+	res.buildTrace(doc, g, planned, actual)
+	return res, nil
+}
+
+// buildTrace derives observable actions from planned vs actual times.
+func (res *Result) buildTrace(doc *core.Document, g *sched.Graph, planned, actual *sched.Schedule) {
+	for i := range res.Actual {
+		if d := res.Actual[i] - planned.TimeOf(sched.EventID(i)); abs(d) > res.MaxDrift {
+			res.MaxDrift = abs(d)
+		}
+		if res.Actual[i] > res.FinishedAt {
+			res.FinishedAt = res.Actual[i]
+		}
+	}
+	doc.Root.Walk(func(n *core.Node) bool {
+		if !n.Type.IsLeaf() {
+			return true
+		}
+		ch := channelName(doc, n)
+		start, end := actual.StartOf(n), actual.EndOf(n)
+		res.Trace = append(res.Trace, TraceEntry{At: start, Channel: ch, Node: n, Action: ActionStart})
+		if late := start - planned.StartOf(n); late > 0 {
+			res.Trace = append(res.Trace, TraceEntry{
+				At: start, Channel: ch, Node: n, Action: ActionLate, Detail: late})
+		}
+		if stretch := actual.StretchOf(n, nil); stretch > 0 {
+			res.Trace = append(res.Trace, TraceEntry{
+				At: end - stretch, Channel: ch, Node: n, Action: ActionFreeze, Detail: stretch})
+			res.TotalStretch += stretch
+		}
+		res.Trace = append(res.Trace, TraceEntry{At: end, Channel: ch, Node: n, Action: ActionEnd})
+		return true
+	})
+	sort.SliceStable(res.Trace, func(i, j int) bool {
+		if res.Trace[i].At != res.Trace[j].At {
+			return res.Trace[i].At < res.Trace[j].At
+		}
+		return res.Trace[i].Channel < res.Trace[j].Channel
+	})
+}
+
+// channelName resolves a leaf's channel, with a placeholder for unassigned
+// leaves so traces stay complete.
+func channelName(doc *core.Document, n *core.Node) string {
+	if c, err := doc.ChannelOf(n); err == nil {
+		return c.Name
+	}
+	return "(unassigned)"
+}
+
+func abs(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func dedupeRefs(refs []sched.ArcRef) []sched.ArcRef {
+	seen := map[string]bool{}
+	var out []sched.ArcRef
+	for _, r := range refs {
+		k := fmt.Sprintf("%s#%d", r.Node.PathString(), r.Index)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the trace.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "playback (finished %v, drift %v, stretch %v", r.FinishedAt, r.MaxDrift, r.TotalStretch)
+	if len(r.DroppedMay) > 0 {
+		fmt.Fprintf(&b, ", %d may dropped", len(r.DroppedMay))
+	}
+	if len(r.MustViolations) > 0 {
+		fmt.Fprintf(&b, ", %d MUST VIOLATED", len(r.MustViolations))
+	}
+	b.WriteString(")\n")
+	for _, e := range r.Trace {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,369 @@
+// Package present implements the Presentation Mapping Tool of the
+// CWI/Multimedia Pipeline: "this tool is used to allocate virtual
+// presentation 'real estate' (such as areas on a display or channels of a
+// loudspeaker) to a given multimedia document. ... this tool manipulates the
+// definitions provided in the CMIF document and creates a presentation map
+// that can be manipulated separately from the document itself."
+//
+// Visual channels receive screen rectangles; audio channels receive
+// loudspeaker indices. Channel definitions may carry preference attributes
+// ("some of the mapping information may come from 'preference' defaults
+// provided with each atomic media block"):
+//
+//	(region top|bottom|main)   placement hint
+//	(prefheight N)             strip height for top/bottom regions
+//	(speaker N)                loudspeaker preference
+//
+// The map serializes as a small CMIF fragment, so it travels through the
+// same interchange machinery as documents.
+package present
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+)
+
+// Screen is the virtual display.
+type Screen struct {
+	W, H int64
+}
+
+// Rect is a screen rectangle.
+type Rect struct {
+	X, Y, W, H int64
+}
+
+// Overlaps reports whether two rectangles intersect with positive area.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.X < o.X+o.W && o.X < r.X+r.W && r.Y < o.Y+o.H && o.Y < r.Y+r.H
+}
+
+// Contains reports whether o lies fully inside r.
+func (r Rect) Contains(o Rect) bool {
+	return o.X >= r.X && o.Y >= r.Y && o.X+o.W <= r.X+r.W && o.Y+o.H <= r.Y+r.H
+}
+
+// PlacementKind distinguishes screen and speaker allocations.
+type PlacementKind int
+
+const (
+	// OnScreen is a display rectangle allocation.
+	OnScreen PlacementKind = iota
+	// OnSpeaker is a loudspeaker allocation.
+	OnSpeaker
+)
+
+// Placement allocates one channel to presentation real estate.
+type Placement struct {
+	Channel string
+	Medium  core.Medium
+	Kind    PlacementKind
+	Rect    Rect // valid when Kind == OnScreen
+	Speaker int  // valid when Kind == OnSpeaker
+}
+
+// Map is the presentation map: the allocation of every channel.
+type Map struct {
+	Screen   Screen
+	Speakers int
+	// Placements in channel-dictionary order.
+	Placements []Placement
+}
+
+// Lookup finds the placement for a channel.
+func (m *Map) Lookup(channel string) (Placement, bool) {
+	for _, p := range m.Placements {
+		if p.Channel == channel {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// Options configures the mapping tool.
+type Options struct {
+	Screen   Screen
+	Speakers int
+	// StripHeight is the default height of top/bottom strips; defaults to
+	// Screen.H / 8.
+	StripHeight int64
+}
+
+// MapDocument allocates presentation real estate for every channel in the
+// document's dictionary.
+func MapDocument(d *core.Document, opts Options) (*Map, error) {
+	if opts.Screen.W <= 0 || opts.Screen.H <= 0 {
+		return nil, fmt.Errorf("present: degenerate screen %dx%d", opts.Screen.W, opts.Screen.H)
+	}
+	if opts.Speakers < 0 {
+		return nil, fmt.Errorf("present: negative speaker count")
+	}
+	strip := opts.StripHeight
+	if strip <= 0 {
+		strip = opts.Screen.H / 8
+		if strip == 0 {
+			strip = 1
+		}
+	}
+
+	m := &Map{Screen: opts.Screen, Speakers: opts.Speakers}
+
+	var top, bottom, main []core.Channel
+	var audio []core.Channel
+	for _, c := range d.Channels().Channels() {
+		if c.Medium == core.MediumAudio {
+			audio = append(audio, c)
+			continue
+		}
+		switch hint, _ := c.Attrs.GetID("region"); hint {
+		case "top":
+			top = append(top, c)
+		case "bottom":
+			bottom = append(bottom, c)
+		default:
+			main = append(main, c)
+		}
+	}
+
+	// Audio: explicit speaker preferences first, then round-robin over the
+	// remaining speakers.
+	if len(audio) > 0 && opts.Speakers == 0 {
+		return nil, fmt.Errorf("present: document has %d audio channels but no speakers", len(audio))
+	}
+	used := map[int]bool{}
+	var unplaced []core.Channel
+	for _, c := range audio {
+		if pref, ok := c.Attrs.GetInt("speaker"); ok {
+			if pref < 0 || pref >= int64(opts.Speakers) {
+				return nil, fmt.Errorf("present: channel %q prefers speaker %d of %d",
+					c.Name, pref, opts.Speakers)
+			}
+			m.Placements = append(m.Placements, Placement{
+				Channel: c.Name, Medium: c.Medium, Kind: OnSpeaker, Speaker: int(pref)})
+			used[int(pref)] = true
+			continue
+		}
+		unplaced = append(unplaced, c)
+	}
+	next := 0
+	for _, c := range unplaced {
+		for used[next] && next < opts.Speakers-1 {
+			next++
+		}
+		m.Placements = append(m.Placements, Placement{
+			Channel: c.Name, Medium: c.Medium, Kind: OnSpeaker, Speaker: next})
+		used[next] = true
+		if next < opts.Speakers-1 {
+			next++
+		} else {
+			next = 0
+		}
+	}
+
+	// Screen: top strips, bottom strips, then the main area split into
+	// equal-width columns.
+	y := int64(0)
+	for _, c := range top {
+		h := stripHeight(c, strip)
+		m.Placements = append(m.Placements, Placement{
+			Channel: c.Name, Medium: c.Medium, Kind: OnScreen,
+			Rect: Rect{X: 0, Y: y, W: opts.Screen.W, H: h}})
+		y += h
+	}
+	bottomY := opts.Screen.H
+	for _, c := range bottom {
+		h := stripHeight(c, strip)
+		bottomY -= h
+		m.Placements = append(m.Placements, Placement{
+			Channel: c.Name, Medium: c.Medium, Kind: OnScreen,
+			Rect: Rect{X: 0, Y: bottomY, W: opts.Screen.W, H: h}})
+	}
+	if bottomY < y {
+		return nil, fmt.Errorf("present: strips overflow the %dx%d screen",
+			opts.Screen.W, opts.Screen.H)
+	}
+	if len(main) > 0 {
+		mainH := bottomY - y
+		if mainH <= 0 {
+			return nil, fmt.Errorf("present: no main area left for %d channels", len(main))
+		}
+		colW := opts.Screen.W / int64(len(main))
+		if colW == 0 {
+			return nil, fmt.Errorf("present: %d main channels do not fit %d columns wide",
+				len(main), opts.Screen.W)
+		}
+		for i, c := range main {
+			w := colW
+			if i == len(main)-1 {
+				w = opts.Screen.W - int64(i)*colW // absorb rounding remainder
+			}
+			m.Placements = append(m.Placements, Placement{
+				Channel: c.Name, Medium: c.Medium, Kind: OnScreen,
+				Rect: Rect{X: int64(i) * colW, Y: y, W: w, H: mainH}})
+		}
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func stripHeight(c core.Channel, def int64) int64 {
+	if h, ok := c.Attrs.GetInt("prefheight"); ok && h > 0 {
+		return h
+	}
+	return def
+}
+
+// Validate checks that screen placements stay on screen and do not overlap,
+// and speaker placements are in range.
+func (m *Map) Validate() error {
+	screen := Rect{X: 0, Y: 0, W: m.Screen.W, H: m.Screen.H}
+	for i, p := range m.Placements {
+		switch p.Kind {
+		case OnScreen:
+			if !screen.Contains(p.Rect) {
+				return fmt.Errorf("present: channel %q rect %+v off the %dx%d screen",
+					p.Channel, p.Rect, m.Screen.W, m.Screen.H)
+			}
+			for _, q := range m.Placements[:i] {
+				if q.Kind == OnScreen && p.Rect.Overlaps(q.Rect) {
+					return fmt.Errorf("present: channels %q and %q overlap", p.Channel, q.Channel)
+				}
+			}
+		case OnSpeaker:
+			if p.Speaker < 0 || p.Speaker >= m.Speakers {
+				return fmt.Errorf("present: channel %q on speaker %d of %d",
+					p.Channel, p.Speaker, m.Speakers)
+			}
+		}
+	}
+	return nil
+}
+
+// ToNode serializes the map as a CMIF fragment so it can travel through the
+// interchange machinery independently of the document.
+func (m *Map) ToNode() *core.Node {
+	n := core.NewImm(nil).SetName("presentation-map")
+	n.Attrs.Set("screen", attr.ListOf(
+		attr.Named("w", attr.Number(m.Screen.W)),
+		attr.Named("h", attr.Number(m.Screen.H))))
+	n.Attrs.Set("speakers", attr.Number(int64(m.Speakers)))
+	items := make([]attr.Item, 0, len(m.Placements))
+	for _, p := range m.Placements {
+		var body []attr.Item
+		body = append(body,
+			attr.Named("channel", attr.ID(p.Channel)),
+			attr.Named("medium", attr.ID(p.Medium.String())))
+		if p.Kind == OnSpeaker {
+			body = append(body, attr.Named("speaker", attr.Number(int64(p.Speaker))))
+		} else {
+			body = append(body, attr.Named("rect", attr.ListOf(
+				attr.Named("x", attr.Number(p.Rect.X)),
+				attr.Named("y", attr.Number(p.Rect.Y)),
+				attr.Named("w", attr.Number(p.Rect.W)),
+				attr.Named("h", attr.Number(p.Rect.H)))))
+		}
+		items = append(items, attr.Item{Value: attr.ListOf(body...)})
+	}
+	n.Attrs.Set("placements", attr.ListOf(items...))
+	return n
+}
+
+// FromNode reverses ToNode.
+func FromNode(n *core.Node) (*Map, error) {
+	m := &Map{}
+	sv, ok := n.Attrs.GetList("screen")
+	if !ok {
+		return nil, fmt.Errorf("present: node has no screen attribute")
+	}
+	for _, it := range sv {
+		v, _ := it.Value.AsInt()
+		switch it.Name {
+		case "w":
+			m.Screen.W = v
+		case "h":
+			m.Screen.H = v
+		}
+	}
+	if sp, ok := n.Attrs.GetInt("speakers"); ok {
+		m.Speakers = int(sp)
+	}
+	pl, ok := n.Attrs.GetList("placements")
+	if !ok {
+		return nil, fmt.Errorf("present: node has no placements attribute")
+	}
+	for i, it := range pl {
+		body, ok := it.Value.AsList()
+		if !ok {
+			return nil, fmt.Errorf("present: placement %d is not a list", i)
+		}
+		var p Placement
+		hasSpeaker := false
+		for _, f := range body {
+			switch f.Name {
+			case "channel":
+				p.Channel, _ = f.Value.AsID()
+			case "medium":
+				id, _ := f.Value.AsID()
+				med, err := core.ParseMedium(id)
+				if err != nil {
+					return nil, fmt.Errorf("present: placement %d: %w", i, err)
+				}
+				p.Medium = med
+			case "speaker":
+				v, _ := f.Value.AsInt()
+				p.Speaker = int(v)
+				hasSpeaker = true
+			case "rect":
+				ritems, _ := f.Value.AsList()
+				for _, ri := range ritems {
+					v, _ := ri.Value.AsInt()
+					switch ri.Name {
+					case "x":
+						p.Rect.X = v
+					case "y":
+						p.Rect.Y = v
+					case "w":
+						p.Rect.W = v
+					case "h":
+						p.Rect.H = v
+					}
+				}
+			}
+		}
+		if hasSpeaker {
+			p.Kind = OnSpeaker
+		} else {
+			p.Kind = OnScreen
+		}
+		m.Placements = append(m.Placements, p)
+	}
+	return m, nil
+}
+
+// String renders the map as an aligned table.
+func (m *Map) String() string {
+	rows := make([]string, 0, len(m.Placements)+1)
+	rows = append(rows, fmt.Sprintf("presentation map: screen %dx%d, %d speakers",
+		m.Screen.W, m.Screen.H, m.Speakers))
+	sorted := append([]Placement(nil), m.Placements...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Channel < sorted[j].Channel })
+	for _, p := range sorted {
+		if p.Kind == OnSpeaker {
+			rows = append(rows, fmt.Sprintf("  %-12s %-8s speaker %d", p.Channel, p.Medium, p.Speaker))
+		} else {
+			rows = append(rows, fmt.Sprintf("  %-12s %-8s rect %dx%d at (%d,%d)",
+				p.Channel, p.Medium, p.Rect.W, p.Rect.H, p.Rect.X, p.Rect.Y))
+		}
+	}
+	out := ""
+	for _, r := range rows {
+		out += r + "\n"
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package present
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// newsDoc builds a document with the five evening-news channels carrying
+// placement preferences.
+func newsDoc(t *testing.T) *core.Document {
+	t.Helper()
+	root := core.NewPar().SetName("news")
+	root.AddChild(core.NewImm([]byte("x")).SetName("stub").
+		SetAttr("channel", attr.ID("video")))
+	d, err := core.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := core.NewChannelDict()
+	labels := core.Channel{Name: "labels", Medium: core.MediumText}
+	labels.Attrs.Set("region", attr.ID("top"))
+	labels.Attrs.Set("prefheight", attr.Number(40))
+	captions := core.Channel{Name: "captions", Medium: core.MediumText}
+	captions.Attrs.Set("region", attr.ID("bottom"))
+	sound := core.Channel{Name: "sound", Medium: core.MediumAudio,
+		Rates: units.Rates{SampleRate: 8000}}
+	sound.Attrs.Set("speaker", attr.Number(1))
+	cd.Define(core.Channel{Name: "video", Medium: core.MediumVideo,
+		Rates: units.Rates{FrameRate: 25}})
+	cd.Define(sound)
+	cd.Define(core.Channel{Name: "graphic", Medium: core.MediumImage})
+	cd.Define(captions)
+	cd.Define(labels)
+	d.SetChannels(cd)
+	return d
+}
+
+func TestMapDocument(t *testing.T) {
+	d := newsDoc(t)
+	m, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 480}, Speakers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Placements) != 5 {
+		t.Fatalf("placements = %d", len(m.Placements))
+	}
+	// Labels strip at the top with its preferred height.
+	lb, ok := m.Lookup("labels")
+	if !ok || lb.Rect.Y != 0 || lb.Rect.H != 40 || lb.Rect.W != 640 {
+		t.Errorf("labels = %+v", lb)
+	}
+	// Captions strip at the bottom with the default height (480/8 = 60).
+	cp, _ := m.Lookup("captions")
+	if cp.Rect.Y != 420 || cp.Rect.H != 60 {
+		t.Errorf("captions = %+v", cp)
+	}
+	// Sound honours its speaker preference.
+	snd, _ := m.Lookup("sound")
+	if snd.Kind != OnSpeaker || snd.Speaker != 1 {
+		t.Errorf("sound = %+v", snd)
+	}
+	// Video and graphic split the main area.
+	v, _ := m.Lookup("video")
+	g, _ := m.Lookup("graphic")
+	if v.Rect.W+g.Rect.W != 640 {
+		t.Errorf("main split: %+v %+v", v.Rect, g.Rect)
+	}
+	if v.Rect.Y != 40 || v.Rect.H != 380 {
+		t.Errorf("main area vertical extent: %+v", v.Rect)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, ok := m.Lookup("ghost"); ok {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	d := newsDoc(t)
+	if _, err := MapDocument(d, Options{Screen: Screen{W: 0, H: 480}}); err == nil {
+		t.Error("degenerate screen accepted")
+	}
+	if _, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 480}, Speakers: -1}); err == nil {
+		t.Error("negative speakers accepted")
+	}
+	// Audio present but no speakers.
+	if _, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 480}, Speakers: 0}); err == nil {
+		t.Error("audio without speakers accepted")
+	}
+	// Speaker preference out of range.
+	if _, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 480}, Speakers: 1}); err == nil {
+		t.Error("speaker preference 1 of 1 accepted")
+	}
+	// Strips overflow a tiny screen (labels alone wants 40 of 30 rows).
+	if _, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 30}, Speakers: 2}); err == nil {
+		t.Error("strip overflow accepted")
+	}
+	// Strips fit exactly but leave no main area for video/graphic.
+	if _, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 45}, Speakers: 2}); err == nil {
+		t.Error("zero main area accepted")
+	}
+}
+
+func TestRoundRobinSpeakers(t *testing.T) {
+	root := core.NewPar().SetName("r")
+	root.AddChild(core.NewImm([]byte("x")).SetName("stub").
+		SetAttr("channel", attr.ID("a1")))
+	d, err := core.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := core.NewChannelDict()
+	for _, n := range []string{"a1", "a2", "a3"} {
+		cd.Define(core.Channel{Name: n, Medium: core.MediumAudio})
+	}
+	d.SetChannels(cd)
+	m, err := MapDocument(d, Options{Screen: Screen{W: 100, H: 100}, Speakers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speakers := map[string]int{}
+	for _, p := range m.Placements {
+		speakers[p.Channel] = p.Speaker
+	}
+	if speakers["a1"] == speakers["a2"] {
+		t.Errorf("first two channels share a speaker: %v", speakers)
+	}
+	for _, s := range speakers {
+		if s < 0 || s >= 2 {
+			t.Errorf("speaker out of range: %v", speakers)
+		}
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	b := Rect{X: 5, Y: 5, W: 10, H: 10}
+	c := Rect{X: 10, Y: 0, W: 5, H: 5}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlap not detected")
+	}
+	if a.Overlaps(c) {
+		t.Error("adjacent rects reported overlapping")
+	}
+	if !a.Contains(Rect{X: 2, Y: 2, W: 3, H: 3}) {
+		t.Error("containment not detected")
+	}
+	if a.Contains(b) {
+		t.Error("partial overlap reported contained")
+	}
+}
+
+func TestMapSerializationRoundTrip(t *testing.T) {
+	d := newsDoc(t)
+	m, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 480}, Speakers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := m.ToNode()
+	// Through the full text codec: the map is itself a CMIF fragment.
+	text, err := codec.EncodeNode(node, codec.WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.ParseNode(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	m2, err := FromNode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Screen != m.Screen || m2.Speakers != m.Speakers ||
+		len(m2.Placements) != len(m.Placements) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", m2, m)
+	}
+	for i := range m.Placements {
+		if m.Placements[i] != m2.Placements[i] {
+			t.Errorf("placement %d: %+v vs %+v", i, m.Placements[i], m2.Placements[i])
+		}
+	}
+}
+
+func TestFromNodeErrors(t *testing.T) {
+	n := core.NewImm(nil)
+	if _, err := FromNode(n); err == nil {
+		t.Error("empty node accepted")
+	}
+	n.Attrs.Set("screen", attr.ListOf(attr.Named("w", attr.Number(10)),
+		attr.Named("h", attr.Number(10))))
+	if _, err := FromNode(n); err == nil {
+		t.Error("missing placements accepted")
+	}
+	n.Attrs.Set("placements", attr.ListOf(attr.Item{Value: attr.Number(1)}))
+	if _, err := FromNode(n); err == nil {
+		t.Error("malformed placement accepted")
+	}
+}
+
+func TestMapString(t *testing.T) {
+	d := newsDoc(t)
+	m, err := MapDocument(d, Options{Screen: Screen{W: 640, H: 480}, Speakers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, want := range []string{"640x480", "speaker 1", "labels", "rect"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// benchDoc builds a balanced par-of-seq document with leaves leaves and an
+// explicit arc every arcEvery leaves.
+func benchDoc(b *testing.B, leaves, arcEvery int) *core.Document {
+	b.Helper()
+	root := core.NewPar().SetName("root")
+	const fan = 10
+	seqCount := (leaves + fan - 1) / fan
+	var allLeaves []*core.Node
+	for s := 0; s < seqCount; s++ {
+		seq := core.NewSeq().SetName(fmt.Sprintf("s%d", s)).
+			SetAttr("channel", attr.ID("video"))
+		for l := 0; l < fan && s*fan+l < leaves; l++ {
+			leaf := core.NewExt().SetName(fmt.Sprintf("l%d", l)).
+				SetAttr("file", attr.String("x.dat")).
+				SetAttr("duration", attr.Quantity(units.MS(int64(100+l*10))))
+			seq.AddChild(leaf)
+			allLeaves = append(allLeaves, leaf)
+		}
+		root.AddChild(seq)
+	}
+	if arcEvery > 0 {
+		for i := arcEvery; i < len(allLeaves); i += arcEvery {
+			src := allLeaves[i-arcEvery]
+			dst := allLeaves[i]
+			dst.AddArc(core.SyncArc{
+				DestEnd: core.Begin, Strict: core.May,
+				Source: relPath(dst, src), SrcEnd: core.Begin, Dest: "",
+				MaxDelay: units.InfiniteQuantity(),
+			})
+		}
+	}
+	d, err := core.NewDocument(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "video", Medium: core.MediumVideo,
+		Rates: units.Rates{FrameRate: 25}})
+	d.SetChannels(cd)
+	return d
+}
+
+// relPath builds "../..-style" path from one leaf to another (both are
+// seq/leaf depth 2 under the root).
+func relPath(from, to *core.Node) string {
+	return "../../" + to.Parent().Name() + "/" + to.Name()
+}
+
+// BenchmarkBuild measures constraint-graph construction.
+func BenchmarkBuild(b *testing.B) {
+	for _, leaves := range []int{100, 1000, 5000} {
+		d := benchDoc(b, leaves, 10)
+		b.Run(fmt.Sprintf("leaves-%d", leaves), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(d, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolve measures the earliest-schedule computation, which includes
+// the negative-cycle feasibility pass.
+func BenchmarkSolve(b *testing.B) {
+	for _, leaves := range []int{100, 1000, 5000} {
+		d := benchDoc(b, leaves, 10)
+		g, err := Build(d, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("leaves-%d", leaves), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Solve(SolveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveArcDensity varies explicit-arc density at fixed size.
+func BenchmarkSolveArcDensity(b *testing.B) {
+	for _, every := range []int{0, 10, 2} {
+		d := benchDoc(b, 1000, every)
+		g, err := Build(d, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "none"
+		if every > 0 {
+			name = fmt.Sprintf("every-%d", every)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Solve(SolveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerify measures constraint auditing of a finished schedule.
+func BenchmarkVerify(b *testing.B) {
+	d := benchDoc(b, 1000, 10)
+	g, err := Build(d, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := g.Solve(SolveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := g.Verify(s.Times(), nil); len(v) != 0 {
+			b.Fatal("schedule does not verify")
+		}
+	}
+}
+
+// BenchmarkConflictDetection measures the negative-cycle path: an
+// infeasible document that must be diagnosed.
+func BenchmarkConflictDetection(b *testing.B) {
+	d := benchDoc(b, 1000, 0)
+	// Contradiction: l1 of s0 both 200ms after and exactly at l0's begin.
+	l1, err := d.Root.Resolve("s0/l1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l1.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.Must,
+		Source: "../l0", SrcEnd: core.Begin, Offset: units.MS(200), Dest: "",
+		MaxDelay: units.MS(0)})
+	l1.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.Must,
+		Source: "../l0", SrcEnd: core.Begin, Dest: "", MaxDelay: units.MS(0)})
+	g, err := Build(d, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Solve(SolveOptions{}); err == nil {
+			b.Fatal("conflict not detected")
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package sched implements the timing semantics of CMIF documents: the
+// default synchronization arcs derived from the tree structure (section
+// 5.3.1), the explicit synchronization arcs of Figure 9, the synchronization
+// equation tref + δ ≤ tactual ≤ tref + ε, and the detection of the paper's
+// conflict case 1 ("an unreasonable synchronization constraint may have been
+// defined, directly or indirectly, by a user").
+//
+// The document's events (begin/end of every node) and their constraints form
+// a system of difference constraints t_v − t_u ≤ w. The system is solved
+// with a queue-based Bellman–Ford; a negative cycle is exactly an
+// unsatisfiable set of synchronization relationships and is reported with
+// the provenance of every constraint on the cycle. "May" arcs that appear on
+// a conflict cycle can be relaxed (dropped) — must arcs can not, mirroring
+// the paper's May/Must semantics.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// EventID identifies one begin/end event. Events are numbered densely:
+// node k's begin is 2k, its end 2k+1.
+type EventID int32
+
+// Event is the schedulable unit: one endpoint of one node.
+type Event struct {
+	Node *core.Node
+	End  core.EndPoint
+}
+
+// String renders e.g. "/story-3/intro.begin".
+func (e Event) String() string {
+	return e.Node.PathString() + "." + e.End.String()
+}
+
+// ConstraintKind records where a constraint came from, for conflict
+// reporting and for the relaxation pass.
+type ConstraintKind int
+
+const (
+	// KindStructural marks a default arc derived from the tree (seq
+	// ordering, par containment).
+	KindStructural ConstraintKind = iota
+	// KindDuration marks a leaf's presentation-duration constraint.
+	KindDuration
+	// KindArc marks an explicit synchronization arc.
+	KindArc
+	// KindRuntime marks a constraint injected by a presentation
+	// environment (device latency, user interaction), not by the document.
+	KindRuntime
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case KindStructural:
+		return "structural"
+	case KindDuration:
+		return "duration"
+	case KindArc:
+		return "arc"
+	case KindRuntime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ArcRef points at one explicit arc in the document: the node carrying it
+// and its position in that node's syncarcs list.
+type ArcRef struct {
+	Node  *core.Node
+	Index int
+	Arc   core.SyncArc
+}
+
+func (r ArcRef) String() string {
+	return fmt.Sprintf("%s syncarcs[%d] %s", r.Node.PathString(), r.Index, r.Arc)
+}
+
+// Constraint is one difference constraint t[V] − t[U] ≤ W.
+type Constraint struct {
+	U, V EventID
+	W    time.Duration
+	Kind ConstraintKind
+	// Arc is set for KindArc constraints.
+	Arc ArcRef
+	// Note is a human-readable description of the constraint's origin.
+	Note string
+}
+
+// Graph is the constraint system for one document.
+type Graph struct {
+	doc         *core.Document
+	events      []Event
+	nodeIndex   map[*core.Node]int32
+	constraints []Constraint
+	arcs        []ArcRef
+}
+
+// Options configures graph construction.
+type Options struct {
+	// DurationOf overrides the duration source for leaves. When nil, the
+	// document's duration attribute (converted with the leaf's channel
+	// rates) is used.
+	DurationOf func(n *core.Node) (time.Duration, bool)
+	// DefaultLeafDuration is used for leaves with no known duration.
+	// Zero means such leaves are flexible (any non-negative length).
+	DefaultLeafDuration time.Duration
+	// RigidLeaves adds upper bounds end ≤ begin + D so leaf events cannot
+	// be stretched (no freeze-frame). The paper's section 5.3.4 example
+	// relies on stretching ("this may require a freeze-frame video
+	// operation"), so the default is stretchable.
+	RigidLeaves bool
+	// SeqGaps permits dead time between consecutive children of a
+	// sequential node. The default (false) pins each successor's begin to
+	// its predecessor's end, so a delayed successor stretches the
+	// predecessor — the freeze-frame semantics of section 5.3.4. With
+	// SeqGaps, a delayed successor instead leaves the channel idle.
+	SeqGaps bool
+}
+
+// Begin returns the begin-event id of node n.
+func (g *Graph) Begin(n *core.Node) EventID { return EventID(g.nodeIndex[n] * 2) }
+
+// End returns the end-event id of node n.
+func (g *Graph) End(n *core.Node) EventID { return EventID(g.nodeIndex[n]*2 + 1) }
+
+// Event returns the event for an id.
+func (g *Graph) Event(id EventID) Event { return g.events[id] }
+
+// NumEvents reports the number of events (2 per node).
+func (g *Graph) NumEvents() int { return len(g.events) }
+
+// Constraints returns the constraint list. Shared; do not mutate.
+func (g *Graph) Constraints() []Constraint { return g.constraints }
+
+// Arcs returns every explicit arc found in the document.
+func (g *Graph) Arcs() []ArcRef { return append([]ArcRef(nil), g.arcs...) }
+
+// Doc returns the document the graph was built from.
+func (g *Graph) Doc() *core.Document { return g.doc }
+
+// eventOf resolves an arc endpoint to an event id.
+func (g *Graph) eventOf(n *core.Node, ep core.EndPoint) EventID {
+	if ep == core.End {
+		return g.End(n)
+	}
+	return g.Begin(n)
+}
+
+// Build constructs the constraint graph for the document.
+func Build(d *core.Document, opts Options) (*Graph, error) {
+	g := &Graph{doc: d, nodeIndex: make(map[*core.Node]int32)}
+
+	// Enumerate events.
+	d.Root.Walk(func(n *core.Node) bool {
+		g.nodeIndex[n] = int32(len(g.events) / 2)
+		g.events = append(g.events,
+			Event{Node: n, End: core.Begin},
+			Event{Node: n, End: core.End})
+		return true
+	})
+
+	durationOf := opts.DurationOf
+	if durationOf == nil {
+		durationOf = func(n *core.Node) (time.Duration, bool) {
+			q, ok := d.DurationOf(n)
+			if !ok {
+				return 0, false
+			}
+			dur, err := d.ResolverFor(n).Duration(q)
+			if err != nil {
+				return 0, false
+			}
+			return dur, true
+		}
+	}
+
+	var buildErr error
+	d.Root.Walk(func(n *core.Node) bool {
+		if buildErr != nil {
+			return false
+		}
+		g.addStructural(n, durationOf, opts)
+		if err := g.addExplicitArcs(n); err != nil {
+			buildErr = err
+			return false
+		}
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return g, nil
+}
+
+// lower adds t[v] ≥ t[u] + w, i.e. t[u] − t[v] ≤ −w (edge v→u).
+func (g *Graph) lower(u, v EventID, w time.Duration, kind ConstraintKind, arc ArcRef, note string) {
+	g.constraints = append(g.constraints, Constraint{
+		U: v, V: u, W: -w, Kind: kind, Arc: arc, Note: note,
+	})
+}
+
+// upper adds t[v] ≤ t[u] + w (edge u→v).
+func (g *Graph) upper(u, v EventID, w time.Duration, kind ConstraintKind, arc ArcRef, note string) {
+	g.constraints = append(g.constraints, Constraint{
+		U: u, V: v, W: w, Kind: kind, Arc: arc, Note: note,
+	})
+}
+
+// addStructural encodes the default synchronization arcs of section 5.3.1:
+//
+//   - "Within a sequential node, a default synchronization arc exists from
+//     the starting node of the arc to its sequentially first child. There
+//     are also arcs from the end of leaf nodes to the start of the successor
+//     leaf. Finally, an arc exists from the last child of a sequential node
+//     to the end of its parent."
+//   - "Parallel nodes have default arcs from the parallel parent node to
+//     each of the children ... synchronization arcs also exist from the end
+//     of each of the children to the end of the parent."
+//
+// The seq relation is "start the successor as soon as possible": a lower
+// bound whose earliest solution is equality. The par end relation is "start
+// the successor when the slowest parallel node finishes": end(parent) is
+// bounded below by every child's end, and the earliest solution is the max.
+func (g *Graph) addStructural(n *core.Node, durationOf func(*core.Node) (time.Duration, bool), opts Options) {
+	nb, ne := g.Begin(n), g.End(n)
+
+	// Every node runs forward in time.
+	g.lower(nb, ne, 0, KindStructural, ArcRef{}, "end after begin of "+n.PathString())
+
+	if n.Type.IsLeaf() {
+		dur, known := durationOf(n)
+		if !known {
+			dur = opts.DefaultLeafDuration
+		}
+		if dur > 0 {
+			g.lower(nb, ne, dur, KindDuration, ArcRef{},
+				fmt.Sprintf("duration %v of %s", dur, n.PathString()))
+			if opts.RigidLeaves {
+				g.upper(nb, ne, dur, KindDuration, ArcRef{},
+					fmt.Sprintf("rigid duration %v of %s", dur, n.PathString()))
+			}
+		}
+		return
+	}
+
+	children := n.Children()
+	switch n.Type {
+	case core.Seq:
+		prev := EventID(-1)
+		for i, c := range children {
+			cb, ce := g.Begin(c), g.End(c)
+			if i == 0 {
+				g.lower(nb, cb, 0, KindStructural, ArcRef{},
+					"seq parent begin to first child "+c.PathString())
+			} else {
+				g.lower(prev, cb, 0, KindStructural, ArcRef{},
+					"seq successor "+c.PathString())
+				if !opts.SeqGaps {
+					// Gap-free: the successor begins exactly when the
+					// predecessor ends, so delays propagate backwards as
+					// stretch (freeze-frame) rather than dead air.
+					g.upper(prev, cb, 0, KindStructural, ArcRef{},
+						"seq gap-free adjacency before "+c.PathString())
+				}
+			}
+			prev = ce
+		}
+		if len(children) > 0 {
+			g.lower(prev, ne, 0, KindStructural, ArcRef{},
+				"seq last child to parent end "+n.PathString())
+			if !opts.SeqGaps {
+				g.upper(prev, ne, 0, KindStructural, ArcRef{},
+					"seq parent ends with last child "+n.PathString())
+			}
+		}
+	case core.Par:
+		for _, c := range children {
+			cb, ce := g.Begin(c), g.End(c)
+			g.lower(nb, cb, 0, KindStructural, ArcRef{},
+				"par parent begin to child "+c.PathString())
+			g.lower(ce, ne, 0, KindStructural, ArcRef{},
+				"par child end to parent end "+c.PathString())
+		}
+	}
+}
+
+// addExplicitArcs encodes the node's explicit synchronization arcs via the
+// synchronization equation: with tref = t[srcEvent] + offset,
+//
+//	tref + δ ≤ t[dstEvent] ≤ tref + ε.
+//
+// The offset is converted with the source node's channel rates ("offsets may
+// be expressed in terms of media-dependent units"); δ and ε with the
+// destination's.
+func (g *Graph) addExplicitArcs(n *core.Node) error {
+	arcs, err := n.Arcs()
+	if err != nil {
+		return err
+	}
+	for i, a := range arcs {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("sched: %s arc %d: %w", n.PathString(), i, err)
+		}
+		src, dst, err := n.ResolveArc(a)
+		if err != nil {
+			return fmt.Errorf("sched: %s arc %d: %w", n.PathString(), i, err)
+		}
+		ref := ArcRef{Node: n, Index: i, Arc: a}
+		g.arcs = append(g.arcs, ref)
+
+		srcEv := g.eventOf(src, a.SrcEnd)
+		dstEv := g.eventOf(dst, a.DestEnd)
+
+		offset, err := g.doc.ResolverFor(src).Duration(a.Offset)
+		if err != nil {
+			return fmt.Errorf("sched: %s arc %d offset: %w", n.PathString(), i, err)
+		}
+		dstRes := g.doc.ResolverFor(dst)
+		minD, err := dstRes.Duration(a.MinDelay)
+		if err != nil {
+			return fmt.Errorf("sched: %s arc %d min_delay: %w", n.PathString(), i, err)
+		}
+		note := ref.String()
+		g.lower(srcEv, dstEv, offset+minD, KindArc, ref, note)
+		if !units.IsInfinite(a.MaxDelay) {
+			maxD, err := dstRes.Duration(a.MaxDelay)
+			if err != nil {
+				return fmt.Errorf("sched: %s arc %d max_delay: %w", n.PathString(), i, err)
+			}
+			g.upper(srcEv, dstEv, offset+maxD, KindArc, ref, note)
+		}
+	}
+	return nil
+}
+
+// Clone returns a graph sharing the document and event table but with an
+// independent constraint list, so runtime constraints can be added without
+// disturbing the original.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		doc:         g.doc,
+		events:      g.events,
+		nodeIndex:   g.nodeIndex,
+		constraints: append([]Constraint(nil), g.constraints...),
+		arcs:        append([]ArcRef(nil), g.arcs...),
+	}
+}
+
+// AddRuntimeLower adds the runtime constraint t[v] ≥ t[u] + w: presentation
+// environments use this to inject device latencies and interaction delays
+// (section 5.3.3 case 2 analysis).
+func (g *Graph) AddRuntimeLower(u, v EventID, w time.Duration, note string) {
+	g.lower(u, v, w, KindRuntime, ArcRef{}, note)
+}
+
+// AddRuntimeUpper adds the runtime constraint t[v] ≤ t[u] + w.
+func (g *Graph) AddRuntimeUpper(u, v EventID, w time.Duration, note string) {
+	g.upper(u, v, w, KindRuntime, ArcRef{}, note)
+}
+
+// WithoutArc returns a clone of the graph with every constraint of the
+// given explicit arc removed. Playback environments use this to record and
+// bypass Must arcs they cannot honour.
+func (g *Graph) WithoutArc(r ArcRef) *Graph {
+	c := g.Clone()
+	key := keyOf(r)
+	kept := c.constraints[:0]
+	for _, con := range c.constraints {
+		if con.Kind == KindArc && keyOf(con.Arc) == key {
+			continue
+		}
+		kept = append(kept, con)
+	}
+	c.constraints = kept
+	return c
+}
+
+// withoutArcs returns a copy of the constraint list with every constraint of
+// the listed arcs removed. Used by the relaxation pass.
+func (g *Graph) withoutArcs(dropped map[arcKey]bool) []Constraint {
+	if len(dropped) == 0 {
+		return g.constraints
+	}
+	out := make([]Constraint, 0, len(g.constraints))
+	for _, c := range g.constraints {
+		if c.Kind == KindArc && dropped[keyOf(c.Arc)] {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// arcKey identifies an arc by carrier node and index.
+type arcKey struct {
+	node  *core.Node
+	index int
+}
+
+func keyOf(r ArcRef) arcKey { return arcKey{node: r.Node, index: r.Index} }

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestSeqGapsOption(t *testing.T) {
+	// seq(a, b) with b pinned 300ms after a's begin; a lasts 100ms.
+	build := func(gaps bool) (*core.Document, *Graph) {
+		root := core.NewSeq().SetName("r")
+		a, b2 := leaf("a", "video", 100), leaf("b", "video", 100)
+		b2.AddArc(core.SyncArc{
+			DestEnd: core.Begin, Strict: core.Must,
+			Source: "../a", SrcEnd: core.Begin,
+			Offset: units.MS(300), Dest: "", MaxDelay: units.MS(0),
+		})
+		root.Add(a, b2)
+		d := doc(t, root)
+		g, err := Build(d, Options{SeqGaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, g
+	}
+
+	// Gap-free (default): a stretches to fill [100ms, 300ms].
+	d1, g1 := build(false)
+	s1, err := g1.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := d1.Root.FindByName("a")
+	if s1.EndOf(a1) != 300*time.Millisecond {
+		t.Errorf("gap-free: a ends %v, want 300ms (stretched)", s1.EndOf(a1))
+	}
+	if s1.StretchOf(a1, nil) != 200*time.Millisecond {
+		t.Errorf("gap-free stretch = %v", s1.StretchOf(a1, nil))
+	}
+
+	// With gaps: a keeps its 100ms; dead air until 300ms.
+	d2, g2 := build(true)
+	s2, err := g2.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := d2.Root.FindByName("a")
+	if s2.EndOf(a2) != 100*time.Millisecond {
+		t.Errorf("gappy: a ends %v, want 100ms", s2.EndOf(a2))
+	}
+	b2 := d2.Root.FindByName("b")
+	if s2.StartOf(b2) != 300*time.Millisecond {
+		t.Errorf("gappy: b starts %v", s2.StartOf(b2))
+	}
+}
+
+func TestRelaxStrategyChoosesVictim(t *testing.T) {
+	// Two may arcs with different windows contradict a must arc; the
+	// strategy decides which may arc dies first. Both contradict, so both
+	// eventually drop; the test checks the documented orderings are
+	// exercised without error and converge.
+	for _, strat := range []RelaxStrategy{RelaxFirstMay, RelaxWidestWindow, RelaxNarrowestWindow} {
+		root := core.NewPar().SetName("r")
+		a, b := leaf("a", "video", 100), leaf("b", "sound", 100)
+		b.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.Must,
+			Source: "../a", SrcEnd: core.Begin, Offset: units.MS(500), Dest: "",
+			MaxDelay: units.MS(0)})
+		b.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.May,
+			Source: "../a", SrcEnd: core.Begin, Dest: "", MaxDelay: units.MS(10)})
+		b.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.May,
+			Source: "../a", SrcEnd: core.Begin, Dest: "", MaxDelay: units.MS(200)})
+		root.Add(a, b)
+		g, err := Build(doc(t, root), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := g.Solve(SolveOptions{Relax: true, Strategy: strat})
+		if err != nil {
+			t.Fatalf("strategy %v: %v", strat, err)
+		}
+		if len(s.Dropped) == 0 {
+			t.Errorf("strategy %v dropped nothing", strat)
+		}
+		// The must arc must hold regardless of strategy.
+		bn := g.Doc().Root.FindByName("b")
+		an := g.Doc().Root.FindByName("a")
+		if s.StartOf(bn)-s.StartOf(an) != 500*time.Millisecond {
+			t.Errorf("strategy %v: must arc violated", strat)
+		}
+	}
+}
+
+func TestConflictErrorListsConstraintNotes(t *testing.T) {
+	root := core.NewPar().SetName("r")
+	a, b := leaf("a", "video", 100), leaf("b", "sound", 100)
+	b.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.Must,
+		Source: "../a", SrcEnd: core.Begin, Offset: units.MS(100), Dest: "",
+		MaxDelay: units.MS(0)})
+	b.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.Must,
+		Source: "../a", SrcEnd: core.Begin, Dest: "", MaxDelay: units.MS(0)})
+	root.Add(a, b)
+	g, err := Build(doc(t, root), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Solve(SolveOptions{})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want conflict, got %v", err)
+	}
+	// Every cycle constraint carries a non-empty provenance note.
+	for _, c := range ce.Cycle {
+		if c.Note == "" {
+			t.Errorf("constraint without provenance: %+v", c)
+		}
+	}
+}
+
+func TestWithoutArcRemovesConstraints(t *testing.T) {
+	root := core.NewPar().SetName("r")
+	a, b := leaf("a", "video", 100), leaf("b", "sound", 100)
+	b.AddArc(core.SyncArc{DestEnd: core.Begin, Strict: core.Must,
+		Source: "../a", SrcEnd: core.Begin, Offset: units.MS(100), Dest: "",
+		MaxDelay: units.MS(0)})
+	root.Add(a, b)
+	g, err := Build(doc(t, root), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := g.Arcs()
+	if len(refs) != 1 {
+		t.Fatal("arc not registered")
+	}
+	before := len(g.Constraints())
+	g2 := g.WithoutArc(refs[0])
+	if len(g2.Constraints()) >= before {
+		t.Errorf("WithoutArc removed nothing: %d -> %d", before, len(g2.Constraints()))
+	}
+	// Original untouched.
+	if len(g.Constraints()) != before {
+		t.Error("WithoutArc mutated original")
+	}
+	// Without the pin, b starts at 0.
+	s, err := g2.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(g.Doc().Root.FindByName("b")) != 0 {
+		t.Error("arc constraints survived removal")
+	}
+}
+
+func TestRuntimeConstraints(t *testing.T) {
+	root := core.NewSeq().SetName("r")
+	a := leaf("a", "video", 100)
+	root.AddChild(a)
+	d := doc(t, root)
+	g, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	g2.AddRuntimeLower(g2.Begin(d.Root), g2.Begin(a), 50*time.Millisecond, "latency")
+	s, err := g2.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(a) != 50*time.Millisecond {
+		t.Errorf("runtime lower ignored: %v", s.StartOf(a))
+	}
+	// Upper bound tightening: begin(a) ≤ root+200ms stays feasible.
+	g2.AddRuntimeUpper(g2.Begin(d.Root), g2.Begin(a), 200*time.Millisecond, "deadline")
+	if _, err := g2.Solve(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Contradictory upper bound: begin(a) ≤ root+10ms conflicts.
+	g3 := g.Clone()
+	g3.AddRuntimeLower(g3.Begin(d.Root), g3.Begin(a), 50*time.Millisecond, "latency")
+	g3.AddRuntimeUpper(g3.Begin(d.Root), g3.Begin(a), 10*time.Millisecond, "deadline")
+	if _, err := g3.Solve(SolveOptions{}); err == nil {
+		t.Error("contradictory runtime constraints accepted")
+	}
+}

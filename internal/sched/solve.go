@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ConflictError reports an unsatisfiable set of synchronization constraints:
+// the paper's conflict case 1. Cycle lists the constraints forming a
+// negative cycle in the difference-constraint graph; their combined windows
+// cannot all hold.
+type ConflictError struct {
+	Cycle []Constraint
+}
+
+func (e *ConflictError) Error() string {
+	var b strings.Builder
+	b.WriteString("sched: unsatisfiable synchronization constraints:")
+	for _, c := range e.Cycle {
+		b.WriteString("\n  ")
+		b.WriteString(c.Note)
+	}
+	return b.String()
+}
+
+// MustArcs returns the must-strictness explicit arcs on the conflict cycle.
+func (e *ConflictError) MustArcs() []ArcRef {
+	var out []ArcRef
+	for _, c := range e.Cycle {
+		if c.Kind == KindArc && c.Arc.Arc.Strict == core.Must {
+			out = append(out, c.Arc)
+		}
+	}
+	return out
+}
+
+// RelaxStrategy selects which May arc to drop when a conflict cycle offers a
+// choice (DESIGN.md ablation 2).
+type RelaxStrategy int
+
+const (
+	// RelaxFirstMay drops the first May arc encountered on the cycle.
+	RelaxFirstMay RelaxStrategy = iota
+	// RelaxWidestWindow drops the May arc with the widest delay window,
+	// on the theory that wide windows were the author's least-firm wishes.
+	RelaxWidestWindow
+	// RelaxNarrowestWindow drops the tightest May arc: the constraint most
+	// likely to be the binding one.
+	RelaxNarrowestWindow
+)
+
+// SolveOptions configures the solver.
+type SolveOptions struct {
+	// Relax enables dropping May arcs to resolve conflicts.
+	Relax bool
+	// Strategy picks the victim among May arcs on a conflict cycle.
+	Strategy RelaxStrategy
+}
+
+// Solve computes the earliest feasible schedule, optionally relaxing May
+// arcs. It returns a ConflictError when the constraints cannot be satisfied
+// by dropping May arcs alone.
+func (g *Graph) Solve(opts SolveOptions) (*Schedule, error) {
+	dropped := make(map[arcKey]bool)
+	var droppedRefs []ArcRef
+	for {
+		sched, conflict := g.solveOnce(dropped)
+		if conflict == nil {
+			sched.Dropped = droppedRefs
+			return sched, nil
+		}
+		if !opts.Relax {
+			return nil, conflict
+		}
+		victim, ok := pickVictim(conflict.Cycle, dropped, opts.Strategy)
+		if !ok {
+			return nil, conflict
+		}
+		dropped[keyOf(victim)] = true
+		droppedRefs = append(droppedRefs, victim)
+	}
+}
+
+// pickVictim chooses a not-yet-dropped May arc from the cycle.
+func pickVictim(cycle []Constraint, dropped map[arcKey]bool, strat RelaxStrategy) (ArcRef, bool) {
+	var candidates []ArcRef
+	seen := map[arcKey]bool{}
+	for _, c := range cycle {
+		if c.Kind != KindArc {
+			continue
+		}
+		if c.Arc.Arc.Strict != core.May {
+			continue
+		}
+		k := keyOf(c.Arc)
+		if dropped[k] || seen[k] {
+			continue
+		}
+		seen[k] = true
+		candidates = append(candidates, c.Arc)
+	}
+	if len(candidates) == 0 {
+		return ArcRef{}, false
+	}
+	switch strat {
+	case RelaxWidestWindow:
+		sort.SliceStable(candidates, func(i, j int) bool {
+			return windowWidth(candidates[i]) > windowWidth(candidates[j])
+		})
+	case RelaxNarrowestWindow:
+		sort.SliceStable(candidates, func(i, j int) bool {
+			return windowWidth(candidates[i]) < windowWidth(candidates[j])
+		})
+	}
+	return candidates[0], true
+}
+
+// windowWidth measures ε − δ in raw quantity values (best-effort; used only
+// for ordering candidates).
+func windowWidth(r ArcRef) int64 {
+	return r.Arc.MaxDelay.Value - r.Arc.MinDelay.Value
+}
+
+// solveOnce runs feasibility detection and earliest-schedule extraction over
+// the constraint set minus the dropped arcs.
+func (g *Graph) solveOnce(dropped map[arcKey]bool) (*Schedule, *ConflictError) {
+	cons := g.withoutArcs(dropped)
+	n := len(g.events)
+
+	// Feasibility: Bellman–Ford (SPFA) from a virtual source connected to
+	// every vertex. A negative cycle means the difference constraints are
+	// unsatisfiable.
+	if cycle := findNegativeCycle(n, cons); cycle != nil {
+		return nil, &ConflictError{Cycle: cycle}
+	}
+
+	// Earliest schedule with t[rootBegin] = 0: for difference constraints
+	// t_v − t_u ≤ w (edge u→v weight w), the earliest solution is
+	// t_v = −dist(v → root), i.e. single-source shortest paths from the
+	// root on the reversed graph.
+	rev := make([][]edge, n)
+	for i, c := range cons {
+		rev[c.V] = append(rev[c.V], edge{to: c.U, w: c.W, idx: i})
+	}
+	dist := spfa(n, rev, 0) // event 0 is the root's begin
+	times := make([]time.Duration, n)
+	for v := range times {
+		if dist[v] == unreachable {
+			// No path to the root: the event is unconstrained from below;
+			// schedule it at the root (time zero).
+			times[v] = 0
+			continue
+		}
+		times[v] = -time.Duration(dist[v])
+	}
+	return &Schedule{graph: g, times: times}, nil
+}
+
+type edge struct {
+	to  EventID
+	w   time.Duration
+	idx int // constraint index, for cycle extraction
+}
+
+const unreachable = int64(math.MaxInt64)
+
+// spfa computes single-source shortest paths over adj from src. The caller
+// guarantees no negative cycles (checked beforehand).
+func spfa(n int, adj [][]edge, src EventID) []int64 {
+	dist := make([]int64, n)
+	inQueue := make([]bool, n)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[src] = 0
+	queue := make([]EventID, 0, n)
+	queue = append(queue, src)
+	inQueue[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := dist[u]
+		for _, e := range adj[u] {
+			if nd := du + int64(e.w); nd < dist[e.to] {
+				dist[e.to] = nd
+				if !inQueue[e.to] {
+					queue = append(queue, e.to)
+					inQueue[e.to] = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// findNegativeCycle runs Bellman–Ford with a virtual source and returns the
+// constraints on a negative cycle, or nil when the system is feasible.
+func findNegativeCycle(n int, cons []Constraint) []Constraint {
+	// dist starts at 0 everywhere == virtual source edges of weight 0.
+	dist := make([]int64, n)
+	parent := make([]int, n) // constraint index that last relaxed the vertex
+	for i := range parent {
+		parent[i] = -1
+	}
+	var last EventID = -1
+	for iter := 0; iter < n; iter++ {
+		improved := false
+		for ci, c := range cons {
+			if dist[c.U] == unreachable {
+				continue
+			}
+			if nd := dist[c.U] + int64(c.W); nd < dist[c.V] {
+				dist[c.V] = nd
+				parent[c.V] = ci
+				improved = true
+				last = c.V
+			}
+		}
+		if !improved {
+			return nil
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	// A relaxation happened on the n'th pass: a negative cycle exists.
+	// Walk parents n times to be sure we are on the cycle, then collect.
+	v := last
+	for i := 0; i < n; i++ {
+		v = EventID(cons[parent[v]].U)
+	}
+	var cycle []Constraint
+	start := v
+	for {
+		ci := parent[v]
+		cycle = append(cycle, cons[ci])
+		v = EventID(cons[ci].U)
+		if v == start {
+			break
+		}
+	}
+	// Reverse so the cycle reads in constraint direction.
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}
+
+// Verify checks a time assignment against every non-dropped constraint,
+// returning the violated ones. Used by tests and by the playback simulator
+// to audit traces.
+func (g *Graph) Verify(times []time.Duration, dropped []ArcRef) []Constraint {
+	droppedSet := make(map[arcKey]bool, len(dropped))
+	for _, r := range dropped {
+		droppedSet[keyOf(r)] = true
+	}
+	var violated []Constraint
+	for _, c := range g.withoutArcs(droppedSet) {
+		if times[c.V]-times[c.U] > c.W {
+			violated = append(violated, c)
+		}
+	}
+	return violated
+}
+
+// String renders the constraint count summary.
+func (g *Graph) String() string {
+	var structural, duration, arcs int
+	for _, c := range g.constraints {
+		switch c.Kind {
+		case KindStructural:
+			structural++
+		case KindDuration:
+			duration++
+		case KindArc:
+			arcs++
+		}
+	}
+	return fmt.Sprintf("sched.Graph{%d events, %d structural, %d duration, %d arc constraints}",
+		len(g.events), structural, duration, arcs)
+}

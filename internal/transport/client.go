@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/media"
+)
+
+// Client is one connection to an interchange server. Not safe for
+// concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	// Stats accumulate wire traffic for the transport-cost experiments.
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// Dial connects to an interchange server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error {
+	_ = writeFrame(c.conn, opGoodbye)
+	return c.conn.Close()
+}
+
+// roundTrip sends a request and decodes the response, tracking sizes.
+func (c *Client) roundTrip(op byte, parts ...[]byte) ([][]byte, error) {
+	sent := int64(7)
+	for _, p := range parts {
+		sent += 4 + int64(len(p))
+	}
+	if err := writeFrame(c.conn, op, parts...); err != nil {
+		return nil, err
+	}
+	c.BytesSent += sent
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	recvd := int64(7)
+	for _, p := range resp.parts {
+		recvd += 4 + int64(len(p))
+	}
+	c.BytesReceived += recvd
+	if resp.op == opErr {
+		msg := "unknown"
+		if len(resp.parts) > 0 {
+			msg = string(resp.parts[0])
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	if resp.op != opOK {
+		return nil, fmt.Errorf("transport: unexpected response op %d", resp.op)
+	}
+	return resp.parts, nil
+}
+
+// GetDoc fetches the document registered under name.
+func (c *Client) GetDoc(name string, opts GetDocOptions) (*core.Document, error) {
+	if opts.Encoding == 0 {
+		opts.Encoding = EncodingText
+	}
+	inline := byte(0)
+	if opts.Inline {
+		inline = 1
+	}
+	parts, err := c.roundTrip(opGetDoc, []byte(name), []byte{byte(opts.Encoding)}, []byte{inline})
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != 1 {
+		return nil, fmt.Errorf("transport: getdoc returned %d parts", len(parts))
+	}
+	return decodeDoc(parts[0], opts.Encoding)
+}
+
+// PutDoc registers a document under name on the server. Inlined payloads
+// are absorbed into the server's store.
+func (c *Client) PutDoc(name string, d *core.Document, enc Encoding) error {
+	if enc == 0 {
+		enc = EncodingText
+	}
+	data, err := encodeDoc(d, enc)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(opPutDoc, []byte(name), []byte{byte(enc)}, data)
+	return err
+}
+
+// GetBlock fetches a data block by name or content address.
+func (c *Client) GetBlock(name string) (*media.Block, error) {
+	parts, err := c.roundTrip(opGetBlk, []byte(name))
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("transport: getblk returned %d parts", len(parts))
+	}
+	return blockFromParts(parts)
+}
+
+// PutBlock stores a block on the server, returning its content address.
+func (c *Client) PutBlock(b *media.Block) (string, error) {
+	descText, err := codec.EncodeNode(descriptorNode(b), codec.WriteOptions{Form: codec.Embedded})
+	if err != nil {
+		return "", err
+	}
+	parts, err := c.roundTrip(opPutBlk,
+		[]byte(b.Name), []byte(b.Medium.String()), []byte(descText), b.Payload)
+	if err != nil {
+		return "", err
+	}
+	if len(parts) != 1 {
+		return "", fmt.Errorf("transport: putblk returned %d parts", len(parts))
+	}
+	return string(parts[0]), nil
+}
+
+// ListDocs returns the names of documents the server offers.
+func (c *Client) ListDocs() ([]string, error) {
+	parts, err := c.roundTrip(opList)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = string(p)
+	}
+	return out, nil
+}

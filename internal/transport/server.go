@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/media"
+)
+
+// Registry holds the documents and blocks a server offers. Safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	docs  map[string]*core.Document
+	Store *media.Store
+}
+
+// NewRegistry returns an empty registry backed by store (a fresh store when
+// nil).
+func NewRegistry(store *media.Store) *Registry {
+	if store == nil {
+		store = media.NewStore()
+	}
+	return &Registry{docs: make(map[string]*core.Document), Store: store}
+}
+
+// PutDoc registers a document under name.
+func (r *Registry) PutDoc(name string, d *core.Document) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.docs[name] = d.Clone()
+}
+
+// GetDoc fetches a clone of the document registered under name.
+func (r *Registry) GetDoc(name string) (*core.Document, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.docs[name]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// DocNames returns registered document names, sorted.
+func (r *Registry) DocNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.docs))
+	for n := range r.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encoding selects the document wire encoding.
+type Encoding byte
+
+const (
+	// EncodingText is the human-readable form.
+	EncodingText Encoding = 't'
+	// EncodingBinary is the compact TLV form.
+	EncodingBinary Encoding = 'b'
+)
+
+// GetDocOptions shapes a document fetch.
+type GetDocOptions struct {
+	Encoding Encoding
+	// Inline ships payloads inside the tree (no common storage server).
+	Inline bool
+}
+
+// Server serves a registry over TCP.
+type Server struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server over reg.
+func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns the
+// bound address. Serving happens on background goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	l := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client until EOF or goodbye.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if req.op == opGoodbye {
+			return
+		}
+		resp, parts := s.handle(req)
+		if err := writeFrame(conn, resp, parts...); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request, returning the response op and parts.
+func (s *Server) handle(req frame) (byte, [][]byte) {
+	fail := func(format string, args ...interface{}) (byte, [][]byte) {
+		return opErr, [][]byte{[]byte(fmt.Sprintf(format, args...))}
+	}
+	switch req.op {
+	case opGetDoc:
+		if len(req.parts) != 3 || len(req.parts[1]) != 1 || len(req.parts[2]) != 1 {
+			return fail("getdoc: want [name, encoding, inline]")
+		}
+		name := string(req.parts[0])
+		doc, ok := s.reg.GetDoc(name)
+		if !ok {
+			return fail("getdoc: no document %q", name)
+		}
+		if req.parts[2][0] == 1 {
+			inlined, err := Inline(doc, s.reg.Store, false)
+			if err != nil {
+				return fail("getdoc: inline: %v", err)
+			}
+			doc = inlined
+		}
+		data, err := encodeDoc(doc, Encoding(req.parts[1][0]))
+		if err != nil {
+			return fail("getdoc: %v", err)
+		}
+		return opOK, [][]byte{data}
+	case opPutDoc:
+		if len(req.parts) != 3 || len(req.parts[1]) != 1 {
+			return fail("putdoc: want [name, encoding, document]")
+		}
+		doc, err := decodeDoc(req.parts[2], Encoding(req.parts[1][0]))
+		if err != nil {
+			return fail("putdoc: %v", err)
+		}
+		// Absorb any inlined payloads into the local store.
+		extracted, err := Extract(doc, s.reg.Store)
+		if err != nil {
+			return fail("putdoc: extract: %v", err)
+		}
+		s.reg.PutDoc(string(req.parts[0]), extracted)
+		return opOK, nil
+	case opGetBlk:
+		if len(req.parts) != 1 {
+			return fail("getblk: want [name]")
+		}
+		name := string(req.parts[0])
+		blk, ok := s.reg.Store.GetByName(name)
+		if !ok {
+			if blk, ok = s.reg.Store.Get(name); !ok {
+				return fail("getblk: no block %q", name)
+			}
+		}
+		descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+		if err != nil {
+			return fail("getblk: descriptor: %v", err)
+		}
+		return opOK, [][]byte{
+			[]byte(blk.Name),
+			[]byte(blk.Medium.String()),
+			[]byte(descText),
+			blk.Payload,
+		}
+	case opPutBlk:
+		if len(req.parts) != 4 {
+			return fail("putblk: want [name, medium, descriptor, payload]")
+		}
+		blk, err := blockFromParts(req.parts)
+		if err != nil {
+			return fail("putblk: %v", err)
+		}
+		s.reg.Store.Put(blk)
+		return opOK, [][]byte{[]byte(blk.ID)}
+	case opList:
+		names := s.reg.DocNames()
+		parts := make([][]byte, len(names))
+		for i, n := range names {
+			parts[i] = []byte(n)
+		}
+		return opOK, parts
+	default:
+		return fail("unknown op %d", req.op)
+	}
+}
+
+func encodeDoc(d *core.Document, enc Encoding) ([]byte, error) {
+	switch enc {
+	case EncodingText:
+		s, err := codec.Encode(d, codec.WriteOptions{Form: codec.Conventional})
+		return []byte(s), err
+	case EncodingBinary:
+		return codec.EncodeBinary(d)
+	default:
+		return nil, fmt.Errorf("unknown encoding %q", byte(enc))
+	}
+}
+
+func decodeDoc(data []byte, enc Encoding) (*core.Document, error) {
+	switch enc {
+	case EncodingText:
+		return codec.Parse(string(data))
+	case EncodingBinary:
+		return codec.DecodeBinary(data)
+	default:
+		return nil, fmt.Errorf("unknown encoding %q", byte(enc))
+	}
+}
+
+// descriptorNode wraps a block descriptor as a CMIF fragment for the wire.
+func descriptorNode(b *media.Block) *core.Node {
+	n := core.NewExt()
+	for _, p := range b.Descriptor.Pairs() {
+		n.Attrs.Set(p.Name, p.Value)
+	}
+	return n
+}
+
+// blockFromParts rebuilds a block from putblk/getblk wire parts.
+func blockFromParts(parts [][]byte) (*media.Block, error) {
+	medium, err := core.ParseMedium(string(parts[1]))
+	if err != nil {
+		return nil, err
+	}
+	descNode, err := codec.ParseNode(string(parts[2]))
+	if err != nil {
+		return nil, fmt.Errorf("descriptor: %w", err)
+	}
+	payload := append([]byte(nil), parts[3]...)
+	return media.NewBlock(string(parts[0]), medium, payload, descNode.Attrs), nil
+}
+
+// ErrRemote wraps a server-reported error.
+var ErrRemote = errors.New("transport: remote error")

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every message is
+//
+//	u32 totalLen | u8 op | u16 partCount | (u32 len | bytes)*
+//
+// with all integers big-endian. totalLen covers everything after itself.
+const (
+	maxFrameSize = 64 << 20 // 64 MiB: generous for inlined documents
+	maxParts     = 64
+)
+
+// Operation codes.
+const (
+	opGetDoc  byte = 1
+	opPutDoc  byte = 2
+	opGetBlk  byte = 3
+	opList    byte = 4
+	opPutBlk  byte = 5
+	opOK      byte = 128
+	opErr     byte = 255
+	opGoodbye byte = 6
+)
+
+// frame is one decoded wire message.
+type frame struct {
+	op    byte
+	parts [][]byte
+}
+
+// writeFrame encodes and sends a frame.
+func writeFrame(w io.Writer, op byte, parts ...[]byte) error {
+	if len(parts) > maxParts {
+		return fmt.Errorf("transport: %d parts exceeds limit", len(parts))
+	}
+	total := 1 + 2
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	if total > maxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	hdr := make([]byte, 4+1+2)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
+	hdr[4] = op
+	binary.BigEndian.PutUint16(hdr[5:7], uint16(len(parts)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(p)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame receives and decodes one frame.
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 3 || total > maxFrameSize {
+		return frame{}, fmt.Errorf("transport: frame length %d out of range", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	f := frame{op: body[0]}
+	count := int(binary.BigEndian.Uint16(body[1:3]))
+	if count > maxParts {
+		return frame{}, fmt.Errorf("transport: %d parts exceeds limit", count)
+	}
+	off := 3
+	for i := 0; i < count; i++ {
+		if off+4 > len(body) {
+			return frame{}, fmt.Errorf("transport: truncated part header")
+		}
+		n := int(binary.BigEndian.Uint32(body[off : off+4]))
+		off += 4
+		if n < 0 || off+n > len(body) {
+			return frame{}, fmt.Errorf("transport: part length %d exceeds frame", n)
+		}
+		f.parts = append(f.parts, body[off:off+n])
+		off += n
+	}
+	if off != len(body) {
+		return frame{}, fmt.Errorf("transport: %d trailing bytes in frame", len(body)-off)
+	}
+	return f, nil
+}
