@@ -4,6 +4,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -68,7 +69,7 @@ func BenchmarkF1PipelineEndToEnd(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.Run(doc, store, cfg); err != nil {
+		if _, err := pipeline.Run(context.Background(), doc, store, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -355,7 +356,7 @@ func BenchmarkA2Transport(b *testing.B) {
 		defer c.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := c.GetDoc("news", opts); err != nil {
+			if _, err := c.GetDoc(context.Background(), "news", opts); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,5 +1,5 @@
-// Command cmifbench regenerates every experiment artifact of DESIGN.md's
-// per-experiment index: the section 3.1 table, Figures 1-10, and the two
+// Command cmifbench regenerates every experiment artifact of the paper
+// reproduction: the section 3.1 table, Figures 1-10, and the two
 // ablations. Run with no arguments for everything, or name experiment ids.
 //
 // Usage:
@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/cmif"
 )
 
 func main() {
@@ -20,7 +20,7 @@ func main() {
 		want[arg] = true
 	}
 	failed := 0
-	for _, exp := range experiments.All() {
+	for _, exp := range cmif.Experiments() {
 		if len(want) > 0 && !want[exp.ID] {
 			continue
 		}

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	cmifc [-form conventional|embedded] [-check] [-stats] file.cmif
+//	cmifc [-form conventional|embedded] [-binary] [-check] [-stats] file.cmif
 //
 // With -check, cmifc prints validation findings and exits non-zero on
-// errors; otherwise it reprints the document in the requested form.
+// errors; otherwise it reprints the document in the requested form. The
+// input format (text or binary) is auto-detected.
 package main
 
 import (
@@ -14,24 +15,20 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/codec"
-	"repro/internal/core"
+	"repro/cmif"
 )
 
 func main() {
 	form := flag.String("form", "conventional", "output form: conventional or embedded")
+	binary := flag.Bool("binary", false, "emit the binary encoding instead of text")
 	check := flag.Bool("check", false, "validate only; print findings")
 	stats := flag.Bool("stats", false, "print document statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cmifc [-form conventional|embedded] [-check] [-stats] file.cmif")
+		fmt.Fprintln(os.Stderr, "usage: cmifc [-form conventional|embedded] [-binary] [-check] [-stats] file.cmif")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	doc, err := codec.Parse(string(data))
+	doc, err := cmif.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
@@ -40,10 +37,10 @@ func main() {
 		for _, i := range issues {
 			fmt.Println(i)
 		}
-		if len(core.Errors(issues)) > 0 {
+		if len(cmif.Errors(issues)) > 0 {
 			os.Exit(1)
 		}
-		fmt.Printf("%s: ok (%d warnings)\n", flag.Arg(0), len(core.Warnings(issues)))
+		fmt.Printf("%s: ok (%d warnings)\n", flag.Arg(0), len(cmif.Warnings(issues)))
 		return
 	}
 	if *stats {
@@ -52,15 +49,22 @@ func main() {
 			s.Nodes, s.Seq, s.Par, s.Ext, s.Imm, s.MaxDepth, s.Arcs, s.Channels, s.Styles)
 		return
 	}
-	f := codec.Conventional
-	if *form == "embedded" {
-		f = codec.Embedded
+	var opts []cmif.CodecOption
+	switch {
+	case *binary && *form != "conventional":
+		fmt.Fprintln(os.Stderr, "cmifc: -binary cannot be combined with -form")
+		os.Exit(2)
+	case *binary:
+		opts = append(opts, cmif.WithFormat(cmif.FormatBinary))
+	case *form == "embedded":
+		opts = append(opts, cmif.WithEmbeddedForm())
+	case *form != "conventional":
+		fmt.Fprintf(os.Stderr, "cmifc: unknown form %q (want conventional or embedded)\n", *form)
+		os.Exit(2)
 	}
-	out, err := codec.Encode(doc, codec.WriteOptions{Form: f})
-	if err != nil {
+	if err := cmif.EncodeTo(os.Stdout, doc, opts...); err != nil {
 		fatal(err)
 	}
-	fmt.Print(out)
 }
 
 func fatal(err error) {

@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/media"
+	"repro/cmif"
 )
 
 func main() {
@@ -39,9 +39,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	flag.Parse()
 
-	store, err := media.LoadDir(*dir)
+	store, err := cmif.LoadStoreDir(*dir)
 	if err != nil {
-		store = media.NewStore() // fresh store
+		store = cmif.NewStore() // fresh store
 	}
 
 	if *list {
@@ -56,23 +56,23 @@ func main() {
 		fatal(fmt.Errorf("-name is required"))
 	}
 
-	var blk *media.Block
+	var blk *cmif.Block
 	switch *medium {
 	case "video":
-		blk = media.CaptureVideo(*name, *frames, *w, *h, *fps, *seed)
+		blk = cmif.CaptureVideo(*name, *frames, *w, *h, *fps, *seed)
 	case "audio":
-		blk = media.CaptureAudio(*name, *ms, *rate, *freq, *seed)
+		blk = cmif.CaptureAudio(*name, *ms, *rate, *freq, *seed)
 	case "image":
-		blk = media.CaptureImage(*name, *w, *h, *seed)
+		blk = cmif.CaptureImage(*name, *w, *h, *seed)
 	case "graphic":
-		blk = media.CaptureGraphic(*name, *strokes, *seed)
+		blk = cmif.CaptureGraphic(*name, *strokes, *seed)
 	case "text":
-		blk = media.CaptureText(*name, *text, *lang)
+		blk = cmif.CaptureText(*name, *text, *lang)
 	default:
 		fatal(fmt.Errorf("unknown medium %q", *medium))
 	}
 	store.Put(blk)
-	if err := media.SaveDir(store, *dir); err != nil {
+	if err := cmif.SaveStoreDir(store, *dir); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("captured %s as %s\n", blk, blk.ID[:12])

@@ -4,49 +4,61 @@
 //
 // Usage:
 //
-//	cmifd [-addr 127.0.0.1:7911] [-news N]
+//	cmifd [-addr 127.0.0.1:7911] [-news N] [-idle 2m] [-grace 5s]
 //
 // With -news, the built-in evening-news corpus is preloaded under the name
-// "news". The server runs until interrupted.
+// "news". The server runs until SIGINT or SIGTERM, then drains gracefully:
+// in-flight requests get their responses before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
-	"repro/internal/newsdoc"
-	"repro/internal/transport"
+	"repro/cmif"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7911", "listen address")
 	news := flag.Int("news", 2, "preload the evening news with N stories (0 disables)")
+	idle := flag.Duration("idle", 2*time.Minute, "drop connections that deliver no data for this long (0 = never)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
-	reg := transport.NewRegistry(nil)
+	opts := []cmif.ServerOption{
+		cmif.WithIdleTimeout(*idle),
+		cmif.WithShutdownGrace(*grace),
+	}
 	if *news > 0 {
-		doc, store, err := newsdoc.Build(newsdoc.Config{Stories: *news})
+		doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: *news})
 		if err != nil {
 			fatal(err)
 		}
-		reg = transport.NewRegistry(store)
-		reg.PutDoc("news", doc)
+		opts = append(opts,
+			cmif.WithServedStore(store),
+			cmif.WithServedDocument("news", doc),
+		)
 	}
-	srv := transport.NewServer(reg)
-	bound, err := srv.Listen(*addr)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("cmifd: serving %d documents, %d blocks on %s\n",
-		len(reg.DocNames()), reg.Store.Len(), bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("cmifd: shutting down")
-	if err := srv.Close(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := cmif.Serve(ctx, *addr, func(bound string, s *cmif.Server) {
+		fmt.Printf("cmifd: serving %d documents, %d blocks on %s\n",
+			len(s.DocumentNames()), s.Store().Len(), bound)
+	}, opts...)
+	switch {
+	case err == nil:
+		fmt.Println("cmifd: drained, shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "cmifd: grace period expired; remaining connections force-closed")
+	default:
 		fatal(err)
 	}
 }

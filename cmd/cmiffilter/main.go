@@ -17,8 +17,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/filter"
-	"repro/internal/newsdoc"
+	"repro/cmif"
 )
 
 func main() {
@@ -26,23 +25,15 @@ func main() {
 	news := flag.Int("news", 2, "evening news story count")
 	flag.Parse()
 
-	var profile filter.Profile
-	switch *profileName {
-	case "workstation":
-		profile = filter.Workstation1991
-	case "laptop":
-		profile = filter.Laptop1991
-	case "terminal":
-		profile = filter.TextTerminal
-	default:
-		fatal(fmt.Errorf("unknown profile %q", *profileName))
-	}
-
-	doc, store, err := newsdoc.Build(newsdoc.Config{Stories: *news})
+	profile, err := cmif.ProfileByName(*profileName)
 	if err != nil {
 		fatal(err)
 	}
-	fm, err := filter.Evaluate(doc, store, profile)
+	doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: *news})
+	if err != nil {
+		fatal(err)
+	}
+	fm, err := cmif.EvaluateProfile(doc, store, profile)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,30 +2,39 @@
 //
 // Usage:
 //
-//	cmifget [-addr 127.0.0.1:7911] list
+//	cmifget [-addr 127.0.0.1:7911] [-timeout 10s] list
 //	cmifget [-addr ...] doc <name> [-inline] [-binary]
 //	cmifget [-addr ...] block <name>
+//
+// Every request is bounded by -timeout; a missing document or block is
+// reported distinctly from other failures.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"repro/internal/codec"
-	"repro/internal/transport"
+	"repro/cmif"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7911", "server address")
 	inline := flag.Bool("inline", false, "fetch documents with inlined payloads")
 	binaryEnc := flag.Bool("binary", false, "use the binary wire encoding")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 
-	c, err := transport.Dial(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c, err := cmif.Dial(ctx, *addr)
 	if err != nil {
 		fatal(err)
 	}
@@ -33,7 +42,7 @@ func main() {
 
 	switch flag.Arg(0) {
 	case "list":
-		names, err := c.ListDocs()
+		names, err := c.List(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -44,27 +53,26 @@ func main() {
 		if flag.NArg() != 2 {
 			usage()
 		}
-		enc := transport.EncodingText
+		var opts []cmif.WireOption
 		if *binaryEnc {
-			enc = transport.EncodingBinary
+			opts = append(opts, cmif.WithBinaryWire())
 		}
-		doc, err := c.GetDoc(flag.Arg(1), transport.GetDocOptions{
-			Encoding: enc, Inline: *inline,
-		})
+		if *inline {
+			opts = append(opts, cmif.WithInline())
+		}
+		doc, err := c.Document(ctx, flag.Arg(1), opts...)
 		if err != nil {
 			fatal(err)
 		}
-		out, err := codec.Encode(doc, codec.WriteOptions{})
-		if err != nil {
+		if err := cmif.EncodeTo(os.Stdout, doc); err != nil {
 			fatal(err)
 		}
-		fmt.Print(out)
-		fmt.Fprintf(os.Stderr, "cmifget: %d wire bytes received\n", c.BytesReceived)
+		fmt.Fprintf(os.Stderr, "cmifget: %d wire bytes received\n", c.BytesReceived())
 	case "block":
 		if flag.NArg() != 2 {
 			usage()
 		}
-		b, err := c.GetBlock(flag.Arg(1))
+		b, err := c.Block(ctx, flag.Arg(1))
 		if err != nil {
 			fatal(err)
 		}
@@ -76,11 +84,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cmifget [-addr a] [-inline] [-binary] (list | doc <name> | block <name>)")
+	fmt.Fprintln(os.Stderr, "usage: cmifget [-addr a] [-timeout d] [-inline] [-binary] (list | doc <name> | block <name>)")
 	os.Exit(2)
 }
 
 func fatal(err error) {
+	if errors.Is(err, cmif.ErrNotFound) {
+		fmt.Fprintln(os.Stderr, "cmifget: not found:", err)
+		os.Exit(3)
+	}
 	fmt.Fprintln(os.Stderr, "cmifget:", err)
 	os.Exit(1)
 }

@@ -15,10 +15,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/newsdoc"
-	"repro/internal/present"
+	"repro/cmif"
 )
 
 func main() {
@@ -32,16 +29,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var doc *core.Document
+	var doc *cmif.Document
 	switch {
 	case *news > 0:
-		doc, _, err = newsdoc.Build(newsdoc.Config{Stories: *news})
+		doc, _, err = cmif.BuildNews(cmif.NewsConfig{Stories: *news})
 	case flag.NArg() == 1:
-		var data []byte
-		data, err = os.ReadFile(flag.Arg(0))
-		if err == nil {
-			doc, err = codec.Parse(string(data))
-		}
+		doc, err = cmif.Open(flag.Arg(0))
 	default:
 		fmt.Fprintln(os.Stderr, "usage: cmifmap [-screen WxH] [-speakers N] [-cmif] (-news N | file.cmif)")
 		os.Exit(2)
@@ -50,18 +43,16 @@ func main() {
 		fatal(err)
 	}
 
-	m, err := present.MapDocument(doc, present.Options{
-		Screen: present.Screen{W: w, H: h}, Speakers: *speakers,
-	})
+	m, err := cmif.MapPresentation(doc, cmif.Screen{W: w, H: h}, *speakers)
 	if err != nil {
 		fatal(err)
 	}
 	if *asCMIF {
-		out, err := codec.EncodeNode(m.ToNode(), codec.WriteOptions{})
+		out, err := cmif.EncodeFragment(m.ToNode())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(out)
+		os.Stdout.Write(out)
 		return
 	}
 	fmt.Print(m)

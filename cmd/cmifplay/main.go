@@ -16,12 +16,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/newsdoc"
-	"repro/internal/player"
-	"repro/internal/render"
-	"repro/internal/sched"
+	"repro/cmif"
 )
 
 func main() {
@@ -31,17 +26,13 @@ func main() {
 	news := flag.Int("news", 0, "play the built-in evening news with N stories")
 	flag.Parse()
 
-	var doc *core.Document
+	var doc *cmif.Document
 	var err error
 	switch {
 	case *news > 0:
-		doc, _, err = newsdoc.Build(newsdoc.Config{Stories: *news})
+		doc, _, err = cmif.BuildNews(cmif.NewsConfig{Stories: *news})
 	case flag.NArg() == 1:
-		var data []byte
-		data, err = os.ReadFile(flag.Arg(0))
-		if err == nil {
-			doc, err = codec.Parse(string(data))
-		}
+		doc, err = cmif.Open(flag.Arg(0))
 	default:
 		fmt.Fprintln(os.Stderr, "usage: cmifplay [-jitter d] [-seed n] [-seek t] (-news N | file.cmif)")
 		os.Exit(2)
@@ -49,24 +40,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if errs := core.Errors(doc.Validate()); len(errs) > 0 {
-		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, e)
+	if verr := doc.Check(); verr != nil {
+		if ve, ok := verr.(*cmif.ValidationError); ok {
+			for _, e := range ve.Errors() {
+				fmt.Fprintln(os.Stderr, e)
+			}
 		}
-		fatal(fmt.Errorf("document has %d validation errors", len(errs)))
+		fatal(verr)
 	}
 
-	g, err := sched.Build(doc, sched.Options{DefaultLeafDuration: 500 * time.Millisecond})
-	if err != nil {
-		fatal(err)
-	}
-	s, err := g.Solve(sched.SolveOptions{Relax: true})
+	plan, err := cmif.Schedule(doc,
+		cmif.WithDefaultLeafDuration(500*time.Millisecond),
+		cmif.WithRelaxation(),
+	)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *seek >= 0 {
-		rep := player.AnalyzeSeek(s, *seek)
+		rep := plan.AnalyzeSeek(*seek)
 		fmt.Printf("seek to %v: %d active leaves\n", *seek, len(rep.Active))
 		for _, n := range rep.Active {
 			fmt.Printf("  active: %s\n", n.PathString())
@@ -78,15 +70,15 @@ func main() {
 	}
 
 	fmt.Println("table of contents:")
-	fmt.Print(render.TOCText(s))
+	fmt.Print(plan.TOC())
 	fmt.Println("\nchannel timeline:")
-	fmt.Print(render.Timeline(s, render.TimelineOptions{Resolution: timelineRes(s.Makespan())}))
+	fmt.Print(plan.Timeline(cmif.TimelineOptions{Resolution: timelineRes(plan.Makespan())}))
 
-	var model player.JitterModel
+	playOpts := []cmif.PlayOption{cmif.WithPlayRelaxation()}
 	if *jitter > 0 {
-		model = player.UniformJitter(*seed, *jitter)
+		playOpts = append(playOpts, cmif.WithJitter(cmif.UniformJitter(*seed, *jitter)))
 	}
-	res, err := player.Play(g, player.Options{Jitter: model, Relax: true})
+	res, err := plan.Play(playOpts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,162 @@
+package cmif
+
+import (
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Node is one CMIF tree node. The alias exposes the full authoring and
+// traversal method set (SetName, SetAttr, Add, AddArc, Walk, Resolve, ...).
+type Node = core.Node
+
+// NodeType classifies nodes: Seq, Par, Ext, Imm.
+type NodeType = core.NodeType
+
+// Node types.
+const (
+	// Seq presents its children one after another.
+	Seq = core.Seq
+	// Par presents its children simultaneously.
+	Par = core.Par
+	// Ext is a leaf whose data lives in an external data block.
+	Ext = core.Ext
+	// Imm is a leaf carrying its data immediately.
+	Imm = core.Imm
+)
+
+// NewSeq returns an empty sequential composite node.
+func NewSeq() *Node { return core.NewSeq() }
+
+// NewPar returns an empty parallel composite node.
+func NewPar() *Node { return core.NewPar() }
+
+// NewExt returns an external-data leaf node.
+func NewExt() *Node { return core.NewExt() }
+
+// NewImm returns an immediate-data leaf node carrying data.
+func NewImm(data []byte) *Node { return core.NewImm(data) }
+
+// --- attribute values ---
+
+// Value is one CMIF attribute value: an identifier, string, quantity or
+// list.
+type Value = attr.Value
+
+// Item is one element of a list value, optionally named.
+type Item = attr.Item
+
+// ID returns an identifier value.
+func ID(s string) Value { return attr.ID(s) }
+
+// String returns a quoted-string value.
+func String(s string) Value { return attr.String(s) }
+
+// Number returns a unitless numeric value.
+func Number(v int64) Value { return attr.Number(v) }
+
+// Qty returns a numeric value carrying a quantity's unit.
+func Qty(q units.Quantity) Value { return attr.Quantity(q) }
+
+// List returns a list value of the given elements.
+func List(vs ...Value) Value { return attr.VList(vs...) }
+
+// Named returns a named list item.
+func Named(name string, v Value) Item { return attr.Named(name, v) }
+
+// --- quantities and units ---
+
+// Quantity is a number with a presentation unit.
+type Quantity = units.Quantity
+
+// Unit enumerates presentation units: seconds, milliseconds, frames,
+// samples, pixels...
+type Unit = units.Unit
+
+// Units.
+const (
+	// UnitNone is a bare number.
+	UnitNone = units.None
+	// UnitSeconds and UnitMillis are wall-clock time.
+	UnitSeconds = units.Seconds
+	UnitMillis  = units.Millis
+	// UnitFrames counts video frames (rate-dependent time).
+	UnitFrames = units.Frames
+	// UnitSamples counts audio samples (rate-dependent time).
+	UnitSamples = units.Samples
+)
+
+// Q builds a quantity of v in unit u.
+func Q(v int64, u Unit) Quantity { return units.Q(v, u) }
+
+// MS builds a quantity of v milliseconds.
+func MS(v int64) Quantity { return units.MS(v) }
+
+// Sec builds a quantity of v seconds.
+func Sec(v int64) Quantity { return units.Sec(v) }
+
+// Rates carries a channel's frame and sample rates for unit conversion.
+type Rates = units.Rates
+
+// --- channels ---
+
+// Medium classifies data: text, audio, video, image, graphic.
+type Medium = core.Medium
+
+// Media.
+const (
+	MediumText    = core.MediumText
+	MediumAudio   = core.MediumAudio
+	MediumVideo   = core.MediumVideo
+	MediumImage   = core.MediumImage
+	MediumGraphic = core.MediumGraphic
+)
+
+// ParseMedium parses a medium name.
+func ParseMedium(s string) (Medium, error) { return core.ParseMedium(s) }
+
+// Channel is one logical output device (the paper's channel abstraction).
+type Channel = core.Channel
+
+// ChannelDict maps channel names to definitions; it travels on the
+// document root.
+type ChannelDict = core.ChannelDict
+
+// NewChannelDict returns an empty channel dictionary.
+func NewChannelDict() *ChannelDict { return core.NewChannelDict() }
+
+// StyleDict maps style names to attribute sets; it travels on the document
+// root.
+type StyleDict = attr.StyleDict
+
+// NewStyleDict returns an empty style dictionary.
+func NewStyleDict() *StyleDict { return attr.NewStyleDict() }
+
+// --- synchronization arcs ---
+
+// SyncArc is one explicit timing relationship between two node endpoints
+// (the paper's synchronization arc, Figure 9).
+type SyncArc = core.SyncArc
+
+// EndPoint selects a node's begin or end event.
+type EndPoint = core.EndPoint
+
+// Arc endpoints.
+const (
+	// Begin is a node's begin event.
+	Begin = core.Begin
+	// End is a node's end event.
+	End = core.End
+)
+
+// Strictness grades an arc: Must holds or playback fails; May is dropped
+// under pressure.
+type Strictness = core.Strictness
+
+// Arc strictness grades.
+const (
+	// Must arcs are hard requirements.
+	Must = core.Must
+	// May arcs are droppable preferences.
+	May = core.May
+)

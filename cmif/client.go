@@ -1,0 +1,133 @@
+package cmif
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Client is one connection to an interchange server. Every operation takes
+// a context.Context whose deadline and cancellation are enforced on the
+// wire (connection read/write deadlines); a cancelled call poisons the
+// connection, so open a fresh client afterwards. Not safe for concurrent
+// use; open one client per goroutine.
+type Client struct {
+	c *transport.Client
+}
+
+// clientConfig collects the dial options.
+type clientConfig struct {
+	timeout time.Duration
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*clientConfig)
+
+// WithRequestTimeout bounds each round trip that carries no context
+// deadline of its own. Zero (the default) means unbounded.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.timeout = d }
+}
+
+// Dial connects to an interchange server, honouring ctx during connection
+// establishment.
+func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	var cfg clientConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tc, err := transport.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	tc.Timeout = cfg.timeout
+	return &Client{c: tc}, nil
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// BytesSent reports accumulated request traffic, for transport-cost
+// accounting.
+func (c *Client) BytesSent() int64 { return c.c.BytesSent }
+
+// BytesReceived reports accumulated response traffic.
+func (c *Client) BytesReceived() int64 { return c.c.BytesReceived }
+
+// wireConfig collects the per-call wire options.
+type wireConfig struct {
+	encoding transport.Encoding
+	inline   bool
+}
+
+// WireOption configures document transfers (Client.Document, Client.Put).
+type WireOption func(*wireConfig)
+
+// WithBinaryWire ships the document in the compact binary encoding instead
+// of the text default.
+func WithBinaryWire() WireOption {
+	return func(c *wireConfig) { c.encoding = transport.EncodingBinary }
+}
+
+// WithInline asks the server to inline data payloads into the tree, so the
+// transfer is self-contained (no shared storage server). Fetch-only.
+func WithInline() WireOption {
+	return func(c *wireConfig) { c.inline = true }
+}
+
+func wireConfigOf(opts []WireOption) wireConfig {
+	cfg := wireConfig{encoding: transport.EncodingText}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Document fetches the document registered under name. A missing name
+// matches both ErrRemote and ErrNotFound under errors.Is.
+func (c *Client) Document(ctx context.Context, name string, opts ...WireOption) (*Document, error) {
+	cfg := wireConfigOf(opts)
+	d, err := c.c.GetDoc(ctx, name, transport.GetDocOptions{
+		Encoding: cfg.encoding, Inline: cfg.inline,
+	})
+	if err != nil {
+		return nil, wireError(err)
+	}
+	return wrapDocument(d), nil
+}
+
+// Put registers a document under name on the server. Inlined payloads are
+// absorbed into the server's store.
+func (c *Client) Put(ctx context.Context, name string, d *Document, opts ...WireOption) error {
+	cfg := wireConfigOf(opts)
+	return wireError(c.c.PutDoc(ctx, name, d.doc, cfg.encoding))
+}
+
+// Block fetches a data block by name or content address. A missing block
+// matches both ErrRemote and ErrNotFound under errors.Is.
+func (c *Client) Block(ctx context.Context, name string) (*Block, error) {
+	b, err := c.c.GetBlock(ctx, name)
+	if err != nil {
+		return nil, wireError(err)
+	}
+	return b, nil
+}
+
+// PutBlock stores a block on the server, returning its content address.
+func (c *Client) PutBlock(ctx context.Context, b *Block) (string, error) {
+	id, err := c.c.PutBlock(ctx, b)
+	if err != nil {
+		return "", wireError(err)
+	}
+	return id, nil
+}
+
+// List returns the names of documents the server offers, sorted.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	names, err := c.c.ListDocs(ctx)
+	if err != nil {
+		return nil, wireError(err)
+	}
+	return names, nil
+}

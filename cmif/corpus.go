@@ -1,0 +1,30 @@
+package cmif
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/newsdoc"
+)
+
+// NewsConfig sizes the built-in evening-news corpus (the paper's running
+// example, sections 4 and 5.3.4).
+type NewsConfig = newsdoc.Config
+
+// BuildNews generates the five-channel evening-news broadcast with its
+// synthetic media store. A zero config gets three stories.
+func BuildNews(cfg NewsConfig) (*Document, *Store, error) {
+	d, store, err := newsdoc.Build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapDocument(d), store, nil
+}
+
+// Experiment pairs an experiment id (T1, F1..F10, A1, A2) with its
+// generator, regenerating one artifact of the paper's evaluation.
+type Experiment = experiments.Experiment
+
+// ExperimentTable is one experiment's tabular result.
+type ExperimentTable = experiments.Table
+
+// Experiments lists every reproduction experiment in paper order.
+func Experiments() []Experiment { return experiments.All() }

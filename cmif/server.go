@@ -1,0 +1,131 @@
+package cmif
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/transport"
+)
+
+// Server serves documents and data blocks over the interchange protocol —
+// the paper's distributed document store (section 6). Build one with
+// NewServer, or use the one-call Serve.
+type Server struct {
+	reg *transport.Registry
+	srv *transport.Server
+	// grace bounds Serve's wait for in-flight requests after cancellation.
+	grace time.Duration
+}
+
+// serverConfig collects the server options.
+type serverConfig struct {
+	store        *media.Store
+	docs         []namedDoc
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	grace        time.Duration
+}
+
+type namedDoc struct {
+	name string
+	doc  *Document
+}
+
+// ServerOption configures NewServer and Serve.
+type ServerOption func(*serverConfig)
+
+// WithServedStore backs the server with an existing block store instead of
+// an empty one.
+func WithServedStore(s *Store) ServerOption {
+	return func(c *serverConfig) { c.store = s }
+}
+
+// WithServedDocument preloads a document under name.
+func WithServedDocument(name string, d *Document) ServerOption {
+	return func(c *serverConfig) { c.docs = append(c.docs, namedDoc{name, d}) }
+}
+
+// WithIdleTimeout hangs up connections that sit idle between requests
+// longer than d. Zero (the default) keeps them forever.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds each response write. Zero (the default) means no
+// bound.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.writeTimeout = d }
+}
+
+// WithShutdownGrace bounds how long Serve waits for in-flight requests
+// after its context is cancelled before force-closing connections. The
+// default is 5 seconds.
+func WithShutdownGrace(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.grace = d }
+}
+
+// NewServer builds a server from functional options. It does not listen
+// yet; call Listen, then Serve (or Close).
+func NewServer(opts ...ServerOption) *Server {
+	cfg := serverConfig{grace: 5 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := transport.NewRegistry(cfg.store)
+	for _, nd := range cfg.docs {
+		reg.PutDoc(nd.name, nd.doc.doc)
+	}
+	srv := transport.NewServer(reg)
+	srv.IdleTimeout = cfg.idleTimeout
+	srv.WriteTimeout = cfg.writeTimeout
+	return &Server{reg: reg, srv: srv, grace: cfg.grace}
+}
+
+// Register adds (or replaces) a document under name while serving.
+func (s *Server) Register(name string, d *Document) { s.reg.PutDoc(name, d.doc) }
+
+// DocumentNames lists the registered document names, sorted.
+func (s *Server) DocumentNames() []string { return s.reg.DocNames() }
+
+// Store returns the server's block store.
+func (s *Server) Store() *Store { return s.reg.Store }
+
+// Listen starts accepting on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// Serve blocks until ctx is cancelled, then shuts down gracefully: the
+// listener closes, in-flight requests get their responses, idle
+// connections are released, and — after the shutdown grace period —
+// stragglers are force-closed. Call after Listen. Returns nil on a clean
+// drain; a forced close after the grace expired returns an error matching
+// context.DeadlineExceeded, so callers can tell the two apart.
+func (s *Server) Serve(ctx context.Context) error {
+	<-ctx.Done()
+	graceCtx, cancel := context.WithTimeout(context.Background(), s.grace)
+	defer cancel()
+	return s.srv.Shutdown(graceCtx)
+}
+
+// Shutdown drains the server: no new connections, in-flight requests
+// complete, and when ctx expires remaining connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close force-closes the listener and every connection immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve is the one-call server: listen on addr, serve until ctx is
+// cancelled, then drain gracefully. The bound address is reported through
+// onListen when non-nil (useful with ":0" addresses).
+func Serve(ctx context.Context, addr string, onListen func(boundAddr string, s *Server), opts ...ServerOption) error {
+	s := NewServer(opts...)
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(bound, s)
+	}
+	return s.Serve(ctx)
+}

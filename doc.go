@@ -3,9 +3,9 @@
 // van Liere — USENIX 1991): the CWI Multimedia Interchange Format (CMIF)
 // and the CWI/Multimedia Pipeline around it.
 //
-// The implementation lives under internal/; see DESIGN.md for the system
-// inventory, EXPERIMENTS.md for paper-versus-measured results, the
-// examples/ directory for runnable programs, and cmd/ for the pipeline
-// tools. The benchmarks in bench_test.go regenerate the performance side of
-// every figure.
+// The supported entry point is the public facade package repro/cmif; the
+// implementation lives under internal/ and is not part of the API. See
+// README.md for the surface map and a quickstart, the examples/ directory
+// for runnable programs, and cmd/ for the pipeline tools. The benchmarks
+// in bench_test.go regenerate the performance side of every figure.
 package repro

@@ -14,10 +14,7 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/newsdoc"
-	"repro/internal/player"
-	"repro/internal/render"
-	"repro/internal/sched"
+	"repro/cmif"
 )
 
 func main() {
@@ -29,7 +26,7 @@ func main() {
 		}
 		stories = n
 	}
-	doc, store, err := newsdoc.Build(newsdoc.Config{Stories: stories})
+	doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: stories})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,29 +34,25 @@ func main() {
 		stories, store.Len(), store.TotalBytes())
 
 	fmt.Println("document structure (Figure 5a view):")
-	fmt.Print(render.Tree(doc))
+	fmt.Print(cmif.Tree(doc))
 
-	g, err := sched.Build(doc, sched.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := g.Solve(sched.SolveOptions{Relax: true})
+	plan, err := cmif.Schedule(doc, cmif.WithRelaxation())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\nchannel timeline (Figure 10 view):")
-	fmt.Print(render.Timeline(s, render.TimelineOptions{Resolution: time.Second}))
+	fmt.Print(plan.Timeline(cmif.TimelineOptions{Resolution: time.Second}))
 
 	fmt.Println("\nsynchronization arcs (Figure 9 form):")
-	fmt.Print(render.ArcTable(doc))
+	fmt.Print(cmif.ArcTable(doc))
 
 	// Play with a slow graphic decoder: may-arcs absorb it, must-arcs
 	// stall what they must.
-	res, err := player.Play(g, player.Options{
-		Jitter: player.ChannelJitter("graphic", 60*time.Millisecond),
-		Relax:  true,
-	})
+	res, err := plan.Play(
+		cmif.WithJitter(cmif.ChannelJitter("graphic", 60*time.Millisecond)),
+		cmif.WithPlayRelaxation(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

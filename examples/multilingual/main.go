@@ -1,8 +1,8 @@
 // Multilingual: the paper's caption scenario — "a text-string is
 // synchronized with the presentation for providing either multi-lingual
 // broadcasts or captioning for the hearing impaired" — built with the
-// conditional-node extension of internal/hyper. One document carries Dutch
-// and English caption tracks; specialization selects a branch per reader.
+// conditional-node extension. One document carries Dutch and English
+// caption tracks; specialization selects a branch per reader.
 //
 //	go run ./examples/multilingual [lang]
 package main
@@ -12,26 +12,21 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/attr"
-	"repro/internal/core"
-	"repro/internal/hyper"
-	"repro/internal/render"
-	"repro/internal/sched"
-	"repro/internal/units"
+	"repro/cmif"
 )
 
-func buildBroadcast() (*core.Document, error) {
-	root := core.NewPar().SetName("broadcast")
+func buildBroadcast() (*cmif.Document, error) {
+	root := cmif.NewPar().SetName("broadcast")
 
-	video := core.NewExt().SetName("video").
-		SetAttr("channel", attr.ID("video")).
-		SetAttr("file", attr.String("report.vid")).
-		SetAttr("duration", attr.Quantity(units.Q(250, units.Frames))) // 10s
+	video := cmif.NewExt().SetName("video").
+		SetAttr("channel", cmif.ID("video")).
+		SetAttr("file", cmif.String("report.vid")).
+		SetAttr("duration", cmif.Qty(cmif.Q(250, cmif.UnitFrames))) // 10s
 
-	audio := core.NewExt().SetName("audio").
-		SetAttr("channel", attr.ID("audio")).
-		SetAttr("file", attr.String("dutch-narration.aud")).
-		SetAttr("duration", attr.Quantity(units.Q(80000, units.Samples))) // 10s
+	audio := cmif.NewExt().SetName("audio").
+		SetAttr("channel", cmif.ID("audio")).
+		SetAttr("file", cmif.String("dutch-narration.aud")).
+		SetAttr("duration", cmif.Qty(cmif.Q(80000, cmif.UnitSamples))) // 10s
 
 	// Caption tracks: one per language, same slot, conditional.
 	texts := map[string][]string{
@@ -39,33 +34,33 @@ func buildBroadcast() (*core.Document, error) {
 		"nl": {"Gestolen van Goghs", "ter waarde van tien miljoen...", "getuigen melden"},
 	}
 	for _, lang := range []string{"en", "nl"} {
-		track := core.NewSeq().SetName("captions-" + lang).
-			SetAttr("channel", attr.ID("captions"))
-		hyper.SetWhen(track, "lang="+lang)
+		track := cmif.NewSeq().SetName("captions-"+lang).
+			SetAttr("channel", cmif.ID("captions"))
+		cmif.SetWhen(track, "lang="+lang)
 		for i, text := range texts[lang] {
-			cap := core.NewImm([]byte(text)).
+			cap := cmif.NewImm([]byte(text)).
 				SetName(fmt.Sprintf("cap-%d", i+1)).
-				SetAttr("duration", attr.Quantity(units.MS(3000)))
+				SetAttr("duration", cmif.Qty(cmif.MS(3000)))
 			track.AddChild(cap)
 		}
 		// Captions start with the video, strictly.
-		track.AddArc(core.SyncArc{
-			DestEnd: core.Begin, Strict: core.Must,
-			Source: "../video", SrcEnd: core.Begin, Dest: "",
-			MaxDelay: units.MS(0),
+		track.AddArc(cmif.SyncArc{
+			DestEnd: cmif.Begin, Strict: cmif.Must,
+			Source: "../video", SrcEnd: cmif.Begin, Dest: "",
+			MaxDelay: cmif.MS(0),
 		})
 		root.AddChild(track)
 	}
 	root.Add(video, audio)
 
-	d, err := core.NewDocument(root)
+	d, err := cmif.NewDocument(root)
 	if err != nil {
 		return nil, err
 	}
-	cd := core.NewChannelDict()
-	cd.Define(core.Channel{Name: "video", Medium: core.MediumVideo, Rates: units.Rates{FrameRate: 25}})
-	cd.Define(core.Channel{Name: "audio", Medium: core.MediumAudio, Rates: units.Rates{SampleRate: 8000}})
-	cd.Define(core.Channel{Name: "captions", Medium: core.MediumText})
+	cd := cmif.NewChannelDict()
+	cd.Define(cmif.Channel{Name: "video", Medium: cmif.MediumVideo, Rates: cmif.Rates{FrameRate: 25}})
+	cd.Define(cmif.Channel{Name: "audio", Medium: cmif.MediumAudio, Rates: cmif.Rates{SampleRate: 8000}})
+	cd.Define(cmif.Channel{Name: "captions", Medium: cmif.MediumText})
 	d.SetChannels(cd)
 	return d, nil
 }
@@ -80,32 +75,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("one document, variables %v; specializing for lang=%s\n\n",
-		hyper.Variables(doc), lang)
+		doc.Variables(), lang)
 
-	specialized, err := hyper.Specialize(doc, hyper.Env{"lang": lang})
+	specialized, err := doc.Specialize(cmif.Env{"lang": lang})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("specialized structure:")
-	fmt.Print(render.Tree(specialized))
+	fmt.Print(cmif.Tree(specialized))
 
-	g, err := sched.Build(specialized, sched.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := g.Solve(sched.SolveOptions{})
+	plan, err := cmif.Schedule(specialized)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ncaption timeline:")
-	fmt.Print(render.TOCText(s))
+	fmt.Print(plan.TOC())
 
 	// The other language is simply absent.
 	other := "nl"
 	if lang == "nl" {
 		other = "en"
 	}
-	if specialized.Root.FindByName("captions-"+other) != nil {
+	if specialized.FindByName("captions-"+other) != nil {
 		log.Fatalf("captions-%s survived specialization", other)
 	}
 	fmt.Printf("\ncaptions-%s pruned; the same source document serves both audiences\n", other)

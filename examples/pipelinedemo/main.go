@@ -3,34 +3,34 @@
 // constrained device fetches the structure first (cheap), decides it wants
 // the document, fetches it inlined (no shared storage server), rebuilds a
 // local block store, and runs presentation mapping, constraint filtering
-// and playback locally.
+// and playback locally — every step through the public repro/cmif facade,
+// under one cancellable context.
 //
 //	go run ./examples/pipelinedemo
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/filter"
-	"repro/internal/media"
-	"repro/internal/newsdoc"
-	"repro/internal/pipeline"
-	"repro/internal/player"
-	"repro/internal/present"
-	"repro/internal/transport"
+	"repro/cmif"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// --- producer side ---
-	doc, store, err := newsdoc.Build(newsdoc.Config{Stories: 2})
+	doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	reg := transport.NewRegistry(store)
-	reg.PutDoc("news", doc)
-	srv := transport.NewServer(reg)
+	srv := cmif.NewServer(
+		cmif.WithServedStore(store),
+		cmif.WithServedDocument("news", doc),
+	)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -40,36 +40,34 @@ func main() {
 		addr, store.Len(), store.TotalBytes())
 
 	// --- consumer side ---
-	c, err := transport.Dial(addr)
+	c, err := cmif.Dial(ctx, addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
 	// 1. Fetch structure only: enough to inspect, schedule and decide.
-	structure, err := c.GetDoc("news", transport.GetDocOptions{})
+	structure, err := c.Document(ctx, "news")
 	if err != nil {
 		log.Fatal(err)
 	}
-	structureBytes := c.BytesReceived
+	structureBytes := c.BytesReceived()
 	stats := structure.Stats()
 	fmt.Printf("consumer: structure is %d bytes (%d nodes, %d arcs) — decided to fetch\n",
 		structureBytes, stats.Nodes, stats.Arcs)
 
 	// 2. Fetch inlined: document plus payloads in one transfer.
-	inlined, err := c.GetDoc("news", transport.GetDocOptions{
-		Encoding: transport.EncodingBinary, Inline: true,
-	})
+	inlined, err := c.Document(ctx, "news", cmif.WithBinaryWire(), cmif.WithInline())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("consumer: inlined transfer was %d bytes (%.0fx the structure)\n",
-		c.BytesReceived-structureBytes,
-		float64(c.BytesReceived-structureBytes)/float64(structureBytes))
+		c.BytesReceived()-structureBytes,
+		float64(c.BytesReceived()-structureBytes)/float64(structureBytes))
 
 	// 3. Rebuild a local store from the inlined document.
-	localStore := media.NewStore()
-	localDoc, err := transport.Extract(inlined, localStore)
+	localStore := cmif.NewStore()
+	localDoc, err := cmif.Extract(inlined, localStore)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,12 +77,13 @@ func main() {
 	fmt.Printf("consumer: rebuilt local store with %d blocks\n", localStore.Len())
 
 	// 4. Run the local stages for a constrained laptop.
-	out, err := pipeline.Run(localDoc, localStore, pipeline.Config{
-		Profile:  filter.Laptop1991,
-		Screen:   present.Screen{W: 640, H: 480},
-		Speakers: 1,
-		Jitter:   player.UniformJitter(42, 25*time.Millisecond),
-	})
+	out, err := cmif.RunPipeline(ctx, localDoc,
+		cmif.WithProfile(cmif.Laptop1991),
+		cmif.WithStore(localStore),
+		cmif.WithScreen(cmif.Screen{W: 640, H: 480}),
+		cmif.WithSpeakers(1),
+		cmif.WithDeviceJitter(cmif.UniformJitter(42, 25*time.Millisecond)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,6 @@
 // Quickstart: author a small CMIF document in code, validate it, parse and
-// reprint it, schedule it, and simulate its playback.
+// reprint it, schedule it, and simulate its playback — all through the
+// public repro/cmif facade.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,91 +9,79 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/attr"
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/player"
-	"repro/internal/render"
-	"repro/internal/sched"
-	"repro/internal/units"
+	"repro/cmif"
 )
 
 func main() {
 	// A slide show: three pictures with a voice-over, the caption pinned
 	// to the second picture.
-	root := core.NewPar().SetName("slideshow")
+	root := cmif.NewPar().SetName("slideshow")
 
-	pictures := core.NewSeq().SetName("pictures").
-		SetAttr("channel", attr.ID("screen"))
+	pictures := cmif.NewSeq().SetName("pictures").
+		SetAttr("channel", cmif.ID("screen"))
 	for i, file := range []string{"intro.img", "detail.img", "closing.img"} {
-		pictures.AddChild(core.NewExt().
+		pictures.AddChild(cmif.NewExt().
 			SetName(fmt.Sprintf("pic-%d", i+1)).
-			SetAttr("file", attr.String(file)).
-			SetAttr("duration", attr.Quantity(units.Sec(4))))
+			SetAttr("file", cmif.String(file)).
+			SetAttr("duration", cmif.Qty(cmif.Sec(4))))
 	}
 
-	voice := core.NewExt().SetName("voice").
-		SetAttr("channel", attr.ID("speaker")).
-		SetAttr("file", attr.String("narration.aud")).
-		SetAttr("duration", attr.Quantity(units.Q(96000, units.Samples))) // 12s at 8kHz
+	voice := cmif.NewExt().SetName("voice").
+		SetAttr("channel", cmif.ID("speaker")).
+		SetAttr("file", cmif.String("narration.aud")).
+		SetAttr("duration", cmif.Qty(cmif.Q(96000, cmif.UnitSamples))) // 12s at 8kHz
 
-	caption := core.NewImm([]byte("A closer look")).SetName("caption").
-		SetAttr("channel", attr.ID("subtitles")).
-		SetAttr("duration", attr.Quantity(units.Sec(4)))
+	caption := cmif.NewImm([]byte("A closer look")).SetName("caption").
+		SetAttr("channel", cmif.ID("subtitles")).
+		SetAttr("duration", cmif.Qty(cmif.Sec(4)))
 	// The caption begins exactly when picture two begins (hard must arc).
-	caption.AddArc(core.SyncArc{
-		DestEnd: core.Begin, Strict: core.Must,
-		Source: "../pictures/pic-2", SrcEnd: core.Begin, Dest: "",
-		MaxDelay: units.MS(0),
+	caption.AddArc(cmif.SyncArc{
+		DestEnd: cmif.Begin, Strict: cmif.Must,
+		Source: "../pictures/pic-2", SrcEnd: cmif.Begin, Dest: "",
+		MaxDelay: cmif.MS(0),
 	})
 
 	root.Add(pictures, voice, caption)
 
-	doc, err := core.NewDocument(root)
+	doc, err := cmif.NewDocument(root)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cd := core.NewChannelDict()
-	cd.Define(core.Channel{Name: "screen", Medium: core.MediumImage})
-	cd.Define(core.Channel{Name: "speaker", Medium: core.MediumAudio,
-		Rates: units.Rates{SampleRate: 8000}})
-	cd.Define(core.Channel{Name: "subtitles", Medium: core.MediumText})
+	cd := cmif.NewChannelDict()
+	cd.Define(cmif.Channel{Name: "screen", Medium: cmif.MediumImage})
+	cd.Define(cmif.Channel{Name: "speaker", Medium: cmif.MediumAudio,
+		Rates: cmif.Rates{SampleRate: 8000}})
+	cd.Define(cmif.Channel{Name: "subtitles", Medium: cmif.MediumText})
 	doc.SetChannels(cd)
 
 	// 1. Validate.
-	if errs := core.Errors(doc.Validate()); len(errs) > 0 {
-		log.Fatalf("invalid document: %v", errs)
+	if err := doc.Check(); err != nil {
+		log.Fatalf("invalid document: %v", err)
 	}
 	fmt.Println("document is valid")
 
 	// 2. Serialize and re-parse: the transportable form.
-	text, err := codec.Encode(doc, codec.WriteOptions{})
+	text, err := doc.Text()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntransportable form (%d bytes):\n%s\n", len(text), text)
-	if _, err := codec.Parse(text); err != nil {
+	if _, err := cmif.Parse(text); err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Schedule: derive every event time from structure + arcs.
-	g, err := sched.Build(doc, sched.Options{})
+	plan, err := cmif.Schedule(doc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := g.Solve(sched.SolveOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("schedule: %v total\n", s.Makespan())
-	fmt.Println(render.Timeline(s, render.TimelineOptions{}))
+	fmt.Printf("schedule: %v total\n", plan.Makespan())
+	fmt.Println(plan.Timeline(cmif.TimelineOptions{}))
 
 	// 4. Play on a device whose subtitle renderer is 30ms slow: the hard
 	// caption arc drags picture two along (the environment "does all it
 	// can", stretching picture one), so the must relationship holds.
-	res, err := player.Play(g, player.Options{
-		Jitter: player.ChannelJitter("subtitles", 30_000_000), // 30ms
-	})
+	res, err := plan.Play(cmif.WithJitter(cmif.ChannelJitter("subtitles", 30_000_000))) // 30ms
 	if err != nil {
 		log.Fatal(err)
 	}

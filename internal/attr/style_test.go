@@ -198,11 +198,11 @@ func TestParseStyleDictRoundTrip(t *testing.T) {
 
 func TestParseStyleDictErrors(t *testing.T) {
 	cases := []Value{
-		Number(1), // not a list
-		ListOf(Item{Value: Number(1)}),                         // unnamed entry
-		ListOf(Named("s", Number(1))),                          // body not a list
-		ListOf(Named("s", ListOf(Item{Value: ID("anon")}))),    // unnamed attr in body
-		ListOf(Named("s", VList()), Named("s", VList())),       // duplicate style
+		Number(1),                      // not a list
+		ListOf(Item{Value: Number(1)}), // unnamed entry
+		ListOf(Named("s", Number(1))),  // body not a list
+		ListOf(Named("s", ListOf(Item{Value: ID("anon")}))),                      // unnamed attr in body
+		ListOf(Named("s", VList()), Named("s", VList())),                         // duplicate style
 		ListOf(Named("s", ListOf(Named("a", Number(1)), Named("a", Number(2))))), // dup attr
 	}
 	for i, v := range cases {

@@ -35,6 +35,12 @@ var binaryMagic = [4]byte{'C', 'M', 'I', 'F'}
 
 const binaryVersion = 1
 
+// IsBinary reports whether data begins with the binary codec's header, the
+// single source of truth for format detection.
+func IsBinary(data []byte) bool {
+	return len(data) >= len(binaryMagic) && [4]byte(data[:4]) == binaryMagic
+}
+
 // EncodeBinary serializes the document in the binary form.
 func EncodeBinary(d *core.Document) ([]byte, error) {
 	return EncodeBinaryNode(d.Root)

@@ -126,24 +126,24 @@ func TestConventionalVsEmbeddedShapes(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":            ``,
-		"not-node":         `(banana)`,
-		"unclosed":         `(seq (name x)`,
-		"trailing":         `(seq) (seq)`,
-		"leaf-child":       `(ext (seq))`,
-		"dup-attr":         `(seq (name a) (name b))`,
-		"bad-escape":       `(imm (data "\q"))`,
-		"unterminated-str": `(imm (data "never ends`,
-		"data-non-imm":     `(seq (data "x"))`,
-		"data-not-string":  `(imm (data 42))`,
-		"both-payloads":    `(imm (data "x") (datahex "00"))`,
-		"bad-hex":          `(imm (datahex "zz"))`,
-		"odd-hex":          `(imm (datahex "0"))`,
-		"bad-unit":         `(ext (duration 5parsec))`,
-		"stray-rparen":     `)`,
-		"bad-char":         `(seq @)`,
+		"empty":             ``,
+		"not-node":          `(banana)`,
+		"unclosed":          `(seq (name x)`,
+		"trailing":          `(seq) (seq)`,
+		"leaf-child":        `(ext (seq))`,
+		"dup-attr":          `(seq (name a) (name b))`,
+		"bad-escape":        `(imm (data "\q"))`,
+		"unterminated-str":  `(imm (data "never ends`,
+		"data-non-imm":      `(seq (data "x"))`,
+		"data-not-string":   `(imm (data 42))`,
+		"both-payloads":     `(imm (data "x") (datahex "00"))`,
+		"bad-hex":           `(imm (datahex "zz"))`,
+		"odd-hex":           `(imm (datahex "0"))`,
+		"bad-unit":          `(ext (duration 5parsec))`,
+		"stray-rparen":      `)`,
+		"bad-char":          `(seq @)`,
 		"unterminated-list": `(seq (x [1 2)`,
-		"attr-no-name":     `(seq (42 x))`,
+		"attr-no-name":      `(seq (42 x))`,
 	}
 	for name, src := range cases {
 		if _, err := Parse(src); err == nil {

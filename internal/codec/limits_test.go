@@ -91,14 +91,14 @@ func TestListDepthValues(t *testing.T) {
 // TestLexerEdgeTokens covers unusual but legal token sequences.
 func TestLexerEdgeTokens(t *testing.T) {
 	cases := map[string]bool{
-		`(seq (x -))`:          true,  // empty-ID value
-		`(seq (x -7ms))`:       true,  // negative quantity
-		`(seq (x +7))`:         true,  // explicit positive
-		`(seq (x -abc))`:       true,  // sign-prefixed identifier
-		`(seq (x "a\"b"))`:     true,  // escaped quote
-		`(seq (x [1 [2 [3]]]))`: true, // nested anonymous lists
-		`(seq (x 7q))`:         false, // bad unit
-		`(seq (x @))`:          false, // illegal character
+		`(seq (x -))`:           true,  // empty-ID value
+		`(seq (x -7ms))`:        true,  // negative quantity
+		`(seq (x +7))`:          true,  // explicit positive
+		`(seq (x -abc))`:        true,  // sign-prefixed identifier
+		`(seq (x "a\"b"))`:      true,  // escaped quote
+		`(seq (x [1 [2 [3]]]))`: true,  // nested anonymous lists
+		`(seq (x 7q))`:          false, // bad unit
+		`(seq (x @))`:           false, // illegal character
 	}
 	for src, ok := range cases {
 		_, err := ParseNode(src)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -163,7 +164,7 @@ func Pipeline() (*Table, error) {
 		{Profile: filter.Laptop1991, Screen: present.Screen{W: 640, H: 480}, Speakers: 1,
 			Jitter: player.UniformJitter(7, 40*time.Millisecond)},
 	} {
-		out, err := pipeline.Run(d, store, cfg)
+		out, err := pipeline.Run(context.Background(), d, store, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -658,7 +659,7 @@ func TransportCost() (*Table, error) {
 			return 0, err
 		}
 		defer c.Close()
-		if _, err := c.GetDoc("news", opts); err != nil {
+		if _, err := c.GetDoc(context.Background(), "news", opts); err != nil {
 			return 0, err
 		}
 		return c.BytesReceived, nil

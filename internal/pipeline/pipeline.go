@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -22,6 +23,23 @@ import (
 	"repro/internal/present"
 	"repro/internal/render"
 	"repro/internal/sched"
+)
+
+// View is a bitmask selecting which reading-tool renderings Run produces.
+type View uint
+
+const (
+	// ViewTree renders the indented structure view (Figure 5a).
+	ViewTree View = 1 << iota
+	// ViewTimeline renders the channel/time view (Figure 4b / 10).
+	ViewTimeline
+	// ViewTOC renders the table-of-contents text.
+	ViewTOC
+	// ViewArcs renders the synchronization-arc table (Figure 9).
+	ViewArcs
+	// AllViews selects every rendering; it is also the meaning of a zero
+	// Views field.
+	AllViews = ViewTree | ViewTimeline | ViewTOC | ViewArcs
 )
 
 // Config selects the target environment.
@@ -36,14 +54,19 @@ type Config struct {
 	// Strict refuses documents with validation errors (always) and with
 	// unsupportable filter maps (when true).
 	Strict bool
+	// Views selects the renderings to produce; zero means all of them.
+	Views View
+	// SchedOptions tunes timing-graph construction. A zero value gets a
+	// 500ms default leaf duration, matching historical behaviour.
+	SchedOptions *sched.Options
 }
 
 // Outcome carries every artifact the pipeline produces.
 type Outcome struct {
-	Issues      []core.Issue
-	Schedule    *sched.Schedule
+	Issues       []core.Issue
+	Schedule     *sched.Schedule
 	Presentation *present.Map
-	FilterMap   *filter.FilterMap
+	FilterMap    *filter.FilterMap
 	// Filtered is the store after applying the filter map (transformed
 	// payloads).
 	Filtered *media.Store
@@ -55,26 +78,74 @@ type Outcome struct {
 	ArcView      string
 }
 
+// ValidationError reports that the document failed the validation stage.
+// It carries every issue validation found, warnings included.
+type ValidationError struct {
+	Issues []core.Issue
+}
+
+// Error summarizes the failure with the first error-severity issue.
+func (e *ValidationError) Error() string {
+	errs := core.Errors(e.Issues)
+	if len(errs) == 0 {
+		return "pipeline: document is invalid"
+	}
+	return fmt.Sprintf("pipeline: document has %d validation errors (first: %v)",
+		len(errs), errs[0])
+}
+
+// UnsupportableError reports a strict run against an environment whose
+// profile cannot support the document. It carries the filter map with the
+// per-leaf verdicts.
+type UnsupportableError struct {
+	Profile   filter.Profile
+	FilterMap *filter.FilterMap
+}
+
+// Error names the environment and includes the verdict table.
+func (e *UnsupportableError) Error() string {
+	return fmt.Sprintf("pipeline: environment %q cannot support the document:\n%s",
+		e.Profile.Name, e.FilterMap)
+}
+
 // Run drives doc (with its block store) through presentation mapping,
-// constraint filtering and simulated playback for one environment.
-func Run(doc *core.Document, store *media.Store, cfg Config) (*Outcome, error) {
+// constraint filtering and simulated playback for one environment. The
+// context is checked between stages: a cancelled or expired ctx aborts the
+// run with the partial Outcome built so far and ctx's error.
+func Run(ctx context.Context, doc *core.Document, store *media.Store, cfg Config) (*Outcome, error) {
 	out := &Outcome{}
+	views := cfg.Views
+	if views == 0 {
+		views = AllViews
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage: validation (the structure mapping tool's exit check).
 	out.Issues = doc.Validate()
 	if errs := core.Errors(out.Issues); len(errs) > 0 {
-		return out, fmt.Errorf("pipeline: document has %d validation errors (first: %v)",
-			len(errs), errs[0])
+		return out, &ValidationError{Issues: out.Issues}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 
 	// Stage: timing resolution.
-	g, err := sched.Build(doc, sched.Options{DefaultLeafDuration: 500 * time.Millisecond})
+	schedOpts := sched.Options{DefaultLeafDuration: 500 * time.Millisecond}
+	if cfg.SchedOptions != nil {
+		schedOpts = *cfg.SchedOptions
+	}
+	g, err := sched.Build(doc, schedOpts)
 	if err != nil {
 		return out, fmt.Errorf("pipeline: %w", err)
 	}
 	out.Schedule, err = g.Solve(sched.SolveOptions{Relax: true})
 	if err != nil {
 		return out, fmt.Errorf("pipeline: scheduling: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 
 	// Stage: presentation mapping.
@@ -84,6 +155,9 @@ func Run(doc *core.Document, store *media.Store, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return out, fmt.Errorf("pipeline: presentation mapping: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage: constraint filtering.
 	out.FilterMap, err = filter.Evaluate(doc, store, cfg.Profile)
@@ -91,12 +165,14 @@ func Run(doc *core.Document, store *media.Store, cfg Config) (*Outcome, error) {
 		return out, fmt.Errorf("pipeline: constraint filtering: %w", err)
 	}
 	if cfg.Strict && !out.FilterMap.Supportable() {
-		return out, fmt.Errorf("pipeline: environment %q cannot support the document:\n%s",
-			cfg.Profile.Name, out.FilterMap)
+		return out, &UnsupportableError{Profile: cfg.Profile, FilterMap: out.FilterMap}
 	}
 	out.Filtered, err = filter.Apply(out.FilterMap, store)
 	if err != nil {
 		return out, fmt.Errorf("pipeline: applying filters: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 
 	// Stage: playback simulation.
@@ -104,14 +180,25 @@ func Run(doc *core.Document, store *media.Store, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return out, fmt.Errorf("pipeline: playback: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage: viewing tools.
-	out.TreeView = render.Tree(doc)
-	out.TimelineView = render.Timeline(out.Schedule, render.TimelineOptions{
-		Resolution: timelineResolution(out.Schedule.Makespan()),
-	})
-	out.TOCView = render.TOCText(out.Schedule)
-	out.ArcView = render.ArcTable(doc)
+	if views&ViewTree != 0 {
+		out.TreeView = render.Tree(doc)
+	}
+	if views&ViewTimeline != 0 {
+		out.TimelineView = render.Timeline(out.Schedule, render.TimelineOptions{
+			Resolution: timelineResolution(out.Schedule.Makespan()),
+		})
+	}
+	if views&ViewTOC != 0 {
+		out.TOCView = render.TOCText(out.Schedule)
+	}
+	if views&ViewArcs != 0 {
+		out.ArcView = render.ArcTable(doc)
+	}
 	return out, nil
 }
 

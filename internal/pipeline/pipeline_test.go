@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Run(doc, store, newsConfig())
+	out, err := Run(context.Background(), doc, store, newsConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunWithJitter(t *testing.T) {
 	}
 	cfg := newsConfig()
 	cfg.Jitter = player.UniformJitter(11, 30*time.Millisecond)
-	out, err := Run(doc, store, cfg)
+	out, err := Run(context.Background(), doc, store, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunRejectsInvalidDocument(t *testing.T) {
 	}
 	// Break it: undefined channel.
 	doc.Root.FindByName("voice").Attrs.Set("channel", attr.ID("ether"))
-	if _, err := Run(doc, store, newsConfig()); err == nil {
+	if _, err := Run(context.Background(), doc, store, newsConfig()); err == nil {
 		t.Error("invalid document ran")
 	}
 }
@@ -97,12 +98,12 @@ func TestRunStrictUnsupportable(t *testing.T) {
 	cfg := newsConfig()
 	cfg.Profile = filter.TextTerminal
 	cfg.Strict = true
-	if _, err := Run(doc, store, cfg); err == nil {
+	if _, err := Run(context.Background(), doc, store, cfg); err == nil {
 		t.Error("terminal profile accepted news document in strict mode")
 	}
 	// Non-strict mode completes and reports.
 	cfg.Strict = false
-	out, err := Run(doc, store, cfg)
+	out, err := Run(context.Background(), doc, store, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestRunDefaultDurationLeaves(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.SetChannels(newsdoc.Channels())
-	out, err := Run(d, nil, Config{
+	out, err := Run(context.Background(), d, nil, Config{
 		Profile:  filter.Workstation1991,
 		Screen:   present.Screen{W: 640, H: 480},
 		Speakers: 1,

@@ -1,8 +1,12 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -13,14 +17,31 @@ import (
 // concurrent use; open one client per goroutine.
 type Client struct {
 	conn net.Conn
+	// Timeout bounds each round trip when the request context carries no
+	// deadline of its own. Zero means no per-call bound.
+	Timeout time.Duration
 	// Stats accumulate wire traffic for the transport-cost experiments.
 	BytesSent     int64
 	BytesReceived int64
+	// broken is set once a round trip died mid-frame (cancellation or a
+	// wire error): the connection state is unknown and must not be reused.
+	broken bool
+	// mu and gen fence the cancellation callback: a callback from an
+	// earlier round trip must not poison the deadline of a later one.
+	mu  sync.Mutex
+	gen uint64
 }
 
-// Dial connects to an interchange server.
+// Dial connects to an interchange server with no cancellation.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to an interchange server, honouring the context's
+// cancellation and deadline during connection establishment.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -29,44 +50,96 @@ func Dial(addr string) (*Client, error) {
 
 // Close says goodbye and closes the connection.
 func (c *Client) Close() error {
-	_ = writeFrame(c.conn, opGoodbye)
+	if !c.broken {
+		_ = writeFrame(c.conn, opGoodbye)
+	}
 	return c.conn.Close()
 }
 
-// roundTrip sends a request and decodes the response, tracking sizes.
-func (c *Client) roundTrip(op byte, parts ...[]byte) ([][]byte, error) {
+// roundTrip sends a request and decodes the response, tracking sizes. The
+// context's deadline (or, absent one, c.Timeout) bounds the whole exchange
+// via connection deadlines; cancellation interrupts blocked reads/writes.
+func (c *Client) roundTrip(ctx context.Context, op byte, parts ...[]byte) ([][]byte, error) {
+	if c.broken {
+		return nil, fmt.Errorf("transport: client connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The context deadline governs when present; otherwise fall back to
+	// the client's per-call Timeout.
+	deadline := time.Time{}
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	} else if c.Timeout > 0 {
+		deadline = time.Now().Add(c.Timeout)
+	}
+	c.mu.Lock()
+	c.gen++
+	gen := c.gen
+	err := c.conn.SetDeadline(deadline)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// Wake any blocked read/write the instant the context is cancelled by
+	// forcing an already-expired deadline. The generation check makes a
+	// callback that fires after this round trip finished (and a new one
+	// armed its own deadline) a no-op.
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.gen == gen {
+			_ = c.conn.SetDeadline(time.Unix(1, 0))
+		}
+	})
+	defer stop()
+	fail := func(err error) ([][]byte, error) {
+		c.broken = true
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("transport: %w (%v)", ctxErr, err)
+		}
+		return nil, err
+	}
+
 	sent := int64(7)
 	for _, p := range parts {
 		sent += 4 + int64(len(p))
 	}
 	if err := writeFrame(c.conn, op, parts...); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	c.BytesSent += sent
 	resp, err := readFrame(c.conn)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	recvd := int64(7)
 	for _, p := range resp.parts {
 		recvd += 4 + int64(len(p))
 	}
 	c.BytesReceived += recvd
-	if resp.op == opErr {
-		msg := "unknown"
-		if len(resp.parts) > 0 {
-			msg = string(resp.parts[0])
-		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
-	}
-	if resp.op != opOK {
+	switch resp.op {
+	case opOK:
+		return resp.parts, nil
+	case opErrNotFound:
+		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotFound, errText(resp))
+	case opErr:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, errText(resp))
+	default:
 		return nil, fmt.Errorf("transport: unexpected response op %d", resp.op)
 	}
-	return resp.parts, nil
+}
+
+func errText(resp frame) string {
+	if len(resp.parts) > 0 {
+		return string(resp.parts[0])
+	}
+	return "unknown"
 }
 
 // GetDoc fetches the document registered under name.
-func (c *Client) GetDoc(name string, opts GetDocOptions) (*core.Document, error) {
+func (c *Client) GetDoc(ctx context.Context, name string, opts GetDocOptions) (*core.Document, error) {
 	if opts.Encoding == 0 {
 		opts.Encoding = EncodingText
 	}
@@ -74,7 +147,7 @@ func (c *Client) GetDoc(name string, opts GetDocOptions) (*core.Document, error)
 	if opts.Inline {
 		inline = 1
 	}
-	parts, err := c.roundTrip(opGetDoc, []byte(name), []byte{byte(opts.Encoding)}, []byte{inline})
+	parts, err := c.roundTrip(ctx, opGetDoc, []byte(name), []byte{byte(opts.Encoding)}, []byte{inline})
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +159,7 @@ func (c *Client) GetDoc(name string, opts GetDocOptions) (*core.Document, error)
 
 // PutDoc registers a document under name on the server. Inlined payloads
 // are absorbed into the server's store.
-func (c *Client) PutDoc(name string, d *core.Document, enc Encoding) error {
+func (c *Client) PutDoc(ctx context.Context, name string, d *core.Document, enc Encoding) error {
 	if enc == 0 {
 		enc = EncodingText
 	}
@@ -94,13 +167,13 @@ func (c *Client) PutDoc(name string, d *core.Document, enc Encoding) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(opPutDoc, []byte(name), []byte{byte(enc)}, data)
+	_, err = c.roundTrip(ctx, opPutDoc, []byte(name), []byte{byte(enc)}, data)
 	return err
 }
 
 // GetBlock fetches a data block by name or content address.
-func (c *Client) GetBlock(name string) (*media.Block, error) {
-	parts, err := c.roundTrip(opGetBlk, []byte(name))
+func (c *Client) GetBlock(ctx context.Context, name string) (*media.Block, error) {
+	parts, err := c.roundTrip(ctx, opGetBlk, []byte(name))
 	if err != nil {
 		return nil, err
 	}
@@ -111,12 +184,12 @@ func (c *Client) GetBlock(name string) (*media.Block, error) {
 }
 
 // PutBlock stores a block on the server, returning its content address.
-func (c *Client) PutBlock(b *media.Block) (string, error) {
+func (c *Client) PutBlock(ctx context.Context, b *media.Block) (string, error) {
 	descText, err := codec.EncodeNode(descriptorNode(b), codec.WriteOptions{Form: codec.Embedded})
 	if err != nil {
 		return "", err
 	}
-	parts, err := c.roundTrip(opPutBlk,
+	parts, err := c.roundTrip(ctx, opPutBlk,
 		[]byte(b.Name), []byte(b.Medium.String()), []byte(descText), b.Payload)
 	if err != nil {
 		return "", err
@@ -128,8 +201,8 @@ func (c *Client) PutBlock(b *media.Block) (string, error) {
 }
 
 // ListDocs returns the names of documents the server offers.
-func (c *Client) ListDocs() ([]string, error) {
-	parts, err := c.roundTrip(opList)
+func (c *Client) ListDocs(ctx context.Context) ([]string, error) {
+	parts, err := c.roundTrip(ctx, opList)
 	if err != nil {
 		return nil, err
 	}
@@ -139,3 +212,8 @@ func (c *Client) ListDocs() ([]string, error) {
 	}
 	return out, nil
 }
+
+// ErrNotFound reports that the server does not hold the requested document
+// or block. It is wrapped (with ErrRemote) into errors returned by GetDoc
+// and GetBlock, so callers can test errors.Is(err, ErrNotFound).
+var ErrNotFound = errors.New("not found")

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -80,16 +82,31 @@ type GetDocOptions struct {
 type Server struct {
 	reg *Registry
 
+	// IdleTimeout bounds how long a connection may sit without delivering
+	// any data — between requests, or stalled mid-request — before the
+	// server hangs up; every received chunk re-arms it, so a slow but
+	// progressing upload is not cut off. Zero means forever. Set before
+	// Listen.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write; zero means no bound. Set
+	// before Listen.
+	WriteTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
 	wg       sync.WaitGroup
 }
 
 // NewServer returns a server over reg.
-func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+}
 
 // Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns the
-// bound address. Serving happens on background goroutines until Close.
+// bound address. Serving happens on background goroutines until Close or
+// Shutdown.
 func (s *Server) Listen(addr string) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -103,18 +120,105 @@ func (s *Server) Listen(addr string) (string, error) {
 	return l.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close force-closes the listener and every open connection, then waits for
+// the serving goroutines. For a shutdown that lets in-flight requests
+// finish, use Shutdown.
 func (s *Server) Close() error {
+	err := s.beginShutdown(true)
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown stops accepting, lets every in-flight request complete (closing
+// each connection once its current request is answered), and returns. If
+// ctx expires first, remaining connections are force-closed and ctx's error
+// is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.beginShutdown(false)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
+}
+
+// beginShutdown closes the listener, marks the server draining and (when
+// force is set) closes every open connection.
+func (s *Server) beginShutdown(force bool) error {
 	s.mu.Lock()
 	l := s.listener
 	s.listener = nil
+	s.draining = true
 	s.mu.Unlock()
 	var err error
 	if l != nil {
 		err = l.Close()
 	}
-	s.wg.Wait()
+	if force {
+		s.closeConns()
+	} else {
+		// Expire pending reads so idle connections notice the drain;
+		// connections mid-request still complete their response write.
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.SetReadDeadline(time.Unix(1, 0))
+		}
+		s.mu.Unlock()
+	}
 	return err
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// track registers conn; it reports false when the server is already
+// draining and the connection should be refused.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// armIdle sets the idle read deadline for the next request, unless the
+// server is draining. Holding s.mu serializes this against beginShutdown's
+// deadline poisoning: either the drain is visible here (return false), or
+// the freshly armed deadline is poisoned after us.
+func (s *Server) armIdle(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	if s.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+	}
+	return true
 }
 
 func (s *Server) acceptLoop(l net.Listener) {
@@ -124,19 +228,43 @@ func (s *Server) acceptLoop(l net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
 	}
 }
 
-// serveConn handles one client until EOF or goodbye.
+// idleReader re-arms the connection's idle deadline on every received
+// chunk, so IdleTimeout measures stalls rather than total request size.
+// While draining, armIdle declines to re-arm and the poisoned deadline
+// ends the read.
+type idleReader struct {
+	s    *Server
+	conn net.Conn
+}
+
+func (r *idleReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.s.armIdle(r.conn)
+	}
+	return n, err
+}
+
+// serveConn handles one client until EOF, goodbye, timeout or drain. A
+// draining server answers the request in flight, then hangs up.
 func (s *Server) serveConn(conn net.Conn) {
-	for {
-		req, err := readFrame(conn)
+	in := &idleReader{s: s, conn: conn}
+	for s.armIdle(conn) {
+		req, err := readFrame(in)
 		if err != nil {
 			return
 		}
@@ -144,6 +272,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resp, parts := s.handle(req)
+		if s.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if err := writeFrame(conn, resp, parts...); err != nil {
 			return
 		}
@@ -155,6 +286,9 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 	fail := func(format string, args ...interface{}) (byte, [][]byte) {
 		return opErr, [][]byte{[]byte(fmt.Sprintf(format, args...))}
 	}
+	notFound := func(format string, args ...interface{}) (byte, [][]byte) {
+		return opErrNotFound, [][]byte{[]byte(fmt.Sprintf(format, args...))}
+	}
 	switch req.op {
 	case opGetDoc:
 		if len(req.parts) != 3 || len(req.parts[1]) != 1 || len(req.parts[2]) != 1 {
@@ -163,7 +297,7 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		name := string(req.parts[0])
 		doc, ok := s.reg.GetDoc(name)
 		if !ok {
-			return fail("getdoc: no document %q", name)
+			return notFound("getdoc: no document %q", name)
 		}
 		if req.parts[2][0] == 1 {
 			inlined, err := Inline(doc, s.reg.Store, false)
@@ -200,7 +334,7 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		blk, ok := s.reg.Store.GetByName(name)
 		if !ok {
 			if blk, ok = s.reg.Store.Get(name); !ok {
-				return fail("getblk: no block %q", name)
+				return notFound("getblk: no block %q", name)
 			}
 		}
 		descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})

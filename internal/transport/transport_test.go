@@ -2,10 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
-	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/core"
@@ -134,7 +135,7 @@ func TestClientServerDocRoundTrip(t *testing.T) {
 	defer c.Close()
 
 	for _, enc := range []Encoding{EncodingText, EncodingBinary} {
-		got, err := c.GetDoc("news", GetDocOptions{Encoding: enc})
+		got, err := c.GetDoc(context.Background(), "news", GetDocOptions{Encoding: enc})
 		if err != nil {
 			t.Fatalf("enc %c: %v", enc, err)
 		}
@@ -142,11 +143,11 @@ func TestClientServerDocRoundTrip(t *testing.T) {
 			t.Errorf("enc %c: tree mismatch", enc)
 		}
 	}
-	names, err := c.ListDocs()
+	names, err := c.ListDocs(context.Background())
 	if err != nil || len(names) != 1 || names[0] != "news" {
 		t.Errorf("ListDocs = %v, %v", names, err)
 	}
-	if _, err := c.GetDoc("ghost", GetDocOptions{}); !errors.Is(err, ErrRemote) {
+	if _, err := c.GetDoc(context.Background(), "ghost", GetDocOptions{}); !errors.Is(err, ErrRemote) {
 		t.Errorf("missing doc error = %v", err)
 	}
 }
@@ -164,12 +165,12 @@ func TestInlineTransportCarriesData(t *testing.T) {
 	defer c.Close()
 
 	// Structure-only fetch is small; inlined fetch carries payloads.
-	slim, err := c.GetDoc("news", GetDocOptions{})
+	slim, err := c.GetDoc(context.Background(), "news", GetDocOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	slimBytes := c.BytesReceived
-	inlined, err := c.GetDoc("news", GetDocOptions{Inline: true})
+	inlined, err := c.GetDoc(context.Background(), "news", GetDocOptions{Inline: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestPutDocAbsorbsInlinedData(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.PutDoc("shipped", inlined, EncodingBinary); err != nil {
+	if err := c.PutDoc(context.Background(), "shipped", inlined, EncodingBinary); err != nil {
 		t.Fatal(err)
 	}
 	if reg.Store.Len() != 2 {
@@ -237,14 +238,14 @@ func TestBlockTransfer(t *testing.T) {
 	defer c.Close()
 
 	orig, _ := store.GetByName("voice.aud")
-	id, err := c.PutBlock(orig)
+	id, err := c.PutBlock(context.Background(), orig)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if id != orig.ID {
 		t.Errorf("server id %s != local %s", id[:8], orig.ID[:8])
 	}
-	back, err := c.GetBlock("voice.aud")
+	back, err := c.GetBlock(context.Background(), "voice.aud")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +253,11 @@ func TestBlockTransfer(t *testing.T) {
 		t.Error("block round trip mismatch")
 	}
 	// Fetch by content address too.
-	byID, err := c.GetBlock(id)
+	byID, err := c.GetBlock(context.Background(), id)
 	if err != nil || byID.ID != id {
 		t.Errorf("fetch by id: %v", err)
 	}
-	if _, err := c.GetBlock("nope"); !errors.Is(err, ErrRemote) {
+	if _, err := c.GetBlock(context.Background(), "nope"); !errors.Is(err, ErrRemote) {
 		t.Errorf("missing block error = %v", err)
 	}
 }
@@ -280,7 +281,7 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for j := 0; j < 10; j++ {
-				if _, err := c.GetDoc("news", GetDocOptions{Encoding: EncodingBinary}); err != nil {
+				if _, err := c.GetDoc(context.Background(), "news", GetDocOptions{Encoding: EncodingBinary}); err != nil {
 					errs <- err
 					return
 				}
@@ -350,11 +351,83 @@ func TestServerRejectsMalformedRequests(t *testing.T) {
 		{op: 42},
 	} {
 		op, parts := srv.handle(req)
-		if op != opErr {
+		if op != opErr && op != opErrNotFound {
 			t.Errorf("req op %d: response %d, want error", req.op, op)
 		}
-		if len(parts) == 0 || !strings.Contains(string(parts[0]), "") {
-			t.Errorf("error response empty")
+		if len(parts) == 0 || len(parts[0]) == 0 {
+			t.Errorf("req op %d: error response carries no message", req.op)
 		}
+	}
+}
+
+func TestNotFoundErrors(t *testing.T) {
+	reg := NewRegistry(nil)
+	addr, _ := startServer(t, reg)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GetDoc(context.Background(), "ghost", GetDocOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing doc error = %v, want ErrNotFound", err)
+	}
+	if _, err := c.GetBlock(context.Background(), "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing block error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestContextCancellationInterruptsRoundTrip(t *testing.T) {
+	d, store := fixture(t)
+	reg := NewRegistry(store)
+	reg.PutDoc("news", d)
+	addr, _ := startServer(t, reg)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// An already-cancelled context fails before any I/O.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetDoc(ctx, "news", GetDocOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled fetch error = %v, want context.Canceled", err)
+	}
+	// An expired deadline fails too (possibly mid-I/O), and poisons the
+	// connection for later calls.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := c.GetDoc(ctx2, "news", GetDocOptions{}); err == nil {
+		t.Error("expired-deadline fetch succeeded")
+	}
+}
+
+func TestGracefulShutdownAnswersInFlight(t *testing.T) {
+	d, store := fixture(t)
+	reg := NewRegistry(store)
+	reg.PutDoc("news", d)
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Prove the connection works, then shut down: the idle connection is
+	// released and Shutdown returns promptly.
+	if _, err := c.GetDoc(context.Background(), "news", GetDocOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	// The drained server refuses further work.
+	if _, err := c.GetDoc(context.Background(), "news", GetDocOptions{}); err == nil {
+		t.Error("fetch succeeded after shutdown")
 	}
 }

@@ -18,14 +18,17 @@ const (
 
 // Operation codes.
 const (
-	opGetDoc  byte = 1
-	opPutDoc  byte = 2
-	opGetBlk  byte = 3
-	opList    byte = 4
-	opPutBlk  byte = 5
-	opOK      byte = 128
-	opErr     byte = 255
-	opGoodbye byte = 6
+	opGetDoc byte = 1
+	opPutDoc byte = 2
+	opGetBlk byte = 3
+	opList   byte = 4
+	opPutBlk byte = 5
+	opOK     byte = 128
+	// opErrNotFound distinguishes "no such document/block" from other
+	// failures so clients can surface a typed not-found error.
+	opErrNotFound byte = 254
+	opErr         byte = 255
+	opGoodbye     byte = 6
 )
 
 // frame is one decoded wire message.
