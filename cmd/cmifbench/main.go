@@ -1,27 +1,42 @@
 // Command cmifbench regenerates every experiment artifact of the paper
-// reproduction: the section 3.1 table, Figures 1-10, and the two
-// ablations. Run with no arguments for everything, or name experiment ids.
+// reproduction — the section 3.1 table, Figures 1-10, the two ablations —
+// plus the S1 storage/fetch concurrency scenarios, whose machine-readable
+// results land in BENCH_store.json.
 //
 // Usage:
 //
-//	cmifbench [T1 F1 F2 ... A2]
+//	cmifbench [-store-out BENCH_store.json] [-clients 1,16] [T1 F1 ... A2 S1]
+//
+// Run with no experiment ids for everything. Naming ids restricts the run;
+// S1 is the store bench.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/cmif"
 )
 
 func main() {
+	storeOut := flag.String("store-out", "BENCH_store.json", "path for the S1 store-bench JSON results")
+	clients := flag.String("clients", "1,16", "comma-separated concurrent client counts for S1")
+	fetches := flag.Int("fetches", 256, "block fetches per client in S1")
+	blocks := flag.Int("blocks", 64, "corpus size (blocks) in S1")
+	flag.Parse()
+
 	want := map[string]bool{}
-	for _, arg := range os.Args[1:] {
+	for _, arg := range flag.Args() {
 		want[arg] = true
 	}
+	runAll := len(want) == 0
 	failed := 0
 	for _, exp := range cmif.Experiments() {
-		if len(want) > 0 && !want[exp.ID] {
+		if !runAll && !want[exp.ID] {
 			continue
 		}
 		tbl, err := exp.Run()
@@ -32,7 +47,40 @@ func main() {
 		}
 		fmt.Println(tbl)
 	}
+	if runAll || want["S1"] {
+		if err := runStoreBench(*storeOut, *clients, *blocks, *fetches); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S1: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runStoreBench runs the S1 concurrency scenarios, prints the table and
+// writes the JSON report to out.
+func runStoreBench(out, clientList string, blocks, fetches int) error {
+	cfg := cmif.StoreBenchConfig{Blocks: blocks, FetchesPerClient: fetches}
+	for _, f := range strings.Split(clientList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -clients entry %q", f)
+		}
+		cfg.Clients = append(cfg.Clients, n)
+	}
+	report, err := cmif.RunStoreBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	return nil
 }

@@ -19,6 +19,7 @@ type Client struct {
 // clientConfig collects the dial options.
 type clientConfig struct {
 	timeout time.Duration
+	cache   *BlockCache
 }
 
 // ClientOption configures Dial.
@@ -28,6 +29,34 @@ type ClientOption func(*clientConfig)
 // deadline of its own. Zero (the default) means unbounded.
 func WithRequestTimeout(d time.Duration) ClientOption {
 	return func(c *clientConfig) { c.timeout = d }
+}
+
+// BlockCache is a client-side LRU block cache with singleflight miss
+// de-duplication. Safe for concurrent use; share one cache between the
+// per-goroutine clients of a process so they serve each other's hot
+// blocks.
+type BlockCache = transport.BlockCache
+
+// CacheStats snapshots a BlockCache's effectiveness counters.
+type CacheStats = transport.CacheStats
+
+// NewBlockCache returns a cache holding up to size blocks (a non-positive
+// size gets a default of 256). Attach it to clients with WithSharedCache.
+func NewBlockCache(size int) *BlockCache { return transport.NewBlockCache(size) }
+
+// WithCache gives the client a private LRU block cache holding up to size
+// blocks: repeated Block fetches of the same name hit the network once,
+// and concurrent fetches of one block collapse into a single wire call.
+// To share a cache across clients, use WithSharedCache.
+func WithCache(size int) ClientOption {
+	return func(c *clientConfig) { c.cache = transport.NewBlockCache(size) }
+}
+
+// WithSharedCache attaches an existing cache (NewBlockCache), so several
+// clients — one per goroutine — serve block fetches from common local
+// memory and de-duplicate concurrent misses process-wide.
+func WithSharedCache(cache *BlockCache) ClientOption {
+	return func(c *clientConfig) { c.cache = cache }
 }
 
 // Dial connects to an interchange server, honouring ctx during connection
@@ -42,6 +71,7 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 		return nil, err
 	}
 	tc.Timeout = cfg.timeout
+	tc.Cache = cfg.cache
 	return &Client{c: tc}, nil
 }
 
@@ -112,6 +142,73 @@ func (c *Client) Block(ctx context.Context, name string) (*Block, error) {
 		return nil, wireError(err)
 	}
 	return b, nil
+}
+
+// Blocks fetches many blocks in batched round trips: up to 64 names per
+// request frame instead of one round trip per block. The result aligns
+// with names; a name the server cannot resolve yields a nil entry (partial
+// results are not an error). A cache attached at Dial time serves hits
+// locally and absorbs the fetched blocks.
+func (c *Client) Blocks(ctx context.Context, names []string) ([]*Block, error) {
+	blocks, err := c.c.GetBlocks(ctx, names)
+	if err != nil {
+		return nil, wireError(err)
+	}
+	return blocks, nil
+}
+
+// Descriptors fetches only the attribute lists of the named blocks,
+// batched, without moving payloads — the paper's cheap queries over
+// "relatively small clusters of data (the attributes)". Unresolvable
+// names are absent from the result map.
+func (c *Client) Descriptors(ctx context.Context, names []string) (map[string]AttrList, error) {
+	descs, err := c.c.GetDescriptors(ctx, names)
+	if err != nil {
+		return nil, wireError(err)
+	}
+	return descs, nil
+}
+
+// Prefetch resolves every external file the document references and
+// fetches the blocks in batched round trips, returning a local store ready
+// to back a Pipeline run (WithStore). Blocks the server does not hold are
+// simply absent from the store — constraint filtering reports them as
+// missing data — so a partial corpus is not an error. With a cache
+// attached, repeated prefetches of overlapping presentations hit the
+// network once per block.
+func (c *Client) Prefetch(ctx context.Context, d *Document) (*Store, error) {
+	store := NewStore()
+	names := d.ExternalFiles()
+	if len(names) == 0 {
+		return store, nil
+	}
+	blocks, err := c.Blocks(ctx, names)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if b.Name != names[i] {
+			// The server resolved an alias (a re-pointed or duplicate
+			// name): register the block under the name the document
+			// uses, or the pipeline would see it as missing.
+			b = b.Clone()
+			b.Name = names[i]
+		}
+		store.Put(b)
+	}
+	return store, nil
+}
+
+// CacheStats snapshots the attached cache's counters; ok is false when the
+// client was dialled without a cache.
+func (c *Client) CacheStats() (stats CacheStats, ok bool) {
+	if c.c.Cache == nil {
+		return CacheStats{}, false
+	}
+	return c.c.Cache.Stats(), true
 }
 
 // PutBlock stores a block on the server, returning its content address.

@@ -268,6 +268,95 @@ func TestClientServerFacade(t *testing.T) {
 	}
 }
 
+func TestBatchedFetchAndPrefetch(t *testing.T) {
+	doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := cmif.NewServer(
+		cmif.WithServedStore(store),
+		cmif.WithServedDocument("news", doc),
+	)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	ctx := context.Background()
+	c, err := cmif.Dial(ctx, addr, cmif.WithCache(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	files := doc.ExternalFiles()
+	if len(files) == 0 {
+		t.Fatal("news corpus has no external files")
+	}
+
+	// Batched fetch: partial results, aligned with the request.
+	req := append([]string{"no-such-block"}, files...)
+	blocks, err := c.Blocks(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0] != nil {
+		t.Errorf("missing name yielded %v, want nil", blocks[0])
+	}
+	for i, b := range blocks[1:] {
+		if b == nil {
+			t.Fatalf("block %q missing from batch", files[i])
+		}
+	}
+
+	// Descriptors travel alone.
+	descs, err := c.Descriptors(ctx, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != len(files) {
+		t.Errorf("Descriptors = %d entries, want %d", len(descs), len(files))
+	}
+
+	// Prefetch assembles a local store good enough to run the pipeline.
+	local, err := c.Prefetch(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if _, ok := local.GetByName(f); !ok {
+			t.Errorf("Prefetch left %q unresolvable", f)
+		}
+	}
+	out, err := cmif.RunPipeline(ctx, doc,
+		cmif.WithProfile(cmif.Workstation1991),
+		cmif.WithStore(local),
+		cmif.WithScreen(cmif.Screen{W: 1152, H: 900}),
+		cmif.WithSpeakers(2),
+	)
+	if err != nil {
+		t.Fatalf("pipeline over prefetched store: %v", err)
+	}
+	if !out.FilterMap.Supportable() {
+		t.Error("prefetched store left the document unsupportable")
+	}
+
+	// The blocks are warm now: a repeat prefetch is all cache hits.
+	before, ok := c.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats reported no cache")
+	}
+	if _, err := c.Prefetch(ctx, doc); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.CacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("repeat prefetch missed (%d -> %d misses), want all hits",
+			before.Misses, after.Misses)
+	}
+}
+
 func TestServeGracefulShutdown(t *testing.T) {
 	doc := buildDoc(t)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,6 +1,8 @@
 package cmif
 
 import (
+	"context"
+
 	"repro/internal/experiments"
 	"repro/internal/newsdoc"
 )
@@ -28,3 +30,19 @@ type ExperimentTable = experiments.Table
 
 // Experiments lists every reproduction experiment in paper order.
 func Experiments() []Experiment { return experiments.All() }
+
+// StoreBenchConfig sizes the storage/fetch concurrent-load scenarios. The
+// zero value is usable (64 blocks of 16 KiB, 1 and 16 clients, 256 fetches
+// per client).
+type StoreBenchConfig = experiments.StoreBenchConfig
+
+// StoreBenchReport is the machine-readable result set of RunStoreBench;
+// cmifbench writes it to BENCH_store.json.
+type StoreBenchReport = experiments.StoreBenchReport
+
+// RunStoreBench measures the storage/fetch path under concurrent load
+// against an in-process server: per-block vs batched round trips, cold vs
+// warmed shared cache, at each configured client count.
+func RunStoreBench(ctx context.Context, cfg StoreBenchConfig) (*StoreBenchReport, error) {
+	return experiments.StoreBench(ctx, cfg)
+}

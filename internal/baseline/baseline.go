@@ -1,18 +1,3 @@
-// Package baseline implements the comparison document models from section
-// 3.2 of the paper, so CMIF's claims can be measured rather than asserted:
-//
-//   - FlatDocument is a Muse-style absolute timeline ("a time line concept
-//     is employed for synchronization"): every event carries its absolute
-//     start time. There is no structure, so a local edit (insert, delete,
-//     lengthen) must rewrite the absolute time of every later event.
-//   - The structure-only model of Diamond/FrameMaker-MIF ("the use of a
-//     document structure is limited to the expression of textual and
-//     graphical data without explicit time constraints") is represented by
-//     the Expressiveness table: the synchronization patterns the paper
-//     requires that such formats cannot state at all.
-//
-// The A1 experiment compares edit cost: CMIF edits touch O(1) tree nodes
-// and re-derive times by solving; flat-timeline edits touch O(n) events.
 package baseline
 
 import (

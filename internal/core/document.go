@@ -138,6 +138,25 @@ func (d *Document) FileOf(n *Node) (string, bool) {
 	return "", false
 }
 
+// ExternalFiles returns the distinct (inherited) file attributes of the
+// document's external leaves, in first-appearance order — the block list a
+// player must resolve before the presentation can start.
+func (d *Document) ExternalFiles() []string {
+	var out []string
+	seen := make(map[string]bool)
+	d.Root.Walk(func(n *Node) bool {
+		if n.Type != Ext {
+			return true
+		}
+		if file, ok := d.FileOf(n); ok && !seen[file] {
+			seen[file] = true
+			out = append(out, file)
+		}
+		return true
+	})
+	return out
+}
+
 // DurationOf returns the leaf event's presentation duration in document
 // time, from its (effective) duration attribute converted with the channel's
 // rates. Leaves without a duration report ok=false; composites always report

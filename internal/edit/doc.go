@@ -1,0 +1,12 @@
+// Package edit implements the editing half of the pipeline's Document
+// Structure Mapping and Viewing/Reading tools: structural operations on
+// CMIF documents that keep synchronization arcs valid. The paper: "it is
+// not possible to alter the order of events within the document by viewing
+// it — re-ordering requires re-editing the document", and the viewing tools
+// "provide a means for a reader to 'view' or (possibly) edit a document".
+//
+// Arcs reference nodes by relative path, so structural edits can silently
+// break them. Every operation here runs an arc-integrity check afterwards
+// and reports the arcs it severed; MoveNode additionally rewrites arc paths
+// it can repair automatically.
+package edit

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/transport"
+)
+
+// The store bench measures the storage/fetch path under concurrent load:
+// the scenarios cross fetch granularity (one round trip per block vs
+// batched multi-get) with cache temperature (cold vs a warmed shared LRU
+// cache), at increasing client counts. It exists to put numbers behind the
+// locality argument: serve hot blocks from local memory, amortize wire
+// round trips over batches.
+
+// StoreBenchConfig sizes the concurrent-load scenarios. The zero value is
+// usable: 64 blocks of 16 KiB, 1 and 16 clients, 256 fetches per client.
+type StoreBenchConfig struct {
+	// Blocks is the corpus size; BlockBytes each payload's size.
+	Blocks     int `json:"blocks"`
+	BlockBytes int `json:"block_bytes"`
+	// Clients lists the concurrent client counts to run each scenario at.
+	Clients []int `json:"clients"`
+	// FetchesPerClient is how many block fetches each client performs,
+	// round-robin over the corpus (so > Blocks means repeated fetches).
+	FetchesPerClient int `json:"fetches_per_client"`
+	// CacheBlocks is the shared cache capacity for the warm scenarios.
+	CacheBlocks int `json:"cache_blocks"`
+}
+
+func (c *StoreBenchConfig) fillDefaults() {
+	if c.Blocks <= 0 {
+		c.Blocks = 64
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 16 << 10
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 16}
+	}
+	if c.FetchesPerClient <= 0 {
+		c.FetchesPerClient = 256
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = c.Blocks
+	}
+}
+
+// StoreBenchRow is one (scenario, client count) measurement.
+type StoreBenchRow struct {
+	// Scenario is one of per-block-cold, batched-cold, per-block-warm,
+	// batched-warm.
+	Scenario string `json:"scenario"`
+	Clients  int    `json:"clients"`
+	// Fetches is the total number of blocks delivered to callers.
+	Fetches int `json:"fetches"`
+	// WireCalls is how many round trips actually crossed the network.
+	WireCalls int64 `json:"wire_calls"`
+	// BytesReceived sums response traffic across clients.
+	BytesReceived int64 `json:"bytes_received"`
+	// Seconds is wall-clock time for the whole scenario.
+	Seconds float64 `json:"seconds"`
+	// BlocksPerSec is Fetches / Seconds.
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+// StoreBenchReport is the machine-readable result set cmifbench writes to
+// BENCH_store.json.
+type StoreBenchReport struct {
+	Config     StoreBenchConfig `json:"config"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Rows       []StoreBenchRow  `json:"rows"`
+	// SpeedupWarmBatched is throughput(batched-warm) over
+	// throughput(per-block-cold) at the highest client count — the
+	// headline locality win.
+	SpeedupWarmBatched float64 `json:"speedup_warm_batched_vs_per_block_cold"`
+}
+
+// JSON renders the report for BENCH_store.json.
+func (r *StoreBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the experiment-table format.
+func (r *StoreBenchReport) Table() *Table {
+	t := &Table{
+		ID:    "S1",
+		Title: "store fetch path under concurrent load",
+		Header: []string{"scenario", "clients", "fetches", "wire calls",
+			"MiB recv", "seconds", "blocks/s"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scenario,
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Fetches),
+			fmt.Sprintf("%d", row.WireCalls),
+			fmt.Sprintf("%.2f", float64(row.BytesReceived)/(1<<20)),
+			fmt.Sprintf("%.3f", row.Seconds),
+			fmt.Sprintf("%.0f", row.BlocksPerSec),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("batched+warm over per-block+cold at max clients: %.1fx", r.SpeedupWarmBatched),
+		"expect: batching divides round trips by the batch size; a warm cache removes them")
+	return t
+}
+
+// storeBenchScenario names one fetch strategy.
+type storeBenchScenario struct {
+	name    string
+	batched bool
+	warm    bool
+}
+
+// StoreBench runs the concurrent-load scenarios against an in-process
+// server and returns the measurements. The context bounds every wire
+// operation.
+func StoreBench(ctx context.Context, cfg StoreBenchConfig) (*StoreBenchReport, error) {
+	cfg.fillDefaults()
+
+	// Corpus: deterministic synthetic image blocks.
+	store := media.NewStore()
+	names := make([]string, cfg.Blocks)
+	side := 1
+	for side*side < cfg.BlockBytes {
+		side++
+	}
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%04d.img", i)
+		store.Put(media.CaptureImage(names[i], side, side, uint64(i)+1))
+	}
+
+	srv := transport.NewServer(transport.NewRegistry(store))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	report := &StoreBenchReport{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	scenarios := []storeBenchScenario{
+		{"per-block-cold", false, false},
+		{"batched-cold", true, false},
+		{"per-block-warm", false, true},
+		{"batched-warm", true, true},
+	}
+	for _, sc := range scenarios {
+		for _, clients := range cfg.Clients {
+			row, err := runStoreScenario(ctx, addr, names, cfg, sc, clients)
+			if err != nil {
+				return nil, fmt.Errorf("storebench %s/%d: %w", sc.name, clients, err)
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+
+	// Headline: batched+warm vs per-block+cold at the largest client count.
+	maxClients := cfg.Clients[0]
+	for _, n := range cfg.Clients {
+		if n > maxClients {
+			maxClients = n
+		}
+	}
+	var cold, warm float64
+	for _, row := range report.Rows {
+		if row.Clients != maxClients {
+			continue
+		}
+		switch row.Scenario {
+		case "per-block-cold":
+			cold = row.BlocksPerSec
+		case "batched-warm":
+			warm = row.BlocksPerSec
+		}
+	}
+	if cold > 0 {
+		report.SpeedupWarmBatched = warm / cold
+	}
+	return report, nil
+}
+
+// runStoreScenario drives one (scenario, client count) cell: every client
+// gets its own connection and fetches fetchesPerClient blocks round-robin
+// over the corpus, offset per client so concurrent clients touch different
+// blocks first.
+func runStoreScenario(ctx context.Context, addr string, names []string, cfg StoreBenchConfig, sc storeBenchScenario, clients int) (StoreBenchRow, error) {
+	row := StoreBenchRow{Scenario: sc.name, Clients: clients}
+
+	var cache *transport.BlockCache
+	if sc.warm {
+		cache = transport.NewBlockCache(cfg.CacheBlocks)
+		// Warm: one batched pass pulls the corpus into the shared cache.
+		c, err := transport.DialContext(ctx, addr)
+		if err != nil {
+			return row, err
+		}
+		c.Cache = cache
+		if _, err := c.GetBlocks(ctx, names); err != nil {
+			c.Close()
+			return row, err
+		}
+		c.Close()
+	}
+
+	conns := make([]*transport.Client, clients)
+	for i := range conns {
+		c, err := transport.DialContext(ctx, addr)
+		if err != nil {
+			return row, err
+		}
+		c.Cache = cache
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Each client's fetch list: round-robin over the corpus, offset so
+	// client i starts at block i (concurrent clients spread out).
+	lists := make([][]string, clients)
+	for i := range lists {
+		list := make([]string, cfg.FetchesPerClient)
+		for j := range list {
+			list[j] = names[(i+j)%len(names)]
+		}
+		lists[i] = list
+	}
+
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := conns[i]
+			if sc.batched {
+				blocks, err := c.GetBlocks(ctx, lists[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for _, b := range blocks {
+					if b == nil {
+						errs[i] = fmt.Errorf("batched fetch returned a missing block")
+						return
+					}
+				}
+				return
+			}
+			for _, name := range lists[i] {
+				if _, err := c.GetBlock(ctx, name); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+
+	row.Fetches = clients * cfg.FetchesPerClient
+	for _, c := range conns {
+		row.BytesReceived += c.BytesReceived
+		row.WireCalls += c.RoundTrips
+	}
+	row.Seconds = elapsed.Seconds()
+	if row.Seconds > 0 {
+		row.BlocksPerSec = float64(row.Fetches) / row.Seconds
+	}
+	return row, nil
+}

@@ -1,0 +1,16 @@
+// Package filter implements the Constraint Filtering Tools of the
+// CWI/Multimedia Pipeline: "these tools allow the end-user presentation
+// system to filter components of the document to meet local processing
+// constraints. ... Typical filterings may include 24-bit color to 8-bit
+// color, color to monochrome, high-resolution to low resolution,
+// full-frame-rate video to sub-sampled rate video."
+//
+// The filter evaluates a document against a device Profile using only
+// descriptor attributes — never payload bytes — and produces a FilterMap of
+// per-leaf decisions (pass / transform / drop). This is also where the
+// paper's conflict case 2 surfaces: "device characteristics may limit the
+// ability of a particular environment to support a given document. ... A
+// local-constraint tool should be able to flag the conflict ... CMIF plays
+// a role in signalling problems, allowing other mechanisms to provide
+// solutions." Applying the map to a block store realizes the transforms.
+package filter

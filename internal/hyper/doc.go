@@ -1,0 +1,18 @@
+// Package hyper implements the extension the paper sketches in section 3.2:
+// "we suspect that this general problem [hyper access] can be addressed via
+// the definition of conditional synchronization arcs that point to events on
+// separate channels."
+//
+// Two conditional constructs are supported, both predicated on a reader
+// environment (a set of key=value bindings such as lang=en or audience=
+// expert):
+//
+//   - conditional nodes: a "when" attribute on any node removes the subtree
+//     when the condition is false (multilingual captions, optional detail);
+//   - conditional synchronization arcs: the Cond field of core.SyncArc; a
+//     false condition removes the arc.
+//
+// Specialize evaluates a document against an environment, yielding an
+// ordinary CMIF document playable by the standard pipeline — hyper
+// navigation reduces to re-specialization at choice points.
+package hyper

@@ -2,48 +2,104 @@ package media
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 )
+
+// storeShards is the lock-stripe count. A power of two keeps the modulo a
+// mask; 16 stripes is enough that 16 concurrent clients rarely collide on a
+// mutex while keeping the per-store footprint trivial.
+const storeShards = 16
+
+// shardOf maps a key to its stripe by FNV-1a.
+func shardOf(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32() & (storeShards - 1)
+}
+
+// blockShard holds the blocks whose content address hashes to one stripe.
+type blockShard struct {
+	mu   sync.RWMutex
+	byID map[string]*Block
+}
+
+// nameShard holds the name registrations that hash to one stripe. Names and
+// ids stripe independently: a name and the id it points to usually live in
+// different shards, and no operation ever holds a block-shard lock and a
+// name-shard lock at the same time.
+type nameShard struct {
+	mu     sync.RWMutex
+	byName map[string]string // name -> id
+}
 
 // Store is a content-addressed block store with a name registry. It stands
 // in for the paper's storage server: external nodes name blocks via their
 // "file" attribute, and the store maps those names to descriptors and
 // payloads. Safe for concurrent use.
+//
+// Internally the store is lock-striped: blocks shard by FNV of their
+// content address and name registrations by FNV of the name, so concurrent
+// readers and writers touching different blocks do not contend on a single
+// mutex (the serialization the scaled-up storage server must avoid).
 type Store struct {
-	mu     sync.RWMutex
-	byID   map[string]*Block
-	byName map[string]string // name -> id
+	blocks [storeShards]blockShard
+	names  [storeShards]nameShard
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		byID:   make(map[string]*Block),
-		byName: make(map[string]string),
+	s := &Store{}
+	for i := range s.blocks {
+		s.blocks[i].byID = make(map[string]*Block)
 	}
+	for i := range s.names {
+		s.names[i].byName = make(map[string]string)
+	}
+	return s
 }
 
 // Put inserts a block, registering its name, and returns its content
 // address. Re-putting identical content is idempotent; re-using a name for
 // different content re-points the name.
 func (s *Store) Put(b *Block) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.byID[b.ID]; !exists {
-		s.byID[b.ID] = b.Clone()
+	bs := &s.blocks[shardOf(b.ID)]
+	bs.mu.Lock()
+	if _, exists := bs.byID[b.ID]; !exists {
+		bs.byID[b.ID] = b.Clone()
 	}
+	bs.mu.Unlock()
 	if b.Name != "" {
-		s.byName[b.Name] = b.ID
+		ns := &s.names[shardOf(b.Name)]
+		ns.mu.Lock()
+		ns.byName[b.Name] = b.ID
+		ns.mu.Unlock()
+		// A concurrent Delete of this id may have swept the name shards
+		// before the registration above landed. Re-check the block and
+		// roll the name back if it is gone, so no name ever dangles:
+		// whichever of this re-check and the delete's sweep runs last
+		// removes the registration.
+		bs.mu.RLock()
+		_, alive := bs.byID[b.ID]
+		bs.mu.RUnlock()
+		if !alive {
+			ns.mu.Lock()
+			if ns.byName[b.Name] == b.ID {
+				delete(ns.byName, b.Name)
+			}
+			ns.mu.Unlock()
+		}
 	}
 	return b.ID
 }
 
 // Get fetches a block by content address.
 func (s *Store) Get(id string) (*Block, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	b, ok := s.byID[id]
+	bs := &s.blocks[shardOf(id)]
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	b, ok := bs.byID[id]
 	if !ok {
 		return nil, false
 	}
@@ -52,9 +108,7 @@ func (s *Store) Get(id string) (*Block, bool) {
 
 // GetByName fetches a block by registered name (the "file" attribute value).
 func (s *Store) GetByName(name string) (*Block, bool) {
-	s.mu.RLock()
-	id, ok := s.byName[name]
-	s.mu.RUnlock()
+	id, ok := s.Resolve(name)
 	if !ok {
 		return nil, false
 	}
@@ -63,42 +117,60 @@ func (s *Store) GetByName(name string) (*Block, bool) {
 
 // Resolve maps a name to its content address.
 func (s *Store) Resolve(name string) (string, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.byName[name]
+	ns := &s.names[shardOf(name)]
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	id, ok := ns.byName[name]
 	return id, ok
 }
 
 // Delete removes a block by id and any names pointing at it.
 func (s *Store) Delete(id string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.byID[id]; !ok {
+	bs := &s.blocks[shardOf(id)]
+	bs.mu.Lock()
+	_, ok := bs.byID[id]
+	if ok {
+		delete(bs.byID, id)
+	}
+	bs.mu.Unlock()
+	if !ok {
 		return false
 	}
-	delete(s.byID, id)
-	for name, nid := range s.byName {
-		if nid == id {
-			delete(s.byName, name)
+	for i := range s.names {
+		ns := &s.names[i]
+		ns.mu.Lock()
+		for name, nid := range ns.byName {
+			if nid == id {
+				delete(ns.byName, name)
+			}
 		}
+		ns.mu.Unlock()
 	}
 	return true
 }
 
 // Len reports the number of stored blocks.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byID)
+	total := 0
+	for i := range s.blocks {
+		bs := &s.blocks[i]
+		bs.mu.RLock()
+		total += len(bs.byID)
+		bs.mu.RUnlock()
+	}
+	return total
 }
 
 // Names returns the registered names, sorted.
 func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byName))
-	for n := range s.byName {
-		out = append(out, n)
+	var out []string
+	for i := range s.names {
+		ns := &s.names[i]
+		ns.mu.RLock()
+		for n := range ns.byName {
+			out = append(out, n)
+		}
+		ns.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -107,23 +179,30 @@ func (s *Store) Names() []string {
 // TotalBytes sums payload sizes, the figure the paper contrasts with the
 // "relatively small clusters of data (the attributes)".
 func (s *Store) TotalBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total int64
-	for _, b := range s.byID {
-		total += int64(len(b.Payload))
+	for i := range s.blocks {
+		bs := &s.blocks[i]
+		bs.mu.RLock()
+		for _, b := range bs.byID {
+			total += int64(len(b.Payload))
+		}
+		bs.mu.RUnlock()
 	}
 	return total
 }
 
 // VerifyAll checks every stored block's content address.
 func (s *Store) VerifyAll() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for id, b := range s.byID {
-		if err := b.Verify(); err != nil {
-			return fmt.Errorf("media: store entry %s: %w", id[:12], err)
+	for i := range s.blocks {
+		bs := &s.blocks[i]
+		bs.mu.RLock()
+		for id, b := range bs.byID {
+			if err := b.Verify(); err != nil {
+				bs.mu.RUnlock()
+				return fmt.Errorf("media: store entry %s: %w", id[:12], err)
+			}
 		}
+		bs.mu.RUnlock()
 	}
 	return nil
 }

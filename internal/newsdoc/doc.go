@@ -1,0 +1,22 @@
+// Package newsdoc builds the paper's running example: the Evening News of
+// section 4 and the stolen-paintings fragment of Figure 10, complete with
+// synthetic media blocks. It is the shared corpus for the examples, the
+// figure-reproduction experiments and the benchmarks.
+//
+// Figure 10's channels and synchronization, as built here for each story:
+//
+//	audio:   one voice block per story segment (Dutch narration)
+//	video:   talking head → crime scene report → talking head
+//	graphic: painting one → painting two → insurance graph
+//	caption: seven text blocks (English translation)
+//	label:   story name, museum name, announcer name
+//
+// Arcs (section 5.3.4): the graphic channel is start-synchronized with the
+// audio; the second and third illustrations are explicitly synchronized;
+// captions are start-synchronized with the video ("not synchronized at all
+// with the audio; this allows one story to be presented for local
+// consumption and another for global presentation"); an arc runs from the
+// end of the second caption to the start of the second graphic (offset
+// use); and the end of the fourth caption gates the next video block, which
+// "may require a freeze-frame video operation".
+package newsdoc

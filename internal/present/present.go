@@ -1,21 +1,3 @@
-// Package present implements the Presentation Mapping Tool of the
-// CWI/Multimedia Pipeline: "this tool is used to allocate virtual
-// presentation 'real estate' (such as areas on a display or channels of a
-// loudspeaker) to a given multimedia document. ... this tool manipulates the
-// definitions provided in the CMIF document and creates a presentation map
-// that can be manipulated separately from the document itself."
-//
-// Visual channels receive screen rectangles; audio channels receive
-// loudspeaker indices. Channel definitions may carry preference attributes
-// ("some of the mapping information may come from 'preference' defaults
-// provided with each atomic media block"):
-//
-//	(region top|bottom|main)   placement hint
-//	(prefheight N)             strip height for top/bottom regions
-//	(speaker N)                loudspeaker preference
-//
-// The map serializes as a small CMIF fragment, so it travels through the
-// same interchange machinery as documents.
 package present
 
 import (

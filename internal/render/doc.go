@@ -1,0 +1,7 @@
+// Package render implements the Document Viewing and Reading Tools of the
+// CWI/Multimedia Pipeline as plain-text renderers: the channel/time view of
+// Figures 3, 4b and 10 (time runs top to bottom, one column per channel),
+// the conventional tree view of Figure 5a, the tabular synchronization-arc
+// view of Figure 9, and the "internal table-of-contents function" of
+// section 2.
+package render

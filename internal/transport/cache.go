@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/media"
+)
+
+// DefaultCacheSize is the block capacity a BlockCache gets when built with
+// a non-positive size.
+const DefaultCacheSize = 256
+
+// BlockCache is a client-side LRU cache of data blocks keyed by the string
+// they were requested under (name or content address). It implements the
+// locally-served pattern of Gray's "Locally Served Network Computers": hot
+// blocks are answered from local memory, and concurrent misses for the same
+// key are collapsed into a single wire fetch (singleflight), so a burst of
+// players starting the same presentation costs one round trip per block.
+//
+// A cache is safe for concurrent use and is meant to be shared between
+// clients: each Client stays single-goroutine, while the cache coordinates
+// across them.
+type BlockCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one resident block.
+type cacheEntry struct {
+	key string
+	blk *media.Block
+}
+
+// flight is one in-progress fetch other goroutines can wait on.
+type flight struct {
+	done chan struct{}
+	blk  *media.Block
+	err  error
+}
+
+// NewBlockCache returns a cache holding up to size blocks; a non-positive
+// size gets DefaultCacheSize.
+func NewBlockCache(size int) *BlockCache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &BlockCache{
+		cap:     size,
+		order:   list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get returns a copy of the cached block under key, marking it recently
+// used and counting a hit.
+func (c *BlockCache) Get(key string) (*media.Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).blk.Clone(), true
+}
+
+// Add stores a copy of blk under key, evicting the least recently used
+// entry when the cache is full.
+func (c *BlockCache) Add(key string, blk *media.Block) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(key, blk)
+}
+
+// addLocked inserts a clone of blk under key. Caller holds c.mu.
+func (c *BlockCache) addLocked(key string, blk *media.Block) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).blk = blk.Clone()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, blk: blk.Clone()})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// join is the singleflight entry point shared by the single-block and
+// batched fetch paths. It returns exactly one of:
+//
+//   - a resident block (a hit; blk non-nil),
+//   - an existing flight to wait on (another goroutine is fetching; also
+//     counted as a hit, since this caller costs no wire call of its own),
+//   - a fresh flight with leader=true: the caller must fetch and settle it.
+func (c *BlockCache) join(key string) (blk *media.Block, f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).blk.Clone(), nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		c.hits++
+		return nil, f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	return nil, f, true
+}
+
+// settle resolves a leader's flight with the fetch result, caching the
+// block on success and waking every waiter. Errors are never cached.
+func (c *BlockCache) settle(key string, f *flight, blk *media.Block, err error) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil && blk != nil {
+		c.addLocked(key, blk)
+	}
+	f.blk, f.err = blk, err
+	close(f.done)
+	c.mu.Unlock()
+}
+
+// wait blocks until f settles (or ctx ends) and returns its result.
+func (f *flight) wait(ctx context.Context) (*media.Block, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, f.err
+		}
+		if f.blk == nil {
+			return nil, nil
+		}
+		return f.blk.Clone(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// GetOrFetch returns the block under key, fetching it with fetch on a
+// miss. Concurrent callers missing on the same key share one fetch —
+// whether they arrive through here or through the batched GetBlocks path:
+// the first becomes the leader and runs fetch, the rest wait for its
+// result (or their own context's cancellation). Fetch errors are not
+// cached.
+func (c *BlockCache) GetOrFetch(ctx context.Context, key string, fetch func(context.Context) (*media.Block, error)) (*media.Block, error) {
+	blk, f, leader := c.join(key)
+	if blk != nil {
+		return blk, nil
+	}
+	if !leader {
+		return f.wait(ctx)
+	}
+	blk, err := fetch(ctx)
+	c.settle(key, f, blk, err)
+	return blk, err
+}
+
+// Len reports the number of resident blocks.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness. A "hit"
+// is any lookup that cost no wire call of its own, including waiting on
+// another goroutine's in-flight fetch.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
+	Capacity  int
+}
+
+// Stats snapshots the counters.
+func (c *BlockCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.order.Len(),
+		Capacity:  c.cap,
+	}
+}

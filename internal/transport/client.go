@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/media"
@@ -20,9 +21,16 @@ type Client struct {
 	// Timeout bounds each round trip when the request context carries no
 	// deadline of its own. Zero means no per-call bound.
 	Timeout time.Duration
+	// Cache, when non-nil, answers block fetches locally and collapses
+	// concurrent misses for the same key into one wire call. Share one
+	// cache between the per-goroutine clients of a process.
+	Cache *BlockCache
 	// Stats accumulate wire traffic for the transport-cost experiments.
 	BytesSent     int64
 	BytesReceived int64
+	// RoundTrips counts requests that went out on the wire — cache hits
+	// do not move it, which is what the cache experiments measure.
+	RoundTrips int64
 	// broken is set once a round trip died mid-frame (cancellation or a
 	// wire error): the connection state is unknown and must not be reused.
 	broken bool
@@ -110,6 +118,7 @@ func (c *Client) roundTrip(ctx context.Context, op byte, parts ...[]byte) ([][]b
 		return fail(err)
 	}
 	c.BytesSent += sent
+	c.RoundTrips++
 	resp, err := readFrame(c.conn)
 	if err != nil {
 		return fail(err)
@@ -171,8 +180,20 @@ func (c *Client) PutDoc(ctx context.Context, name string, d *core.Document, enc 
 	return err
 }
 
-// GetBlock fetches a data block by name or content address.
+// GetBlock fetches a data block by name or content address. With a Cache
+// attached, hits are served locally and concurrent misses for the same
+// name collapse into one wire call.
 func (c *Client) GetBlock(ctx context.Context, name string) (*media.Block, error) {
+	if c.Cache != nil {
+		return c.Cache.GetOrFetch(ctx, name, func(ctx context.Context) (*media.Block, error) {
+			return c.getBlockWire(ctx, name)
+		})
+	}
+	return c.getBlockWire(ctx, name)
+}
+
+// getBlockWire is the uncached single-block round trip.
+func (c *Client) getBlockWire(ctx context.Context, name string) (*media.Block, error) {
 	parts, err := c.roundTrip(ctx, opGetBlk, []byte(name))
 	if err != nil {
 		return nil, err
@@ -181,6 +202,190 @@ func (c *Client) GetBlock(ctx context.Context, name string) (*media.Block, error
 		return nil, fmt.Errorf("transport: getblk returned %d parts", len(parts))
 	}
 	return blockFromParts(parts)
+}
+
+// GetBlocks fetches many blocks in batched round trips: up to maxBatch
+// names travel per frame, so N blocks cost ceil(N/maxBatch) round trips
+// instead of N. The result is aligned with names; a name the server cannot
+// resolve yields a nil entry (a partial result, not an error). With a
+// Cache attached, cached names are served locally, misses join the cache's
+// singleflight — concurrent fetches of the same name, batched or single,
+// collapse to one wire transfer — and fetched blocks populate the cache.
+func (c *Client) GetBlocks(ctx context.Context, names []string) ([]*media.Block, error) {
+	// Collapse duplicates and classify each unique name: resident in the
+	// cache, in flight elsewhere (wait), or ours to fetch (lead).
+	need := make(map[string][]int, len(names))
+	got := make(map[string]*media.Block, len(names))
+	owned := make(map[string]*flight)
+	waits := make(map[string]*flight)
+	var order []string // unique names this call fetches, in request order
+	for i, name := range names {
+		if _, dup := need[name]; dup {
+			need[name] = append(need[name], i)
+			continue
+		}
+		need[name] = []int{i}
+		if c.Cache == nil {
+			order = append(order, name)
+			continue
+		}
+		blk, f, leader := c.Cache.join(name)
+		switch {
+		case blk != nil:
+			got[name] = blk
+		case leader:
+			owned[name] = f
+			order = append(order, name)
+		default:
+			waits[name] = f
+		}
+	}
+	// Whatever happens below, never strand a follower on an owned flight.
+	settle := func(name string, blk *media.Block, err error) {
+		if f, ok := owned[name]; ok {
+			c.Cache.settle(name, f, blk, err)
+			delete(owned, name)
+		}
+	}
+	fail := func(err error) ([]*media.Block, error) {
+		for name := range owned {
+			settle(name, nil, err)
+		}
+		return nil, err
+	}
+
+	for start := 0; start < len(order); start += maxBatch {
+		end := start + maxBatch
+		if end > len(order) {
+			end = len(order)
+		}
+		chunk := order[start:end]
+		parts := make([][]byte, len(chunk))
+		for i, name := range chunk {
+			parts[i] = []byte(name)
+		}
+		resp, err := c.roundTrip(ctx, opGetBlks, parts...)
+		if err != nil {
+			return fail(err)
+		}
+		if len(resp) != len(chunk) {
+			return fail(fmt.Errorf("transport: getblks returned %d entries for %d names", len(resp), len(chunk)))
+		}
+		for i, entry := range resp {
+			name := chunk[i]
+			fields, flag, err := decodeEntry(entry, 4)
+			if err != nil {
+				return fail(err)
+			}
+			var blk *media.Block
+			switch flag {
+			case entryMissing:
+				// Settle with the same error shape a single-block fetch
+				// of a missing name produces, so GetOrFetch followers of
+				// this flight see the usual not-found taxonomy.
+				settle(name, nil, fmt.Errorf("%w: %w: getblks: no block %q", ErrRemote, ErrNotFound, name))
+				continue
+			case entryDeferred:
+				// The block was too large to inline in the batch frame;
+				// fetch it on its own. A not-found here (the block was
+				// deleted meanwhile) stays a partial result.
+				blk, err = c.getBlockWire(ctx, name)
+				if errors.Is(err, ErrNotFound) {
+					settle(name, nil, err)
+					continue
+				}
+				if err != nil {
+					return fail(err)
+				}
+			default:
+				blk, err = blockFromParts(fields)
+				if err != nil {
+					return fail(err)
+				}
+			}
+			settle(name, blk, nil) // clones into the cache
+			got[name] = blk
+		}
+	}
+
+	// Collect the names other goroutines were already fetching.
+	for name, f := range waits {
+		blk, err := f.wait(ctx)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // their fetch found nothing: a nil entry here too
+			}
+			return nil, err
+		}
+		got[name] = blk
+	}
+
+	// Fill results aligned with the request; the first index of each name
+	// takes the fetched block as-is, duplicates get copies.
+	out := make([]*media.Block, len(names))
+	for name, idxs := range need {
+		blk := got[name]
+		if blk == nil {
+			continue
+		}
+		for k, idx := range idxs {
+			if k == 0 {
+				out[idx] = blk
+			} else {
+				out[idx] = blk.Clone()
+			}
+		}
+	}
+	return out, nil
+}
+
+// GetDescriptors fetches only the data descriptors (attribute lists) of
+// the named blocks, batched like GetBlocks but without moving payloads —
+// the cheap attribute-cluster queries of the paper's section 6. Names the
+// server cannot resolve are absent from the result map.
+func (c *Client) GetDescriptors(ctx context.Context, names []string) (map[string]attr.List, error) {
+	out := make(map[string]attr.List, len(names))
+	var order []string
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	for start := 0; start < len(order); start += maxBatch {
+		end := start + maxBatch
+		if end > len(order) {
+			end = len(order)
+		}
+		chunk := order[start:end]
+		parts := make([][]byte, len(chunk))
+		for i, name := range chunk {
+			parts[i] = []byte(name)
+		}
+		resp, err := c.roundTrip(ctx, opGetDescs, parts...)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp) != len(chunk) {
+			return nil, fmt.Errorf("transport: getdescs returned %d entries for %d names", len(resp), len(chunk))
+		}
+		for i, entry := range resp {
+			fields, flag, err := decodeEntry(entry, 2)
+			if err != nil {
+				return nil, err
+			}
+			if flag != entryFound {
+				continue
+			}
+			descNode, err := codec.ParseNode(string(fields[1]))
+			if err != nil {
+				return nil, fmt.Errorf("transport: getdescs descriptor: %w", err)
+			}
+			out[chunk[i]] = descNode.Attrs
+		}
+	}
+	return out, nil
 }
 
 // PutBlock stores a block on the server, returning its content address.

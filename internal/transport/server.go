@@ -331,11 +331,9 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			return fail("getblk: want [name]")
 		}
 		name := string(req.parts[0])
-		blk, ok := s.reg.Store.GetByName(name)
+		blk, ok := s.lookupBlock(name)
 		if !ok {
-			if blk, ok = s.reg.Store.Get(name); !ok {
-				return notFound("getblk: no block %q", name)
-			}
+			return notFound("getblk: no block %q", name)
 		}
 		descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
 		if err != nil {
@@ -347,6 +345,55 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			[]byte(descText),
 			blk.Payload,
 		}
+	case opGetBlks:
+		if len(req.parts) == 0 {
+			return fail("getblks: want at least one name")
+		}
+		parts := make([][]byte, len(req.parts))
+		inlined := 0
+		for i, p := range req.parts {
+			blk, ok := s.lookupBlock(string(p))
+			if !ok {
+				parts[i] = []byte{entryMissing}
+				continue
+			}
+			// Defer blocks that would push the response past the frame
+			// limit; the client re-fetches them one at a time.
+			if inlined+len(blk.Payload) > batchBudget {
+				parts[i] = []byte{entryDeferred}
+				continue
+			}
+			descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+			if err != nil {
+				return fail("getblks: descriptor: %v", err)
+			}
+			parts[i] = encodeEntry(
+				[]byte(blk.Name),
+				[]byte(blk.Medium.String()),
+				[]byte(descText),
+				blk.Payload,
+			)
+			inlined += len(blk.Payload)
+		}
+		return opOK, parts
+	case opGetDescs:
+		if len(req.parts) == 0 {
+			return fail("getdescs: want at least one name")
+		}
+		parts := make([][]byte, len(req.parts))
+		for i, p := range req.parts {
+			blk, ok := s.lookupBlock(string(p))
+			if !ok {
+				parts[i] = []byte{entryMissing}
+				continue
+			}
+			descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+			if err != nil {
+				return fail("getdescs: descriptor: %v", err)
+			}
+			parts[i] = encodeEntry([]byte(blk.Name), []byte(descText))
+		}
+		return opOK, parts
 	case opPutBlk:
 		if len(req.parts) != 4 {
 			return fail("putblk: want [name, medium, descriptor, payload]")
@@ -367,6 +414,15 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 	default:
 		return fail("unknown op %d", req.op)
 	}
+}
+
+// lookupBlock resolves a block by registered name first, then by content
+// address — the resolution order every block-fetch op shares.
+func (s *Server) lookupBlock(name string) (*media.Block, bool) {
+	if blk, ok := s.reg.Store.GetByName(name); ok {
+		return blk, true
+	}
+	return s.reg.Store.Get(name)
 }
 
 func encodeDoc(d *core.Document, enc Encoding) ([]byte, error) {

@@ -23,13 +23,101 @@ const (
 	opGetBlk byte = 3
 	opList   byte = 4
 	opPutBlk byte = 5
-	opOK     byte = 128
+	// opGetBlks is the batched block multi-get: request parts are names
+	// (or content addresses), the response carries one entry part per
+	// requested name, in request order (see encodeEntry).
+	opGetBlks byte = 7
+	// opGetDescs is the batched descriptor multi-get: like opGetBlks but
+	// each found entry carries only the descriptor text, not the payload —
+	// the paper's "relatively small clusters of data (the attributes)".
+	opGetDescs byte = 8
+	opOK       byte = 128
 	// opErrNotFound distinguishes "no such document/block" from other
 	// failures so clients can surface a typed not-found error.
 	opErrNotFound byte = 254
 	opErr         byte = 255
 	opGoodbye     byte = 6
 )
+
+// maxBatch is the largest multi-get a single frame carries: one request
+// part (and one response entry) per name. Clients chunk larger batches.
+const maxBatch = maxParts
+
+// Batched responses pack each entry into a single frame part, so a batch
+// of N names always answers with exactly N parts regardless of how many
+// fields an entry has:
+//
+//	u8 flag | (u32 fieldLen | fieldBytes)*
+//
+// flag=0 means the name resolved to nothing (the batch itself still
+// succeeds: partial results are the point of batching), flag=1 means the
+// fields follow, and flag=2 means the block exists but inlining it would
+// have pushed the response past maxFrameSize — the client re-fetches
+// deferred entries with single-item ops. Flags 0 and 2 carry no fields.
+const (
+	entryMissing  byte = 0
+	entryFound    byte = 1
+	entryDeferred byte = 2
+)
+
+// batchBudget caps the payload bytes a batched response inlines, leaving
+// headroom inside maxFrameSize for frame/part/field framing and the
+// non-payload fields of up to maxParts entries. A variable so tests can
+// exercise the deferral path with small blocks.
+var batchBudget = maxFrameSize - (1 << 20)
+
+// encodeEntry packs a found entry's fields into one response part.
+func encodeEntry(fields ...[]byte) []byte {
+	n := 1
+	for _, f := range fields {
+		n += 4 + len(f)
+	}
+	out := make([]byte, 1, n)
+	out[0] = entryFound
+	var lenBuf [4]byte
+	for _, f := range fields {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, f...)
+	}
+	return out
+}
+
+// decodeEntry unpacks one batched-response part into exactly nFields
+// fields; flag distinguishes found (fields valid), missing and deferred
+// entries.
+func decodeEntry(part []byte, nFields int) (fields [][]byte, flag byte, err error) {
+	if len(part) < 1 {
+		return nil, entryMissing, fmt.Errorf("transport: empty batch entry")
+	}
+	if part[0] == entryMissing || part[0] == entryDeferred {
+		if len(part) != 1 {
+			return nil, part[0], fmt.Errorf("transport: %d trailing bytes in fieldless entry", len(part)-1)
+		}
+		return nil, part[0], nil
+	}
+	if part[0] != entryFound {
+		return nil, part[0], fmt.Errorf("transport: unknown batch entry flag %d", part[0])
+	}
+	off := 1
+	fields = make([][]byte, 0, nFields)
+	for i := 0; i < nFields; i++ {
+		if off+4 > len(part) {
+			return nil, entryFound, fmt.Errorf("transport: truncated batch entry field header")
+		}
+		n := int(binary.BigEndian.Uint32(part[off : off+4]))
+		off += 4
+		if n < 0 || off+n > len(part) {
+			return nil, entryFound, fmt.Errorf("transport: batch entry field length %d exceeds part", n)
+		}
+		fields = append(fields, part[off:off+n])
+		off += n
+	}
+	if off != len(part) {
+		return nil, entryFound, fmt.Errorf("transport: %d trailing bytes in batch entry", len(part)-off)
+	}
+	return fields, entryFound, nil
+}
 
 // frame is one decoded wire message.
 type frame struct {

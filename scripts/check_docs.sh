@@ -1,0 +1,44 @@
+#!/bin/sh
+# Docs freshness check: identifiers the docs reference must still exist in
+# the source, so a rename or removal fails CI instead of silently rotting
+# the documentation.
+#
+#   - every backticked `opXxx` / `maxXxx` identifier in docs/PROTOCOL.md
+#     must appear in internal/transport/wire.go;
+#   - every backticked `cmif.Xxx` symbol in docs/ and README.md must
+#     appear in the cmif facade sources.
+#
+# Run from the repository root: ./scripts/check_docs.sh
+set -eu
+
+fail=0
+
+# Wire-protocol identifiers (op codes, entry flags and framing limits).
+for ident in $(grep -o '`\(op\|max\|entry\|batch\)[A-Za-z]*`' docs/PROTOCOL.md | tr -d '`' | sort -u); do
+    if ! grep -q "\b$ident\b" internal/transport/wire.go; then
+        echo "docs/PROTOCOL.md references \`$ident\`, which no longer exists in internal/transport/wire.go" >&2
+        fail=1
+    fi
+done
+
+# Facade symbols referenced from the docs and README.
+for sym in $(grep -ho '`cmif\.[A-Za-z]*`' docs/*.md README.md | sed 's/`cmif\.\(.*\)`/\1/' | sort -u); do
+    if ! grep -q "\b$sym\b" cmif/*.go; then
+        echo "docs reference \`cmif.$sym\`, which no longer exists in the cmif facade" >&2
+        fail=1
+    fi
+done
+
+# Internal transport symbols named in the protocol error-taxonomy table.
+for sym in $(grep -ho '`transport\.[A-Za-z]*`' docs/*.md | sed 's/`transport\.\(.*\)`/\1/' | sort -u); do
+    if ! grep -q "\b$sym\b" internal/transport/*.go; then
+        echo "docs reference \`transport.$sym\`, which no longer exists in internal/transport" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs are stale: update docs/PROTOCOL.md / docs/ARCHITECTURE.md / README.md" >&2
+    exit 1
+fi
+echo "docs are fresh"
