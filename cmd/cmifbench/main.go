@@ -1,14 +1,17 @@
 // Command cmifbench regenerates every experiment artifact of the paper
 // reproduction — the section 3.1 table, Figures 1-10, the two ablations —
-// plus the S1 storage/fetch concurrency scenarios, whose machine-readable
-// results land in BENCH_store.json.
+// plus the S1 storage/fetch concurrency scenarios (BENCH_store.json) and
+// the S2 scheduler scenarios (BENCH_sched.json).
 //
 // Usage:
 //
-//	cmifbench [-store-out BENCH_store.json] [-clients 1,16] [T1 F1 ... A2 S1]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2]
 //
-// Run with no experiment ids for everything. Naming ids restricts the run;
-// S1 is the store bench.
+// Run with no experiment ids for everything; naming ids restricts the run.
+// -smoke shrinks the S1/S2 configurations to CI-sized quick runs. The
+// -check-store/-check-sched flags additionally validate a committed BENCH
+// file and the fresh results against the bench-regression invariants,
+// exiting nonzero on violation (the scripts/check_bench.sh gate).
 package main
 
 import (
@@ -27,6 +30,15 @@ func main() {
 	clients := flag.String("clients", "1,16", "comma-separated concurrent client counts for S1")
 	fetches := flag.Int("fetches", 256, "block fetches per client in S1")
 	blocks := flag.Int("blocks", 64, "corpus size (blocks) in S1")
+
+	schedOut := flag.String("sched-out", "BENCH_sched.json", "path for the S2 sched-bench JSON results")
+	schedLeaves := flag.String("sched-leaves", "", "comma-separated leaf counts for S2 (default 1000,10000,100000)")
+	schedArms := flag.Int("sched-arms", 0, "parallel arms (components) for S2 (default 16)")
+	schedEdits := flag.Int("sched-edits", 0, "edit-churn loop length for S2 (default 24)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2 to quick CI-sized configurations")
+	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
+	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -48,8 +60,14 @@ func main() {
 		fmt.Println(tbl)
 	}
 	if runAll || want["S1"] {
-		if err := runStoreBench(*storeOut, *clients, *blocks, *fetches); err != nil {
+		if err := runStoreBench(*storeOut, *clients, *blocks, *fetches, *smoke, *checkStore); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S1: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S2"] {
+		if err := runSchedBench(*schedOut, *schedLeaves, *schedArms, *schedEdits, *smoke, *checkSched); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S2: %v\n", err)
 			failed++
 		}
 	}
@@ -58,10 +76,14 @@ func main() {
 	}
 }
 
-// runStoreBench runs the S1 concurrency scenarios, prints the table and
-// writes the JSON report to out.
-func runStoreBench(out, clientList string, blocks, fetches int) error {
+// runStoreBench runs the S1 concurrency scenarios, prints the table,
+// writes the JSON report to out, and optionally gates it against a
+// committed reference report.
+func runStoreBench(out, clientList string, blocks, fetches int, smoke bool, checkAgainst string) error {
 	cfg := cmif.StoreBenchConfig{Blocks: blocks, FetchesPerClient: fetches}
+	if smoke {
+		cfg.Blocks, cfg.FetchesPerClient = 16, 128
+	}
 	for _, f := range strings.Split(clientList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
@@ -82,5 +104,85 @@ func runStoreBench(out, clientList string, blocks, fetches int) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
-	return nil
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadStoreBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckStoreBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckStoreBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("store", violations)
+}
+
+// runSchedBench runs the S2 scheduler scenarios with the same output and
+// gating shape as S1.
+func runSchedBench(out, leavesList string, arms, edits int, smoke bool, checkAgainst string) error {
+	var cfg cmif.SchedBenchConfig
+	if leavesList != "" {
+		for _, f := range strings.Split(leavesList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				return fmt.Errorf("bad -sched-leaves entry %q", f)
+			}
+			cfg.Leaves = append(cfg.Leaves, n)
+		}
+	}
+	cfg.Arms, cfg.Edits = arms, edits
+	if smoke {
+		if len(cfg.Leaves) == 0 {
+			cfg.Leaves = []int{512, 4096}
+		}
+		if cfg.Arms == 0 {
+			cfg.Arms = 8
+		}
+		if cfg.Edits == 0 {
+			cfg.Edits = 12
+		}
+	}
+	report, err := cmif.RunSchedBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadSchedBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckSchedBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckSchedBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("sched", violations)
+}
+
+func reportViolations(name string, violations []string) error {
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "cmifbench: %s bench-regression gate passed\n", name)
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "cmifbench: %s gate: %s\n", name, v)
+	}
+	return fmt.Errorf("%d bench-regression violations", len(violations))
 }

@@ -92,6 +92,10 @@ func Q(v int64, u Unit) Quantity { return units.Q(v, u) }
 // MS builds a quantity of v milliseconds.
 func MS(v int64) Quantity { return units.MS(v) }
 
+// InfiniteDelay returns the sentinel for an arc's unbounded maximum delay
+// (ε = ∞ in the synchronization equation).
+func InfiniteDelay() Quantity { return units.InfiniteQuantity() }
+
 // Sec builds a quantity of v seconds.
 func Sec(v int64) Quantity { return units.Sec(v) }
 

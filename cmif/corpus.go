@@ -46,3 +46,50 @@ type StoreBenchReport = experiments.StoreBenchReport
 func RunStoreBench(ctx context.Context, cfg StoreBenchConfig) (*StoreBenchReport, error) {
 	return experiments.StoreBench(ctx, cfg)
 }
+
+// SchedBenchConfig sizes the S2 scheduler scenarios: par-of-seq documents
+// at the configured leaf counts and arc densities, plus edit-churn loops.
+// The zero value is usable (1k/10k/100k leaves, 16 arms, 24 edits).
+type SchedBenchConfig = experiments.SchedBenchConfig
+
+// SchedBenchReport is the machine-readable result set of RunSchedBench;
+// cmifbench writes it to BENCH_sched.json.
+type SchedBenchReport = experiments.SchedBenchReport
+
+// RunSchedBench measures the synchronization solver: classic full solve vs
+// component-parallel solve, and edit churn through full re-solves vs
+// incremental rescheduling, with a per-event equality audit.
+func RunSchedBench(cfg SchedBenchConfig) (*SchedBenchReport, error) {
+	return experiments.SchedBench(cfg)
+}
+
+// BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU
+// count, go version); it travels inside every BENCH report.
+type BenchEnv = experiments.BenchEnv
+
+// LoadStoreBenchReport reads a BENCH_store.json report from disk.
+func LoadStoreBenchReport(path string) (*StoreBenchReport, error) {
+	return experiments.LoadStoreReport(path)
+}
+
+// LoadSchedBenchReport reads a BENCH_sched.json report from disk.
+func LoadSchedBenchReport(path string) (*SchedBenchReport, error) {
+	return experiments.LoadSchedReport(path)
+}
+
+// CheckStoreBenchReport validates a store-bench report against the
+// bench-regression invariants (wire-call arithmetic, cache monotonicity,
+// throughput floors). committed applies the tighter thresholds expected of
+// the repository's reference file. Violations come back human-readable;
+// empty means the report passes.
+func CheckStoreBenchReport(r *StoreBenchReport, committed bool) []string {
+	return experiments.CheckStoreReport(r, committed)
+}
+
+// CheckSchedBenchReport validates a sched-bench report: schedule-equality
+// and component invariants, allocation ratios, and the incremental/parallel
+// speedup floors (the parallel floor applies when the recorded environment
+// had GOMAXPROCS ≥ 4).
+func CheckSchedBenchReport(r *SchedBenchReport, committed bool) []string {
+	return experiments.CheckSchedReport(r, committed)
+}

@@ -165,6 +165,24 @@ func (d *Document) RenameNode(path, newName string) (*EditResult, error) {
 	return edit.RenameNode(d.doc, path, newName)
 }
 
+// SetNodeAttr assigns an attribute on the node at path. Unlike writing
+// through Root, the change is recorded, so Plan.Reschedule can invalidate
+// precisely. Names and arcs have dedicated methods.
+func (d *Document) SetNodeAttr(path, name string, v Value) error {
+	return edit.SetAttr(d.doc, path, name, v)
+}
+
+// AddArc appends an explicit synchronization arc to the node at path. The
+// arc must resolve from that node.
+func (d *Document) AddArc(path string, a SyncArc) error {
+	return edit.AddArc(d.doc, path, a)
+}
+
+// RemoveArc deletes the index'th arc of the node at path.
+func (d *Document) RemoveArc(path string, index int) error {
+	return edit.RemoveArc(d.doc, path, index)
+}
+
 // --- conditional structure (the hypertext extension) ---
 
 // Env binds the condition variables used by conditional nodes.

@@ -1,0 +1,131 @@
+package cmif_test
+
+import (
+	"repro/cmif"
+	"testing"
+)
+
+// buildShow authors a par-of-seq document through the facade: three
+// parallel strands of sequential leaves.
+func buildShow(t *testing.T) *cmif.Document {
+	t.Helper()
+	root := cmif.NewPar().SetName("show")
+	for s, strand := range []string{"video", "audio", "text"} {
+		seq := cmif.NewSeq().SetName(strand + "-strand")
+		for i := 0; i < 4; i++ {
+			seq.AddChild(cmif.NewImm(nil).
+				SetName(strand+"-"+string(rune('a'+i))).
+				SetAttr("duration", cmif.Qty(cmif.MS(int64(100+50*s+25*i)))))
+		}
+		root.AddChild(seq)
+	}
+	d, err := cmif.NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func plansAgree(t *testing.T, d *cmif.Document, got, want *cmif.Plan) {
+	t.Helper()
+	if got.Makespan() != want.Makespan() {
+		t.Errorf("makespan: got %v, want %v", got.Makespan(), want.Makespan())
+	}
+	d.Root().Walk(func(n *cmif.Node) bool {
+		if got.StartOf(n) != want.StartOf(n) || got.EndOf(n) != want.EndOf(n) {
+			t.Errorf("%s: got [%v,%v], want [%v,%v]", n.PathString(),
+				got.StartOf(n), got.EndOf(n), want.StartOf(n), want.EndOf(n))
+		}
+		return true
+	})
+}
+
+func TestPlanRescheduleAfterEdits(t *testing.T) {
+	d := buildShow(t)
+	plan, err := cmif.Schedule(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.SolveStats().Components; got != 3 {
+		t.Fatalf("components = %d, want 3", got)
+	}
+
+	// Stretch one leaf; only its strand's component re-solves.
+	if err := d.SetNodeAttr("/audio-strand/audio-b", "duration", cmif.Qty(cmif.MS(900))); err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := plan.Reschedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan2.SolveStats()
+	if st.Resolved != 1 || st.Reused != 2 {
+		t.Fatalf("resolved %d reused %d, want 1/2", st.Resolved, st.Reused)
+	}
+	fresh, err := cmif.Schedule(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansAgree(t, d, plan2, fresh)
+	if plan2.Makespan() <= plan.Makespan() {
+		t.Fatalf("stretched edit should extend the makespan: %v -> %v",
+			plan.Makespan(), plan2.Makespan())
+	}
+
+	// An arc between strands merges their components.
+	if err := d.AddArc("/video-strand", cmif.SyncArc{
+		Source: "video-a", SrcEnd: cmif.End,
+		Dest: "../text-strand/text-a", DestEnd: cmif.Begin,
+		Offset: cmif.MS(10), MinDelay: cmif.MS(0),
+		MaxDelay: cmif.InfiniteDelay(), Strict: cmif.Must,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plan3, err := plan2.Reschedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan3.SolveStats().Components; got != 2 {
+		t.Fatalf("components after cross-strand arc = %d, want 2", got)
+	}
+	fresh, err = cmif.Schedule(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansAgree(t, d, plan3, fresh)
+
+	// Structure edits reschedule too.
+	if _, err := d.MoveNode("/text-strand/text-d", "/video-strand", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveArc("/video-strand", 0); err != nil {
+		t.Fatal(err)
+	}
+	plan4, err := plan3.Reschedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err = cmif.Schedule(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansAgree(t, d, plan4, fresh)
+}
+
+func TestPlanRescheduleIsFastPathNoop(t *testing.T) {
+	d := buildShow(t)
+	plan, err := cmif.Schedule(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := plan.Reschedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := again.SolveStats(); st.Resolved != 0 {
+		t.Fatalf("no-op reschedule resolved %d components", st.Resolved)
+	}
+	if again.Makespan() != plan.Makespan() {
+		t.Fatalf("makespan changed on no-op reschedule")
+	}
+}

@@ -1,6 +1,7 @@
 package cmif
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/player"
@@ -11,8 +12,14 @@ import (
 // Plan is a document's resolved timing: the difference-constraint graph
 // built from structure and arcs, plus one consistent event schedule. It is
 // the input to the viewing tools and the playback simulator.
+//
+// A Plan carries reusable solver state: after editing the document through
+// its mutation API (DeleteNode, InsertNode, MoveNode, RenameNode, AddArc,
+// RemoveArc, SetNodeAttr), Reschedule brings the timing up to date by
+// re-solving only the constraint-graph components the edits touched.
 type Plan struct {
 	doc      *Document
+	solver   *sched.Solver
 	graph    *sched.Graph
 	schedule *sched.Schedule
 }
@@ -49,22 +56,62 @@ func WithRelaxation() ScheduleOption {
 	return func(c *scheduleConfig) { c.solve.Relax = true }
 }
 
+// WithSolverWorkers caps the component worker pool; zero (the default)
+// uses GOMAXPROCS.
+func WithSolverWorkers(n int) ScheduleOption {
+	return func(c *scheduleConfig) { c.solve.Workers = n }
+}
+
 // Schedule resolves every event time of the document from its structure
-// and synchronization arcs.
+// and synchronization arcs. Independent components of the constraint graph
+// are solved concurrently; the returned Plan keeps the solver state, so
+// subsequent edits can be absorbed with Reschedule instead of a full
+// re-solve.
 func Schedule(d *Document, opts ...ScheduleOption) (*Plan, error) {
 	var cfg scheduleConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g, err := sched.Build(d.doc, cfg.opts)
+	solver, err := sched.NewSolver(d.doc, cfg.opts, cfg.solve)
 	if err != nil {
 		return nil, err
 	}
-	s, err := g.Solve(cfg.solve)
+	s, err := solver.Schedule()
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{doc: d, graph: g, schedule: s}, nil
+	return &Plan{doc: d, solver: solver, graph: solver.Graph(), schedule: s}, nil
+}
+
+// Reschedule brings the plan up to date after document edits. Components
+// of the constraint graph untouched by the edits keep their previous
+// solution; only the dirty ones are re-solved, warm-started from the last
+// schedule. The result is identical to a fresh Schedule of the edited
+// document. The receiver is not mutated; the returned Plan shares the
+// underlying solver, so interleaving Reschedule calls on stale plans is
+// not supported.
+func (p *Plan) Reschedule() (*Plan, error) {
+	if p.solver == nil {
+		return nil, fmt.Errorf("cmif: plan has no solver state")
+	}
+	s, err := p.solver.Reschedule()
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{doc: p.doc, solver: p.solver, graph: p.solver.Graph(), schedule: s}, nil
+}
+
+// SolveStats describes what the last Schedule/Reschedule pass did: how
+// many constraint-graph components exist, how many were re-solved and how
+// many reused.
+type SolveStats = sched.SolveStats
+
+// SolveStats reports the last scheduling pass's shape.
+func (p *Plan) SolveStats() SolveStats {
+	if p.solver == nil {
+		return SolveStats{}
+	}
+	return p.solver.Stats()
 }
 
 // Makespan returns the planned total presentation length.

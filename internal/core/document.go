@@ -17,6 +17,7 @@ type Document struct {
 
 	styles   *attr.StyleDict
 	channels *ChannelDict
+	changes  []Change
 }
 
 // NewDocument wraps root, decoding its style and channel dictionaries.
@@ -38,8 +39,11 @@ func MustDocument(root *Node) *Document {
 	return d
 }
 
-// Refresh re-decodes the root dictionaries after the tree was edited.
+// Refresh re-decodes the root dictionaries after the tree was edited. The
+// refresh is recorded as a global change: callers use Refresh after editing
+// the tree directly, which incremental consumers cannot track.
 func (d *Document) Refresh() error {
+	d.NoteGlobalChange()
 	d.styles = attr.NewStyleDict()
 	d.channels = NewChannelDict()
 	if d.Root == nil {
@@ -72,12 +76,14 @@ func (d *Document) Channels() *ChannelDict { return d.channels }
 func (d *Document) SetStyles(sd *attr.StyleDict) {
 	d.Root.Attrs.Set("styledict", sd.DictValue())
 	d.styles = sd
+	d.NoteGlobalChange()
 }
 
 // SetChannels installs a channel dictionary on the root and re-decodes.
 func (d *Document) SetChannels(cd *ChannelDict) {
 	d.Root.Attrs.Set("channeldict", cd.DictValue())
 	d.channels = cd
+	d.NoteGlobalChange()
 }
 
 // EffectiveAttrs computes the attributes in force on node n: the node's own
@@ -91,7 +97,20 @@ func (d *Document) EffectiveAttrs(n *Node) (attr.List, error) {
 		return attr.List{}, fmt.Errorf("core: %s: %w", n.PathString(), err)
 	}
 	for p := n.Parent(); p != nil; p = p.Parent() {
-		exp, err := d.styles.Expand(p.Attrs)
+		// Only style references and inheritable attributes can reach n.
+		// Filter before expanding, so heavy non-inherited values (a
+		// composite's syncarcs list, immediate data) are never cloned —
+		// EffectiveAttrs runs twice per leaf on the scheduler build path.
+		var relevant attr.List
+		for _, pair := range p.Attrs.Pairs() {
+			if pair.Name == "style" || StandardAttrs.IsInherited(pair.Name) {
+				relevant.Set(pair.Name, pair.Value)
+			}
+		}
+		if len(relevant.Pairs()) == 0 {
+			continue
+		}
+		exp, err := d.styles.Expand(relevant)
 		if err != nil {
 			return attr.List{}, fmt.Errorf("core: %s: %w", p.PathString(), err)
 		}

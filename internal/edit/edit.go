@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/attr"
 	"repro/internal/core"
 )
 
@@ -71,6 +72,7 @@ func DeleteNode(d *core.Document, path string) (*Result, error) {
 	before := CheckArcs(d)
 	parent := n.Parent()
 	parent.RemoveChild(n.Index())
+	d.NoteChange(core.Change{Kind: core.ChangeRemove, Node: n, Parent: parent})
 	res := &Result{Broken: newlyBroken(before, CheckArcs(d))}
 	return res, nil
 }
@@ -95,6 +97,7 @@ func InsertNode(d *core.Document, parentPath string, index int, child *core.Node
 	}
 	before := CheckArcs(d)
 	parent.InsertChild(index, child)
+	d.NoteChange(core.Change{Kind: core.ChangeInsert, Node: child, Parent: parent})
 	return &Result{Broken: newlyBroken(before, CheckArcs(d))}, nil
 }
 
@@ -162,8 +165,10 @@ func MoveNode(d *core.Document, fromPath, toParentPath string, index int) (*Resu
 		return true
 	})
 
-	n.Parent().RemoveChild(n.Index())
+	oldParent := n.Parent()
+	oldParent.RemoveChild(n.Index())
 	newParent.InsertChild(index, n)
+	d.NoteChange(core.Change{Kind: core.ChangeMove, Node: n, Parent: newParent, OldParent: oldParent})
 
 	// Rewrite arcs: recompute relative paths from each carrier to the
 	// recorded endpoint nodes.
@@ -239,6 +244,7 @@ func RenameNode(d *core.Document, path, newName string) (*Result, error) {
 	})
 
 	n.SetName(newName)
+	d.NoteChange(core.Change{Kind: core.ChangeRename, Node: n})
 
 	res := &Result{}
 	byCarrier := map[*core.Node][]core.SyncArc{}
@@ -262,6 +268,72 @@ func RenameNode(d *core.Document, path, newName string) (*Result, error) {
 	}
 	res.Broken = CheckArcs(d)
 	return res, nil
+}
+
+// SetAttr assigns an attribute on the node at path and records the change
+// so incremental consumers can invalidate precisely. Renames must go through
+// RenameNode and arcs through AddArc/RemoveArc, which keep arc paths
+// resolving.
+func SetAttr(d *core.Document, path, name string, v attr.Value) error {
+	n, err := d.Root.Resolve(path)
+	if err != nil {
+		return err
+	}
+	if name == "name" {
+		return fmt.Errorf("edit: use RenameNode to change names")
+	}
+	if name == "syncarcs" {
+		return fmt.Errorf("edit: use AddArc/RemoveArc to change arcs")
+	}
+	if name == "styledict" || name == "channeldict" {
+		// Writing the raw attribute would bypass the document's decoded
+		// dictionaries and the global-change record they require.
+		return fmt.Errorf("edit: use Document.SetStyles/SetChannels to change %s", name)
+	}
+	n.Attrs.Set(name, v)
+	d.NoteChange(core.Change{Kind: core.ChangeAttr, Node: n, Attr: name})
+	return nil
+}
+
+// AddArc appends an explicit synchronization arc to the node at path. The
+// arc must resolve from that node.
+func AddArc(d *core.Document, path string, a core.SyncArc) error {
+	n, err := d.Root.Resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("edit: %s: %w", n.PathString(), err)
+	}
+	if _, _, err := n.ResolveArc(a); err != nil {
+		return fmt.Errorf("edit: %s: %w", n.PathString(), err)
+	}
+	n.AddArc(a)
+	d.NoteChange(core.Change{Kind: core.ChangeArcs, Node: n})
+	return nil
+}
+
+// RemoveArc deletes the index'th arc of the node at path.
+func RemoveArc(d *core.Document, path string, index int) error {
+	n, err := d.Root.Resolve(path)
+	if err != nil {
+		return err
+	}
+	arcs, err := n.Arcs()
+	if err != nil {
+		return fmt.Errorf("edit: %s: %w", n.PathString(), err)
+	}
+	if index < 0 || index >= len(arcs) {
+		return fmt.Errorf("edit: %s has no syncarcs[%d]", n.PathString(), index)
+	}
+	n.Attrs.Del("syncarcs")
+	for i, a := range arcs {
+		if i != index {
+			n.AddArc(a)
+		}
+	}
+	d.NoteChange(core.Change{Kind: core.ChangeArcs, Node: n})
+	return nil
 }
 
 // relativePath computes a relative path from `from` to `to` using parent

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The bench gate validates BENCH_*.json reports in CI: structural
+// invariants that hold on any machine (wire-call arithmetic, schedule
+// equality, allocation ratios), throughput relations with generous
+// tolerances, and — for the committed reference files — the headline
+// speedups the repository claims, checked against the environment the run
+// actually recorded. scripts/check_bench.sh drives this through
+// cmifbench's -check-store/-check-sched flags.
+
+// LoadStoreReport reads a BENCH_store.json.
+func LoadStoreReport(path string) (*StoreBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r StoreBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// LoadSchedReport reads a BENCH_sched.json.
+func LoadSchedReport(path string) (*SchedBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SchedBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckStoreReport validates a store-bench report. committed tightens the
+// thresholds to the levels the reference file is expected to document.
+// It returns human-readable violations; empty means the report passes.
+func CheckStoreReport(r *StoreBenchReport, committed bool) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if len(r.Rows) == 0 {
+		return []string{"store report has no rows"}
+	}
+	if r.Env.GoMaxProcs < 1 || r.Env.GoVersion == "" {
+		fail("store report env not captured: %+v", r.Env)
+	}
+
+	type key struct {
+		scenario string
+		clients  int
+	}
+	rows := map[key]StoreBenchRow{}
+	for _, row := range r.Rows {
+		rows[key{row.Scenario, row.Clients}] = row
+	}
+	for _, clients := range r.Config.Clients {
+		cold, okCold := rows[key{"per-block-cold", clients}]
+		batched, okBatched := rows[key{"batched-cold", clients}]
+		if !okCold || !okBatched {
+			fail("missing per-block-cold/batched-cold rows at %d clients", clients)
+			continue
+		}
+		// Wire-call arithmetic is machine-independent and exact.
+		if cold.WireCalls != int64(cold.Fetches) {
+			fail("per-block-cold at %d clients: wire_calls %d != fetches %d",
+				clients, cold.WireCalls, cold.Fetches)
+		}
+		if batched.WireCalls*8 > int64(batched.Fetches) {
+			fail("batched-cold at %d clients: wire_calls %d not ≤ fetches/8 (%d)",
+				clients, batched.WireCalls, batched.Fetches/8)
+		}
+		for _, scenario := range []string{"per-block", "batched"} {
+			warm, ok := rows[key{scenario + "-warm", clients}]
+			if !ok {
+				continue
+			}
+			coldRow := rows[key{scenario + "-cold", clients}]
+			if warm.WireCalls > coldRow.WireCalls {
+				fail("%s-warm at %d clients: wire_calls %d exceed cold %d",
+					scenario, clients, warm.WireCalls, coldRow.WireCalls)
+			}
+		}
+	}
+
+	// Relative throughput: the locality headline must survive, with a
+	// generous tolerance for slow or noisy runners.
+	minSpeedup := 1.2
+	if committed {
+		minSpeedup = 4.0
+	}
+	if r.SpeedupWarmBatched < minSpeedup {
+		fail("warm-batched speedup %.2fx below the %.1fx floor", r.SpeedupWarmBatched, minSpeedup)
+	}
+	return v
+}
+
+// CheckSchedReport validates a sched-bench report. committed enforces the
+// repository's headline claims (incremental ≥10x; parallel ≥2x whenever
+// the recorded environment had GOMAXPROCS ≥ 4).
+func CheckSchedReport(r *SchedBenchReport, committed bool) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if len(r.Rows) == 0 {
+		return []string{"sched report has no rows"}
+	}
+	if r.Env.GoMaxProcs < 1 || r.Env.GoVersion == "" {
+		fail("sched report env not captured: %+v", r.Env)
+	}
+	if !r.SchedulesIdentical {
+		fail("schedules_identical is false: the parallel/incremental paths diverged from the full solve")
+	}
+
+	type key struct {
+		leaves, arcs int
+	}
+	makespans := map[key]map[string]int64{}
+	for _, row := range r.Rows {
+		k := key{row.Leaves, row.Arcs}
+		if makespans[k] == nil {
+			makespans[k] = map[string]int64{}
+		}
+		makespans[k][row.Scenario] = row.MakespanMS
+
+		switch row.Scenario {
+		case "full-parallel":
+			if row.Components != row.Arms {
+				fail("full-parallel at %d leaves: %d components, want one per arm (%d)",
+					row.Leaves, row.Components, row.Arms)
+			}
+		case "edit-incremental":
+			if row.ComponentsResolvedPerOp > 1.01 {
+				fail("edit-incremental at %d leaves: %.2f components re-solved per single-leaf edit, want 1",
+					row.Leaves, row.ComponentsResolvedPerOp)
+			}
+		}
+	}
+	// The full solve and the parallel solve of one document must agree on
+	// the makespan exactly; the two edit loops run different edits, so
+	// only the solve pair is comparable.
+	for k, m := range makespans {
+		if s, ok := m["full-single"]; ok {
+			if p, ok := m["full-parallel"]; ok && s != p {
+				fail("makespan mismatch at %d leaves/%d arcs: single %dms vs parallel %dms",
+					k.leaves, k.arcs, s, p)
+			}
+		}
+	}
+
+	// Allocation: the incremental path must allocate far less than the
+	// rebuild-everything path.
+	alloc := map[string]float64{}
+	for _, row := range r.Rows {
+		if row.Leaves == maxLeaves(r) {
+			alloc[row.Scenario] = row.AllocKBPerOp
+		}
+	}
+	if full, ok := alloc["edit-full"]; ok {
+		if inc, ok := alloc["edit-incremental"]; ok && inc*4 > full {
+			fail("edit-incremental allocates %.0fKB/op, not ≤ 1/4 of edit-full's %.0fKB/op", inc, full)
+		}
+	}
+
+	minIncremental := 2.0
+	if committed {
+		minIncremental = 10.0
+	}
+	if r.IncrementalSpeedup < minIncremental {
+		fail("incremental speedup %.1fx below the %.1fx floor", r.IncrementalSpeedup, minIncremental)
+	}
+	if r.Env.GoMaxProcs >= 4 {
+		// Fresh smoke runs measure small documents on shared runners:
+		// require only "not catastrophically slower" there, and the full
+		// headline on the committed reference file.
+		minParallel := 0.7
+		if committed {
+			minParallel = 2.0
+		}
+		if r.ParallelSpeedup < minParallel {
+			fail("parallel speedup %.2fx below the %.1fx floor at GOMAXPROCS=%d",
+				r.ParallelSpeedup, minParallel, r.Env.GoMaxProcs)
+		}
+	}
+	return v
+}
+
+func maxLeaves(r *SchedBenchReport) int {
+	m := 0
+	for _, row := range r.Rows {
+		if row.Leaves > m {
+			m = row.Leaves
+		}
+	}
+	return m
+}

@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/edit"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// The sched bench (S2) measures the synchronization solver under the
+// workloads that motivated the component rework: par-of-seq documents
+// (one seq arm per parallel strand) at increasing sizes and explicit-arc
+// densities. Four scenarios per document:
+//
+//	full-single      the classic whole-graph solve on a prebuilt graph
+//	full-parallel    the component-parallel solve on the same graph
+//	edit-full        an authoring churn loop where every duration edit
+//	                 pays a full rebuild + solve (the pre-incremental cost)
+//	edit-incremental the same churn through Solver.Reschedule, which only
+//	                 re-solves the edited arm's component
+//
+// Every scenario records the resulting makespan, and the report carries a
+// per-event equality audit of the incremental solver against a fresh full
+// solve — speed means nothing if the schedules drift.
+
+// SchedBenchConfig sizes the scheduler scenarios. The zero value is
+// usable: 1k/10k/100k leaves over 16 arms at two arc densities.
+type SchedBenchConfig struct {
+	// Leaves lists the total leaf counts to run.
+	Leaves []int `json:"leaves"`
+	// Arms is the number of parallel seq arms (= independent components).
+	Arms int `json:"arms"`
+	// ArcDensities lists within-arm explicit-arc densities, in arcs per
+	// 1000 leaves.
+	ArcDensities []int `json:"arc_densities_per_mille"`
+	// Edits is the churn-loop length per edit scenario.
+	Edits int `json:"edits"`
+	// Workers caps the component worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers"`
+}
+
+func (c *SchedBenchConfig) fillDefaults() {
+	if len(c.Leaves) == 0 {
+		c.Leaves = []int{1000, 10000, 100000}
+	}
+	if c.Arms <= 0 {
+		c.Arms = 16
+	}
+	if len(c.ArcDensities) == 0 {
+		c.ArcDensities = []int{10, 100}
+	}
+	if c.Edits <= 0 {
+		c.Edits = 24
+	}
+}
+
+// SchedBenchRow is one (document, scenario) measurement.
+type SchedBenchRow struct {
+	Leaves   int    `json:"leaves"`
+	Arms     int    `json:"arms"`
+	Arcs     int    `json:"arcs"`
+	Scenario string `json:"scenario"`
+	// Ops counts solves (full scenarios) or edits (edit scenarios).
+	Ops     int     `json:"ops"`
+	Seconds float64 `json:"seconds"`
+	MSPerOp float64 `json:"ms_per_op"`
+	// Components is the decomposition width; ComponentsResolvedPerOp how
+	// many were re-solved per operation (1.0 for a single-leaf edit loop).
+	Components              int     `json:"components"`
+	ComponentsResolvedPerOp float64 `json:"components_resolved_per_op"`
+	// AllocKBPerOp is allocated memory per operation, for the
+	// no-per-event-allocation regression gate.
+	AllocKBPerOp float64 `json:"alloc_kb_per_op"`
+	// MakespanMS fingerprints the schedule for cross-scenario equality.
+	MakespanMS int64 `json:"makespan_ms"`
+}
+
+// SchedBenchReport is the machine-readable result set cmifbench writes to
+// BENCH_sched.json.
+type SchedBenchReport struct {
+	Config SchedBenchConfig `json:"config"`
+	Env    BenchEnv         `json:"env"`
+	Rows   []SchedBenchRow  `json:"rows"`
+	// ParallelSpeedup is full-single over full-parallel wall time at the
+	// largest document (meaningful when Env.GoMaxProcs > 1).
+	ParallelSpeedup float64 `json:"speedup_parallel_vs_single"`
+	// IncrementalSpeedup is edit-full over edit-incremental per-edit wall
+	// time at the largest document.
+	IncrementalSpeedup float64 `json:"speedup_incremental_vs_full_resolve"`
+	// SchedulesIdentical reports the per-event equality audit: parallel
+	// and incremental schedules matched the classic full solve on every
+	// document and after every churn loop.
+	SchedulesIdentical bool `json:"schedules_identical"`
+}
+
+// JSON renders the report for BENCH_sched.json.
+func (r *SchedBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the experiment-table format.
+func (r *SchedBenchReport) Table() *Table {
+	t := &Table{
+		ID:    "S2",
+		Title: "synchronization solver under size, density and edit churn",
+		Header: []string{"leaves", "arcs", "scenario", "ops", "ms/op",
+			"comps", "resolved/op", "allocKB/op", "makespan"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Leaves),
+			fmt.Sprintf("%d", row.Arcs),
+			row.Scenario,
+			fmt.Sprintf("%d", row.Ops),
+			fmt.Sprintf("%.3f", row.MSPerOp),
+			fmt.Sprintf("%d", row.Components),
+			fmt.Sprintf("%.2f", row.ComponentsResolvedPerOp),
+			fmt.Sprintf("%.1f", row.AllocKBPerOp),
+			fmt.Sprintf("%dms", row.MakespanMS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("parallel over single at max size: %.2fx (GOMAXPROCS=%d)",
+			r.ParallelSpeedup, r.Env.GoMaxProcs),
+		fmt.Sprintf("incremental reschedule over full re-solve per edit: %.1fx", r.IncrementalSpeedup),
+		fmt.Sprintf("schedules identical across paths: %v", r.SchedulesIdentical),
+	)
+	return t
+}
+
+// buildParOfSeq generates the benchmark document: a par root with arms seq
+// arms, leaves spread evenly, deterministic pseudo-random durations, and
+// within-arm reinforcing arcs at the requested density.
+func buildParOfSeq(totalLeaves, arms, arcsPerMille int) (*core.Document, int, error) {
+	if arms < 1 {
+		arms = 1
+	}
+	perArm := totalLeaves / arms
+	if perArm < 2 {
+		perArm = 2
+	}
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	root := core.NewPar().SetName("bench")
+	arcs := 0
+	for a := 0; a < arms; a++ {
+		arm := core.NewSeq().SetName(fmt.Sprintf("arm%03d", a))
+		for l := 0; l < perArm; l++ {
+			leaf := core.NewImm(nil).SetName(fmt.Sprintf("n%06d", l))
+			leaf.SetAttr("duration", attr.Quantity(units.MS(int64(20+next(400)))))
+			arm.AddChild(leaf)
+		}
+		wantArcs := perArm * arcsPerMille / 1000
+		if perArm < 4 {
+			wantArcs = 0
+		}
+		for i := 0; i < wantArcs; i++ {
+			// Keep at least one leaf between the endpoints: a positive
+			// offset against the direct predecessor contradicts gap-free
+			// seq adjacency, while an intermediate leaf can stretch.
+			src := next(perArm - 2)
+			dst := src + 2 + next(perArm-src-2)
+			strict := core.Must
+			if next(2) == 0 {
+				strict = core.May
+			}
+			arm.AddArc(core.SyncArc{
+				Source: fmt.Sprintf("n%06d", src), SrcEnd: core.End,
+				Dest: fmt.Sprintf("n%06d", dst), DestEnd: core.Begin,
+				Offset: units.MS(int64(next(30))), MinDelay: units.MS(0),
+				MaxDelay: units.InfiniteQuantity(), Strict: strict,
+			})
+			arcs++
+		}
+		root.AddChild(arm)
+	}
+	d, err := core.NewDocument(root)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, arcs, nil
+}
+
+// measure times fn over ops iterations and also samples allocation.
+func measure(ops int, fn func(i int) error) (seconds, msPerOp, allocKBPerOp float64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := fn(i); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	seconds = elapsed.Seconds()
+	msPerOp = elapsed.Seconds() * 1000 / float64(ops)
+	allocKBPerOp = float64(after.TotalAlloc-before.TotalAlloc) / 1024 / float64(ops)
+	return seconds, msPerOp, allocKBPerOp, nil
+}
+
+// sameTimes audits two schedules for per-node equality.
+func sameTimes(d *core.Document, a, b *sched.Schedule) bool {
+	same := true
+	d.Root.Walk(func(n *core.Node) bool {
+		if a.StartOf(n) != b.StartOf(n) || a.EndOf(n) != b.EndOf(n) {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same
+}
+
+// SchedBench runs the scheduler scenarios and returns the measurements.
+func SchedBench(cfg SchedBenchConfig) (*SchedBenchReport, error) {
+	cfg.fillDefaults()
+	report := &SchedBenchReport{Config: cfg, Env: CaptureBenchEnv(), SchedulesIdentical: true}
+	solveOpts := sched.SolveOptions{Relax: true, Workers: cfg.Workers}
+
+	var largestSingle, largestParallel, largestEditFull, largestEditInc float64
+	for _, leaves := range cfg.Leaves {
+		for _, density := range cfg.ArcDensities {
+			d, arcs, err := buildParOfSeq(leaves, cfg.Arms, density)
+			if err != nil {
+				return nil, err
+			}
+			g, err := sched.Build(d, sched.Options{})
+			if err != nil {
+				return nil, err
+			}
+
+			solveOps := 1
+			switch {
+			case leaves <= 2000:
+				solveOps = 10
+			case leaves <= 20000:
+				solveOps = 3
+			}
+
+			var single, parallel *sched.Schedule
+			sec, ms, kb, err := measure(solveOps, func(int) error {
+				single, err = g.Solve(solveOpts)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			report.Rows = append(report.Rows, SchedBenchRow{
+				Leaves: leaves, Arms: cfg.Arms, Arcs: arcs, Scenario: "full-single",
+				Ops: solveOps, Seconds: sec, MSPerOp: ms, Components: 1,
+				ComponentsResolvedPerOp: 1, AllocKBPerOp: kb,
+				MakespanMS: single.Makespan().Milliseconds(),
+			})
+			singleMS := ms
+
+			solver, err := sched.NewSolver(d, sched.Options{}, solveOpts)
+			if err != nil {
+				return nil, err
+			}
+			sec, ms, kb, err = measure(solveOps, func(int) error {
+				parallel, err = solver.Schedule()
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			st := solver.Stats()
+			report.Rows = append(report.Rows, SchedBenchRow{
+				Leaves: leaves, Arms: cfg.Arms, Arcs: arcs, Scenario: "full-parallel",
+				Ops: solveOps, Seconds: sec, MSPerOp: ms, Components: st.Components,
+				ComponentsResolvedPerOp: float64(st.Resolved), AllocKBPerOp: kb,
+				MakespanMS: parallel.Makespan().Milliseconds(),
+			})
+			parallelMS := ms
+			if !sameTimes(d, single, parallel) {
+				report.SchedulesIdentical = false
+			}
+
+			// Edit churn: one duration tweak per edit, arms round-robin.
+			arm := func(i int) string { return fmt.Sprintf("/arm%03d", i%cfg.Arms) }
+			leafPath := func(i int) string {
+				perArm := leaves / cfg.Arms
+				if perArm < 2 {
+					perArm = 2
+				}
+				return fmt.Sprintf("%s/n%06d", arm(i), (i*7)%perArm)
+			}
+			newDur := func(i int) attr.Value {
+				return attr.Quantity(units.MS(int64(25 + (i*37)%500)))
+			}
+
+			var last *sched.Schedule
+			resolved := 0
+			sec, ms, kb, err = measure(cfg.Edits, func(i int) error {
+				if err := edit.SetAttr(d, leafPath(i), "duration", newDur(i)); err != nil {
+					return err
+				}
+				last, err = solver.Reschedule()
+				resolved += solver.Stats().Resolved
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			st = solver.Stats()
+			report.Rows = append(report.Rows, SchedBenchRow{
+				Leaves: leaves, Arms: cfg.Arms, Arcs: arcs, Scenario: "edit-incremental",
+				Ops: cfg.Edits, Seconds: sec, MSPerOp: ms, Components: st.Components,
+				ComponentsResolvedPerOp: float64(resolved) / float64(cfg.Edits),
+				AllocKBPerOp:            kb,
+				MakespanMS:              last.Makespan().Milliseconds(),
+			})
+			editIncMS := ms
+
+			// Audit the churned state against a fresh full solve.
+			gAudit, err := sched.Build(d, sched.Options{})
+			if err != nil {
+				return nil, err
+			}
+			audit, err := gAudit.Solve(solveOpts)
+			if err != nil {
+				return nil, err
+			}
+			if !sameTimes(d, audit, last) {
+				report.SchedulesIdentical = false
+			}
+
+			// The same churn when every edit pays a full rebuild + solve.
+			var full *sched.Schedule
+			sec, ms, kb, err = measure(cfg.Edits, func(i int) error {
+				if err := edit.SetAttr(d, leafPath(i+cfg.Edits), "duration", newDur(i)); err != nil {
+					return err
+				}
+				gf, err := sched.Build(d, sched.Options{})
+				if err != nil {
+					return err
+				}
+				full, err = gf.Solve(solveOpts)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			report.Rows = append(report.Rows, SchedBenchRow{
+				Leaves: leaves, Arms: cfg.Arms, Arcs: arcs, Scenario: "edit-full",
+				Ops: cfg.Edits, Seconds: sec, MSPerOp: ms, Components: 1,
+				ComponentsResolvedPerOp: 1, AllocKBPerOp: kb,
+				MakespanMS: full.Makespan().Milliseconds(),
+			})
+			editFullMS := ms
+
+			if leaves == maxInt(cfg.Leaves) && density == cfg.ArcDensities[len(cfg.ArcDensities)-1] {
+				largestSingle, largestParallel = singleMS, parallelMS
+				largestEditFull, largestEditInc = editFullMS, editIncMS
+			}
+		}
+	}
+	if largestParallel > 0 {
+		report.ParallelSpeedup = largestSingle / largestParallel
+	}
+	if largestEditInc > 0 {
+		report.IncrementalSpeedup = largestEditFull / largestEditInc
+	}
+	return report, nil
+}
+
+func maxInt(vs []int) int {
+	m := vs[0]
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSchedBenchSmoke(t *testing.T) {
+	cfg := SchedBenchConfig{
+		Leaves: []int{256}, Arms: 4, ArcDensities: []int{40}, Edits: 6,
+	}
+	report, err := SchedBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scenarios", len(report.Rows))
+	}
+	if !report.SchedulesIdentical {
+		t.Fatal("schedules diverged between solver paths")
+	}
+	if report.Env.GoMaxProcs < 1 || report.Env.GoVersion == "" {
+		t.Fatalf("env not captured: %+v", report.Env)
+	}
+	for _, row := range report.Rows {
+		if row.Scenario == "full-parallel" && row.Components != 4 {
+			t.Errorf("full-parallel components = %d, want 4", row.Components)
+		}
+		if row.Scenario == "edit-incremental" && row.ComponentsResolvedPerOp > 1.01 {
+			t.Errorf("edit-incremental resolved %.2f components per edit, want 1",
+				row.ComponentsResolvedPerOp)
+		}
+		if row.MSPerOp <= 0 {
+			t.Errorf("%s: non-positive ms/op", row.Scenario)
+		}
+	}
+	if report.IncrementalSpeedup < 1 {
+		t.Errorf("incremental slower than full re-solve: %.2fx", report.IncrementalSpeedup)
+	}
+
+	// The report must round-trip through its JSON form (the committed
+	// file) without losing the gated fields.
+	data, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SchedBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IncrementalSpeedup != report.IncrementalSpeedup || !back.SchedulesIdentical {
+		t.Fatal("gated fields lost in JSON round trip")
+	}
+}
+
+func TestCheckSchedReportCatchesDivergence(t *testing.T) {
+	report := &SchedBenchReport{
+		Env:                BenchEnv{GoMaxProcs: 8, GoVersion: "go1.24"},
+		SchedulesIdentical: false,
+		IncrementalSpeedup: 50,
+		ParallelSpeedup:    3,
+		Rows: []SchedBenchRow{
+			{Leaves: 100, Arms: 4, Scenario: "full-single", MakespanMS: 10},
+			{Leaves: 100, Arms: 4, Scenario: "full-parallel", Components: 4, MakespanMS: 11},
+		},
+	}
+	v := CheckSchedReport(report, true)
+	if len(v) == 0 {
+		t.Fatal("divergent report passed the gate")
+	}
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "schedules_identical") {
+		t.Errorf("missing equality violation in %q", joined)
+	}
+	if !strings.Contains(joined, "makespan mismatch") {
+		t.Errorf("missing makespan violation in %q", joined)
+	}
+}
+
+func TestCheckSchedReportEnforcesCommittedFloors(t *testing.T) {
+	report := &SchedBenchReport{
+		Env:                BenchEnv{GoMaxProcs: 8, GoVersion: "go1.24"},
+		SchedulesIdentical: true,
+		IncrementalSpeedup: 3, // below the committed 10x floor
+		ParallelSpeedup:    1, // below the committed 2x floor at GOMAXPROCS>=4
+		Rows: []SchedBenchRow{
+			{Leaves: 100, Arms: 4, Scenario: "full-parallel", Components: 4, MakespanMS: 10},
+		},
+	}
+	v := CheckSchedReport(report, true)
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "incremental speedup") {
+		t.Errorf("missing incremental floor violation in %q", joined)
+	}
+	if !strings.Contains(joined, "parallel speedup") {
+		t.Errorf("missing parallel floor violation in %q", joined)
+	}
+	// The same numbers from a 1-core run are acceptable for the parallel
+	// floor (there was nothing to parallelize) but not the incremental one.
+	report.Env.GoMaxProcs = 1
+	joined = strings.Join(CheckSchedReport(report, true), "\n")
+	if strings.Contains(joined, "parallel speedup") {
+		t.Errorf("parallel floor applied at GOMAXPROCS=1: %q", joined)
+	}
+	if !strings.Contains(joined, "incremental speedup") {
+		t.Errorf("incremental floor must not depend on cores: %q", joined)
+	}
+}
+
+func TestCheckStoreReportCatchesWireRegression(t *testing.T) {
+	report := &StoreBenchReport{
+		Env:    BenchEnv{GoMaxProcs: 4, GoVersion: "go1.24"},
+		Config: StoreBenchConfig{Clients: []int{1}},
+		Rows: []StoreBenchRow{
+			// A per-block client that somehow made extra round trips.
+			{Scenario: "per-block-cold", Clients: 1, Fetches: 64, WireCalls: 90},
+			// Batching that stopped batching.
+			{Scenario: "batched-cold", Clients: 1, Fetches: 64, WireCalls: 64},
+			// A warm cache that fetched more than cold.
+			{Scenario: "per-block-warm", Clients: 1, Fetches: 64, WireCalls: 99},
+		},
+		SpeedupWarmBatched: 0.5,
+	}
+	v := CheckStoreReport(report, false)
+	if len(v) < 4 {
+		t.Fatalf("expected wire, batch, warm and speedup violations, got %v", v)
+	}
+}
+
+func TestLoadReportsRejectGarbage(t *testing.T) {
+	if _, err := LoadStoreReport("/nonexistent/BENCH_store.json"); err == nil {
+		t.Error("missing store report loaded")
+	}
+	if _, err := LoadSchedReport("/nonexistent/BENCH_sched.json"); err == nil {
+		t.Error("missing sched report loaded")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -73,9 +72,11 @@ type StoreBenchRow struct {
 // StoreBenchReport is the machine-readable result set cmifbench writes to
 // BENCH_store.json.
 type StoreBenchReport struct {
-	Config     StoreBenchConfig `json:"config"`
-	GoMaxProcs int              `json:"gomaxprocs"`
-	Rows       []StoreBenchRow  `json:"rows"`
+	Config StoreBenchConfig `json:"config"`
+	// Env records what the run actually executed under (GOMAXPROCS, CPU
+	// count, go version), so cross-run comparison is meaningful.
+	Env  BenchEnv        `json:"env"`
+	Rows []StoreBenchRow `json:"rows"`
 	// SpeedupWarmBatched is throughput(batched-warm) over
 	// throughput(per-block-cold) at the highest client count — the
 	// headline locality win.
@@ -144,7 +145,7 @@ func StoreBench(ctx context.Context, cfg StoreBenchConfig) (*StoreBenchReport, e
 	}
 	defer srv.Close()
 
-	report := &StoreBenchReport{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	report := &StoreBenchReport{Config: cfg, Env: CaptureBenchEnv()}
 	scenarios := []storeBenchScenario{
 		{"per-block-cold", false, false},
 		{"batched-cold", true, false},

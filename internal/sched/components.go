@@ -1,0 +1,421 @@
+package sched
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Component decomposition. The root's begin event (id 0) and end event
+// (id 1) are "hubs": the begin is pinned at t=0 and the end is a pure max
+// over its lower bounds, so the rest of the constraint graph falls apart
+// into weakly-connected components that can be solved independently — one
+// per arm of a par-of-seq document — and in parallel. Each component is
+// solved over its own events plus local copies of the two hubs; the global
+// root-end time is the max of the per-component values.
+//
+// The separation is exact as long as no constraint makes any event depend
+// on the root end's time: a constraint t[rootEnd] − t[u] ≤ W with u outside
+// the hubs (an upper bound on the root end, or equivalently a lower bound
+// on some event relative to it) couples components through the hub, and so
+// does a droppable explicit arc between the two hubs. decompose detects
+// both patterns and falls back to one fused component, which is simply the
+// global problem run through the same machinery.
+
+// consRef names one constraint by its storage slot: the owning node's
+// index, which of the node's two blocks, and the position inside it.
+// owner < 0 addresses the runtime block.
+type consRef struct {
+	owner int32
+	arc   bool
+	idx   int32
+}
+
+// constraintAt resolves a reference against the live blocks.
+func (g *Graph) constraintAt(r consRef) *Constraint {
+	if r.owner < 0 {
+		return &g.runtime[r.idx]
+	}
+	if r.arc {
+		return &g.arcBlocks[r.owner][r.idx]
+	}
+	return &g.structBlocks[r.owner][r.idx]
+}
+
+// forEachRef visits every constraint in document order (per node: the
+// structural block then the arc block; runtime constraints last).
+func (g *Graph) forEachRef(f func(r consRef, c *Constraint)) {
+	g.doc.Root.Walk(func(n *core.Node) bool {
+		k, ok := g.nodeIndex[n]
+		if !ok {
+			// Untracked insertion behind the graph's back; the node has
+			// no blocks to visit.
+			return true
+		}
+		for i := range g.structBlocks[k] {
+			f(consRef{owner: k, arc: false, idx: int32(i)}, &g.structBlocks[k][i])
+		}
+		for i := range g.arcBlocks[k] {
+			f(consRef{owner: k, arc: true, idx: int32(i)}, &g.arcBlocks[k][i])
+		}
+		return true
+	})
+	for i := range g.runtime {
+		f(consRef{owner: -1, idx: int32(i)}, &g.runtime[i])
+	}
+}
+
+// compSet is one decomposition of a graph's constraint system.
+type compSet struct {
+	// fused reports that hub separation was unsafe and everything lives in
+	// one component.
+	fused bool
+	// comp maps every event to its component, -1 for hubs and tombstones.
+	comp []int32
+	// events and cons list each component's members; hub holds the
+	// hub-hub constraints replicated into every component's local solve.
+	events [][]EventID
+	cons   [][]consRef
+	hub    []consRef
+	// reps is each component's representative: its minimum event id. It
+	// identifies a component stably across re-decompositions as long as
+	// the component's membership is unchanged.
+	reps []EventID
+}
+
+// decompose partitions the graph's constraint system. It returns nil when
+// there is nothing to decompose (no live events beyond the root's), in
+// which case callers fall back to the plain solve.
+func (g *Graph) decompose() *compSet {
+	n := len(g.events)
+	if n <= 2 {
+		return nil
+	}
+
+	// Union-find over non-hub events, with each set's root kept at its
+	// minimum id for deterministic representatives.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		switch {
+		case ra == rb:
+		case ra < rb:
+			parent[rb] = ra
+		default:
+			parent[ra] = rb
+		}
+	}
+
+	isHub := func(e EventID) bool { return e <= 1 }
+	fused := false
+	g.forEachRef(func(r consRef, c *Constraint) {
+		if c.V == 1 && !isHub(c.U) {
+			// The root end's time would feed back into a component.
+			fused = true
+		}
+		if isHub(c.U) && isHub(c.V) && c.Kind == KindArc {
+			// A droppable hub-hub arc must be relaxed globally.
+			fused = true
+		}
+		if !isHub(c.U) && !isHub(c.V) {
+			union(int32(c.U), int32(c.V))
+		}
+	})
+
+	cs := &compSet{fused: fused, comp: make([]int32, n)}
+	for i := range cs.comp {
+		cs.comp[i] = -1
+	}
+
+	if fused {
+		// One component holding every live non-hub event and every
+		// constraint (hub-incident ones included): the global problem.
+		var evs []EventID
+		for e := 2; e < n; e++ {
+			if g.events[e].Node == nil {
+				continue
+			}
+			cs.comp[e] = 0
+			evs = append(evs, EventID(e))
+		}
+		if len(evs) == 0 {
+			return nil
+		}
+		var all []consRef
+		g.forEachRef(func(r consRef, c *Constraint) { all = append(all, r) })
+		cs.events = [][]EventID{evs}
+		cs.cons = [][]consRef{all}
+		cs.reps = []EventID{evs[0]}
+		return cs
+	}
+
+	// Number components by ascending representative (min event id).
+	compOf := make(map[int32]int32)
+	for e := 2; e < n; e++ {
+		if g.events[e].Node == nil {
+			continue
+		}
+		root := find(int32(e))
+		ci, ok := compOf[root]
+		if !ok {
+			ci = int32(len(cs.events))
+			compOf[root] = ci
+			cs.events = append(cs.events, nil)
+			cs.cons = append(cs.cons, nil)
+			cs.reps = append(cs.reps, EventID(e))
+		}
+		cs.comp[e] = ci
+		cs.events[ci] = append(cs.events[ci], EventID(e))
+	}
+	if len(cs.events) == 0 {
+		return nil
+	}
+
+	g.forEachRef(func(r consRef, c *Constraint) {
+		switch {
+		case isHub(c.U) && isHub(c.V):
+			cs.hub = append(cs.hub, r)
+		case isHub(c.U):
+			cs.cons[cs.comp[c.V]] = append(cs.cons[cs.comp[c.V]], r)
+		default:
+			cs.cons[cs.comp[c.U]] = append(cs.cons[cs.comp[c.U]], r)
+		}
+	})
+	return cs
+}
+
+// compResult is one component's solved state.
+type compResult struct {
+	// re is the component's local root-end time: its contribution to the
+	// global max.
+	re time.Duration
+	// dropped lists the May arcs this component's relaxation dropped.
+	dropped []ArcRef
+	err     error
+}
+
+// compWorker carries one worker's reusable scratch: the solver arena plus
+// the local-id mapping and the localized constraint buffer.
+type compWorker struct {
+	sc    *solveScratch
+	local []int32 // global event id -> local vertex id, valid per component
+	buf   []Constraint
+	refs  []consRef
+	seed  []seedEvent
+	// prevTimes carries the previous solution for warm-started sweeps;
+	// nil for cold solves.
+	prevTimes []time.Duration
+}
+
+// seedEvent orders the warm-start queue seed.
+type seedEvent struct {
+	local EventID
+	t     time.Duration
+}
+
+// solveComponent runs the feasibility + earliest + relaxation loop for one
+// component and writes the solved times of its events into out (indexed by
+// global event id). The component's local problem is its own constraints
+// plus the replicated hub-hub constraints, over its events plus local
+// copies of the two hub events.
+func (g *Graph) solveComponent(cs *compSet, ci int, opts SolveOptions, w *compWorker, out []time.Duration) compResult {
+	evs := cs.events[ci]
+	k := len(evs)
+	localN := k + 2
+	localRB, localRE := EventID(k), EventID(k+1)
+
+	if cap(w.local) < len(g.events) {
+		w.local = make([]int32, len(g.events))
+	}
+	w.local = w.local[:len(g.events)]
+	for li, e := range evs {
+		w.local[e] = int32(li)
+	}
+	localize := func(e EventID) EventID {
+		switch e {
+		case 0:
+			return localRB
+		case 1:
+			return localRE
+		default:
+			return EventID(w.local[e])
+		}
+	}
+
+	dropped := make(map[arcKey]bool)
+	var droppedRefs []ArcRef
+	for {
+		// Materialize the local constraint list minus dropped arcs.
+		w.buf = w.buf[:0]
+		w.refs = w.refs[:0]
+		for _, set := range [2][]consRef{cs.cons[ci], cs.hub} {
+			for _, r := range set {
+				c := g.constraintAt(r)
+				if c.Kind == KindArc && dropped[keyOf(c.Arc)] {
+					continue
+				}
+				lc := *c
+				lc.U = localize(c.U)
+				lc.V = localize(c.V)
+				w.buf = append(w.buf, lc)
+				w.refs = append(w.refs, r)
+			}
+		}
+
+		// Warm start: seed the feasibility sweep in the previous
+		// solution's reverse time order. Lower bounds propagate from later
+		// events toward earlier ones, so a latest-first pass settles the
+		// unchanged regions of an edited component in one sweep.
+		// Correctness never depends on the seed — it only orders the queue.
+		w.sc.order = w.sc.order[:0]
+		if w.prevTimes != nil {
+			w.seed = w.seed[:0]
+			for li, e := range evs {
+				if int(e) < len(w.prevTimes) {
+					w.seed = append(w.seed, seedEvent{EventID(li), w.prevTimes[e]})
+				}
+			}
+			sort.Slice(w.seed, func(i, j int) bool {
+				if w.seed[i].t != w.seed[j].t {
+					return w.seed[i].t > w.seed[j].t
+				}
+				return w.seed[i].local > w.seed[j].local
+			})
+			for _, s := range w.seed {
+				w.sc.order = append(w.sc.order, s.local)
+			}
+		}
+
+		w.sc.grow(localN, len(w.buf))
+		cycleIdx := findNegativeCycle(localN, w.buf, w.sc)
+		w.sc.order = w.sc.order[:0]
+		if cycleIdx != nil {
+			// Report (and relax over) the original constraints, with
+			// their global event ids.
+			cycle := make([]Constraint, len(cycleIdx))
+			for i, li := range cycleIdx {
+				cycle[i] = *g.constraintAt(w.refs[li])
+			}
+			if !opts.Relax {
+				return compResult{err: &ConflictError{Cycle: cycle}}
+			}
+			victim, ok := pickVictim(cycle, dropped, opts.Strategy)
+			if !ok {
+				return compResult{err: &ConflictError{Cycle: cycle}}
+			}
+			dropped[keyOf(victim)] = true
+			droppedRefs = append(droppedRefs, victim)
+			continue
+		}
+
+		// Earliest schedule: shortest paths from the local root begin on
+		// the reversed graph.
+		w.sc.buildCSR(localN, w.buf, true)
+		dist := w.sc.spfa(localN, w.buf, localRB)
+		for li, e := range evs {
+			if dist[li] == unreachable {
+				out[e] = 0
+			} else {
+				out[e] = -time.Duration(dist[li])
+			}
+		}
+		var re time.Duration
+		if dist[localRE] != unreachable {
+			re = -time.Duration(dist[localRE])
+		}
+		return compResult{re: re, dropped: droppedRefs}
+	}
+}
+
+// solveComponents runs every listed component on a worker pool, writing
+// event times into out. It returns each component's result, indexed like
+// list.
+func (g *Graph) solveComponents(cs *compSet, list []int, opts SolveOptions, prevTimes []time.Duration, out []time.Duration) []compResult {
+	results := make([]compResult, len(list))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(list) {
+		workers = len(list)
+	}
+	if workers <= 1 {
+		w := &compWorker{sc: newSolveScratch(16, 16), prevTimes: prevTimes}
+		for i, ci := range list {
+			results[i] = g.solveComponent(cs, ci, opts, w, out)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &compWorker{sc: newSolveScratch(16, 16), prevTimes: prevTimes}
+			for i := range jobs {
+				results[i] = g.solveComponent(cs, list[i], opts, w, out)
+			}
+		}()
+	}
+	for i := range list {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// mergeComponents assembles the global assignment from per-component
+// results: the root begin is the origin, the root end the max over every
+// component's local value. The first error (in component order) wins.
+func mergeComponents(results []compResult, times []time.Duration) (dropped []ArcRef, err error) {
+	times[0] = 0
+	var re time.Duration
+	for i := range results {
+		if results[i].err != nil && err == nil {
+			err = results[i].err
+		}
+		if results[i].re > re {
+			re = results[i].re
+		}
+		dropped = append(dropped, results[i].dropped...)
+	}
+	times[1] = re
+	return dropped, err
+}
+
+// SolveParallel computes the same earliest feasible schedule as Solve by
+// decomposing the constraint graph into weakly-connected components and
+// solving them concurrently on a worker pool. Relaxation of May arcs is
+// per-component: a conflict cycle is always contained in one component.
+func (g *Graph) SolveParallel(opts SolveOptions) (*Schedule, error) {
+	cs := g.decompose()
+	if cs == nil {
+		return g.Solve(opts)
+	}
+	list := make([]int, len(cs.events))
+	for i := range list {
+		list[i] = i
+	}
+	times := make([]time.Duration, len(g.events))
+	results := g.solveComponents(cs, list, opts, nil, times)
+	dropped, err := mergeComponents(results, times)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{graph: g, times: times, Dropped: dropped}, nil
+}

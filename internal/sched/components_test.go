@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// parOfSeq builds a par root with arms seq arms of leavesPerArm leaves
+// each, durations cycling deterministically.
+func parOfSeq(t *testing.T, arms, leavesPerArm int) *core.Document {
+	t.Helper()
+	root := core.NewPar().SetName("r")
+	for a := 0; a < arms; a++ {
+		arm := core.NewSeq().SetName(armName(a))
+		for l := 0; l < leavesPerArm; l++ {
+			arm.AddChild(leaf(leafName(a, l), "video", int64(50+(a*31+l*17)%200)))
+		}
+		root.AddChild(arm)
+	}
+	return doc(t, root)
+}
+
+func armName(a int) string { return "arm" + string(rune('a'+a)) }
+
+// leafName yields names unique across the whole document: "l" + leaf letter
+// + arm letter, e.g. arm 1's third leaf is "lcb".
+func leafName(a, l int) string {
+	return "l" + string(rune('a'+l%26)) + string(rune('a'+a%26))
+}
+
+// sameSchedule asserts two schedules assign identical times to every node
+// of the document (the schedules may come from different graphs).
+func sameSchedule(t *testing.T, d *core.Document, got, want *Schedule) {
+	t.Helper()
+	if got.Makespan() != want.Makespan() {
+		t.Errorf("makespan: got %v, want %v", got.Makespan(), want.Makespan())
+	}
+	d.Root.Walk(func(n *core.Node) bool {
+		if got.StartOf(n) != want.StartOf(n) || got.EndOf(n) != want.EndOf(n) {
+			t.Errorf("%s: got [%v,%v], want [%v,%v]", n.PathString(),
+				got.StartOf(n), got.EndOf(n), want.StartOf(n), want.EndOf(n))
+		}
+		return true
+	})
+}
+
+func TestSolveParallelMatchesSolve(t *testing.T) {
+	d := parOfSeq(t, 4, 5)
+	// Explicit arcs inside two arms plus one crossing pair of arms.
+	arc := func(src, dst string, offMS int64) core.SyncArc {
+		return core.SyncArc{
+			Source: src, SrcEnd: core.End, Dest: dst, DestEnd: core.Begin,
+			Offset: units.MS(offMS), MinDelay: units.MS(0),
+			MaxDelay: units.InfiniteQuantity(), Strict: core.Must,
+		}
+	}
+	d.Root.FindByName("arma").AddArc(arc("laa", "lca", 10))
+	d.Root.FindByName("armb").AddArc(arc("lab", "ldb", 25))
+	d.Root.FindByName("armc").AddArc(arc("../arma/laa", "lbc", 5))
+
+	g, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := g.SolveParallel(SolveOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, d, got, want)
+	}
+}
+
+func TestDecomposeComponentCount(t *testing.T) {
+	d := parOfSeq(t, 3, 4)
+	g, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := g.decompose()
+	if cs == nil || cs.fused {
+		t.Fatalf("expected clean decomposition, got %+v", cs)
+	}
+	if len(cs.events) != 3 {
+		t.Fatalf("components = %d, want 3 (one per arm)", len(cs.events))
+	}
+
+	// A cross-arm arc merges two components.
+	d.Root.FindByName("arma").AddArc(core.SyncArc{
+		Source: "laa", SrcEnd: core.End, Dest: "../armb/lab", DestEnd: core.Begin,
+		Offset: units.MS(0), MinDelay: units.MS(0),
+		MaxDelay: units.InfiniteQuantity(), Strict: core.May,
+	})
+	g2, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2 := g2.decompose()
+	if len(cs2.events) != 2 {
+		t.Fatalf("components after cross-arc = %d, want 2", len(cs2.events))
+	}
+}
+
+func TestDecomposeFusedOnRootEndBound(t *testing.T) {
+	// An arc giving the root end an upper bound relative to a leaf couples
+	// every component through the hub: decompose must fuse.
+	d := parOfSeq(t, 2, 2)
+	d.Root.AddArc(core.SyncArc{
+		Source: "arma/laa", SrcEnd: core.End, Dest: ".", DestEnd: core.End,
+		Offset: units.MS(0), MinDelay: units.MS(0),
+		MaxDelay: units.MS(10000), Strict: core.Must,
+	})
+	g, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := g.decompose()
+	if cs == nil || !cs.fused {
+		t.Fatalf("expected fused decomposition, got %+v", cs)
+	}
+	want, err := g.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.SolveParallel(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, d, got, want)
+}
+
+func TestSolveParallelRelaxation(t *testing.T) {
+	// A May arc that contradicts seq order inside one arm: both paths must
+	// drop it and agree on the schedule.
+	d := parOfSeq(t, 3, 3)
+	d.Root.FindByName("armb").AddArc(core.SyncArc{
+		Source: "lcb", SrcEnd: core.End, Dest: "lab", DestEnd: core.Begin,
+		Offset: units.MS(50), MinDelay: units.MS(0),
+		MaxDelay: units.InfiniteQuantity(), Strict: core.May,
+	})
+	g, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Solve(SolveOptions{}); err == nil {
+		t.Fatal("expected a conflict without relaxation")
+	}
+	if _, err := g.SolveParallel(SolveOptions{}); err == nil {
+		t.Fatal("expected a parallel conflict without relaxation")
+	}
+	want, err := g.Solve(SolveOptions{Relax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.SolveParallel(SolveOptions{Relax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, d, got, want)
+	if len(got.Dropped) != len(want.Dropped) {
+		t.Fatalf("dropped: parallel %v, single %v", got.Dropped, want.Dropped)
+	}
+}
+
+func TestSolveParallelRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		d := randomDoc(t, rng)
+		opts := Options{DefaultLeafDuration: 100 * time.Millisecond}
+		if rng.Intn(3) == 0 {
+			opts.SeqGaps = true
+		}
+		if rng.Intn(4) == 0 {
+			opts.RigidLeaves = true
+		}
+		g, err := Build(d, opts)
+		if err != nil {
+			continue // a random arc failed to resolve; not this test's topic
+		}
+		want, errWant := g.Solve(SolveOptions{Relax: true})
+		got, errGot := g.SolveParallel(SolveOptions{Relax: true})
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("iter %d: single err %v, parallel err %v", iter, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		sameSchedule(t, d, got, want)
+	}
+}
+
+// randomDoc builds a random tree with a few random (possibly conflicting)
+// arcs between named leaves.
+func randomDoc(t *testing.T, rng *rand.Rand) *core.Document {
+	t.Helper()
+	var leaves []*core.Node
+	var build func(depth int) *core.Node
+	id := 0
+	build = func(depth int) *core.Node {
+		if depth >= 3 || (depth > 0 && rng.Intn(3) == 0) {
+			id++
+			l := leaf("n"+itoa(id), "video", int64(20+rng.Intn(300)))
+			leaves = append(leaves, l)
+			return l
+		}
+		var n *core.Node
+		if rng.Intn(2) == 0 {
+			n = core.NewSeq()
+		} else {
+			n = core.NewPar()
+		}
+		id++
+		n.SetName("n" + itoa(id))
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			n.AddChild(build(depth + 1))
+		}
+		return n
+	}
+	root := build(0)
+	if root.Type.IsLeaf() {
+		wrap := core.NewPar().SetName("rt")
+		wrap.AddChild(root)
+		root = wrap
+	}
+	d := doc(t, root)
+	for i := 0; i < rng.Intn(4) && len(leaves) >= 2; i++ {
+		a, b := leaves[rng.Intn(len(leaves))], leaves[rng.Intn(len(leaves))]
+		if a == b {
+			continue
+		}
+		strict := core.Must
+		if rng.Intn(2) == 0 {
+			strict = core.May
+		}
+		maxD := units.InfiniteQuantity()
+		if rng.Intn(2) == 0 {
+			maxD = units.MS(int64(rng.Intn(500)))
+		}
+		a.AddArc(core.SyncArc{
+			Source: "", SrcEnd: core.EndPoint(rng.Intn(2)),
+			Dest: b.PathString(), DestEnd: core.EndPoint(rng.Intn(2)),
+			Offset: units.MS(int64(rng.Intn(200))), MinDelay: units.MS(0),
+			MaxDelay: maxD, Strict: strict,
+		})
+	}
+	return d
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -12,10 +12,19 @@
 // the provenance of every constraint on the cycle. "May" arcs that appear on
 // a conflict cycle can be relaxed (dropped) — must arcs can not, mirroring
 // the paper's May/Must semantics.
+//
+// Constraints are stored in dense per-owner blocks: every node owns the
+// structural and duration constraints its visit emits plus the constraints
+// of the explicit arcs it carries. Block storage is what makes the graph
+// patchable — the incremental Solver replaces the blocks of edited nodes
+// and leaves everything else untouched — while Constraints() still exposes
+// the classic flat, document-ordered view.
 package sched
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -23,10 +32,12 @@ import (
 )
 
 // EventID identifies one begin/end event. Events are numbered densely:
-// node k's begin is 2k, its end 2k+1.
+// node k's begin is 2k, its end 2k+1. Event 0 is always the root's begin
+// and event 1 the root's end.
 type EventID int32
 
-// Event is the schedulable unit: one endpoint of one node.
+// Event is the schedulable unit: one endpoint of one node. A zero Event
+// (nil Node) is a tombstone left behind by an incremental deletion.
 type Event struct {
 	Node *core.Node
 	End  core.EndPoint
@@ -34,6 +45,9 @@ type Event struct {
 
 // String renders e.g. "/story-3/intro.begin".
 func (e Event) String() string {
+	if e.Node == nil {
+		return "(deleted)"
+	}
 	return e.Node.PathString() + "." + e.End.String()
 }
 
@@ -94,11 +108,32 @@ type Constraint struct {
 
 // Graph is the constraint system for one document.
 type Graph struct {
-	doc         *core.Document
-	events      []Event
-	nodeIndex   map[*core.Node]int32
-	constraints []Constraint
-	arcs        []ArcRef
+	doc       *core.Document
+	events    []Event
+	nodeIndex map[*core.Node]int32
+	// structBlocks[k] holds the structural and duration constraints node k
+	// owns; arcBlocks[k] the constraints of the explicit arcs node k
+	// carries; arcRefs[k] those arcs. Blocks are replaced, never mutated,
+	// so clones can share them.
+	structBlocks [][]Constraint
+	arcBlocks    [][]Constraint
+	arcRefs      [][]ArcRef
+	// runtime holds constraints injected after construction.
+	runtime []Constraint
+	// flat caches the document-ordered flattened constraint list.
+	flat   []Constraint
+	flatOK bool
+	// consCount and liveEvents track the live system size without
+	// flattening (tombstones excluded).
+	consCount  int
+	liveEvents int
+
+	opts       Options
+	durationOf func(n *core.Node) (time.Duration, bool)
+	// nameIdx memoizes child-name lookups per composite during arc
+	// resolution (documents routinely carry thousands of arcs naming
+	// siblings in wide composites). Cleared whenever the tree is patched.
+	nameIdx map[*core.Node]map[string]*core.Node
 }
 
 // Options configures graph construction.
@@ -132,14 +167,59 @@ func (g *Graph) End(n *core.Node) EventID { return EventID(g.nodeIndex[n]*2 + 1)
 // Event returns the event for an id.
 func (g *Graph) Event(id EventID) Event { return g.events[id] }
 
-// NumEvents reports the number of events (2 per node).
+// NumEvents reports the size of the event table (2 per node, tombstones
+// included).
 func (g *Graph) NumEvents() int { return len(g.events) }
 
-// Constraints returns the constraint list. Shared; do not mutate.
-func (g *Graph) Constraints() []Constraint { return g.constraints }
+// Constraints returns the flat constraint list in document order, runtime
+// constraints last. Shared; do not mutate.
+func (g *Graph) Constraints() []Constraint { return g.flatten() }
 
-// Arcs returns every explicit arc found in the document.
-func (g *Graph) Arcs() []ArcRef { return append([]ArcRef(nil), g.arcs...) }
+// flatten materializes (and caches) the document-ordered constraint view:
+// for every node in pre-order, its structural block then its arc block,
+// followed by the runtime constraints. Tombstoned nodes are not in the tree
+// and therefore drop out naturally.
+func (g *Graph) flatten() []Constraint {
+	if g.flatOK {
+		return g.flat
+	}
+	// Nodes missing from the index were added to the tree behind the
+	// graph's back (untracked edits); skip them rather than alias the
+	// root's slot — a stale graph stays consistent with its build.
+	total := len(g.runtime)
+	g.doc.Root.Walk(func(n *core.Node) bool {
+		if k, ok := g.nodeIndex[n]; ok {
+			total += len(g.structBlocks[k]) + len(g.arcBlocks[k])
+		}
+		return true
+	})
+	flat := make([]Constraint, 0, total)
+	g.doc.Root.Walk(func(n *core.Node) bool {
+		if k, ok := g.nodeIndex[n]; ok {
+			flat = append(flat, g.structBlocks[k]...)
+			flat = append(flat, g.arcBlocks[k]...)
+		}
+		return true
+	})
+	flat = append(flat, g.runtime...)
+	g.flat, g.flatOK = flat, true
+	return flat
+}
+
+// invalidate drops the cached flat view after a mutation.
+func (g *Graph) invalidate() { g.flat, g.flatOK = nil, false }
+
+// Arcs returns every explicit arc found in the document, in document order.
+func (g *Graph) Arcs() []ArcRef {
+	var out []ArcRef
+	g.doc.Root.Walk(func(n *core.Node) bool {
+		if k, ok := g.nodeIndex[n]; ok {
+			out = append(out, g.arcRefs[k]...)
+		}
+		return true
+	})
+	return out
+}
 
 // Doc returns the document the graph was built from.
 func (g *Graph) Doc() *core.Document { return g.doc }
@@ -152,9 +232,94 @@ func (g *Graph) eventOf(n *core.Node, ep core.EndPoint) EventID {
 	return g.Begin(n)
 }
 
-// Build constructs the constraint graph for the document.
+// childByName is core.Node's by-name child lookup backed by the graph's
+// memo: first child carrying the name wins, matching Resolve's semantics.
+func (g *Graph) childByName(p *core.Node, name string) *core.Node {
+	if g.nameIdx == nil {
+		g.nameIdx = make(map[*core.Node]map[string]*core.Node)
+	}
+	m, ok := g.nameIdx[p]
+	if !ok {
+		m = make(map[string]*core.Node, p.NumChildren())
+		for _, c := range p.Children() {
+			if nm := c.Name(); nm != "" {
+				if _, dup := m[nm]; !dup {
+					m[nm] = c
+				}
+			}
+		}
+		g.nameIdx[p] = m
+	}
+	return m[name]
+}
+
+// resolvePath mirrors core.Node.Resolve's path grammar ("", ".", "..",
+// "name", "#i", "/abs") using the memoized name index.
+func (g *Graph) resolvePath(n *core.Node, path string) (*core.Node, error) {
+	cur := n
+	rest := path
+	if strings.HasPrefix(path, "/") {
+		cur = n.Root()
+		rest = strings.TrimPrefix(path, "/")
+	}
+	if rest == "" {
+		return cur, nil
+	}
+	for _, comp := range strings.Split(rest, "/") {
+		switch comp {
+		case "", ".":
+			continue
+		case "..":
+			if cur.Parent() == nil {
+				return nil, &core.PathError{From: n, Path: path, At: comp, Why: "root has no parent"}
+			}
+			cur = cur.Parent()
+		default:
+			var next *core.Node
+			if strings.HasPrefix(comp, "#") {
+				i, err := strconv.Atoi(comp[1:])
+				if err == nil {
+					next = cur.Child(i)
+				}
+			} else {
+				next = g.childByName(cur, comp)
+			}
+			if next == nil {
+				return nil, &core.PathError{From: n, Path: path, At: comp,
+					Why: fmt.Sprintf("no such child of %s", cur.PathString())}
+			}
+			cur = next
+		}
+	}
+	return cur, nil
+}
+
+// resolveArc resolves an arc's endpoints like core.Node.ResolveArc, through
+// the memoized index.
+func (g *Graph) resolveArc(n *core.Node, a core.SyncArc) (src, dst *core.Node, err error) {
+	if src, err = g.resolvePath(n, a.Source); err != nil {
+		return nil, nil, err
+	}
+	if dst, err = g.resolvePath(n, a.Dest); err != nil {
+		return nil, nil, err
+	}
+	return src, dst, nil
+}
+
+// Build constructs the constraint graph for the document. The event table
+// and constraint blocks are laid out densely up front: one walk enumerates
+// events, a second emits every node's constraints into a shared arena.
 func Build(d *core.Document, opts Options) (*Graph, error) {
-	g := &Graph{doc: d, nodeIndex: make(map[*core.Node]int32)}
+	nodes := d.Root.Count()
+	g := &Graph{
+		doc:          d,
+		events:       make([]Event, 0, 2*nodes),
+		nodeIndex:    make(map[*core.Node]int32, nodes),
+		structBlocks: make([][]Constraint, nodes),
+		arcBlocks:    make([][]Constraint, nodes),
+		arcRefs:      make([][]ArcRef, nodes),
+		opts:         opts,
+	}
 
 	// Enumerate events.
 	d.Root.Walk(func(n *core.Node) bool {
@@ -165,9 +330,9 @@ func Build(d *core.Document, opts Options) (*Graph, error) {
 		return true
 	})
 
-	durationOf := opts.DurationOf
-	if durationOf == nil {
-		durationOf = func(n *core.Node) (time.Duration, bool) {
+	g.durationOf = opts.DurationOf
+	if g.durationOf == nil {
+		g.durationOf = func(n *core.Node) (time.Duration, bool) {
 			q, ok := d.DurationOf(n)
 			if !ok {
 				return 0, false
@@ -180,39 +345,56 @@ func Build(d *core.Document, opts Options) (*Graph, error) {
 		}
 	}
 
+	// Emit constraints into one arena; blocks are full-capacity sub-slices
+	// so later appends can never scribble over a neighbour.
+	arena := make([]Constraint, 0, 4*nodes)
 	var buildErr error
 	d.Root.Walk(func(n *core.Node) bool {
 		if buildErr != nil {
 			return false
 		}
-		g.addStructural(n, durationOf, opts)
-		if err := g.addExplicitArcs(n); err != nil {
+		k := g.nodeIndex[n]
+		start := len(arena)
+		arena = g.emitStructural(arena, n)
+		g.structBlocks[k] = arena[start:len(arena):len(arena)]
+
+		start = len(arena)
+		var refs []ArcRef
+		var err error
+		arena, refs, err = g.emitArcs(arena, n)
+		if err != nil {
 			buildErr = err
 			return false
 		}
+		g.arcBlocks[k] = arena[start:len(arena):len(arena)]
+		g.arcRefs[k] = refs
 		return true
 	})
 	if buildErr != nil {
 		return nil, buildErr
 	}
+	g.consCount = len(arena)
+	g.liveEvents = len(g.events)
 	return g, nil
 }
 
-// lower adds t[v] ≥ t[u] + w, i.e. t[u] − t[v] ≤ −w (edge v→u).
-func (g *Graph) lower(u, v EventID, w time.Duration, kind ConstraintKind, arc ArcRef, note string) {
-	g.constraints = append(g.constraints, Constraint{
-		U: v, V: u, W: -w, Kind: kind, Arc: arc, Note: note,
-	})
+// NumConstraints reports the number of live constraints.
+func (g *Graph) NumConstraints() int { return g.consCount }
+
+// NumLiveEvents reports the number of live (non-tombstoned) events.
+func (g *Graph) NumLiveEvents() int { return g.liveEvents }
+
+// lower appends t[v] ≥ t[u] + w, i.e. t[u] − t[v] ≤ −w (edge v→u).
+func lower(buf []Constraint, u, v EventID, w time.Duration, kind ConstraintKind, arc ArcRef, note string) []Constraint {
+	return append(buf, Constraint{U: v, V: u, W: -w, Kind: kind, Arc: arc, Note: note})
 }
 
-// upper adds t[v] ≤ t[u] + w (edge u→v).
-func (g *Graph) upper(u, v EventID, w time.Duration, kind ConstraintKind, arc ArcRef, note string) {
-	g.constraints = append(g.constraints, Constraint{
-		U: u, V: v, W: w, Kind: kind, Arc: arc, Note: note,
-	})
+// upper appends t[v] ≤ t[u] + w (edge u→v).
+func upper(buf []Constraint, u, v EventID, w time.Duration, kind ConstraintKind, arc ArcRef, note string) []Constraint {
+	return append(buf, Constraint{U: u, V: v, W: w, Kind: kind, Arc: arc, Note: note})
 }
 
-// addStructural encodes the default synchronization arcs of section 5.3.1:
+// emitStructural encodes the default synchronization arcs of section 5.3.1:
 //
 //   - "Within a sequential node, a default synchronization arc exists from
 //     the starting node of the arc to its sequentially first child. There
@@ -227,26 +409,27 @@ func (g *Graph) upper(u, v EventID, w time.Duration, kind ConstraintKind, arc Ar
 // bound whose earliest solution is equality. The par end relation is "start
 // the successor when the slowest parallel node finishes": end(parent) is
 // bounded below by every child's end, and the earliest solution is the max.
-func (g *Graph) addStructural(n *core.Node, durationOf func(*core.Node) (time.Duration, bool), opts Options) {
+func (g *Graph) emitStructural(buf []Constraint, n *core.Node) []Constraint {
+	opts := g.opts
 	nb, ne := g.Begin(n), g.End(n)
 
 	// Every node runs forward in time.
-	g.lower(nb, ne, 0, KindStructural, ArcRef{}, "end after begin of "+n.PathString())
+	buf = lower(buf, nb, ne, 0, KindStructural, ArcRef{}, "end after begin of "+n.PathString())
 
 	if n.Type.IsLeaf() {
-		dur, known := durationOf(n)
+		dur, known := g.durationOf(n)
 		if !known {
 			dur = opts.DefaultLeafDuration
 		}
 		if dur > 0 {
-			g.lower(nb, ne, dur, KindDuration, ArcRef{},
+			buf = lower(buf, nb, ne, dur, KindDuration, ArcRef{},
 				fmt.Sprintf("duration %v of %s", dur, n.PathString()))
 			if opts.RigidLeaves {
-				g.upper(nb, ne, dur, KindDuration, ArcRef{},
+				buf = upper(buf, nb, ne, dur, KindDuration, ArcRef{},
 					fmt.Sprintf("rigid duration %v of %s", dur, n.PathString()))
 			}
 		}
-		return
+		return buf
 	}
 
 	children := n.Children()
@@ -256,41 +439,42 @@ func (g *Graph) addStructural(n *core.Node, durationOf func(*core.Node) (time.Du
 		for i, c := range children {
 			cb, ce := g.Begin(c), g.End(c)
 			if i == 0 {
-				g.lower(nb, cb, 0, KindStructural, ArcRef{},
+				buf = lower(buf, nb, cb, 0, KindStructural, ArcRef{},
 					"seq parent begin to first child "+c.PathString())
 			} else {
-				g.lower(prev, cb, 0, KindStructural, ArcRef{},
+				buf = lower(buf, prev, cb, 0, KindStructural, ArcRef{},
 					"seq successor "+c.PathString())
 				if !opts.SeqGaps {
 					// Gap-free: the successor begins exactly when the
 					// predecessor ends, so delays propagate backwards as
 					// stretch (freeze-frame) rather than dead air.
-					g.upper(prev, cb, 0, KindStructural, ArcRef{},
+					buf = upper(buf, prev, cb, 0, KindStructural, ArcRef{},
 						"seq gap-free adjacency before "+c.PathString())
 				}
 			}
 			prev = ce
 		}
 		if len(children) > 0 {
-			g.lower(prev, ne, 0, KindStructural, ArcRef{},
+			buf = lower(buf, prev, ne, 0, KindStructural, ArcRef{},
 				"seq last child to parent end "+n.PathString())
 			if !opts.SeqGaps {
-				g.upper(prev, ne, 0, KindStructural, ArcRef{},
+				buf = upper(buf, prev, ne, 0, KindStructural, ArcRef{},
 					"seq parent ends with last child "+n.PathString())
 			}
 		}
 	case core.Par:
 		for _, c := range children {
 			cb, ce := g.Begin(c), g.End(c)
-			g.lower(nb, cb, 0, KindStructural, ArcRef{},
+			buf = lower(buf, nb, cb, 0, KindStructural, ArcRef{},
 				"par parent begin to child "+c.PathString())
-			g.lower(ce, ne, 0, KindStructural, ArcRef{},
+			buf = lower(buf, ce, ne, 0, KindStructural, ArcRef{},
 				"par child end to parent end "+c.PathString())
 		}
 	}
+	return buf
 }
 
-// addExplicitArcs encodes the node's explicit synchronization arcs via the
+// emitArcs encodes the node's explicit synchronization arcs via the
 // synchronization equation: with tref = t[srcEvent] + offset,
 //
 //	tref + δ ≤ t[dstEvent] ≤ tref + ε.
@@ -298,57 +482,65 @@ func (g *Graph) addStructural(n *core.Node, durationOf func(*core.Node) (time.Du
 // The offset is converted with the source node's channel rates ("offsets may
 // be expressed in terms of media-dependent units"); δ and ε with the
 // destination's.
-func (g *Graph) addExplicitArcs(n *core.Node) error {
+func (g *Graph) emitArcs(buf []Constraint, n *core.Node) ([]Constraint, []ArcRef, error) {
 	arcs, err := n.Arcs()
 	if err != nil {
-		return err
+		return buf, nil, err
 	}
+	var refs []ArcRef
 	for i, a := range arcs {
 		if err := a.Validate(); err != nil {
-			return fmt.Errorf("sched: %s arc %d: %w", n.PathString(), i, err)
+			return buf, nil, fmt.Errorf("sched: %s arc %d: %w", n.PathString(), i, err)
 		}
-		src, dst, err := n.ResolveArc(a)
+		src, dst, err := g.resolveArc(n, a)
 		if err != nil {
-			return fmt.Errorf("sched: %s arc %d: %w", n.PathString(), i, err)
+			return buf, nil, fmt.Errorf("sched: %s arc %d: %w", n.PathString(), i, err)
 		}
 		ref := ArcRef{Node: n, Index: i, Arc: a}
-		g.arcs = append(g.arcs, ref)
+		refs = append(refs, ref)
 
 		srcEv := g.eventOf(src, a.SrcEnd)
 		dstEv := g.eventOf(dst, a.DestEnd)
 
 		offset, err := g.doc.ResolverFor(src).Duration(a.Offset)
 		if err != nil {
-			return fmt.Errorf("sched: %s arc %d offset: %w", n.PathString(), i, err)
+			return buf, nil, fmt.Errorf("sched: %s arc %d offset: %w", n.PathString(), i, err)
 		}
 		dstRes := g.doc.ResolverFor(dst)
 		minD, err := dstRes.Duration(a.MinDelay)
 		if err != nil {
-			return fmt.Errorf("sched: %s arc %d min_delay: %w", n.PathString(), i, err)
+			return buf, nil, fmt.Errorf("sched: %s arc %d min_delay: %w", n.PathString(), i, err)
 		}
 		note := ref.String()
-		g.lower(srcEv, dstEv, offset+minD, KindArc, ref, note)
+		buf = lower(buf, srcEv, dstEv, offset+minD, KindArc, ref, note)
 		if !units.IsInfinite(a.MaxDelay) {
 			maxD, err := dstRes.Duration(a.MaxDelay)
 			if err != nil {
-				return fmt.Errorf("sched: %s arc %d max_delay: %w", n.PathString(), i, err)
+				return buf, nil, fmt.Errorf("sched: %s arc %d max_delay: %w", n.PathString(), i, err)
 			}
-			g.upper(srcEv, dstEv, offset+maxD, KindArc, ref, note)
+			buf = upper(buf, srcEv, dstEv, offset+maxD, KindArc, ref, note)
 		}
 	}
-	return nil
+	return buf, refs, nil
 }
 
-// Clone returns a graph sharing the document and event table but with an
-// independent constraint list, so runtime constraints can be added without
-// disturbing the original.
+// Clone returns a graph sharing the document, event table and constraint
+// blocks (blocks are replaced, never mutated, so sharing is safe) but with
+// an independent runtime-constraint list, so runtime constraints can be
+// added without disturbing the original.
 func (g *Graph) Clone() *Graph {
 	return &Graph{
-		doc:         g.doc,
-		events:      g.events,
-		nodeIndex:   g.nodeIndex,
-		constraints: append([]Constraint(nil), g.constraints...),
-		arcs:        append([]ArcRef(nil), g.arcs...),
+		doc:          g.doc,
+		events:       g.events,
+		nodeIndex:    g.nodeIndex,
+		structBlocks: append([][]Constraint(nil), g.structBlocks...),
+		arcBlocks:    append([][]Constraint(nil), g.arcBlocks...),
+		arcRefs:      append([][]ArcRef(nil), g.arcRefs...),
+		runtime:      append([]Constraint(nil), g.runtime...),
+		opts:         g.opts,
+		durationOf:   g.durationOf,
+		consCount:    g.consCount,
+		liveEvents:   g.liveEvents,
 	}
 }
 
@@ -356,12 +548,16 @@ func (g *Graph) Clone() *Graph {
 // environments use this to inject device latencies and interaction delays
 // (section 5.3.3 case 2 analysis).
 func (g *Graph) AddRuntimeLower(u, v EventID, w time.Duration, note string) {
-	g.lower(u, v, w, KindRuntime, ArcRef{}, note)
+	g.runtime = lower(g.runtime, u, v, w, KindRuntime, ArcRef{}, note)
+	g.consCount++
+	g.invalidate()
 }
 
 // AddRuntimeUpper adds the runtime constraint t[v] ≤ t[u] + w.
 func (g *Graph) AddRuntimeUpper(u, v EventID, w time.Duration, note string) {
-	g.upper(u, v, w, KindRuntime, ArcRef{}, note)
+	g.runtime = upper(g.runtime, u, v, w, KindRuntime, ArcRef{}, note)
+	g.consCount++
+	g.invalidate()
 }
 
 // WithoutArc returns a clone of the graph with every constraint of the
@@ -369,26 +565,31 @@ func (g *Graph) AddRuntimeUpper(u, v EventID, w time.Duration, note string) {
 // bypass Must arcs they cannot honour.
 func (g *Graph) WithoutArc(r ArcRef) *Graph {
 	c := g.Clone()
-	key := keyOf(r)
-	kept := c.constraints[:0]
-	for _, con := range c.constraints {
-		if con.Kind == KindArc && keyOf(con.Arc) == key {
+	k, ok := c.nodeIndex[r.Node]
+	if !ok {
+		return c
+	}
+	var kept []Constraint
+	for _, con := range c.arcBlocks[k] {
+		if con.Arc.Index == r.Index {
 			continue
 		}
 		kept = append(kept, con)
 	}
-	c.constraints = kept
+	c.consCount -= len(c.arcBlocks[k]) - len(kept)
+	c.arcBlocks[k] = kept
 	return c
 }
 
-// withoutArcs returns a copy of the constraint list with every constraint of
-// the listed arcs removed. Used by the relaxation pass.
+// withoutArcs returns the flat constraint list minus every constraint of
+// the listed arcs. Used by the relaxation pass.
 func (g *Graph) withoutArcs(dropped map[arcKey]bool) []Constraint {
+	flat := g.flatten()
 	if len(dropped) == 0 {
-		return g.constraints
+		return flat
 	}
-	out := make([]Constraint, 0, len(g.constraints))
-	for _, c := range g.constraints {
+	out := make([]Constraint, 0, len(flat))
+	for _, c := range flat {
 		if c.Kind == KindArc && dropped[keyOf(c.Arc)] {
 			continue
 		}

@@ -60,11 +60,17 @@ type SolveOptions struct {
 	Relax bool
 	// Strategy picks the victim among May arcs on a conflict cycle.
 	Strategy RelaxStrategy
+	// Workers caps the component worker pool of SolveParallel and the
+	// incremental Solver. Zero means GOMAXPROCS.
+	Workers int
 }
 
 // Solve computes the earliest feasible schedule, optionally relaxing May
 // arcs. It returns a ConflictError when the constraints cannot be satisfied
-// by dropping May arcs alone.
+// by dropping May arcs alone. This is the classic single-threaded full
+// solve over the whole constraint system; SolveParallel and Solver are the
+// component-parallel and incremental paths, which produce identical
+// schedules.
 func (g *Graph) Solve(opts SolveOptions) (*Schedule, error) {
 	dropped := make(map[arcKey]bool)
 	var droppedRefs []ArcRef
@@ -132,22 +138,34 @@ func (g *Graph) solveOnce(dropped map[arcKey]bool) (*Schedule, *ConflictError) {
 	cons := g.withoutArcs(dropped)
 	n := len(g.events)
 
-	// Feasibility: Bellman–Ford (SPFA) from a virtual source connected to
-	// every vertex. A negative cycle means the difference constraints are
-	// unsatisfiable.
-	if cycle := findNegativeCycle(n, cons); cycle != nil {
-		return nil, &ConflictError{Cycle: cycle}
+	sc := newSolveScratch(n, len(cons))
+	times, conflict := solveSystem(n, cons, sc)
+	if conflict != nil {
+		return nil, &ConflictError{Cycle: conflict}
+	}
+	return &Schedule{graph: g, times: times}, nil
+}
+
+// solveSystem runs feasibility detection and, when feasible, extracts the
+// earliest schedule with t[src]=0 for src = event 0. It returns the times,
+// or the constraints of a negative cycle. The scratch arrays are reused
+// across calls; the returned times slice is freshly allocated.
+func solveSystem(n int, cons []Constraint, sc *solveScratch) ([]time.Duration, []Constraint) {
+	sc.grow(n, len(cons))
+	if cycleIdx := findNegativeCycle(n, cons, sc); cycleIdx != nil {
+		cycle := make([]Constraint, len(cycleIdx))
+		for i, ci := range cycleIdx {
+			cycle[i] = cons[ci]
+		}
+		return nil, cycle
 	}
 
 	// Earliest schedule with t[rootBegin] = 0: for difference constraints
 	// t_v − t_u ≤ w (edge u→v weight w), the earliest solution is
 	// t_v = −dist(v → root), i.e. single-source shortest paths from the
 	// root on the reversed graph.
-	rev := make([][]edge, n)
-	for i, c := range cons {
-		rev[c.V] = append(rev[c.V], edge{to: c.U, w: c.W, idx: i})
-	}
-	dist := spfa(n, rev, 0) // event 0 is the root's begin
+	sc.buildCSR(n, cons, true)
+	dist := sc.spfa(n, cons, 0)
 	times := make([]time.Duration, n)
 	for v := range times {
 		if dist[v] == unreachable {
@@ -158,40 +176,137 @@ func (g *Graph) solveOnce(dropped map[arcKey]bool) (*Schedule, *ConflictError) {
 		}
 		times[v] = -time.Duration(dist[v])
 	}
-	return &Schedule{graph: g, times: times}, nil
-}
-
-type edge struct {
-	to  EventID
-	w   time.Duration
-	idx int // constraint index, for cycle extraction
+	return times, nil
 }
 
 const unreachable = int64(math.MaxInt64)
 
-// spfa computes single-source shortest paths over adj from src. The caller
-// guarantees no negative cycles (checked beforehand).
-func spfa(n int, adj [][]edge, src EventID) []int64 {
-	dist := make([]int64, n)
-	inQueue := make([]bool, n)
-	for i := range dist {
+// solveScratch is the reusable arena for one solver: CSR adjacency, SPFA
+// queues and labels. Component workers each own one, so re-solves allocate
+// almost nothing.
+type solveScratch struct {
+	off  []int32 // CSR offsets, len n+1
+	edge []int32 // constraint indices, len m
+	pos  []int32 // CSR fill cursor, len n
+
+	dist    []int64
+	parent  []int32
+	pathlen []int32
+	inQueue []bool
+	// queue is a ring: the in-queue guard bounds live entries to n, so n
+	// slots suffice and the hot loops never grow a slice.
+	queue []int32
+	order []EventID // optional SPFA seeding order (warm start)
+}
+
+func newSolveScratch(n, m int) *solveScratch {
+	sc := &solveScratch{}
+	sc.grow(n, m)
+	return sc
+}
+
+// grow sizes every scratch array for n vertices and m constraints.
+func (sc *solveScratch) grow(n, m int) {
+	if cap(sc.off) < n+1 {
+		sc.off = make([]int32, n+1)
+		sc.pos = make([]int32, n)
+		sc.dist = make([]int64, n)
+		sc.parent = make([]int32, n)
+		sc.pathlen = make([]int32, n)
+		sc.inQueue = make([]bool, n)
+		sc.queue = make([]int32, n)
+	}
+	sc.off = sc.off[:n+1]
+	sc.pos = sc.pos[:n]
+	sc.dist = sc.dist[:n]
+	sc.parent = sc.parent[:n]
+	sc.pathlen = sc.pathlen[:n]
+	sc.inQueue = sc.inQueue[:n]
+	sc.queue = sc.queue[:n]
+	if cap(sc.edge) < m {
+		sc.edge = make([]int32, m)
+	}
+	sc.edge = sc.edge[:m]
+}
+
+// buildCSR lays the constraints out as compact adjacency. With reverse set,
+// edges are keyed by V (the reversed graph used for earliest extraction);
+// otherwise by U (the forward graph used for feasibility).
+func (sc *solveScratch) buildCSR(n int, cons []Constraint, reverse bool) {
+	for i := range sc.off {
+		sc.off[i] = 0
+	}
+	key := func(c *Constraint) int32 {
+		if reverse {
+			return int32(c.V)
+		}
+		return int32(c.U)
+	}
+	for i := range cons {
+		sc.off[key(&cons[i])+1]++
+	}
+	for i := 0; i < n; i++ {
+		sc.off[i+1] += sc.off[i]
+		sc.pos[i] = sc.off[i]
+	}
+	for i := range cons {
+		k := key(&cons[i])
+		sc.edge[sc.pos[k]] = int32(i)
+		sc.pos[k]++
+	}
+}
+
+// spfa computes single-source shortest paths from src over the reversed
+// graph laid out by buildCSR(reverse=true). The caller guarantees no
+// negative cycles (checked beforehand). The result aliases the scratch.
+// The worklist is a ring deque with the smaller-label-first heuristic:
+// vertices whose label undercuts the queue front jump the line, which
+// drastically cuts re-relaxations on arc-dense documents.
+func (sc *solveScratch) spfa(n int, cons []Constraint, src EventID) []int64 {
+	dist := sc.dist
+	inq := sc.inQueue
+	q := sc.queue
+	for i := 0; i < n; i++ {
 		dist[i] = unreachable
+		inq[i] = false
 	}
 	dist[src] = 0
-	queue := make([]EventID, 0, n)
-	queue = append(queue, src)
-	inQueue[src] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		inQueue[u] = false
+	head, count := 0, 1
+	q[0] = int32(src)
+	inq[src] = true
+	for count > 0 {
+		u := q[head]
+		head++
+		if head == n {
+			head = 0
+		}
+		count--
+		inq[u] = false
 		du := dist[u]
-		for _, e := range adj[u] {
-			if nd := du + int64(e.w); nd < dist[e.to] {
-				dist[e.to] = nd
-				if !inQueue[e.to] {
-					queue = append(queue, e.to)
-					inQueue[e.to] = true
+		if du == unreachable {
+			continue
+		}
+		for e := sc.off[u]; e < sc.off[u+1]; e++ {
+			c := &cons[sc.edge[e]]
+			// Reversed edge V→U with weight W.
+			if nd := du + int64(c.W); nd < dist[c.U] {
+				dist[c.U] = nd
+				if !inq[c.U] {
+					if count > 0 && nd <= dist[q[head]] {
+						head--
+						if head < 0 {
+							head = n - 1
+						}
+						q[head] = int32(c.U)
+					} else {
+						tail := head + count
+						if tail >= n {
+							tail -= n
+						}
+						q[tail] = int32(c.U)
+					}
+					count++
+					inq[c.U] = true
 				}
 			}
 		}
@@ -199,48 +314,109 @@ func spfa(n int, adj [][]edge, src EventID) []int64 {
 	return dist
 }
 
-// findNegativeCycle runs Bellman–Ford with a virtual source and returns the
-// constraints on a negative cycle, or nil when the system is feasible.
-func findNegativeCycle(n int, cons []Constraint) []Constraint {
-	// dist starts at 0 everywhere == virtual source edges of weight 0.
-	dist := make([]int64, n)
-	parent := make([]int, n) // constraint index that last relaxed the vertex
-	for i := range parent {
+// findNegativeCycle runs a queue-based Bellman–Ford with a virtual source
+// (every vertex starts at distance 0) over the forward graph and returns
+// the indices (into cons) of the constraints on a negative cycle, or nil
+// when the system is feasible. A vertex whose improving path grows to n
+// edges must lie on (or hang off) a negative cycle, which is then extracted
+// through the parent pointers.
+func findNegativeCycle(n int, cons []Constraint, sc *solveScratch) []int32 {
+	sc.grow(n, len(cons))
+	sc.buildCSR(n, cons, false)
+	dist := sc.dist
+	parent := sc.parent
+	pathlen := sc.pathlen
+	inq := sc.inQueue
+	for i := 0; i < n; i++ {
+		dist[i] = 0
 		parent[i] = -1
+		pathlen[i] = 0
+		inq[i] = true
 	}
-	var last EventID = -1
-	for iter := 0; iter < n; iter++ {
-		improved := false
-		for ci, c := range cons {
-			if dist[c.U] == unreachable {
-				continue
+	q := sc.queue
+	// Seed the queue in warm-start order when one is installed, so the
+	// first pass sweeps the system in (approximately) scheduled order.
+	// Cold solves seed in descending id order: lower bounds propagate from
+	// end events to begin events and from successors to predecessors —
+	// both toward lower ids — so a descending first pass settles the long
+	// seq chains in one sweep instead of one epoch per link.
+	if len(sc.order) > 0 {
+		seeded := make(map[EventID]bool, len(sc.order))
+		fill := 0
+		for _, v := range sc.order {
+			if int(v) < n && !seeded[v] {
+				q[fill] = int32(v)
+				fill++
+				seeded[v] = true
 			}
-			if nd := dist[c.U] + int64(c.W); nd < dist[c.V] {
+		}
+		for i := n - 1; i >= 0; i-- {
+			if !seeded[EventID(i)] {
+				q[fill] = int32(i)
+				fill++
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			q[i] = int32(n - 1 - i)
+		}
+	}
+	head, count := 0, n
+	var cycleAt int32 = -1
+	for count > 0 && cycleAt < 0 {
+		u := q[head]
+		head++
+		if head == n {
+			head = 0
+		}
+		count--
+		inq[u] = false
+		du := dist[u]
+		for e := sc.off[u]; e < sc.off[u+1]; e++ {
+			ci := sc.edge[e]
+			c := &cons[ci]
+			if nd := du + int64(c.W); nd < dist[c.V] {
 				dist[c.V] = nd
 				parent[c.V] = ci
-				improved = true
-				last = c.V
+				pathlen[c.V] = pathlen[u] + 1
+				if int(pathlen[c.V]) >= n {
+					cycleAt = int32(c.V)
+					break
+				}
+				if !inq[c.V] {
+					if count > 0 && nd <= dist[q[head]] {
+						head--
+						if head < 0 {
+							head = n - 1
+						}
+						q[head] = int32(c.V)
+					} else {
+						tail := head + count
+						if tail >= n {
+							tail -= n
+						}
+						q[tail] = int32(c.V)
+					}
+					count++
+					inq[c.V] = true
+				}
 			}
 		}
-		if !improved {
-			return nil
-		}
 	}
-	if last < 0 {
+	if cycleAt < 0 {
 		return nil
 	}
-	// A relaxation happened on the n'th pass: a negative cycle exists.
 	// Walk parents n times to be sure we are on the cycle, then collect.
-	v := last
+	v := EventID(cycleAt)
 	for i := 0; i < n; i++ {
-		v = EventID(cons[parent[v]].U)
+		v = cons[parent[v]].U
 	}
-	var cycle []Constraint
+	var cycle []int32
 	start := v
 	for {
 		ci := parent[v]
-		cycle = append(cycle, cons[ci])
-		v = EventID(cons[ci].U)
+		cycle = append(cycle, ci)
+		v = cons[ci].U
 		if v == start {
 			break
 		}
@@ -272,7 +448,7 @@ func (g *Graph) Verify(times []time.Duration, dropped []ArcRef) []Constraint {
 // String renders the constraint count summary.
 func (g *Graph) String() string {
 	var structural, duration, arcs int
-	for _, c := range g.constraints {
+	for _, c := range g.flatten() {
 		switch c.Kind {
 		case KindStructural:
 			structural++

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Bench-regression gate: run cmifbench's S1 (store) and S2 (scheduler)
+# scenarios in quick smoke mode and validate both the fresh results and the
+# committed BENCH_store.json / BENCH_sched.json reference files against the
+# regression invariants:
+#
+#   - wire-call arithmetic (per-block == one round trip per fetch, batched
+#     at least 8x fewer, warm never more than cold);
+#   - schedule equality across the single, parallel and incremental solver
+#     paths, one component per arm, one component re-solved per leaf edit;
+#   - allocation ratios (incremental reschedule allocates ≤ 1/4 of a full
+#     rebuild per edit);
+#   - relative-throughput floors with machine tolerances, and the committed
+#     headline speedups (warm-batched ≥ 4x; incremental reschedule ≥ 10x;
+#     component-parallel ≥ 2x whenever the committed run recorded
+#     GOMAXPROCS ≥ 4).
+#
+# Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
+# them as an artifact. Run from the repository root: ./scripts/check_bench.sh
+set -eu
+
+cleanup=""
+if [ "${BENCH_DIR:-}" = "" ]; then
+    BENCH_DIR=$(mktemp -d)
+    cleanup="$BENCH_DIR"
+fi
+mkdir -p "$BENCH_DIR"
+trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
+
+go run ./cmd/cmifbench -smoke \
+    -store-out "$BENCH_DIR/BENCH_store.json" \
+    -sched-out "$BENCH_DIR/BENCH_sched.json" \
+    -check-store BENCH_store.json \
+    -check-sched BENCH_sched.json \
+    S1 S2
+
+echo "bench-regression gate passed (results in $BENCH_DIR)"

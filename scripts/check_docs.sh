@@ -6,7 +6,9 @@
 #   - every backticked `opXxx` / `maxXxx` identifier in docs/PROTOCOL.md
 #     must appear in internal/transport/wire.go;
 #   - every backticked `cmif.Xxx` symbol in docs/ and README.md must
-#     appear in the cmif facade sources.
+#     appear in the cmif facade sources;
+#   - every backticked `sched.Xxx` symbol in docs/ must appear in
+#     internal/sched (the scheduler-internals section of ARCHITECTURE.md).
 #
 # Run from the repository root: ./scripts/check_docs.sh
 set -eu
@@ -33,6 +35,14 @@ done
 for sym in $(grep -ho '`transport\.[A-Za-z]*`' docs/*.md | sed 's/`transport\.\(.*\)`/\1/' | sort -u); do
     if ! grep -q "\b$sym\b" internal/transport/*.go; then
         echo "docs reference \`transport.$sym\`, which no longer exists in internal/transport" >&2
+        fail=1
+    fi
+done
+
+# Scheduler symbols named in the scheduler-internals documentation.
+for sym in $(grep -ho '`sched\.[A-Za-z.()]*`' docs/*.md | sed 's/`sched\.\([A-Za-z]*\).*/\1/' | sort -u); do
+    if ! grep -q "\b$sym\b" internal/sched/*.go; then
+        echo "docs reference \`sched.$sym\`, which no longer exists in internal/sched" >&2
         fail=1
     fi
 done
