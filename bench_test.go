@@ -360,7 +360,7 @@ func BenchmarkA2Transport(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		b.SetBytes(c.BytesReceived / int64(b.N))
+		b.SetBytes(c.BytesReceived() / int64(b.N))
 	}
 	b.Run("structure-text", func(b *testing.B) {
 		run(b, transport.GetDocOptions{Encoding: transport.EncodingText})

@@ -1,17 +1,19 @@
 // Command cmifbench regenerates every experiment artifact of the paper
 // reproduction — the section 3.1 table, Figures 1-10, the two ablations —
-// plus the S1 storage/fetch concurrency scenarios (BENCH_store.json) and
-// the S2 scheduler scenarios (BENCH_sched.json).
+// plus the S1 storage/fetch concurrency scenarios (BENCH_store.json),
+// the S2 scheduler scenarios (BENCH_sched.json) and the S3 wire-protocol
+// scenarios (BENCH_wire.json).
 //
 // Usage:
 //
-//	cmifbench [flags] [T1 F1 ... A2 S1 S2]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3]
 //
 // Run with no experiment ids for everything; naming ids restricts the run.
-// -smoke shrinks the S1/S2 configurations to CI-sized quick runs. The
-// -check-store/-check-sched flags additionally validate a committed BENCH
-// file and the fresh results against the bench-regression invariants,
-// exiting nonzero on violation (the scripts/check_bench.sh gate).
+// -smoke shrinks the S1/S2/S3 configurations to CI-sized quick runs. The
+// -check-store/-check-sched/-check-wire flags additionally validate a
+// committed BENCH file and the fresh results against the bench-regression
+// invariants, exiting nonzero on violation (the scripts/check_bench.sh
+// gate).
 package main
 
 import (
@@ -36,9 +38,15 @@ func main() {
 	schedArms := flag.Int("sched-arms", 0, "parallel arms (components) for S2 (default 16)")
 	schedEdits := flag.Int("sched-edits", 0, "edit-churn loop length for S2 (default 24)")
 
-	smoke := flag.Bool("smoke", false, "shrink S1/S2 to quick CI-sized configurations")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "path for the S3 wire-bench JSON results")
+	wireWorkers := flag.String("wire-workers", "1,16,64", "comma-separated concurrent worker counts for S3")
+	wireFetches := flag.Int("wire-fetches", 0, "single-block fetches per worker in S3 (default 128)")
+	wireHuge := flag.Int64("wire-huge", 0, "huge streamed block size in bytes for S3 (default 65 MiB; negative disables)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3 to quick CI-sized configurations")
 	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
 	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
+	checkWire := flag.String("check-wire", "", "committed BENCH_wire.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -68,6 +76,12 @@ func main() {
 	if runAll || want["S2"] {
 		if err := runSchedBench(*schedOut, *schedLeaves, *schedArms, *schedEdits, *smoke, *checkSched); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S2: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S3"] {
+		if err := runWireBench(*wireOut, *wireWorkers, *wireFetches, *wireHuge, *smoke, *checkWire); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S3: %v\n", err)
 			failed++
 		}
 	}
@@ -174,6 +188,52 @@ func runSchedBench(out, leavesList string, arms, edits int, smoke bool, checkAga
 		violations = append(violations, "fresh: "+v)
 	}
 	return reportViolations("sched", violations)
+}
+
+// runWireBench runs the S3 wire-protocol scenarios with the same output
+// and gating shape as S1/S2.
+func runWireBench(out, workerList string, fetches int, huge int64, smoke bool, checkAgainst string) error {
+	cfg := cmif.WireBenchConfig{FetchesPerWorker: fetches, HugeBlockBytes: huge}
+	for _, f := range strings.Split(workerList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -wire-workers entry %q", f)
+		}
+		cfg.Workers = append(cfg.Workers, n)
+	}
+	if smoke {
+		if fetches == 0 {
+			cfg.FetchesPerWorker = 64
+		}
+	}
+	report, err := cmif.RunWireBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadWireBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckWireBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckWireBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("wire", violations)
 }
 
 func reportViolations(name string, violations []string) error {

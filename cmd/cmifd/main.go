@@ -5,10 +5,14 @@
 // Usage:
 //
 //	cmifd [-addr 127.0.0.1:7911] [-news N] [-idle 2m] [-grace 5s]
+//	      [-max-inflight 32] [-max-proto 2]
 //
 // With -news, the built-in evening-news corpus is preloaded under the name
-// "news". The server runs until SIGINT or SIGTERM, then drains gracefully:
-// in-flight requests get their responses before the process exits.
+// "news". The server speaks the multiplexed wire protocol v2 to clients
+// that negotiate it (cap with -max-proto 1 to force the legacy protocol)
+// and bounds per-connection pipelining with -max-inflight. It runs until
+// SIGINT or SIGTERM, then drains gracefully: in-flight requests get their
+// responses before the process exits.
 package main
 
 import (
@@ -29,11 +33,15 @@ func main() {
 	news := flag.Int("news", 2, "preload the evening news with N stories (0 disables)")
 	idle := flag.Duration("idle", 2*time.Minute, "drop connections that deliver no data for this long (0 = never)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+	maxInFlight := flag.Int("max-inflight", 0, "max pipelined requests per v2 connection (0 = default 32)")
+	maxProto := flag.Int("max-proto", 2, "newest wire protocol version to negotiate (1 forces legacy)")
 	flag.Parse()
 
 	opts := []cmif.ServerOption{
 		cmif.WithIdleTimeout(*idle),
 		cmif.WithShutdownGrace(*grace),
+		cmif.WithMaxInFlight(*maxInFlight),
+		cmif.WithMaxProtocolVersion(*maxProto),
 	}
 	if *news > 0 {
 		doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: *news})

@@ -2,24 +2,31 @@ package cmif
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
 )
 
-// Client is one connection to an interchange server. Every operation takes
-// a context.Context whose deadline and cancellation are enforced on the
-// wire (connection read/write deadlines); a cancelled call poisons the
-// connection, so open a fresh client afterwards. Not safe for concurrent
-// use; open one client per goroutine.
+// Client talks to an interchange server over one or more pooled
+// connections. Safe for concurrent use: on protocol v2 (negotiated by
+// default) concurrent operations are pipelined and multiplexed over each
+// connection, and WithPoolSize spreads them across several connections;
+// on protocol v1 operations serialize per connection. Every operation
+// takes a context.Context whose deadline and cancellation are enforced
+// on the wire; on v2 a cancelled call abandons only that request — the
+// connection survives.
 type Client struct {
-	c *transport.Client
+	conns []*transport.Client
+	next  atomic.Uint32
 }
 
 // clientConfig collects the dial options.
 type clientConfig struct {
-	timeout time.Duration
-	cache   *BlockCache
+	timeout    time.Duration
+	cache      *BlockCache
+	poolSize   int
+	maxVersion int
 }
 
 // ClientOption configures Dial.
@@ -31,10 +38,27 @@ func WithRequestTimeout(d time.Duration) ClientOption {
 	return func(c *clientConfig) { c.timeout = d }
 }
 
+// WithPoolSize dials n connections instead of one and spreads operations
+// across them round-robin. With protocol v2 each connection already
+// pipelines many concurrent requests, so a small pool goes a long way;
+// under v1 (old servers) the pool is the only source of concurrency.
+// Values below 1 mean 1.
+func WithPoolSize(n int) ClientOption {
+	return func(c *clientConfig) { c.poolSize = n }
+}
+
+// WithProtocolVersion caps the wire protocol version the client offers
+// at connect: 1 forces the legacy strict request/response protocol, 2
+// (the default) negotiates the multiplexed protocol and falls back to 1
+// against old servers.
+func WithProtocolVersion(v int) ClientOption {
+	return func(c *clientConfig) { c.maxVersion = v }
+}
+
 // BlockCache is a client-side LRU block cache with singleflight miss
-// de-duplication. Safe for concurrent use; share one cache between the
-// per-goroutine clients of a process so they serve each other's hot
-// blocks.
+// de-duplication. Safe for concurrent use; shared automatically across a
+// client's pooled connections, and shareable across clients with
+// WithSharedCache.
 type BlockCache = transport.BlockCache
 
 // CacheStats snapshots a BlockCache's effectiveness counters.
@@ -47,43 +71,93 @@ func NewBlockCache(size int) *BlockCache { return transport.NewBlockCache(size) 
 // WithCache gives the client a private LRU block cache holding up to size
 // blocks: repeated Block fetches of the same name hit the network once,
 // and concurrent fetches of one block collapse into a single wire call.
-// To share a cache across clients, use WithSharedCache.
+// The cache is shared across the client's pooled connections. To share a
+// cache across clients, use WithSharedCache.
 func WithCache(size int) ClientOption {
 	return func(c *clientConfig) { c.cache = transport.NewBlockCache(size) }
 }
 
 // WithSharedCache attaches an existing cache (NewBlockCache), so several
-// clients — one per goroutine — serve block fetches from common local
-// memory and de-duplicate concurrent misses process-wide.
+// clients serve block fetches from common local memory and de-duplicate
+// concurrent misses process-wide.
 func WithSharedCache(cache *BlockCache) ClientOption {
 	return func(c *clientConfig) { c.cache = cache }
 }
 
 // Dial connects to an interchange server, honouring ctx during connection
-// establishment.
+// establishment and the protocol handshake.
 func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
-	var cfg clientConfig
+	cfg := clientConfig{poolSize: 1, maxVersion: 2}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	tc, err := transport.DialContext(ctx, addr)
-	if err != nil {
-		return nil, err
+	if cfg.poolSize < 1 {
+		cfg.poolSize = 1
 	}
-	tc.Timeout = cfg.timeout
-	tc.Cache = cfg.cache
-	return &Client{c: tc}, nil
+	c := &Client{}
+	for i := 0; i < cfg.poolSize; i++ {
+		tc, err := transport.DialContext(ctx, addr, transport.WithMaxProtocolVersion(cfg.maxVersion))
+		if err != nil {
+			c.Close()
+			return nil, wireError(err)
+		}
+		tc.Timeout = cfg.timeout
+		tc.Cache = cfg.cache
+		c.conns = append(c.conns, tc)
+	}
+	return c, nil
 }
 
-// Close says goodbye and closes the connection.
-func (c *Client) Close() error { return c.c.Close() }
+// pick returns the connection the next operation rides: round-robin over
+// the pool.
+func (c *Client) pick() *transport.Client {
+	if len(c.conns) == 1 {
+		return c.conns[0]
+	}
+	return c.conns[int(c.next.Add(1)-1)%len(c.conns)]
+}
 
-// BytesSent reports accumulated request traffic, for transport-cost
-// accounting.
-func (c *Client) BytesSent() int64 { return c.c.BytesSent }
+// Close says goodbye on every pooled connection and closes them all.
+func (c *Client) Close() error {
+	var first error
+	for _, tc := range c.conns {
+		if err := tc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
-// BytesReceived reports accumulated response traffic.
-func (c *Client) BytesReceived() int64 { return c.c.BytesReceived }
+// PoolSize reports how many connections the client pools.
+func (c *Client) PoolSize() int { return len(c.conns) }
+
+// ProtocolVersion reports the wire protocol version the connections
+// negotiated (1 or 2).
+func (c *Client) ProtocolVersion() int {
+	if len(c.conns) == 0 {
+		return 0
+	}
+	return c.conns[0].Version()
+}
+
+// BytesSent reports accumulated request traffic across the pool, for
+// transport-cost accounting.
+func (c *Client) BytesSent() int64 {
+	var n int64
+	for _, tc := range c.conns {
+		n += tc.BytesSent()
+	}
+	return n
+}
+
+// BytesReceived reports accumulated response traffic across the pool.
+func (c *Client) BytesReceived() int64 {
+	var n int64
+	for _, tc := range c.conns {
+		n += tc.BytesReceived()
+	}
+	return n
+}
 
 // wireConfig collects the per-call wire options.
 type wireConfig struct {
@@ -118,7 +192,7 @@ func wireConfigOf(opts []WireOption) wireConfig {
 // matches both ErrRemote and ErrNotFound under errors.Is.
 func (c *Client) Document(ctx context.Context, name string, opts ...WireOption) (*Document, error) {
 	cfg := wireConfigOf(opts)
-	d, err := c.c.GetDoc(ctx, name, transport.GetDocOptions{
+	d, err := c.pick().GetDoc(ctx, name, transport.GetDocOptions{
 		Encoding: cfg.encoding, Inline: cfg.inline,
 	})
 	if err != nil {
@@ -131,13 +205,15 @@ func (c *Client) Document(ctx context.Context, name string, opts ...WireOption) 
 // absorbed into the server's store.
 func (c *Client) Put(ctx context.Context, name string, d *Document, opts ...WireOption) error {
 	cfg := wireConfigOf(opts)
-	return wireError(c.c.PutDoc(ctx, name, d.doc, cfg.encoding))
+	return wireError(c.pick().PutDoc(ctx, name, d.doc, cfg.encoding))
 }
 
 // Block fetches a data block by name or content address. A missing block
-// matches both ErrRemote and ErrNotFound under errors.Is.
+// matches both ErrRemote and ErrNotFound under errors.Is. On protocol v2
+// a block too large for a single response frame arrives transparently as
+// a chunked stream; under v1 such blocks fail with ErrRemote.
 func (c *Client) Block(ctx context.Context, name string) (*Block, error) {
-	b, err := c.c.GetBlock(ctx, name)
+	b, err := c.pick().GetBlock(ctx, name)
 	if err != nil {
 		return nil, wireError(err)
 	}
@@ -150,7 +226,7 @@ func (c *Client) Block(ctx context.Context, name string) (*Block, error) {
 // results are not an error). A cache attached at Dial time serves hits
 // locally and absorbs the fetched blocks.
 func (c *Client) Blocks(ctx context.Context, names []string) ([]*Block, error) {
-	blocks, err := c.c.GetBlocks(ctx, names)
+	blocks, err := c.pick().GetBlocks(ctx, names)
 	if err != nil {
 		return nil, wireError(err)
 	}
@@ -162,7 +238,7 @@ func (c *Client) Blocks(ctx context.Context, names []string) ([]*Block, error) {
 // "relatively small clusters of data (the attributes)". Unresolvable
 // names are absent from the result map.
 func (c *Client) Descriptors(ctx context.Context, names []string) (map[string]AttrList, error) {
-	descs, err := c.c.GetDescriptors(ctx, names)
+	descs, err := c.pick().GetDescriptors(ctx, names)
 	if err != nil {
 		return nil, wireError(err)
 	}
@@ -205,15 +281,15 @@ func (c *Client) Prefetch(ctx context.Context, d *Document) (*Store, error) {
 // CacheStats snapshots the attached cache's counters; ok is false when the
 // client was dialled without a cache.
 func (c *Client) CacheStats() (stats CacheStats, ok bool) {
-	if c.c.Cache == nil {
+	if len(c.conns) == 0 || c.conns[0].Cache == nil {
 		return CacheStats{}, false
 	}
-	return c.c.Cache.Stats(), true
+	return c.conns[0].Cache.Stats(), true
 }
 
 // PutBlock stores a block on the server, returning its content address.
 func (c *Client) PutBlock(ctx context.Context, b *Block) (string, error) {
-	id, err := c.c.PutBlock(ctx, b)
+	id, err := c.pick().PutBlock(ctx, b)
 	if err != nil {
 		return "", wireError(err)
 	}
@@ -222,7 +298,7 @@ func (c *Client) PutBlock(ctx context.Context, b *Block) (string, error) {
 
 // List returns the names of documents the server offers, sorted.
 func (c *Client) List(ctx context.Context) ([]string, error) {
-	names, err := c.c.ListDocs(ctx)
+	names, err := c.pick().ListDocs(ctx)
 	if err != nil {
 		return nil, wireError(err)
 	}

@@ -63,6 +63,24 @@ func RunSchedBench(cfg SchedBenchConfig) (*SchedBenchReport, error) {
 	return experiments.SchedBench(cfg)
 }
 
+// WireBenchConfig sizes the S3 wire-protocol scenarios: serialized-v1 vs
+// multiplexed-v2 connection disciplines at each worker count, plus the
+// huge-block streamed-transfer probe. The zero value is usable (64 blocks
+// of 1 KiB, 1/16/64 workers, 128 fetches per worker, 65 MiB huge block).
+type WireBenchConfig = experiments.WireBenchConfig
+
+// WireBenchReport is the machine-readable result set of RunWireBench;
+// cmifbench writes it to BENCH_wire.json.
+type WireBenchReport = experiments.WireBenchReport
+
+// RunWireBench measures the wire layer under concurrent load against an
+// in-process server: head-of-line-blocked protocol v1 vs pipelined
+// protocol v2 on one shared connection, and a huge-block retrieval that
+// only the v2 chunked stream can carry.
+func RunWireBench(ctx context.Context, cfg WireBenchConfig) (*WireBenchReport, error) {
+	return experiments.WireBench(ctx, cfg)
+}
+
 // BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU
 // count, go version); it travels inside every BENCH report.
 type BenchEnv = experiments.BenchEnv
@@ -75,6 +93,19 @@ func LoadStoreBenchReport(path string) (*StoreBenchReport, error) {
 // LoadSchedBenchReport reads a BENCH_sched.json report from disk.
 func LoadSchedBenchReport(path string) (*SchedBenchReport, error) {
 	return experiments.LoadSchedReport(path)
+}
+
+// LoadWireBenchReport reads a BENCH_wire.json report from disk.
+func LoadWireBenchReport(path string) (*WireBenchReport, error) {
+	return experiments.LoadWireReport(path)
+}
+
+// CheckWireBenchReport validates a wire-bench report: exact wire-call
+// arithmetic, the multiplexing speedup floor at 16 workers (3x for the
+// committed reference file), and the huge-block stream probe (≥ 64 MiB
+// committed, unfetchable over protocol v1).
+func CheckWireBenchReport(r *WireBenchReport, committed bool) []string {
+	return experiments.CheckWireReport(r, committed)
 }
 
 // CheckStoreBenchReport validates a store-bench report against the

@@ -29,6 +29,13 @@ var (
 	// ErrNotFound.
 	ErrRemote = errors.New("cmif: remote error")
 
+	// ErrBusy reports a per-connection backpressure rejection: the server
+	// already had its maximum number of requests in flight on the
+	// connection (WithMaxInFlight) and refused to queue more. A busy
+	// rejection wraps both ErrRemote and ErrBusy; retry after in-flight
+	// work completes, or spread load with WithPoolSize.
+	ErrBusy = errors.New("cmif: server busy")
+
 	// ErrUnsupportable reports that a device profile cannot present the
 	// document (a strict pipeline run against an inadequate environment).
 	ErrUnsupportable = errors.New("cmif: document not supportable in this environment")
@@ -94,6 +101,8 @@ func wireError(err error) error {
 	switch {
 	case errors.Is(err, transport.ErrNotFound):
 		return tag(err, ErrRemote, ErrNotFound)
+	case errors.Is(err, transport.ErrBusy):
+		return tag(err, ErrRemote, ErrBusy)
 	case errors.Is(err, transport.ErrRemote):
 		return tag(err, ErrRemote)
 	default:

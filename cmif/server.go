@@ -25,6 +25,8 @@ type serverConfig struct {
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
 	grace        time.Duration
+	maxInFlight  int
+	maxVersion   int
 }
 
 type namedDoc struct {
@@ -65,6 +67,23 @@ func WithShutdownGrace(d time.Duration) ServerOption {
 	return func(c *serverConfig) { c.grace = d }
 }
 
+// WithMaxInFlight bounds how many requests one protocol-v2 connection may
+// have in flight at once; requests past the bound are rejected with a
+// busy error (ErrBusy). The bound is advertised to clients at connect so
+// well-behaved clients queue locally instead of being rejected. Zero (the
+// default) means 32.
+func WithMaxInFlight(n int) ServerOption {
+	return func(c *serverConfig) { c.maxInFlight = n }
+}
+
+// WithMaxProtocolVersion caps the wire protocol version the server
+// negotiates: 1 forces every connection onto the legacy strict
+// request/response protocol, 2 (the default) offers the multiplexed
+// protocol to clients that ask for it while still serving v1 clients.
+func WithMaxProtocolVersion(v int) ServerOption {
+	return func(c *serverConfig) { c.maxVersion = v }
+}
+
 // NewServer builds a server from functional options. It does not listen
 // yet; call Listen, then Serve (or Close).
 func NewServer(opts ...ServerOption) *Server {
@@ -79,6 +98,8 @@ func NewServer(opts ...ServerOption) *Server {
 	srv := transport.NewServer(reg)
 	srv.IdleTimeout = cfg.idleTimeout
 	srv.WriteTimeout = cfg.writeTimeout
+	srv.MaxInFlight = cfg.maxInFlight
+	srv.MaxVersion = cfg.maxVersion
 	return &Server{reg: reg, srv: srv, grace: cfg.grace}
 }
 

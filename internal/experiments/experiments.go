@@ -662,7 +662,7 @@ func TransportCost() (*Table, error) {
 		if _, err := c.GetDoc(context.Background(), "news", opts); err != nil {
 			return 0, err
 		}
-		return c.BytesReceived, nil
+		return c.BytesReceived(), nil
 	}
 	var rows [][]string
 	var structureBytes int64

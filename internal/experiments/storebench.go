@@ -276,8 +276,8 @@ func runStoreScenario(ctx context.Context, addr string, names []string, cfg Stor
 
 	row.Fetches = clients * cfg.FetchesPerClient
 	for _, c := range conns {
-		row.BytesReceived += c.BytesReceived
-		row.WireCalls += c.RoundTrips
+		row.BytesReceived += c.BytesReceived()
+		row.WireCalls += c.RoundTrips()
 	}
 	row.Seconds = elapsed.Seconds()
 	if row.Seconds > 0 {

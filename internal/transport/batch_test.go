@@ -64,8 +64,8 @@ func TestGetBlocksBatched(t *testing.T) {
 		t.Errorf("by-id result = %q, want %q", blocks[3].ID, id)
 	}
 	// Four unique names fit one frame: exactly one round trip.
-	if c.RoundTrips != 1 {
-		t.Errorf("RoundTrips = %d, want 1", c.RoundTrips)
+	if c.RoundTrips() != 1 {
+		t.Errorf("RoundTrips = %d, want 1", c.RoundTrips())
 	}
 }
 
@@ -86,8 +86,8 @@ func TestGetBlocksChunksLargeBatches(t *testing.T) {
 			t.Fatalf("result %d = %v, want %q", i, b, names[i])
 		}
 	}
-	if c.RoundTrips != 2 {
-		t.Errorf("RoundTrips = %d, want 2 (ceil(%d/%d))", c.RoundTrips, len(names), maxBatch)
+	if c.RoundTrips() != 2 {
+		t.Errorf("RoundTrips = %d, want 2 (ceil(%d/%d))", c.RoundTrips(), len(names), maxBatch)
 	}
 }
 
@@ -103,8 +103,8 @@ func TestGetBlocksServesFromCache(t *testing.T) {
 	if _, err := c.GetBlocks(context.Background(), names); err != nil {
 		t.Fatal(err)
 	}
-	if c.RoundTrips != 1 {
-		t.Fatalf("cold batch RoundTrips = %d, want 1", c.RoundTrips)
+	if c.RoundTrips() != 1 {
+		t.Fatalf("cold batch RoundTrips = %d, want 1", c.RoundTrips())
 	}
 	// Second pass: all cached, no wire traffic.
 	blocks, err := c.GetBlocks(context.Background(), names)
@@ -116,15 +116,15 @@ func TestGetBlocksServesFromCache(t *testing.T) {
 			t.Fatalf("warm result %d = %v", i, b)
 		}
 	}
-	if c.RoundTrips != 1 {
-		t.Errorf("warm batch went to the wire: RoundTrips = %d, want still 1", c.RoundTrips)
+	if c.RoundTrips() != 1 {
+		t.Errorf("warm batch went to the wire: RoundTrips = %d, want still 1", c.RoundTrips())
 	}
 	// Single gets also hit the same cache.
 	if _, err := c.GetBlock(context.Background(), names[0]); err != nil {
 		t.Fatal(err)
 	}
-	if c.RoundTrips != 1 {
-		t.Errorf("cached single get went to the wire: RoundTrips = %d", c.RoundTrips)
+	if c.RoundTrips() != 1 {
+		t.Errorf("cached single get went to the wire: RoundTrips = %d", c.RoundTrips())
 	}
 }
 
@@ -159,8 +159,8 @@ func TestGetBlocksDefersOversizedEntries(t *testing.T) {
 	}
 	// One batch round trip plus one single-block fetch per deferred
 	// entry: more than 1, at most 1+len(names).
-	if c.RoundTrips <= 1 || c.RoundTrips > int64(1+len(names)) {
-		t.Errorf("RoundTrips = %d, want in (1, %d]", c.RoundTrips, 1+len(names))
+	if c.RoundTrips() <= 1 || c.RoundTrips() > int64(1+len(names)) {
+		t.Errorf("RoundTrips = %d, want in (1, %d]", c.RoundTrips(), 1+len(names))
 	}
 }
 
@@ -207,9 +207,9 @@ func TestGetDescriptors(t *testing.T) {
 	}
 	// Descriptors travel without payloads: the response must be far
 	// smaller than the payload total.
-	if c.BytesReceived >= store.TotalBytes() {
+	if c.BytesReceived() >= store.TotalBytes() {
 		t.Errorf("descriptor batch moved %d bytes, payload total %d — payloads leaked onto the wire",
-			c.BytesReceived, store.TotalBytes())
+			c.BytesReceived(), store.TotalBytes())
 	}
 }
 
@@ -260,7 +260,7 @@ func TestSharedCacheCollapsesAcrossClients(t *testing.T) {
 	}
 	var wire int64
 	for _, c := range clients {
-		wire += c.RoundTrips
+		wire += c.RoundTrips()
 	}
 	if wire != 1 {
 		t.Errorf("%d wire calls for %d concurrent fetches of one block, want 1", wire, goroutines)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attr"
@@ -14,25 +15,40 @@ import (
 	"repro/internal/media"
 )
 
-// Client is one connection to an interchange server. Not safe for
-// concurrent use; open one client per goroutine.
+// Client is one connection to an interchange server. Safe for concurrent
+// use: on a protocol-v2 connection (the default when the server speaks
+// v2) concurrent operations are pipelined and multiplexed over the single
+// connection; on a v1 connection they are serialized one round trip at a
+// time.
 type Client struct {
 	conn net.Conn
 	// Timeout bounds each round trip when the request context carries no
-	// deadline of its own. Zero means no per-call bound.
+	// deadline of its own. Zero means no per-call bound. Set before
+	// sharing the client across goroutines.
 	Timeout time.Duration
 	// Cache, when non-nil, answers block fetches locally and collapses
-	// concurrent misses for the same key into one wire call. Share one
-	// cache between the per-goroutine clients of a process.
+	// concurrent misses for the same key into one wire call. Set before
+	// sharing the client across goroutines.
 	Cache *BlockCache
-	// Stats accumulate wire traffic for the transport-cost experiments.
-	BytesSent     int64
-	BytesReceived int64
-	// RoundTrips counts requests that went out on the wire — cache hits
-	// do not move it, which is what the cache experiments measure.
-	RoundTrips int64
-	// broken is set once a round trip died mid-frame (cancellation or a
-	// wire error): the connection state is unknown and must not be reused.
+
+	// Traffic counters, atomically maintained across goroutines.
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	roundTrips    atomic.Int64
+	streamChunks  atomic.Int64
+
+	// version is the negotiated protocol version; mux is non-nil exactly
+	// when version == protoV2.
+	version int
+	mux     *clientMux
+
+	// opMu serializes v1 round trips: protocol v1 has no request IDs, so
+	// one connection carries one exchange at a time.
+	opMu sync.Mutex
+	// broken is set once a v1 round trip died mid-frame: request or
+	// response bytes moved and then the exchange failed, so the framing
+	// state is unknown and the connection must not be reused. Guarded by
+	// opMu.
 	broken bool
 	// mu and gen fence the cancellation callback: a callback from an
 	// earlier round trip must not poison the deadline of a later one.
@@ -40,34 +56,195 @@ type Client struct {
 	gen uint64
 }
 
+// dialConfig collects the dial options.
+type dialConfig struct {
+	maxVersion int
+}
+
+// DialOption configures Dial/DialContext.
+type DialOption func(*dialConfig)
+
+// WithMaxProtocolVersion caps the protocol version the client offers at
+// hello. Version 1 skips negotiation entirely and speaks the legacy
+// strict request/response protocol; the default offers the newest
+// version this build knows and falls back when the server is older.
+func WithMaxProtocolVersion(v int) DialOption {
+	return func(c *dialConfig) { c.maxVersion = v }
+}
+
 // Dial connects to an interchange server with no cancellation.
-func Dial(addr string) (*Client, error) {
-	return DialContext(context.Background(), addr)
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
 }
 
 // DialContext connects to an interchange server, honouring the context's
-// cancellation and deadline during connection establishment.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
+// cancellation and deadline during connection establishment and the
+// protocol handshake. Unless capped with WithMaxProtocolVersion, the
+// client offers protocol v2 and degrades to v1 when the server answers
+// the hello with an error (an old server: "unknown op").
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{maxVersion: maxProtoVersion}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxVersion < protoV1 || cfg.maxVersion > maxProtoVersion {
+		return nil, fmt.Errorf("transport: unsupported protocol version %d", cfg.maxVersion)
+	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conn: conn, version: protoV1}
+	if cfg.maxVersion >= protoV2 {
+		if err := c.hello(ctx, cfg.maxVersion); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// hello negotiates the protocol version on a fresh connection. The hello
+// exchange itself travels in v1 framing; on a v2 agreement the connection
+// switches to multiplexed v2 framing for everything after.
+func (c *Client) hello(ctx context.Context, maxVersion int) error {
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return err
+		}
+	}
+	// Cancellation interrupts a blocked handshake by forcing an expired
+	// deadline; the caller closes the connection on any error here, so
+	// the poisoned deadline never leaks to later operations.
+	stop := context.AfterFunc(ctx, func() {
+		_ = c.conn.SetDeadline(time.Unix(1, 0))
+	})
+	finish := func(err error) error {
+		stop()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		if err != nil {
+			return err
+		}
+		return c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(c.conn, opHello, []byte{byte(maxVersion)}); err != nil {
+		return finish(fmt.Errorf("transport: hello: %w", err))
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return finish(fmt.Errorf("transport: hello: %w", err))
+	}
+	if err := finish(nil); err != nil {
+		return err
+	}
+	switch resp.op {
+	case opOK:
+		if len(resp.parts) < 2 || len(resp.parts[0]) != 1 || len(resp.parts[1]) != 2 {
+			return fmt.Errorf("transport: malformed hello response")
+		}
+		version := int(resp.parts[0][0])
+		if version < protoV1 || version > maxVersion {
+			return fmt.Errorf("transport: server negotiated unsupported version %d", version)
+		}
+		c.version = version
+		if version >= protoV2 {
+			maxInFlight := int(uint16(resp.parts[1][0])<<8 | uint16(resp.parts[1][1]))
+			c.mux = newClientMux(c.conn, maxInFlight, &c.bytesSent, &c.bytesReceived, &c.streamChunks)
+		}
+		return nil
+	case opErr:
+		// An old server does not know opHello; stay on protocol v1.
+		c.version = protoV1
+		return nil
+	default:
+		return fmt.Errorf("transport: unexpected hello response op %d", resp.op)
+	}
+}
+
+// Version reports the negotiated protocol version (1 or 2).
+func (c *Client) Version() int { return c.version }
+
+// BytesSent reports accumulated request traffic for the transport-cost
+// experiments.
+func (c *Client) BytesSent() int64 { return c.bytesSent.Load() }
+
+// BytesReceived reports accumulated response traffic.
+func (c *Client) BytesReceived() int64 { return c.bytesReceived.Load() }
+
+// RoundTrips counts requests that went out on the wire — cache hits do
+// not move it, which is what the cache experiments measure. A streamed
+// block transfer counts once however many chunk frames it spans.
+func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
+
+// StreamChunks counts chunk frames received through streamed block
+// transfers.
+func (c *Client) StreamChunks() int64 { return c.streamChunks.Load() }
+
+// withTimeout applies the client's per-call Timeout when the context
+// carries no deadline of its own.
+func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); !ok && c.Timeout > 0 {
+		return context.WithTimeout(ctx, c.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // Close says goodbye and closes the connection.
 func (c *Client) Close() error {
-	if !c.broken {
+	if c.mux != nil {
+		_ = c.mux.close()
+		return c.conn.Close()
+	}
+	c.opMu.Lock()
+	broken := c.broken
+	c.opMu.Unlock()
+	if !broken {
 		_ = writeFrame(c.conn, opGoodbye)
 	}
 	return c.conn.Close()
 }
 
-// roundTrip sends a request and decodes the response, tracking sizes. The
-// context's deadline (or, absent one, c.Timeout) bounds the whole exchange
-// via connection deadlines; cancellation interrupts blocked reads/writes.
+// roundTrip sends a request and decodes the response, tracking sizes. On
+// a v2 connection the exchange is pipelined through the mux; on v1 it
+// holds the connection exclusively for the whole exchange. The context's
+// deadline (or, absent one, c.Timeout) bounds the exchange; cancellation
+// interrupts blocked reads/writes.
 func (c *Client) roundTrip(ctx context.Context, op byte, parts ...[]byte) ([][]byte, error) {
+	if c.mux != nil {
+		return c.muxRoundTrip(ctx, op, parts...)
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	return c.roundTripV1(ctx, op, parts...)
+}
+
+// countConn counts the bytes a round trip actually moved, so failure
+// handling can tell a benign cancellation (nothing on the wire: the
+// connection is still frame-aligned) from a mid-frame death.
+type countConn struct {
+	conn    net.Conn
+	written int64
+	read    int64
+}
+
+func (cc *countConn) Write(p []byte) (int, error) {
+	n, err := cc.conn.Write(p)
+	cc.written += int64(n)
+	return n, err
+}
+
+func (cc *countConn) Read(p []byte) (int, error) {
+	n, err := cc.conn.Read(p)
+	cc.read += int64(n)
+	return n, err
+}
+
+// roundTripV1 is the legacy strict request/response exchange. Caller
+// holds c.opMu.
+func (c *Client) roundTripV1(ctx context.Context, op byte, parts ...[]byte) ([][]byte, error) {
 	if c.broken {
 		return nil, fmt.Errorf("transport: client connection is broken")
 	}
@@ -102,37 +279,39 @@ func (c *Client) roundTrip(ctx context.Context, op byte, parts ...[]byte) ([][]b
 		}
 	})
 	defer stop()
+	cc := &countConn{conn: c.conn}
 	fail := func(err error) ([][]byte, error) {
-		c.broken = true
+		// Poison the connection only when this exchange actually moved
+		// bytes: then the framing state is unknown. A cancellation (or
+		// forced deadline) that fired before any I/O leaves the
+		// connection frame-aligned, so a pooled connection survives
+		// benign cancellations between operations.
+		if cc.written > 0 || cc.read > 0 {
+			c.broken = true
+		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, fmt.Errorf("transport: %w (%v)", ctxErr, err)
 		}
 		return nil, err
 	}
 
-	sent := int64(7)
-	for _, p := range parts {
-		sent += 4 + int64(len(p))
-	}
-	if err := writeFrame(c.conn, op, parts...); err != nil {
+	if err := writeFrame(cc, op, parts...); err != nil {
 		return fail(err)
 	}
-	c.BytesSent += sent
-	c.RoundTrips++
-	resp, err := readFrame(c.conn)
+	c.bytesSent.Add(cc.written)
+	c.roundTrips.Add(1)
+	resp, err := readFrame(cc)
 	if err != nil {
 		return fail(err)
 	}
-	recvd := int64(7)
-	for _, p := range resp.parts {
-		recvd += 4 + int64(len(p))
-	}
-	c.BytesReceived += recvd
+	c.bytesReceived.Add(cc.read)
 	switch resp.op {
 	case opOK:
 		return resp.parts, nil
 	case opErrNotFound:
 		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotFound, errText(resp))
+	case opErrTooLarge:
+		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, errTooLarge, errText(resp))
 	case opErr:
 		return nil, fmt.Errorf("%w: %s", ErrRemote, errText(resp))
 	default:
@@ -182,7 +361,9 @@ func (c *Client) PutDoc(ctx context.Context, name string, d *core.Document, enc 
 
 // GetBlock fetches a data block by name or content address. With a Cache
 // attached, hits are served locally and concurrent misses for the same
-// name collapse into one wire call.
+// name collapse into one wire call. On a v2 connection a block too large
+// for a single response frame is transparently fetched as a chunked
+// stream; under v1 such blocks fail with a remote error.
 func (c *Client) GetBlock(ctx context.Context, name string) (*media.Block, error) {
 	if c.Cache != nil {
 		return c.Cache.GetOrFetch(ctx, name, func(ctx context.Context) (*media.Block, error) {
@@ -192,9 +373,14 @@ func (c *Client) GetBlock(ctx context.Context, name string) (*media.Block, error
 	return c.getBlockWire(ctx, name)
 }
 
-// getBlockWire is the uncached single-block round trip.
+// getBlockWire is the uncached single-block fetch: one round trip, with a
+// transparent retry through the chunked stream when the server reports
+// the block exceeds the single-frame limit.
 func (c *Client) getBlockWire(ctx context.Context, name string) (*media.Block, error) {
 	parts, err := c.roundTrip(ctx, opGetBlk, []byte(name))
+	if errors.Is(err, errTooLarge) && c.mux != nil {
+		return c.getBlockStream(ctx, name)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -287,9 +473,16 @@ func (c *Client) GetBlocks(ctx context.Context, names []string) ([]*media.Block,
 				continue
 			case entryDeferred:
 				// The block was too large to inline in the batch frame;
-				// fetch it on its own. A not-found here (the block was
-				// deleted meanwhile) stays a partial result.
-				blk, err = c.getBlockWire(ctx, name)
+				// fetch it on its own — on a v2 connection as a chunked
+				// stream, so oversized blocks neither bypass batching
+				// with ad-hoc single frames nor hit the frame wall. A
+				// not-found here (the block was deleted meanwhile) stays
+				// a partial result.
+				if c.mux != nil {
+					blk, err = c.getBlockStream(ctx, name)
+				} else {
+					blk, err = c.getBlockWire(ctx, name)
+				}
 				if errors.Is(err, ErrNotFound) {
 					settle(name, nil, err)
 					continue

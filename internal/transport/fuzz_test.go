@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/media"
+)
+
+// seedFrames captures the real wire traffic of the transport tests: one
+// encoded frame per protocol exchange the test suite performs, v1 and
+// v2. They seed the fuzz corpus so the fuzzers start from the shapes the
+// protocol actually produces rather than from noise.
+func seedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	blk := media.CaptureAudio("voice.aud", 200, 8000, 440, 2)
+	descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	u16 := func(v uint16) []byte { b := make([]byte, 2); binary.BigEndian.PutUint16(b, v); return b }
+	u32 := func(v uint32) []byte { b := make([]byte, 4); binary.BigEndian.PutUint32(b, v); return b }
+	u64 := func(v uint64) []byte { b := make([]byte, 8); binary.BigEndian.PutUint64(b, v); return b }
+
+	var frames [][]byte
+	addV1 := func(op byte, parts ...[]byte) {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, op, parts...); err != nil {
+			tb.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	addV2 := func(op byte, id uint32, parts ...[]byte) {
+		var buf bytes.Buffer
+		if err := writeFrameV2(&buf, op, id, parts...); err != nil {
+			tb.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+
+	// v1 requests and responses, as the test suite exchanges them.
+	addV1(opHello, []byte{protoV2})
+	addV1(opOK, []byte{protoV2}, u16(defaultMaxInFlight))
+	addV1(opGetDoc, []byte("news"), []byte{byte(EncodingText)}, []byte{0})
+	addV1(opGetBlk, []byte("voice.aud"))
+	addV1(opOK, []byte(blk.Name), []byte(blk.Medium.String()), []byte(descText), blk.Payload[:64])
+	addV1(opGetBlks, []byte("anchor.vid"), []byte("voice.aud"), []byte("ghost"))
+	addV1(opOK,
+		encodeEntry([]byte(blk.Name), []byte(blk.Medium.String()), []byte(descText), blk.Payload[:32]),
+		[]byte{entryMissing},
+		[]byte{entryDeferred})
+	addV1(opGetDescs, []byte("voice.aud"))
+	addV1(opOK, encodeEntry([]byte(blk.Name), []byte(descText)))
+	addV1(opErrNotFound, []byte(`getblk: no block "ghost"`))
+	addV1(opList)
+	addV1(opGoodbye)
+
+	// v2 exchanges: pipelined requests, busy rejection, a full stream.
+	addV2(opGetDoc, 1, []byte("news"), []byte{byte(EncodingBinary)}, []byte{1})
+	addV2(opGetBlkStream, 7, []byte("voice.aud"))
+	addV2(opErrBusy, 9, []byte("busy: 32 requests in flight"))
+	addV2(opErrTooLarge, 3, []byte("getblk: block of 67108864 bytes exceeds the frame limit"))
+	addV2(opStreamHdr, 7, []byte(blk.Name), []byte(blk.Medium.String()), []byte(descText), u64(uint64(len(blk.Payload))))
+	addV2(opStreamChunk, 7, u32(0), blk.Payload[:len(blk.Payload)/2])
+	addV2(opStreamChunk, 7, u32(1), blk.Payload[len(blk.Payload)/2:])
+	addV2(opStreamEnd, 7, u32(2))
+	return frames
+}
+
+// seedStreams builds whole stream transcripts — concatenated v2 frame
+// sequences — for the reassembly fuzzer.
+func seedStreams(tb testing.TB) [][]byte {
+	tb.Helper()
+	blk := media.CaptureAudio("voice.aud", 200, 8000, 440, 2)
+	descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	u32 := func(v uint32) []byte { b := make([]byte, 4); binary.BigEndian.PutUint32(b, v); return b }
+	u64 := func(v uint64) []byte { b := make([]byte, 8); binary.BigEndian.PutUint64(b, v); return b }
+	hdr := [][]byte{[]byte(blk.Name), []byte(blk.Medium.String()), []byte(descText), u64(uint64(len(blk.Payload)))}
+
+	stream := func(frames ...func(buf *bytes.Buffer)) []byte {
+		var buf bytes.Buffer
+		for _, f := range frames {
+			f(&buf)
+		}
+		return buf.Bytes()
+	}
+	w := func(op byte, id uint32, parts ...[]byte) func(*bytes.Buffer) {
+		return func(buf *bytes.Buffer) {
+			if err := writeFrameV2(buf, op, id, parts...); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	half := len(blk.Payload) / 2
+	return [][]byte{
+		// A complete, healthy two-chunk stream.
+		stream(
+			w(opStreamHdr, 7, hdr...),
+			w(opStreamChunk, 7, u32(0), blk.Payload[:half]),
+			w(opStreamChunk, 7, u32(1), blk.Payload[half:]),
+			w(opStreamEnd, 7, u32(2)),
+		),
+		// Truncated after the first chunk.
+		stream(
+			w(opStreamHdr, 7, hdr...),
+			w(opStreamChunk, 7, u32(0), blk.Payload[:half]),
+		),
+		// Out-of-order chunk.
+		stream(
+			w(opStreamHdr, 7, hdr...),
+			w(opStreamChunk, 7, u32(1), blk.Payload[:half]),
+		),
+		// Zero-size stream.
+		stream(
+			w(opStreamHdr, 7, []byte("empty"), []byte("image"), []byte(descText), u64(0)),
+			w(opStreamEnd, 7, u32(0)),
+		),
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at both frame decoders: they
+// must never panic, and anything they accept must survive an
+// encode-decode round trip unchanged.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, frame := range seedFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v1, err := readFrame(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := writeFrame(&buf, v1.op, v1.parts...); err != nil {
+				t.Fatalf("accepted v1 frame does not re-encode: %v", err)
+			}
+			again, err := readFrame(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoded v1 frame does not decode: %v", err)
+			}
+			if again.op != v1.op || !partsEqual(again.parts, v1.parts) {
+				t.Fatalf("v1 round trip changed the frame: %v -> %v", v1, again)
+			}
+		}
+		if v2, err := readFrameV2(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := writeFrameV2(&buf, v2.op, v2.id, v2.parts...); err != nil {
+				t.Fatalf("accepted v2 frame does not re-encode: %v", err)
+			}
+			again, err := readFrameV2(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoded v2 frame does not decode: %v", err)
+			}
+			if again.op != v2.op || again.id != v2.id || !partsEqual(again.parts, v2.parts) {
+				t.Fatalf("v2 round trip changed the frame: %v -> %v", v2, again)
+			}
+		}
+	})
+}
+
+func partsEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzReassembleChunks feeds arbitrary v2 frame sequences through the
+// stream reassembler: it must never panic, never allocate beyond the
+// data actually received, and only ever produce a block whose payload
+// length matches the declared size exactly.
+func FuzzReassembleChunks(f *testing.F) {
+	for _, transcript := range seedStreams(f) {
+		f.Add(transcript)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var asm chunkAssembler
+		for {
+			frm, err := readFrameV2(r)
+			if err != nil {
+				return
+			}
+			switch frm.op {
+			case opStreamHdr:
+				if asm.begin(frm.parts) != nil {
+					return
+				}
+			case opStreamChunk:
+				if asm.chunk(frm.parts) != nil {
+					return
+				}
+			case opStreamEnd:
+				blk, err := asm.finish(frm.parts)
+				if err == nil && int64(len(blk.Payload)) != asm.size {
+					t.Fatalf("reassembled %d bytes, header declared %d", len(blk.Payload), asm.size)
+				}
+				return
+			default:
+				return
+			}
+		}
+	})
+}
+
+// TestWriteFuzzSeedCorpus materializes the captured frames as corpus
+// files under testdata/fuzz when UPDATE_FUZZ_CORPUS=1, so the committed
+// corpus stays derivable from the transport tests' real traffic.
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to regenerate the committed fuzz corpus")
+	}
+	write := func(target string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzDecodeFrame", seedFrames(t))
+	write("FuzzReassembleChunks", seedStreams(t))
+}

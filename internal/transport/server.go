@@ -1,10 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -78,7 +81,10 @@ type GetDocOptions struct {
 	Inline bool
 }
 
-// Server serves a registry over TCP.
+// Server serves a registry over TCP. It speaks protocol v2 (multiplexed,
+// pipelined requests with chunked block streaming) to clients that
+// negotiate it at connect, and the legacy strict request/response
+// protocol v1 to everyone else.
 type Server struct {
 	reg *Registry
 
@@ -88,9 +94,29 @@ type Server struct {
 	// progressing upload is not cut off. Zero means forever. Set before
 	// Listen.
 	IdleTimeout time.Duration
-	// WriteTimeout bounds each response write; zero means no bound. Set
-	// before Listen.
+	// WriteTimeout bounds each response write — on a v2 connection, each
+	// response frame — so a slow or stuck client cannot pin a serving
+	// goroutine forever; zero means no bound. Set before Listen.
 	WriteTimeout time.Duration
+	// MaxInFlight bounds how many requests one v2 connection may have in
+	// flight; requests past the bound are rejected with opErrBusy. The
+	// bound is advertised to the client at hello. Zero means
+	// defaultMaxInFlight. Set before Listen.
+	MaxInFlight int
+	// MaxVersion caps the protocol version the server negotiates; zero
+	// means the newest this build speaks. Set to 1 to force every
+	// connection onto the legacy protocol. Set before Listen.
+	MaxVersion int
+
+	// testOpDelay, when non-nil, stalls request handling — a test hook
+	// for exercising backpressure deterministically.
+	testOpDelay func(op byte)
+
+	// descCache memoizes wire-encoded block descriptors by content
+	// address. Blocks are immutable under their ID, so the entry never
+	// goes stale; it saves re-encoding the descriptor on every fetch of
+	// a hot block.
+	descCache sync.Map // string (block ID) → string (descriptor text)
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -259,26 +285,272 @@ func (r *idleReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// maxInFlight resolves the per-connection pipelining bound.
+func (s *Server) maxInFlight() int {
+	if s.MaxInFlight > 0 {
+		return s.MaxInFlight
+	}
+	return defaultMaxInFlight
+}
+
+// maxVersion resolves the newest protocol version the server offers.
+func (s *Server) maxVersion() int {
+	if s.MaxVersion >= protoV1 && s.MaxVersion < maxProtoVersion {
+		return s.MaxVersion
+	}
+	return maxProtoVersion
+}
+
 // serveConn handles one client until EOF, goodbye, timeout or drain. A
-// draining server answers the request in flight, then hangs up.
+// client whose first frame is a hello negotiates the protocol version;
+// on v2 the connection switches to the multiplexed loop. A draining
+// server answers the requests in flight, then hangs up.
 func (s *Server) serveConn(conn net.Conn) {
-	in := &idleReader{s: s, conn: conn}
-	for s.armIdle(conn) {
-		req, err := readFrame(in)
-		if err != nil {
+	// The read side is buffered over the idle-rearming reader: pipelined
+	// v2 clients deliver bursts of frames per syscall, and the idle
+	// deadline still re-arms on every chunk the kernel delivers.
+	in := bufio.NewReaderSize(&idleReader{s: s, conn: conn}, muxBufSize)
+	if !s.armIdle(conn) {
+		return
+	}
+	req, err := readFrame(in)
+	if err != nil || req.op == opGoodbye {
+		return
+	}
+	if req.op == opHello {
+		version := s.maxVersion()
+		if len(req.parts) != 1 || len(req.parts[0]) != 1 {
+			s.writeV1(conn, opErr, []byte("hello: want [maxVersion]"))
 			return
 		}
-		if req.op == opGoodbye {
+		if clientMax := int(req.parts[0][0]); clientMax < version {
+			version = clientMax
+		}
+		if version < protoV1 {
+			s.writeV1(conn, opErr, []byte("hello: no common protocol version"))
 			return
+		}
+		ad := make([]byte, 2)
+		binary.BigEndian.PutUint16(ad, uint16(s.maxInFlight()))
+		if err := s.writeV1(conn, opOK, []byte{byte(version)}, ad); err != nil {
+			return
+		}
+		if version >= protoV2 {
+			s.serveConnV2(conn, in)
+			return
+		}
+		s.serveConnV1(conn, in, nil)
+		return
+	}
+	s.serveConnV1(conn, in, &req)
+}
+
+// writeV1 sends one v1 frame with the configured write deadline.
+func (s *Server) writeV1(conn net.Conn, op byte, parts ...[]byte) error {
+	if s.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+	return writeFrame(conn, op, parts...)
+}
+
+// serveConnV1 is the legacy strict request/response loop; first, when
+// non-nil, is a request already read off the connection.
+func (s *Server) serveConnV1(conn net.Conn, in *bufio.Reader, first *frame) {
+	for {
+		var req frame
+		if first != nil {
+			req, first = *first, nil
+		} else {
+			if !s.armIdle(conn) {
+				return
+			}
+			var err error
+			req, err = readFrame(in)
+			if err != nil {
+				return
+			}
+			if req.op == opGoodbye {
+				return
+			}
 		}
 		resp, parts := s.handle(req)
-		if s.WriteTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
-		}
-		if err := writeFrame(conn, resp, parts...); err != nil {
+		if err := s.writeV1(conn, resp, parts...); err != nil {
 			return
 		}
 	}
+}
+
+// serveConnV2 is the multiplexed loop: the connection goroutine reads
+// request frames and dispatches each to its own handler goroutine,
+// bounded by the per-connection in-flight limit — requests past the
+// bound are rejected immediately with opErrBusy. A writer goroutine
+// serializes response frames (coalescing bursts through a buffered
+// writer, bounding each write with the write timeout), so responses
+// complete out of order and a large streamed block interleaves with
+// other responses instead of blocking them. On drain the reader stops,
+// in-flight handlers finish, and their responses are flushed before the
+// connection closes.
+func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader) {
+	maxIF := s.maxInFlight()
+	respCh := make(chan frameV2, maxIF+2)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, muxBufSize)
+		failed := false
+		flush := func() {
+			if failed {
+				return
+			}
+			if s.WriteTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			}
+			if err := bw.Flush(); err != nil {
+				// The connection is gone (or the client too slow): keep
+				// draining respCh so handlers never block, and kill the
+				// read side so the connection goroutine unwinds.
+				failed = true
+				_ = conn.Close()
+			}
+		}
+		for {
+			var f frameV2
+			var ok bool
+			select {
+			case f, ok = <-respCh:
+			default:
+				// Give handlers one scheduling slot to emit more
+				// responses before paying the flush syscall.
+				runtime.Gosched()
+				select {
+				case f, ok = <-respCh:
+				default:
+					flush()
+					f, ok = <-respCh
+				}
+			}
+			if !ok {
+				flush()
+				return
+			}
+			if failed {
+				continue
+			}
+			if s.WriteTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			}
+			if err := writeFrameV2(bw, f.op, f.id, f.parts...); err != nil {
+				failed = true
+				_ = conn.Close()
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, maxIF)
+	var wg sync.WaitGroup
+	for s.armIdle(conn) {
+		req, err := readFrameV2(in)
+		if err != nil {
+			break
+		}
+		if req.op == opGoodbye {
+			break
+		}
+		if !admit(sem) {
+			respCh <- frameV2{op: opErrBusy, id: req.id,
+				parts: [][]byte{[]byte(fmt.Sprintf("busy: %d requests in flight", maxIF))}}
+			continue
+		}
+		wg.Add(1)
+		go func(req frameV2) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.handleV2(req, respCh)
+		}(req)
+	}
+	wg.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// admit claims one in-flight slot without blocking the read loop. When
+// the pool looks full it yields once and retries: a handler that has
+// already enqueued its response but was preempted before releasing its
+// slot gets the scheduling slot it needs, so a client pipelining right
+// at the advertised bound is not spuriously rejected by that tiny
+// window. A genuinely saturated connection still rejects immediately
+// after the one yield.
+func admit(sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+	}
+	runtime.Gosched()
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// handleV2 executes one multiplexed request, emitting its response
+// frame(s) — several for a streamed block — in order onto respCh.
+func (s *Server) handleV2(req frameV2, respCh chan<- frameV2) {
+	if s.testOpDelay != nil {
+		s.testOpDelay(req.op)
+	}
+	if req.op == opGetBlkStream {
+		s.handleStream(req, respCh)
+		return
+	}
+	op, parts := s.handle(frame{op: req.op, parts: req.parts})
+	respCh <- frameV2{op: op, id: req.id, parts: parts}
+}
+
+// handleStream answers opGetBlkStream: a header frame, the payload cut
+// into sequenced chunks, and an end frame carrying the chunk count.
+func (s *Server) handleStream(req frameV2, respCh chan<- frameV2) {
+	reply := func(op byte, parts ...[]byte) {
+		respCh <- frameV2{op: op, id: req.id, parts: parts}
+	}
+	if len(req.parts) != 1 {
+		reply(opErr, []byte("getblkstream: want [name]"))
+		return
+	}
+	name := string(req.parts[0])
+	blk, ok := s.lookupBlock(name)
+	if !ok {
+		reply(opErrNotFound, []byte(fmt.Sprintf("getblkstream: no block %q", name)))
+		return
+	}
+	if int64(len(blk.Payload)) > maxStreamBytes {
+		reply(opErr, []byte(fmt.Sprintf("getblkstream: block of %d bytes exceeds the stream limit", len(blk.Payload))))
+		return
+	}
+	descText, err := s.descriptorText(blk)
+	if err != nil {
+		reply(opErr, []byte(fmt.Sprintf("getblkstream: descriptor: %v", err)))
+		return
+	}
+	size := make([]byte, 8)
+	binary.BigEndian.PutUint64(size, uint64(len(blk.Payload)))
+	reply(opStreamHdr, []byte(blk.Name), []byte(blk.Medium.String()), []byte(descText), size)
+	var seq uint32
+	for off := 0; off < len(blk.Payload); off += streamChunkSize {
+		end := off + streamChunkSize
+		if end > len(blk.Payload) {
+			end = len(blk.Payload)
+		}
+		seqBuf := make([]byte, 4)
+		binary.BigEndian.PutUint32(seqBuf, seq)
+		reply(opStreamChunk, seqBuf, blk.Payload[off:end])
+		seq++
+	}
+	count := make([]byte, 4)
+	binary.BigEndian.PutUint32(count, seq)
+	reply(opStreamEnd, count)
 }
 
 // handle executes one request, returning the response op and parts.
@@ -335,7 +607,16 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		if !ok {
 			return notFound("getblk: no block %q", name)
 		}
-		descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+		// A payload past the frame limit cannot travel as one response.
+		// Answer opErrTooLarge instead of dying on the write: v2 clients
+		// retry with the chunked stream, v1 clients get a clean remote
+		// error (before this guard the write failure killed the
+		// connection).
+		if len(blk.Payload) > maxFrameSize-(1<<16) {
+			return opErrTooLarge, [][]byte{[]byte(fmt.Sprintf(
+				"getblk: block of %d bytes exceeds the frame limit; use the chunked stream", len(blk.Payload)))}
+		}
+		descText, err := s.descriptorText(blk)
 		if err != nil {
 			return fail("getblk: descriptor: %v", err)
 		}
@@ -363,7 +644,7 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 				parts[i] = []byte{entryDeferred}
 				continue
 			}
-			descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+			descText, err := s.descriptorText(blk)
 			if err != nil {
 				return fail("getblks: descriptor: %v", err)
 			}
@@ -387,7 +668,7 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 				parts[i] = []byte{entryMissing}
 				continue
 			}
-			descText, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+			descText, err := s.descriptorText(blk)
 			if err != nil {
 				return fail("getdescs: descriptor: %v", err)
 			}
@@ -423,6 +704,20 @@ func (s *Server) lookupBlock(name string) (*media.Block, bool) {
 		return blk, true
 	}
 	return s.reg.Store.Get(name)
+}
+
+// descriptorText returns the block's wire-encoded descriptor, memoized
+// by content address.
+func (s *Server) descriptorText(blk *media.Block) (string, error) {
+	if text, ok := s.descCache.Load(blk.ID); ok {
+		return text.(string), nil
+	}
+	text, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
+	if err != nil {
+		return "", err
+	}
+	s.descCache.Store(blk.ID, text)
+	return text, nil
 }
 
 func encodeDoc(d *core.Document, enc Encoding) ([]byte, error) {

@@ -169,12 +169,12 @@ func TestInlineTransportCarriesData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slimBytes := c.BytesReceived
+	slimBytes := c.BytesReceived()
 	inlined, err := c.GetDoc(context.Background(), "news", GetDocOptions{Inline: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fatBytes := c.BytesReceived - slimBytes
+	fatBytes := c.BytesReceived() - slimBytes
 	if fatBytes <= slimBytes {
 		t.Errorf("inline fetch (%d B) not larger than structure fetch (%d B)",
 			fatBytes, slimBytes)

@@ -31,13 +31,65 @@ const (
 	// each found entry carries only the descriptor text, not the payload —
 	// the paper's "relatively small clusters of data (the attributes)".
 	opGetDescs byte = 8
-	opOK       byte = 128
+	// opHello negotiates the protocol version. It is the first frame a
+	// v2-capable client sends, in v1 framing: request [maxVersion],
+	// response opOK [version, maxInFlight(u16)]. A v1 server answers
+	// opErr ("unknown op 9") and the client stays on protocol v1.
+	opHello byte = 9
+	// opGetBlkStream fetches one block as a chunked v2 stream: the
+	// response is a sequence of frames sharing the request ID —
+	// opStreamHdr, then zero or more opStreamChunk, then opStreamEnd.
+	// Only valid after a v2 hello.
+	opGetBlkStream byte = 10
+	opOK           byte = 128
+	// opStreamHdr opens a streamed block response: parts are
+	// [name, medium, descriptor, payloadSize(u64)].
+	opStreamHdr byte = 129
+	// opStreamChunk carries one payload slice: parts are
+	// [seq(u32), bytes]; seq starts at 0 and increments by 1.
+	opStreamChunk byte = 130
+	// opStreamEnd closes a streamed response: parts are [chunkCount(u32)],
+	// letting the client verify nothing was dropped.
+	opStreamEnd byte = 131
+	// opErrTooLarge reports that the requested block cannot be framed as a
+	// single response (payload past maxFrameSize); v2 clients retry with
+	// opGetBlkStream.
+	opErrTooLarge byte = 252
+	// opErrBusy is the per-connection backpressure rejection: the server
+	// already has its maximum number of requests in flight on this
+	// connection and refuses to queue more.
+	opErrBusy byte = 253
 	// opErrNotFound distinguishes "no such document/block" from other
 	// failures so clients can surface a typed not-found error.
 	opErrNotFound byte = 254
 	opErr         byte = 255
 	opGoodbye     byte = 6
 )
+
+// Protocol versions. Version 1 is the original strict request/response
+// protocol; version 2 multiplexes pipelined requests over one connection
+// (frames carry a request ID) and adds chunked block streaming.
+const (
+	protoV1 = 1
+	protoV2 = 2
+	// maxProtoVersion is the newest version this build speaks.
+	maxProtoVersion = protoV2
+)
+
+// defaultMaxInFlight bounds how many requests the server processes
+// concurrently per v2 connection; requests past the bound are rejected
+// with opErrBusy. The server advertises its bound in the hello response
+// so well-behaved clients queue locally instead of being rejected.
+const defaultMaxInFlight = 32
+
+// streamChunkSize is how many payload bytes each opStreamChunk carries.
+// A variable so tests can exercise multi-chunk reassembly with small
+// blocks.
+var streamChunkSize = 1 << 20
+
+// maxStreamBytes caps the total payload size a streamed block transfer
+// may declare, protecting clients from a malicious or corrupt size header.
+const maxStreamBytes = int64(1) << 31
 
 // maxBatch is the largest multi-get a single frame carries: one request
 // part (and one response entry) per name. Clients chunk larger batches.
@@ -157,6 +209,96 @@ func writeFrame(w io.Writer, op byte, parts ...[]byte) error {
 	return nil
 }
 
+// frameV2 is one decoded protocol-v2 wire message: v1 framing plus a
+// request ID demultiplexing concurrent in-flight requests.
+type frameV2 struct {
+	op    byte
+	id    uint32
+	parts [][]byte
+}
+
+// writeFrameV2 encodes and sends a v2 frame:
+//
+//	u32 totalLen | u8 op | u32 reqID | u16 partCount | (u32 len | bytes)*
+func writeFrameV2(w io.Writer, op byte, id uint32, parts ...[]byte) error {
+	if len(parts) > maxParts {
+		return fmt.Errorf("transport: %d parts exceeds limit", len(parts))
+	}
+	total := 1 + 4 + 2
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	if total > maxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	hdr := make([]byte, 4+1+4+2)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
+	hdr[4] = op
+	binary.BigEndian.PutUint32(hdr[5:9], id)
+	binary.BigEndian.PutUint16(hdr[9:11], uint16(len(parts)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(p)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrameV2 receives and decodes one v2 frame.
+func readFrameV2(r io.Reader) (frameV2, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frameV2{}, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 7 || total > maxFrameSize {
+		return frameV2{}, fmt.Errorf("transport: v2 frame length %d out of range", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frameV2{}, err
+	}
+	f := frameV2{op: body[0], id: binary.BigEndian.Uint32(body[1:5])}
+	count := int(binary.BigEndian.Uint16(body[5:7]))
+	if count > maxParts {
+		return frameV2{}, fmt.Errorf("transport: %d parts exceeds limit", count)
+	}
+	off := 7
+	for i := 0; i < count; i++ {
+		if off+4 > len(body) {
+			return frameV2{}, fmt.Errorf("transport: truncated part header")
+		}
+		n := int(binary.BigEndian.Uint32(body[off : off+4]))
+		off += 4
+		if n < 0 || off+n > len(body) {
+			return frameV2{}, fmt.Errorf("transport: part length %d exceeds frame", n)
+		}
+		f.parts = append(f.parts, body[off:off+n])
+		off += n
+	}
+	if off != len(body) {
+		return frameV2{}, fmt.Errorf("transport: %d trailing bytes in frame", len(body)-off)
+	}
+	return f, nil
+}
+
+// frameV2Size is the on-wire size of a v2 frame, for traffic accounting.
+func frameV2Size(parts [][]byte) int64 {
+	n := int64(4 + 1 + 4 + 2)
+	for _, p := range parts {
+		n += 4 + int64(len(p))
+	}
+	return n
+}
+
 // readFrame receives and decodes one frame.
 func readFrame(r io.Reader) (frame, error) {
 	var lenBuf [4]byte
@@ -194,3 +336,8 @@ func readFrame(r io.Reader) (frame, error) {
 	}
 	return f, nil
 }
+
+// muxBufSize sizes the buffered readers and writers of the multiplexed
+// paths: large enough that a burst of pipelined frames coalesces into
+// few syscalls instead of flushing every few kilobytes.
+const muxBufSize = 64 << 10

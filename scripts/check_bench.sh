@@ -1,11 +1,12 @@
 #!/bin/sh
-# Bench-regression gate: run cmifbench's S1 (store) and S2 (scheduler)
-# scenarios in quick smoke mode and validate both the fresh results and the
-# committed BENCH_store.json / BENCH_sched.json reference files against the
-# regression invariants:
+# Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler) and
+# S3 (wire protocol) scenarios in quick smoke mode and validate both the
+# fresh results and the committed BENCH_store.json / BENCH_sched.json /
+# BENCH_wire.json reference files against the regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
-#     at least 8x fewer, warm never more than cold);
+#     at least 8x fewer, warm never more than cold; S3 scenarios exactly
+#     one wire call per fetch under both connection disciplines);
 #   - schedule equality across the single, parallel and incremental solver
 #     paths, one component per arm, one component re-solved per leaf edit;
 #   - allocation ratios (incremental reschedule allocates ≤ 1/4 of a full
@@ -13,7 +14,10 @@
 #   - relative-throughput floors with machine tolerances, and the committed
 #     headline speedups (warm-batched ≥ 4x; incremental reschedule ≥ 10x;
 #     component-parallel ≥ 2x whenever the committed run recorded
-#     GOMAXPROCS ≥ 4).
+#     GOMAXPROCS ≥ 4; multiplexed wire protocol ≥ 3x over the serialized
+#     v1 path at 16 workers on one connection);
+#   - the streamed-transfer probe: a ≥ 64 MiB block retrieved through the
+#     v2 chunked stream, and unfetchable over protocol v1.
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -30,8 +34,10 @@ trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
 go run ./cmd/cmifbench -smoke \
     -store-out "$BENCH_DIR/BENCH_store.json" \
     -sched-out "$BENCH_DIR/BENCH_sched.json" \
+    -wire-out "$BENCH_DIR/BENCH_wire.json" \
     -check-store BENCH_store.json \
     -check-sched BENCH_sched.json \
-    S1 S2
+    -check-wire BENCH_wire.json \
+    S1 S2 S3
 
 echo "bench-regression gate passed (results in $BENCH_DIR)"

@@ -3,8 +3,9 @@
 # the source, so a rename or removal fails CI instead of silently rotting
 # the documentation.
 #
-#   - every backticked `opXxx` / `maxXxx` identifier in docs/PROTOCOL.md
-#     must appear in internal/transport/wire.go;
+#   - every backticked `opXxx` / `maxXxx` / `streamXxx` / `muxXxx` /
+#     `defaultXxx` / `protoXxx` identifier in docs/PROTOCOL.md must
+#     appear in internal/transport/wire.go;
 #   - every backticked `cmif.Xxx` symbol in docs/ and README.md must
 #     appear in the cmif facade sources;
 #   - every backticked `sched.Xxx` symbol in docs/ must appear in
@@ -15,8 +16,9 @@ set -eu
 
 fail=0
 
-# Wire-protocol identifiers (op codes, entry flags and framing limits).
-for ident in $(grep -o '`\(op\|max\|entry\|batch\)[A-Za-z]*`' docs/PROTOCOL.md | tr -d '`' | sort -u); do
+# Wire-protocol identifiers (op codes, entry flags, framing limits,
+# protocol versions, stream and mux constants).
+for ident in $(grep -o '`\(op\|max\|entry\|batch\|stream\|mux\|default\|proto\)[A-Za-z]*`' docs/PROTOCOL.md | tr -d '`' | sort -u); do
     if ! grep -q "\b$ident\b" internal/transport/wire.go; then
         echo "docs/PROTOCOL.md references \`$ident\`, which no longer exists in internal/transport/wire.go" >&2
         fail=1
