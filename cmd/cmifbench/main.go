@@ -1,19 +1,20 @@
 // Command cmifbench regenerates every experiment artifact of the paper
 // reproduction — the section 3.1 table, Figures 1-10, the two ablations —
 // plus the S1 storage/fetch concurrency scenarios (BENCH_store.json),
-// the S2 scheduler scenarios (BENCH_sched.json) and the S3 wire-protocol
-// scenarios (BENCH_wire.json).
+// the S2 scheduler scenarios (BENCH_sched.json), the S3 wire-protocol
+// scenarios (BENCH_wire.json) and the S4 durability scenarios
+// (BENCH_durable.json).
 //
 // Usage:
 //
-//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4]
 //
 // Run with no experiment ids for everything; naming ids restricts the run.
-// -smoke shrinks the S1/S2/S3 configurations to CI-sized quick runs. The
-// -check-store/-check-sched/-check-wire flags additionally validate a
-// committed BENCH file and the fresh results against the bench-regression
-// invariants, exiting nonzero on violation (the scripts/check_bench.sh
-// gate).
+// -smoke shrinks the S1/S2/S3/S4 configurations to CI-sized quick runs.
+// The -check-store/-check-sched/-check-wire/-check-durable flags
+// additionally validate a committed BENCH file and the fresh results
+// against the bench-regression invariants, exiting nonzero on violation
+// (the scripts/check_bench.sh gate).
 package main
 
 import (
@@ -43,10 +44,15 @@ func main() {
 	wireFetches := flag.Int("wire-fetches", 0, "single-block fetches per worker in S3 (default 128)")
 	wireHuge := flag.Int64("wire-huge", 0, "huge streamed block size in bytes for S3 (default 65 MiB; negative disables)")
 
-	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3 to quick CI-sized configurations")
+	durableOut := flag.String("durable-out", "BENCH_durable.json", "path for the S4 durability-bench JSON results")
+	durableRecover := flag.String("durable-recover", "", "comma-separated recovery corpus sizes for S4 (default 1000,10000)")
+	durableWrites := flag.Int("durable-writes", 0, "blocks in the S4 sync-policy write scenario (default 2048)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4 to quick CI-sized configurations")
 	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
 	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
 	checkWire := flag.String("check-wire", "", "committed BENCH_wire.json to validate against the regression gate")
+	checkDurable := flag.String("check-durable", "", "committed BENCH_durable.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -82,6 +88,12 @@ func main() {
 	if runAll || want["S3"] {
 		if err := runWireBench(*wireOut, *wireWorkers, *wireFetches, *wireHuge, *smoke, *checkWire); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S3: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S4"] {
+		if err := runDurableBench(*durableOut, *durableRecover, *durableWrites, *smoke, *checkDurable); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S4: %v\n", err)
 			failed++
 		}
 	}
@@ -234,6 +246,57 @@ func runWireBench(out, workerList string, fetches int, huge int64, smoke bool, c
 		violations = append(violations, "fresh: "+v)
 	}
 	return reportViolations("wire", violations)
+}
+
+// runDurableBench runs the S4 durability scenarios with the same output
+// and gating shape as S1/S2/S3.
+func runDurableBench(out, recoverList string, writeBlocks int, smoke bool, checkAgainst string) error {
+	cfg := cmif.DurableBenchConfig{WriteBlocks: writeBlocks}
+	if recoverList != "" {
+		for _, f := range strings.Split(recoverList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -durable-recover entry %q", f)
+			}
+			cfg.RecoverBlocks = append(cfg.RecoverBlocks, n)
+		}
+	}
+	if smoke {
+		if cfg.WriteBlocks == 0 {
+			cfg.WriteBlocks = 256
+		}
+		if len(cfg.RecoverBlocks) == 0 {
+			cfg.RecoverBlocks = []int{256, 1024}
+		}
+	}
+	report, err := cmif.RunDurableBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadDurableBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckDurableBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckDurableBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("durable", violations)
 }
 
 func reportViolations(name string, violations []string) error {

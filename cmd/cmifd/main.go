@@ -6,13 +6,19 @@
 //
 //	cmifd [-addr 127.0.0.1:7911] [-news N] [-idle 2m] [-grace 5s]
 //	      [-max-inflight 32] [-max-proto 2]
+//	      [-data DIR] [-sync always|interval|never] [-snap-bytes N]
 //
 // With -news, the built-in evening-news corpus is preloaded under the name
-// "news". The server speaks the multiplexed wire protocol v2 to clients
-// that negotiate it (cap with -max-proto 1 to force the legacy protocol)
-// and bounds per-connection pipelining with -max-inflight. It runs until
-// SIGINT or SIGTERM, then drains gracefully: in-flight requests get their
-// responses before the process exits.
+// "news". With -data, the server is durable: the corpus recovers from DIR
+// on start (snapshot load plus WAL replay) and every mutation is
+// write-ahead-logged before it is acknowledged, so a cmifd killed
+// mid-ingest — even with SIGKILL — restarts with its exact pre-kill
+// corpus. -sync picks the fsync policy and -snap-bytes the automatic
+// snapshot/compaction threshold. The server speaks the multiplexed wire
+// protocol v2 to clients that negotiate it (cap with -max-proto 1 to
+// force the legacy protocol) and bounds per-connection pipelining with
+// -max-inflight. It runs until SIGINT or SIGTERM, then drains gracefully:
+// in-flight requests get their responses before the process exits.
 package main
 
 import (
@@ -35,6 +41,9 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	maxInFlight := flag.Int("max-inflight", 0, "max pipelined requests per v2 connection (0 = default 32)")
 	maxProto := flag.Int("max-proto", 2, "newest wire protocol version to negotiate (1 forces legacy)")
+	dataDir := flag.String("data", "", "durable data directory: recover the corpus from it and write-ahead-log every mutation (empty = in-memory only)")
+	syncMode := flag.String("sync", "interval", "WAL fsync policy with -data: always, interval or never")
+	snapBytes := flag.Int64("snap-bytes", 0, "snapshot+compact once the WAL grows past this many bytes (0 = default 64 MiB, negative disables)")
 	flag.Parse()
 
 	opts := []cmif.ServerOption{
@@ -42,6 +51,17 @@ func main() {
 		cmif.WithShutdownGrace(*grace),
 		cmif.WithMaxInFlight(*maxInFlight),
 		cmif.WithMaxProtocolVersion(*maxProto),
+	}
+	if *dataDir != "" {
+		policy, err := cmif.ParseSyncPolicy(*syncMode)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts,
+			cmif.WithDataDir(*dataDir),
+			cmif.WithSyncPolicy(policy),
+			cmif.WithSnapshotThreshold(*snapBytes),
+		)
 	}
 	if *news > 0 {
 		doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: *news})
@@ -60,6 +80,9 @@ func main() {
 	err := cmif.Serve(ctx, *addr, func(bound string, s *cmif.Server) {
 		fmt.Printf("cmifd: serving %d documents, %d blocks on %s\n",
 			len(s.DocumentNames()), s.Store().Len(), bound)
+		if *dataDir != "" {
+			fmt.Printf("cmifd: durable in %s (sync=%s)\n", *dataDir, *syncMode)
+		}
 	}, opts...)
 	switch {
 	case err == nil:

@@ -81,6 +81,24 @@ func RunWireBench(ctx context.Context, cfg WireBenchConfig) (*WireBenchReport, e
 	return experiments.WireBench(ctx, cfg)
 }
 
+// DurableBenchConfig sizes the S4 durability scenarios: write throughput
+// by fsync policy, recovery time (WAL replay vs snapshot vs wire
+// re-ingest) and write amplification. The zero value is usable (2048
+// blocks of 4 KiB, recovery at 1k and 10k blocks).
+type DurableBenchConfig = experiments.DurableBenchConfig
+
+// DurableBenchReport is the machine-readable result set of
+// RunDurableBench; cmifbench writes it to BENCH_durable.json.
+type DurableBenchReport = experiments.DurableBenchReport
+
+// RunDurableBench measures the durability layer: journaled write
+// throughput under each sync policy, and corpus recovery — replaying the
+// WAL or a snapshot against re-ingesting over the wire — with exact
+// corpus-equality verification.
+func RunDurableBench(ctx context.Context, cfg DurableBenchConfig) (*DurableBenchReport, error) {
+	return experiments.DurableBench(ctx, cfg)
+}
+
 // BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU
 // count, go version); it travels inside every BENCH report.
 type BenchEnv = experiments.BenchEnv
@@ -98,6 +116,19 @@ func LoadSchedBenchReport(path string) (*SchedBenchReport, error) {
 // LoadWireBenchReport reads a BENCH_wire.json report from disk.
 func LoadWireBenchReport(path string) (*WireBenchReport, error) {
 	return experiments.LoadWireReport(path)
+}
+
+// LoadDurableBenchReport reads a BENCH_durable.json report from disk.
+func LoadDurableBenchReport(path string) (*DurableBenchReport, error) {
+	return experiments.LoadDurableReport(path)
+}
+
+// CheckDurableBenchReport validates a durability-bench report: recovery
+// restores 100% of the corpus byte-for-byte, write amplification stays
+// within the record format's ceiling, and WAL replay beats wire re-ingest
+// (≥ 10x for the committed reference file).
+func CheckDurableBenchReport(r *DurableBenchReport, committed bool) []string {
+	return experiments.CheckDurableReport(r, committed)
 }
 
 // CheckWireBenchReport validates a wire-bench report: exact wire-call

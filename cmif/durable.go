@@ -1,0 +1,53 @@
+package cmif
+
+import (
+	"repro/internal/durable"
+)
+
+// SyncPolicy says when the durable layer fsyncs appended mutations — the
+// knob behind WithSyncPolicy trading write latency against the loss
+// window on a machine crash (a plain process kill loses nothing under any
+// policy).
+type SyncPolicy = durable.SyncPolicy
+
+// Sync policies for WithSyncPolicy.
+const (
+	// SyncAlways fsyncs before every acknowledgement: zero loss.
+	SyncAlways = durable.SyncAlways
+	// SyncInterval (the default) fsyncs on a background tick.
+	SyncInterval = durable.SyncInterval
+	// SyncNever leaves flushing to the operating system.
+	SyncNever = durable.SyncNever
+)
+
+// ParseSyncPolicy reads "always", "interval" or "never" — the -sync flag
+// values cmifd accepts.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return durable.ParseSyncPolicy(s) }
+
+// DurableStats reports write-ahead-log activity (records and bytes
+// appended, live WAL size, snapshots taken).
+type DurableStats = durable.Stats
+
+// ErrCorruptData matches recovery failures caused by a corrupt record —
+// a checksum mismatch or undecodable fields — via errors.Is. A torn final
+// record is NOT corruption; it is truncated away silently.
+var ErrCorruptData = durable.ErrCorrupt
+
+// LoadDataDir recovers the corpus a durable server (WithDataDir) wrote:
+// the block store plus every registered document. It is a read-only
+// recovery — nothing is repaired, locked or compacted — for offline
+// tools, verification and benches. The directory must be quiescent: no
+// server may be writing it during the load (reading under a live writer
+// can race a compaction or mistake a half-appended record for a crash's
+// torn tail).
+func LoadDataDir(dir string) (*Store, map[string]*Document, error) {
+	st, err := durable.Load(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	docs := make(map[string]*Document, len(st.Docs))
+	for name, d := range st.Docs {
+		docs[name] = wrapDocument(d)
+	}
+	return st.Store, docs, nil
+}

@@ -98,8 +98,9 @@ type Pipeline struct {
 
 // pipelineConfig collects the pipeline options.
 type pipelineConfig struct {
-	cfg   pipeline.Config
-	store *media.Store
+	cfg     pipeline.Config
+	store   *media.Store
+	dataDir string
 }
 
 // PipelineOption configures NewPipeline and Pipeline.Run.
@@ -114,6 +115,14 @@ func WithProfile(p Profile) PipelineOption {
 // leaves. Runs without a store see every external leaf as missing data.
 func WithStore(s *Store) PipelineOption {
 	return func(c *pipelineConfig) { c.store = s }
+}
+
+// WithStoreFromDataDir backs the run with the block store recovered from
+// a durable server's data directory (see WithDataDir). Recovery happens
+// at Run time; an explicit WithStore takes precedence. The directory
+// must be quiescent — no live server writing it — like LoadDataDir.
+func WithStoreFromDataDir(dir string) PipelineOption {
+	return func(c *pipelineConfig) { c.dataDir = dir }
 }
 
 // WithScheduler tunes timing-graph construction (leaf durations, rigid
@@ -169,6 +178,13 @@ func (p *Pipeline) Run(ctx context.Context, doc *Document, opts ...PipelineOptio
 		o(&cfg)
 	}
 	store := cfg.store
+	if store == nil && cfg.dataDir != "" {
+		recovered, _, err := LoadDataDir(cfg.dataDir)
+		if err != nil {
+			return nil, err
+		}
+		store = recovered
+	}
 	if store == nil {
 		store = media.NewStore()
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/media"
 	"repro/internal/transport"
 )
@@ -16,6 +18,11 @@ type Server struct {
 	srv *transport.Server
 	// grace bounds Serve's wait for in-flight requests after cancellation.
 	grace time.Duration
+	// log is the durability layer when WithDataDir is in effect.
+	log *durable.Log
+	// initErr holds a durable-recovery failure; Listen and Serve report
+	// it (NewServer keeps its no-error signature).
+	initErr error
 }
 
 // serverConfig collects the server options.
@@ -27,6 +34,9 @@ type serverConfig struct {
 	grace        time.Duration
 	maxInFlight  int
 	maxVersion   int
+	dataDir      string
+	syncPolicy   SyncPolicy
+	snapBytes    int64
 }
 
 type namedDoc struct {
@@ -76,6 +86,32 @@ func WithMaxInFlight(n int) ServerOption {
 	return func(c *serverConfig) { c.maxInFlight = n }
 }
 
+// WithDataDir makes the server durable: the corpus recovers from dir on
+// start (newest snapshot plus WAL replay) and every subsequent mutation —
+// document registrations, block puts, deletes — is write-ahead-logged
+// there before it is acknowledged, so a killed server restarts with its
+// exact pre-kill corpus. An empty or missing directory starts empty.
+// Combine with WithServedStore/WithServedDocument to seed a corpus: seed
+// content already recovered from dir journals nothing.
+func WithDataDir(dir string) ServerOption {
+	return func(c *serverConfig) { c.dataDir = dir }
+}
+
+// WithSyncPolicy picks when WithDataDir's log fsyncs: SyncAlways before
+// every acknowledgement, SyncInterval (the default) on a background tick,
+// SyncNever when the OS feels like it. See the SyncPolicy docs for the
+// loss windows.
+func WithSyncPolicy(p SyncPolicy) ServerOption {
+	return func(c *serverConfig) { c.syncPolicy = p }
+}
+
+// WithSnapshotThreshold triggers a background snapshot (and WAL
+// compaction) whenever the un-snapshotted log grows past n bytes. Zero
+// keeps the 64 MiB default; negative disables automatic snapshots.
+func WithSnapshotThreshold(n int64) ServerOption {
+	return func(c *serverConfig) { c.snapBytes = n }
+}
+
 // WithMaxProtocolVersion caps the wire protocol version the server
 // negotiates: 1 forces every connection onto the legacy strict
 // request/response protocol, 2 (the default) offers the multiplexed
@@ -85,22 +121,77 @@ func WithMaxProtocolVersion(v int) ServerOption {
 }
 
 // NewServer builds a server from functional options. It does not listen
-// yet; call Listen, then Serve (or Close).
+// yet; call Listen, then Serve (or Close). A WithDataDir recovery failure
+// is deferred: it surfaces from Listen (and Serve), keeping NewServer's
+// signature.
 func NewServer(opts ...ServerOption) *Server {
 	cfg := serverConfig{grace: 5 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	reg := transport.NewRegistry(cfg.store)
+	s := &Server{grace: cfg.grace}
+	var reg *transport.Registry
+	switch {
+	case cfg.dataDir != "":
+		log, st, err := durable.Open(cfg.dataDir, durable.Options{
+			Sync:          cfg.syncPolicy,
+			SnapshotBytes: cfg.snapBytes,
+		})
+		if err != nil {
+			s.initErr = err
+			reg = transport.NewRegistry(nil)
+			break
+		}
+		s.log = log
+		// The journal attaches before the seed store merges in, so seed
+		// content already recovered from the directory journals nothing
+		// (Store.Put only journals state changes).
+		st.Store.SetJournal(log)
+		st.DB.SetJournal(log)
+		if cfg.store != nil {
+			cfg.store.Each(func(b *media.Block) bool {
+				st.Store.Put(b)
+				return true
+			})
+			for _, name := range cfg.store.Names() {
+				if id, ok := cfg.store.Resolve(name); ok {
+					st.Store.RegisterName(name, id)
+				}
+			}
+		}
+		reg = transport.NewRegistry(st.Store)
+		// Recovered documents preload before the journal hook attaches —
+		// they are already on disk.
+		for name, d := range st.Docs {
+			reg.PutDoc(name, d)
+		}
+		reg.OnPutDoc = func(name string, d *core.Document) { _ = log.PutDoc(name, d) }
+		reg.DurabilityErr = log.Err
+	default:
+		reg = transport.NewRegistry(cfg.store)
+	}
 	for _, nd := range cfg.docs {
 		reg.PutDoc(nd.name, nd.doc.doc)
+	}
+	if s.log != nil && s.initErr == nil {
+		// Journaling the seed corpus may itself have failed (disk full
+		// mid-merge); surface it at startup instead of serving a corpus
+		// that silently refuses every mutation.
+		s.initErr = s.log.Err()
+	}
+	if s.log != nil && s.initErr != nil {
+		// A server that will never Listen must not leak the log's
+		// segment handle and sync goroutine.
+		s.log.Close()
+		s.log = nil
 	}
 	srv := transport.NewServer(reg)
 	srv.IdleTimeout = cfg.idleTimeout
 	srv.WriteTimeout = cfg.writeTimeout
 	srv.MaxInFlight = cfg.maxInFlight
 	srv.MaxVersion = cfg.maxVersion
-	return &Server{reg: reg, srv: srv, grace: cfg.grace}
+	s.reg, s.srv = reg, srv
+	return s
 }
 
 // Register adds (or replaces) a document under name while serving.
@@ -112,9 +203,41 @@ func (s *Server) DocumentNames() []string { return s.reg.DocNames() }
 // Store returns the server's block store.
 func (s *Server) Store() *Store { return s.reg.Store }
 
+// Snapshot writes the durable layer's state to a fresh snapshot and
+// compacts the log it covers; a no-op without WithDataDir (or while a
+// snapshot is already in flight).
+func (s *Server) Snapshot() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Snapshot()
+}
+
+// DurableStats reports write-ahead-log activity; ok is false without
+// WithDataDir.
+func (s *Server) DurableStats() (stats DurableStats, ok bool) {
+	if s.log == nil {
+		return DurableStats{}, false
+	}
+	return s.log.Stats(), true
+}
+
+// closeLog shuts the durability layer down (idempotent; nil-safe).
+func (s *Server) closeLog() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
 // Listen starts accepting on addr ("127.0.0.1:0" picks a free port) and
 // returns the bound address. Serving happens on background goroutines.
-func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+func (s *Server) Listen(addr string) (string, error) {
+	if s.initErr != nil {
+		return "", s.initErr
+	}
+	return s.srv.Listen(addr)
+}
 
 // Serve blocks until ctx is cancelled, then shuts down gracefully: the
 // listener closes, in-flight requests get their responses, idle
@@ -123,18 +246,40 @@ func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr)
 // drain; a forced close after the grace expired returns an error matching
 // context.DeadlineExceeded, so callers can tell the two apart.
 func (s *Server) Serve(ctx context.Context) error {
+	if s.initErr != nil {
+		return s.initErr
+	}
 	<-ctx.Done()
 	graceCtx, cancel := context.WithTimeout(context.Background(), s.grace)
 	defer cancel()
-	return s.srv.Shutdown(graceCtx)
+	err := s.srv.Shutdown(graceCtx)
+	if cerr := s.closeLog(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Shutdown drains the server: no new connections, in-flight requests
 // complete, and when ctx expires remaining connections are force-closed.
-func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+// With WithDataDir, the durability log is flushed and closed after the
+// drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if cerr := s.closeLog(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
-// Close force-closes the listener and every connection immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close force-closes the listener and every connection immediately, then
+// flushes and closes the durability log if there is one.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	if cerr := s.closeLog(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Serve is the one-call server: listen on addr, serve until ctx is
 // cancelled, then drain gracefully. The bound address is reported through
@@ -143,6 +288,10 @@ func Serve(ctx context.Context, addr string, onListen func(boundAddr string, s *
 	s := NewServer(opts...)
 	bound, err := s.Listen(addr)
 	if err != nil {
+		// The durability log (if any) is already open and recovering;
+		// release it rather than leak its segment handle and sync
+		// goroutine to a caller who only sees the bind failure.
+		s.Close()
 		return err
 	}
 	if onListen != nil {

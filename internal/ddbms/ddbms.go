@@ -51,10 +51,28 @@ type dbShard struct {
 	numeric map[string]map[units.Unit][]numEntry
 }
 
+// Journal observes database mutations once attached with SetJournal. The
+// durability layer (internal/durable) implements it to write-ahead-log
+// every change. Hooks run under the mutated shard's lock, so records for
+// one id reach the journal in exactly the order they changed the shard
+// and recovery replays racing upserts/deletes to the pre-crash state.
+type Journal interface {
+	// JournalPutDescriptor records an insert or upsert.
+	JournalPutDescriptor(id string, desc attr.List)
+	// JournalDeleteDescriptor records a delete.
+	JournalDeleteDescriptor(id string)
+}
+
 // DB is an attribute-indexed descriptor store. Safe for concurrent use.
 type DB struct {
 	shards [dbShards]dbShard
+
+	journal Journal
 }
+
+// SetJournal attaches a mutation journal. Attach before serving: the call
+// itself is not synchronized against concurrent mutations.
+func (db *DB) SetJournal(j Journal) { db.journal = j }
 
 type numEntry struct {
 	value int64
@@ -87,6 +105,9 @@ func (db *DB) Insert(id string, desc attr.List) error {
 		return fmt.Errorf("ddbms: descriptor %q already exists", id)
 	}
 	sh.put(id, desc)
+	if db.journal != nil {
+		db.journal.JournalPutDescriptor(id, desc)
+	}
 	return nil
 }
 
@@ -95,10 +116,17 @@ func (db *DB) Upsert(id string, desc attr.List) {
 	sh := db.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, exists := sh.entries[id]; exists {
+	prev, exists := sh.entries[id]
+	if exists {
+		if prev.Equal(desc) {
+			return
+		}
 		sh.remove(id)
 	}
 	sh.put(id, desc)
+	if db.journal != nil {
+		db.journal.JournalPutDescriptor(id, desc)
+	}
 }
 
 // put indexes desc under id. Caller holds the shard lock.
@@ -173,6 +201,9 @@ func (db *DB) Delete(id string) bool {
 		return false
 	}
 	sh.remove(id)
+	if db.journal != nil {
+		db.journal.JournalDeleteDescriptor(id)
+	}
 	return true
 }
 

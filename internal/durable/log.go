@@ -1,0 +1,679 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/media"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("durable: log closed")
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval tick (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rolls the active segment past this size
+	// (default 8 MiB). Rolls always fsync, so SyncNever's exposure is
+	// bounded by one segment.
+	SegmentBytes int64
+	// SnapshotBytes triggers a background snapshot (and compaction) once
+	// the un-snapshotted WAL grows past it. Default 64 MiB; negative
+	// disables automatic snapshots.
+	SnapshotBytes int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SnapshotBytes == 0 {
+		o.SnapshotBytes = 64 << 20
+	}
+}
+
+// Stats summarizes a log's activity since Open.
+type Stats struct {
+	// Records and AppendedBytes count WAL appends by this process.
+	Records       int64
+	AppendedBytes int64
+	// WALBytes is the live WAL not yet covered by a snapshot.
+	WALBytes int64
+	// ActiveSegment is the sequence number of the segment being
+	// appended to.
+	ActiveSegment uint64
+	// Snapshots counts snapshots taken; LastSnapshotBytes sizes the
+	// most recent one.
+	Snapshots         int64
+	LastSnapshotBytes int64
+}
+
+// Log is the durability layer: an append-only WAL plus snapshots over one
+// data directory. It implements the mutation-journal interfaces of
+// media.Store and ddbms.DB, so attaching it to the recovered state makes
+// every subsequent mutation durable. One process may hold a directory's
+// log at a time; Open does not lock, it trusts the deployment.
+//
+// Append errors are sticky: after the first IO failure every further
+// append fails and Err reports it, so a server can refuse to acknowledge
+// mutations it could not make durable instead of silently dropping them.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	seq      uint64 // active segment sequence
+	segBytes int64  // bytes in the active segment
+	walBytes int64  // live WAL bytes not covered by a snapshot
+	snapDebt int64  // auto-snapshot backoff: walBytes level of the last failure
+	dirty    bool   // appended since the last fsync
+	err      error  // sticky first append failure
+	closed   bool
+
+	st   *State            // live state, snapshotted on demand
+	docs map[string][]byte // binary of registered documents, for dedupe + snapshot
+
+	snapshotting atomic.Bool
+	snapErr      error // last background-snapshot failure
+	snapWG       sync.WaitGroup
+
+	stopSync  chan struct{}
+	syncDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	records   atomic.Int64
+	appended  atomic.Int64
+	snapshots atomic.Int64
+	snapBytes atomic.Int64
+}
+
+// Open recovers dir (creating it if needed) and returns the log plus the
+// recovered state. The caller wires the state into its server and then
+// attaches the log as the store's and database's journal; mutations made
+// before attaching are not captured. A torn final record — the residue of
+// a crash mid-append — is truncated away; corrupt records fail recovery
+// with an error matching ErrCorrupt.
+func Open(dir string, opts Options) (*Log, *State, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	st, docs, walBytes, maxSeq, err := recoverDir(dir, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{
+		dir:      dir,
+		opts:     opts,
+		seq:      maxSeq, // rollLocked moves to maxSeq+1
+		walBytes: walBytes,
+		st:       st,
+		docs:     docs,
+	}
+	l.mu.Lock()
+	err = l.rollLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Finish any compaction a previous process started but did not
+	// complete, and clear abandoned snapshot temp files.
+	l.removeCovered()
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, st, nil
+}
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Err reports the sticky append failure, nil while the log is healthy.
+// Servers consult it before acknowledging a mutation.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats reports activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	walBytes, seq := l.walBytes, l.seq
+	l.mu.Unlock()
+	return Stats{
+		Records:           l.records.Load(),
+		AppendedBytes:     l.appended.Load(),
+		WALBytes:          walBytes,
+		ActiveSegment:     seq,
+		Snapshots:         l.snapshots.Load(),
+		LastSnapshotBytes: l.snapBytes.Load(),
+	}
+}
+
+// fail records the first append error; later appends return it.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// rollLocked fsyncs and closes the active segment (if any) and opens the
+// next one. Rolling always syncs, so even SyncNever bounds its exposure
+// to one segment.
+func (l *Log) rollLocked() error {
+	if l.f != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	l.seq++
+	path := filepath.Join(l.dir, walName(l.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := fsio.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 64<<10)
+	l.segBytes = 0
+	return nil
+}
+
+// syncLocked flushes buffered records and fsyncs the active segment.
+func (l *Log) syncLocked() error {
+	if l.bw != nil {
+		if err := l.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if l.dirty && l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.dirty = false
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage under any policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.syncLocked(); err != nil {
+		l.fail(err)
+		return err
+	}
+	return nil
+}
+
+// appendLocked frames and writes one record under l.mu, honouring the
+// sync policy, and reports whether the auto-snapshot threshold tripped.
+func (l *Log) appendLocked(op byte, fields ...[]byte) (snapDue bool, err error) {
+	if l.closed {
+		return false, ErrClosed
+	}
+	if l.err != nil {
+		return false, l.err
+	}
+	frame := encodeFrame(op, fields...)
+	if len(frame)-frameHeaderSize > maxRecordBytes {
+		// A record past the replayer's size bound must never reach the
+		// log: it would be journaled and acknowledged now, then rejected
+		// as corrupt on every future boot — bricking the directory.
+		// Sticky, like any other append failure: the server stops
+		// acknowledging rather than diverge from the log.
+		err := fmt.Errorf("durable: record of %d bytes exceeds the %d-byte limit",
+			len(frame)-frameHeaderSize, maxRecordBytes)
+		l.fail(err)
+		return false, err
+	}
+	if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			l.fail(err)
+			return false, err
+		}
+	}
+	if _, err := l.bw.Write(frame); err != nil {
+		l.fail(err)
+		return false, err
+	}
+	l.dirty = true
+	l.segBytes += int64(len(frame))
+	l.walBytes += int64(len(frame))
+	l.records.Add(1)
+	l.appended.Add(int64(len(frame)))
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			l.fail(err)
+			return false, err
+		}
+	} else {
+		// The record must reach the kernel before the mutation is
+		// acknowledged: a plain write syscall (no fsync) is what makes
+		// SIGKILL lossless under every policy — only a machine crash
+		// can take what the interval/never policies have not yet
+		// fsynced.
+		if err := l.bw.Flush(); err != nil {
+			l.fail(err)
+			return false, err
+		}
+	}
+	return l.opts.SnapshotBytes > 0 &&
+		l.walBytes-l.snapDebt >= l.opts.SnapshotBytes, nil
+}
+
+// append is the one-shot wrapper around appendLocked for callers that
+// hold no log state of their own.
+func (l *Log) append(op byte, fields ...[]byte) error {
+	l.mu.Lock()
+	snapDue, err := l.appendLocked(op, fields...)
+	l.mu.Unlock()
+	if snapDue {
+		l.snapshotAsync()
+	}
+	return err
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.err == nil && l.dirty {
+				if err := l.syncLocked(); err != nil {
+					l.fail(err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes, fsyncs and closes the log. Safe to call more than once;
+// it reports the first failure among the sticky append error, the final
+// flush, and any background snapshot failure.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		// Mark closed first: snapshotAsync's Add checks the flag under
+		// l.mu, so no Add can race the Wait below, and an in-flight
+		// snapshot finishes (and records its error) before closeErr is
+		// computed.
+		l.mu.Lock()
+		l.closed = true
+		l.mu.Unlock()
+		if l.stopSync != nil {
+			close(l.stopSync)
+			<-l.syncDone
+		}
+		l.snapWG.Wait()
+		l.mu.Lock()
+		ferr := l.syncLocked()
+		var cerr error
+		if l.f != nil {
+			cerr = l.f.Close()
+			l.f = nil
+		}
+		for _, err := range []error{l.err, ferr, cerr, l.snapErr} {
+			if err != nil {
+				l.closeErr = err
+				break
+			}
+		}
+		l.mu.Unlock()
+	})
+	return l.closeErr
+}
+
+// --- mutation journal -------------------------------------------------
+
+// JournalPutBlock records a block put (media.Journal). Failures are
+// sticky: the block is in memory but the server must stop acknowledging.
+// The register flag in the record is always 0 — name registrations
+// journal as their own recName records (see media.Journal) — but replay
+// still honours a set flag for compatibility.
+func (l *Log) JournalPutBlock(b *media.Block) {
+	desc, err := encodeDescriptor(b.Descriptor)
+	if err != nil {
+		l.mu.Lock()
+		l.fail(fmt.Errorf("durable: block %q descriptor: %w", b.Name, err))
+		l.mu.Unlock()
+		return
+	}
+	_ = l.append(recPutBlk,
+		[]byte(b.ID), []byte(b.Name), []byte(b.Medium.String()), desc, b.Payload, []byte{0})
+}
+
+// JournalDeleteBlock records a block delete (media.Journal).
+func (l *Log) JournalDeleteBlock(id string) {
+	_ = l.append(recDelBlk, []byte(id))
+}
+
+// JournalRegisterName records a name registration (media.Journal).
+func (l *Log) JournalRegisterName(name, id string) {
+	_ = l.append(recName, []byte(name), []byte(id))
+}
+
+// JournalPutDescriptor records a descriptor upsert (ddbms.Journal).
+func (l *Log) JournalPutDescriptor(id string, desc attr.List) {
+	data, err := encodeDescriptor(desc)
+	if err != nil {
+		l.mu.Lock()
+		l.fail(fmt.Errorf("durable: descriptor %q: %w", id, err))
+		l.mu.Unlock()
+		return
+	}
+	_ = l.append(recPutDesc, []byte(id), data)
+}
+
+// JournalDeleteDescriptor records a descriptor delete (ddbms.Journal).
+func (l *Log) JournalDeleteDescriptor(id string) {
+	_ = l.append(recDelDesc, []byte(id))
+}
+
+// PutDoc records a document registration, deduping unchanged re-puts (a
+// preloaded corpus re-registered on every boot appends nothing).
+func (l *Log) PutDoc(name string, d *core.Document) error {
+	data, err := codec.EncodeBinary(d)
+	if err != nil {
+		// Sticky: the document is registered in memory but cannot reach
+		// the log, so the server must stop acknowledging.
+		l.mu.Lock()
+		l.fail(fmt.Errorf("durable: document %q: %w", name, err))
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Lock()
+	if prev, ok := l.docs[name]; ok && bytes.Equal(prev, data) {
+		l.mu.Unlock()
+		return nil
+	}
+	snapDue, err := l.appendLocked(recPutDoc, []byte(name), data)
+	if err == nil {
+		l.docs[name] = data
+		l.st.Docs[name] = d.Clone()
+	}
+	l.mu.Unlock()
+	if snapDue {
+		l.snapshotAsync()
+	}
+	return err
+}
+
+// DelDoc records a document removal.
+func (l *Log) DelDoc(name string) error {
+	l.mu.Lock()
+	if _, ok := l.docs[name]; !ok {
+		l.mu.Unlock()
+		return nil
+	}
+	snapDue, err := l.appendLocked(recDelDoc, []byte(name))
+	if err == nil {
+		delete(l.docs, name)
+		delete(l.st.Docs, name)
+	}
+	l.mu.Unlock()
+	if snapDue {
+		l.snapshotAsync()
+	}
+	return err
+}
+
+// --- snapshots and compaction ----------------------------------------
+
+// Snapshot writes the live state to a new snapshot file and compacts the
+// WAL segments it covers. Concurrent with appends: a mutation racing the
+// capture may land in both the snapshot and the tail — harmless, because
+// records are full-state puts and deletes, so replaying the tail over the
+// snapshot converges on the live state. If a snapshot is already in
+// flight, Snapshot returns nil without taking another.
+func (l *Log) Snapshot() error {
+	if !l.snapshotting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer l.snapshotting.Store(false)
+	return l.snapshot()
+}
+
+// snapshotAsync runs Snapshot on a background goroutine, keeping the
+// append path fast; failures park in snapErr (surfaced on Close) and
+// back the auto-trigger off by one threshold so a sick disk is not
+// hammered with a snapshot attempt per append.
+func (l *Log) snapshotAsync() {
+	if !l.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	// The Add must be ordered before Close's Wait: both run under l.mu,
+	// and Close marks closed before waiting, so an Add that sees the
+	// log open strictly precedes the Wait.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.snapshotting.Store(false)
+		return
+	}
+	l.snapWG.Add(1)
+	l.mu.Unlock()
+	go func() {
+		defer l.snapWG.Done()
+		defer l.snapshotting.Store(false)
+		// A snapshot overtaken by Close is not a failure worth
+		// surfacing — the WAL it would have compacted is intact.
+		if err := l.snapshot(); err != nil && err != ErrClosed {
+			l.mu.Lock()
+			l.snapErr = err
+			l.snapDebt = l.walBytes
+			l.mu.Unlock()
+		}
+	}()
+}
+
+func (l *Log) snapshot() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.syncLocked(); err != nil {
+		l.fail(err)
+		l.mu.Unlock()
+		return err
+	}
+	cover := l.seq
+	if err := l.rollLocked(); err != nil {
+		l.fail(err)
+		l.mu.Unlock()
+		return err
+	}
+	// Everything in segments ≤ cover is what the snapshot will absorb;
+	// the counter is settled only once the snapshot lands, so a failed
+	// write leaves the live-WAL accounting (and the auto-trigger) intact.
+	covered := l.walBytes
+	docs := make(map[string][]byte, len(l.docs))
+	for name, data := range l.docs {
+		docs[name] = data
+	}
+	st := l.st
+	l.mu.Unlock()
+
+	size, err := writeSnapshot(l.dir, cover, st, docs)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.walBytes -= covered
+	l.snapDebt = 0
+	// A landed snapshot supersedes any earlier failure: the WAL it
+	// could not compact then is compacted now, so Close must not keep
+	// reporting the stale error.
+	l.snapErr = nil
+	l.mu.Unlock()
+	l.snapshots.Add(1)
+	l.snapBytes.Store(size)
+	l.removeCovered()
+	return nil
+}
+
+// writeSnapshot serializes the state into snap-<seq>.snap via a temp file
+// and an atomic rename.
+func writeSnapshot(dir string, seq uint64, st *State, docs map[string][]byte) (int64, error) {
+	final := filepath.Join(dir, snapName(seq))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("durable: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var size int64
+	write := func(op byte, fields ...[]byte) error {
+		frame := encodeFrame(op, fields...)
+		size += int64(len(frame))
+		_, err := bw.Write(frame)
+		return err
+	}
+
+	names := make([]string, 0, len(docs))
+	for name := range docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var werr error
+	for _, name := range names {
+		if werr = write(recPutDoc, []byte(name), docs[name]); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		// Blocks go in detached (no name registration): they iterate in
+		// arbitrary order, while the registry's name→id pointers depend
+		// on mutation order. The recName records that follow rebuild the
+		// registry exactly.
+		st.Store.Each(func(b *media.Block) bool {
+			desc, err := encodeDescriptor(b.Descriptor)
+			if err != nil {
+				werr = fmt.Errorf("block %q descriptor: %w", b.Name, err)
+				return false
+			}
+			werr = write(recPutBlk,
+				[]byte(b.ID), []byte(b.Name), []byte(b.Medium.String()), desc, b.Payload, []byte{0})
+			return werr == nil
+		})
+	}
+	if werr == nil {
+		for _, name := range st.Store.Names() {
+			id, ok := st.Store.Resolve(name)
+			if !ok {
+				continue
+			}
+			if werr = write(recName, []byte(name), []byte(id)); werr != nil {
+				break
+			}
+		}
+	}
+	if werr == nil {
+		for _, id := range st.DB.IDs() {
+			desc, ok := st.DB.Get(id)
+			if !ok {
+				continue
+			}
+			data, err := encodeDescriptor(desc)
+			if err != nil {
+				werr = fmt.Errorf("descriptor %q: %w", id, err)
+				break
+			}
+			if werr = write(recPutDesc, []byte(id), data); werr != nil {
+				break
+			}
+		}
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("durable: snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := fsio.SyncDir(dir); err != nil {
+		return 0, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	return size, nil
+}
+
+// removeCovered deletes WAL segments and snapshots made obsolete by the
+// newest snapshot, plus abandoned temp files. Best-effort: leftovers are
+// retried on the next snapshot or Open.
+func (l *Log) removeCovered() {
+	listing, err := listDir(l.dir)
+	if err != nil {
+		return
+	}
+	var snapSeq uint64
+	if n := len(listing.snapSeqs); n > 0 {
+		snapSeq = listing.snapSeqs[n-1]
+	}
+	for _, seq := range listing.walSeqs {
+		if seq <= snapSeq {
+			os.Remove(filepath.Join(l.dir, walName(seq)))
+		}
+	}
+	for _, seq := range listing.snapSeqs {
+		if seq < snapSeq {
+			os.Remove(filepath.Join(l.dir, snapName(seq)))
+		}
+	}
+	for _, name := range listing.tmp {
+		os.Remove(filepath.Join(l.dir, name))
+	}
+}

@@ -1,0 +1,256 @@
+// Package durable gives the server a memory: an append-only, checksummed
+// write-ahead log of every corpus mutation plus periodic snapshots, so a
+// killed daemon recovers its exact pre-kill state on restart. The paper's
+// servers hold the authoritative document and block state for every
+// presentation; a production deployment cannot forget that corpus on every
+// deploy (Gray's locally-served-computer argument: the local server's whole
+// value is durable, recoverable state near the client).
+//
+// Layout of a data directory:
+//
+//	data/
+//	  wal-<seq>.wal    append-only segments of framed records
+//	  snap-<seq>.snap  snapshot files, same record format, written
+//	                   atomically (temp file + rename); a snapshot with
+//	                   sequence S captures everything in segments ≤ S
+//
+// Recovery loads the newest snapshot, then replays the WAL segments with a
+// higher sequence, in order. A torn final record at the tail of the last
+// segment — the expected residue of a crash mid-append — is tolerated and
+// truncated away; a checksum mismatch anywhere else is corruption and is
+// rejected with a typed error. Once a new snapshot lands, the segments it
+// covers are deleted (log compaction).
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record ops. Every mutation of the served corpus becomes one record.
+const (
+	// recPutDoc registers a document: [name, binary document].
+	recPutDoc byte = 1
+	// recDelDoc removes a document: [name].
+	recDelDoc byte = 2
+	// recPutBlk stores a block: [id, name, medium, descriptor, payload,
+	// register-flag]. The id is redundant (it is the content address of
+	// medium+payload) and is verified on replay. Name registrations
+	// always travel as separate recName records — ordered by the name
+	// shard, immune to snapshot compaction races — so current writers
+	// leave the register flag 0; replay still honours a set flag for
+	// compatibility with earlier logs.
+	recPutBlk byte = 3
+	// recDelBlk removes a block and its names: [id].
+	recDelBlk byte = 4
+	// recPutDesc upserts a ddbms descriptor: [id, descriptor].
+	recPutDesc byte = 5
+	// recDelDesc removes a ddbms descriptor: [id].
+	recDelDesc byte = 6
+	// recName points a registry name at a content address: [name, id].
+	recName byte = 7
+)
+
+// maxRecordBytes bounds one record's payload; larger lengths in a frame
+// header mean corruption, and the bound keeps a corrupt length from
+// allocating unbounded memory during replay.
+const maxRecordBytes = 1 << 30
+
+// frameHeaderSize is the fixed per-record framing overhead: a uint32
+// little-endian payload length followed by a uint32 CRC-32C of the payload.
+const frameHeaderSize = 8
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the servers run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a record that is present but wrong: a checksum
+// mismatch, an impossible length, or fields that do not decode. Recovery
+// refuses to proceed past it — silently dropping acknowledged mutations
+// would be worse than failing loudly. errors.Is(err, ErrCorrupt) matches
+// every *CorruptError.
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// CorruptError pinpoints a rejected record.
+type CorruptError struct {
+	// Path is the file holding the record.
+	Path string
+	// Offset is the byte offset of the record's frame header.
+	Offset int64
+	// Reason says what failed (checksum, length, field decode).
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("durable: corrupt record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) true for every CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// errTorn marks an incomplete record at the end of a file: the length
+// header or payload stops short. At the tail of the last WAL segment this
+// is the expected residue of a crash mid-append and is tolerated; anywhere
+// else it is corruption.
+var errTorn = errors.New("durable: torn record")
+
+// encodeRecord builds a record payload: the op byte followed by each field
+// as a uvarint length prefix plus bytes.
+func encodeRecord(op byte, fields ...[]byte) []byte {
+	size := 1
+	for _, f := range fields {
+		size += binary.MaxVarintLen64 + len(f)
+	}
+	buf := make([]byte, 1, size)
+	buf[0] = op
+	for _, f := range fields {
+		buf = binary.AppendUvarint(buf, uint64(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// decodeRecord splits a record payload into its op and fields, appending
+// into buf (pass nil, or a reused slice to avoid the per-record
+// allocation). It never panics on arbitrary bytes — the fuzzed guarantee
+// the replayer builds on.
+func decodeRecord(payload []byte, buf [][]byte) (op byte, fields [][]byte, err error) {
+	if len(payload) == 0 {
+		return 0, nil, errors.New("empty record")
+	}
+	fields = buf[:0]
+	op, rest := payload[0], payload[1:]
+	for len(rest) > 0 {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return 0, nil, errors.New("bad field length varint")
+		}
+		rest = rest[used:]
+		if n > uint64(len(rest)) {
+			return 0, nil, fmt.Errorf("field length %d exceeds remaining %d bytes", n, len(rest))
+		}
+		fields = append(fields, rest[:n:n])
+		rest = rest[n:]
+	}
+	return op, fields, nil
+}
+
+// frameRecord wraps a record payload in its frame: length, CRC-32C,
+// payload.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[frameHeaderSize:], payload)
+	return buf
+}
+
+// encodeFrame is encodeRecord+frameRecord fused into one allocation — the
+// append hot path runs under a shard lock, and a multi-megabyte payload
+// must not be copied twice there.
+func encodeFrame(op byte, fields ...[]byte) []byte {
+	size := 1
+	for _, f := range fields {
+		size += binary.MaxVarintLen64 + len(f)
+	}
+	buf := make([]byte, frameHeaderSize, frameHeaderSize+size)
+	buf = append(buf, op)
+	for _, f := range fields {
+		buf = binary.AppendUvarint(buf, uint64(len(f)))
+		buf = append(buf, f...)
+	}
+	payload := buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// recordScanner iterates the framed records of one WAL segment or
+// snapshot file.
+type recordScanner struct {
+	r    io.Reader
+	path string
+	// offset is the byte offset of the NEXT frame header; after a
+	// successful next() it is the end of the returned record, so a torn
+	// tail truncates the file back to the last good offset.
+	offset int64
+	// scratch is the reused payload buffer: each next() overwrites the
+	// previous record, so consumers must finish (or detach) a record
+	// before asking for the next one. Replaying a large corpus is GC
+	// bound without this.
+	scratch []byte
+}
+
+func newRecordScanner(r io.Reader, path string) *recordScanner {
+	return &recordScanner{r: r, path: path}
+}
+
+// next returns the next record payload. io.EOF means a clean end, errTorn
+// an incomplete final record, and *CorruptError a record that is present
+// but fails its checks.
+func (s *recordScanner) next() ([]byte, error) {
+	start := s.offset
+	var hdr [frameHeaderSize]byte
+	_, err := io.ReadFull(s.r, hdr[:])
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err == io.ErrUnexpectedEOF {
+		return nil, errTorn
+	}
+	if err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length == 0 || length > maxRecordBytes {
+		return nil, &CorruptError{Path: s.path, Offset: start,
+			Reason: fmt.Sprintf("impossible record length %d", length)}
+	}
+	// Read the payload in bounded steps: a corrupt length header must
+	// not allocate its claimed size up front, only what is actually
+	// present in the file. Sane lengths (≤ 1 MiB, the overwhelmingly
+	// common case) read in one shot into the reused scratch buffer —
+	// replay throughput is a headline, and GC churn here dominates it.
+	const chunkSize = 1 << 20
+	var payload []byte
+	if length <= chunkSize {
+		if cap(s.scratch) < int(length) {
+			s.scratch = make([]byte, length)
+		}
+		payload = s.scratch[:length]
+		if _, err := io.ReadFull(s.r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, errTorn
+			}
+			return nil, err
+		}
+	} else {
+		payload = make([]byte, 0, chunkSize)
+		for remaining := int(length); remaining > 0; {
+			chunk := remaining
+			if chunk > chunkSize {
+				chunk = chunkSize
+			}
+			off := len(payload)
+			payload = append(payload, make([]byte, chunk)...)
+			n, err := io.ReadFull(s.r, payload[off:])
+			payload = payload[:off+n]
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return nil, errTorn
+				}
+				return nil, err
+			}
+			remaining -= chunk
+		}
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, &CorruptError{Path: s.path, Offset: start,
+			Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, got)}
+	}
+	s.offset = start + frameHeaderSize + int64(length)
+	return payload, nil
+}

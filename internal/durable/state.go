@@ -1,0 +1,181 @@
+package durable
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/ddbms"
+	"repro/internal/media"
+)
+
+// State is the recovered corpus: the block store, the descriptor database
+// and the registered documents. Open and Load rebuild one by replaying the
+// newest snapshot plus the WAL tail. Once the log is attached as the
+// store's and database's journal, State stays the live corpus: Log.PutDoc
+// and Log.DelDoc keep Docs in step with what they journal.
+type State struct {
+	Store *media.Store
+	DB    *ddbms.DB
+	Docs  map[string]*core.Document
+
+	// descMemo caches descriptor parses by their wire text during
+	// replay: a corpus of same-shaped blocks repeats a handful of
+	// descriptor texts thousands of times, and re-parsing each one
+	// would dominate recovery. Consumers clone before mutating, so
+	// sharing the parsed list is safe.
+	descMemo map[string]attr.List
+}
+
+func newState() *State {
+	return &State{
+		Store:    media.NewStore(),
+		DB:       ddbms.New(),
+		Docs:     make(map[string]*core.Document),
+		descMemo: make(map[string]attr.List),
+	}
+}
+
+// parseDesc is parseDescriptor with the replay memo in front.
+func (st *State) parseDesc(data []byte) (attr.List, error) {
+	if cached, ok := st.descMemo[string(data)]; ok {
+		return cached, nil
+	}
+	desc, err := parseDescriptor(data)
+	if err != nil {
+		return attr.List{}, err
+	}
+	st.descMemo[string(data)] = desc
+	return desc, nil
+}
+
+// apply replays one decoded record into the state. Errors wrap the
+// offending op; arbitrary bytes must never panic, only fail (the fuzzed
+// guarantee).
+func (st *State) apply(op byte, fields [][]byte) error {
+	want := func(n int) error {
+		if len(fields) != n {
+			return fmt.Errorf("op %d: want %d fields, got %d", op, n, len(fields))
+		}
+		return nil
+	}
+	switch op {
+	case recPutDoc:
+		if err := want(2); err != nil {
+			return err
+		}
+		d, err := codec.DecodeBinary(fields[1])
+		if err != nil {
+			return fmt.Errorf("putdoc %q: %w", fields[0], err)
+		}
+		st.Docs[string(fields[0])] = d
+	case recDelDoc:
+		if err := want(1); err != nil {
+			return err
+		}
+		delete(st.Docs, string(fields[0]))
+	case recPutBlk:
+		if err := want(6); err != nil {
+			return err
+		}
+		if len(fields[5]) != 1 {
+			return fmt.Errorf("putblk: bad register flag")
+		}
+		b, err := st.blockFromRecord(fields)
+		if err != nil {
+			return fmt.Errorf("putblk %q: %w", fields[1], err)
+		}
+		if b.ID != string(fields[0]) {
+			return fmt.Errorf("putblk %q: recorded content address %.12s does not match payload (%.12s)",
+				fields[1], fields[0], b.ID)
+		}
+		st.Store.PutOwned(b, fields[5][0] == 1)
+	case recDelBlk:
+		if err := want(1); err != nil {
+			return err
+		}
+		st.Store.Delete(string(fields[0]))
+	case recPutDesc:
+		if err := want(2); err != nil {
+			return err
+		}
+		desc, err := st.parseDesc(fields[1])
+		if err != nil {
+			return fmt.Errorf("putdesc %q: %w", fields[0], err)
+		}
+		st.DB.Upsert(string(fields[0]), desc)
+	case recDelDesc:
+		if err := want(1); err != nil {
+			return err
+		}
+		st.DB.Delete(string(fields[0]))
+	case recName:
+		if err := want(2); err != nil {
+			return err
+		}
+		// Best-effort: a registration whose block a later-journaled (but
+		// racing) delete already removed skips silently — the live store
+		// rolled the same registration back, so skipping converges on
+		// the pre-crash state.
+		st.Store.RegisterName(string(fields[0]), string(fields[1]))
+	default:
+		return fmt.Errorf("unknown record op %d", op)
+	}
+	return nil
+}
+
+// blockFromRecord rebuilds a block from recPutBlk fields, recomputing its
+// content address from medium and payload.
+func (st *State) blockFromRecord(fields [][]byte) (*media.Block, error) {
+	medium, err := core.ParseMedium(string(fields[2]))
+	if err != nil {
+		return nil, err
+	}
+	desc, err := st.parseDesc(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("descriptor: %w", err)
+	}
+	if n, ok := desc.GetInt(media.DescBytes); ok && n != int64(len(fields[4])) {
+		return nil, fmt.Errorf("descriptor bytes attribute %d disagrees with %d-byte payload",
+			n, len(fields[4]))
+	}
+	// Assembled by hand rather than through NewBlock, and inserted via
+	// PutOwned: the journaled descriptor already carries the bytes and
+	// format attributes NewBlock would re-derive, the payload detaches
+	// from the scanner's scratch buffer exactly once, and the memoized
+	// descriptor is shared — immutably — across every block that
+	// repeats its text. Recovery cost per block is one hash, one copy.
+	payload := append(make([]byte, 0, len(fields[4])), fields[4]...)
+	return &media.Block{
+		ID:         media.ContentAddress(medium, payload),
+		Name:       string(fields[1]),
+		Medium:     medium,
+		Payload:    payload,
+		Descriptor: desc,
+	}, nil
+}
+
+// encodeDescriptor serializes an attribute list as an embedded CMIF
+// fragment — the same representation the wire protocol ships descriptors
+// in, so one proven round-trip serves both layers.
+func encodeDescriptor(desc attr.List) ([]byte, error) {
+	n := core.NewExt()
+	for _, p := range desc.Pairs() {
+		n.Attrs.Set(p.Name, p.Value)
+	}
+	text, err := codec.EncodeNode(n, codec.WriteOptions{Form: codec.Embedded})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(text), nil
+}
+
+// parseDescriptor inverts encodeDescriptor.
+func parseDescriptor(data []byte) (attr.List, error) {
+	n, err := codec.ParseNode(string(data))
+	if err != nil {
+		return attr.List{}, err
+	}
+	return n.Attrs.Clone(), nil
+}

@@ -1,0 +1,58 @@
+package durable
+
+import "fmt"
+
+// SyncPolicy says when appended records are fsynced to stable storage —
+// the knob trading write latency against the window of acknowledged
+// mutations a power loss can take (an OS crash; a plain SIGKILL loses
+// nothing under any policy, because every append reaches the kernel before
+// the mutation is acknowledged).
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs on a background tick — bounded
+	// loss (one tick) at near-SyncNever throughput.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs every record before the mutation is
+	// acknowledged: zero loss, one disk flush per write.
+	SyncAlways
+	// SyncNever leaves flushing to the operating system: fastest, and a
+	// machine crash may lose everything since the last segment roll.
+	SyncNever
+)
+
+// Caveat for the relaxed policies: the unsynced suffix has no fsync
+// horizon on disk, so if a machine crash persists it partially OUT OF
+// ORDER (page writeback is unordered), recovery sees a mid-segment
+// checksum failure and refuses the directory as corrupt rather than
+// guess where the good prefix ends — restoring means truncating the
+// final segment at the reported offset. SyncAlways is immune: its
+// suffix is never unsynced. Point-in-time recovery past interior
+// corruption is a deliberate non-feature; silently dropping records
+// that were acknowledged fsynced would be worse.
+
+// String names the policy as ParseSyncPolicy accepts it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy reads a policy name: "always", "interval" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return SyncInterval, fmt.Errorf("durable: unknown sync policy %q (want always, interval or never)", s)
+	}
+}

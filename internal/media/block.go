@@ -69,6 +69,12 @@ const (
 	DescLang = "lang"
 )
 
+// ContentAddress returns the content address a block with this medium and
+// payload would carry — what NewBlock fills into ID. The durability layer
+// uses it to verify replayed records without paying NewBlock's descriptor
+// clone.
+func ContentAddress(m core.Medium, payload []byte) string { return computeID(m, payload) }
+
 // computeID returns the content address for a payload.
 func computeID(m core.Medium, payload []byte) string {
 	h := sha256.New()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/fsio"
 )
 
 // Filesystem persistence for block stores: payloads live in
@@ -22,7 +23,12 @@ import (
 //	dir/blocks/<id>.bin    raw payloads
 const manifestName = "manifest.cmif"
 
-// SaveDir writes the store to dir, creating it if needed.
+// SaveDir writes the store to dir, creating it if needed. The write is
+// crash-safe: every payload file and the manifest go through a temp file,
+// an fsync and an atomic rename, with the manifest renamed last — so a
+// crash mid-save leaves either the previous manifest (naming only files
+// that still exist) or the new one (naming only files already durable),
+// never a torn manifest that bricks LoadDir.
 func SaveDir(s *Store, dir string) error {
 	blockDir := filepath.Join(dir, "blocks")
 	if err := os.MkdirAll(blockDir, 0o755); err != nil {
@@ -34,7 +40,10 @@ func SaveDir(s *Store, dir string) error {
 		if !ok {
 			continue
 		}
-		if err := os.WriteFile(filepath.Join(blockDir, b.ID+".bin"), b.Payload, 0o644); err != nil {
+		// Payload files skip the per-file directory sync; the single
+		// SyncDir below makes them all durable before the manifest —
+		// which names them — commits.
+		if err := fsio.WriteFileNoDirSync(filepath.Join(blockDir, b.ID+".bin"), b.Payload, 0o644); err != nil {
 			return fmt.Errorf("media: %w", err)
 		}
 		entry := core.NewExt().
@@ -48,11 +57,14 @@ func SaveDir(s *Store, dir string) error {
 		entry.Attrs.Set("descriptor", attr.ListOf(items...))
 		manifest.AddChild(entry)
 	}
+	if err := fsio.SyncDir(blockDir); err != nil {
+		return fmt.Errorf("media: %w", err)
+	}
 	text, err := codec.EncodeNode(manifest, codec.WriteOptions{Form: codec.Conventional})
 	if err != nil {
 		return fmt.Errorf("media: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(text), 0o644); err != nil {
+	if err := fsio.WriteFileAtomic(filepath.Join(dir, manifestName), []byte(text), 0o644); err != nil {
 		return fmt.Errorf("media: %w", err)
 	}
 	return nil

@@ -39,6 +39,61 @@ func TestSaveLoadDirRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveDirAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	s.Put(CaptureText("a.txt", "first corpus", "en"))
+	if err := SaveDir(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the directory with a different corpus: the manifest is
+	// replaced through a temp file + rename, and no temp residue may
+	// survive a successful save.
+	s2 := NewStore()
+	s2.Put(CaptureText("a.txt", "second corpus, re-pointing the name", "en"))
+	s2.Put(CaptureImage("b.img", 4, 4, 3))
+	if err := SaveDir(s2, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != manifestName && e.Name() != "blocks" {
+			t.Fatalf("SaveDir left unexpected file %q", e.Name())
+		}
+	}
+	blockEntries, err := os.ReadDir(filepath.Join(dir, "blocks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range blockEntries {
+		if filepath.Ext(e.Name()) != ".bin" {
+			t.Fatalf("SaveDir left temp residue %q in blocks/", e.Name())
+		}
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := back.GetByName("a.txt"); got == nil || got.ID != mustGet(t, s2, "a.txt").ID {
+		t.Fatal("re-pointed name did not survive the atomic replace")
+	}
+	if _, ok := back.GetByName("b.img"); !ok {
+		t.Fatal("new block missing after atomic replace")
+	}
+}
+
+func mustGet(t *testing.T, s *Store, name string) *Block {
+	t.Helper()
+	b, ok := s.GetByName(name)
+	if !ok {
+		t.Fatalf("fixture block %q missing", name)
+	}
+	return b
+}
+
 func TestLoadDirDetectsTampering(t *testing.T) {
 	dir := t.TempDir()
 	s := NewStore()

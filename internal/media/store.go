@@ -34,6 +34,29 @@ type nameShard struct {
 	byName map[string]string // name -> id
 }
 
+// Journal observes store mutations once attached with SetJournal. The
+// durability layer (internal/durable) implements it to write-ahead-log
+// every change; hooks fire only for mutations that changed state, so
+// idempotent re-puts of an already-stored corpus journal nothing.
+//
+// Hooks run while the mutated shard's lock is held: puts and deletes of
+// one id reach the journal in block-map order, and every name
+// registration — initial or re-point — journals as its own record inside
+// the name-shard critical section, strictly after its block's put record
+// (same goroutine). Recovery therefore can never resurrect a deleted
+// block, unwind a re-point, or lose a registration to a concurrently
+// compacting snapshot. (The cost: under an fsync-per-record journal
+// policy, readers of the mutated shard wait out the fsync.)
+type Journal interface {
+	// JournalPutBlock records a block entering the store; the name
+	// registration, if any, journals separately.
+	JournalPutBlock(b *Block)
+	// JournalDeleteBlock records a block delete (names swept with it).
+	JournalDeleteBlock(id string)
+	// JournalRegisterName records a name being pointed at a block.
+	JournalRegisterName(name, id string)
+}
+
 // Store is a content-addressed block store with a name registry. It stands
 // in for the paper's storage server: external nodes name blocks via their
 // "file" attribute, and the store maps those names to descriptors and
@@ -46,7 +69,13 @@ type nameShard struct {
 type Store struct {
 	blocks [storeShards]blockShard
 	names  [storeShards]nameShard
+
+	journal Journal
 }
+
+// SetJournal attaches a mutation journal. Attach before serving: the call
+// itself is not synchronized against concurrent mutations.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -63,23 +92,59 @@ func NewStore() *Store {
 // Put inserts a block, registering its name, and returns its content
 // address. Re-putting identical content is idempotent; re-using a name for
 // different content re-points the name.
-func (s *Store) Put(b *Block) string {
+func (s *Store) Put(b *Block) string { return s.putBlock(b, true, true) }
+
+// PutOwned inserts a block, taking ownership instead of cloning: the
+// caller must never mutate b, its payload or its descriptor afterwards
+// (sharing one immutable descriptor across many PutOwned blocks is fine).
+// register says whether b.Name enters the name registry — snapshot replay
+// passes false and rebuilds the registry from its own records, in
+// mutation order. Recovery uses this to rebuild large corpora without a
+// defensive copy per block; everything else should use Put.
+func (s *Store) PutOwned(b *Block, register bool) string {
+	return s.putBlock(b, register, false)
+}
+
+// putBlock is the shared insertion path behind the Put variants.
+func (s *Store) putBlock(b *Block, register, clone bool) string {
 	bs := &s.blocks[shardOf(b.ID)]
 	bs.mu.Lock()
-	if _, exists := bs.byID[b.ID]; !exists {
-		bs.byID[b.ID] = b.Clone()
+	_, existed := bs.byID[b.ID]
+	if !existed {
+		stored := b
+		if clone {
+			stored = b.Clone()
+		}
+		bs.byID[b.ID] = stored
+		// Journaled under the block-shard lock: puts and deletes of one
+		// id reach the journal in map order (see Journal).
+		if s.journal != nil {
+			s.journal.JournalPutBlock(b)
+		}
 	}
 	bs.mu.Unlock()
-	if b.Name != "" {
+	if register && b.Name != "" {
 		ns := &s.names[shardOf(b.Name)]
 		ns.mu.Lock()
-		ns.byName[b.Name] = b.ID
+		if prev, ok := ns.byName[b.Name]; !ok || prev != b.ID {
+			ns.byName[b.Name] = b.ID
+			// Every registration journals as its own record inside this
+			// critical section — never inside the put record — so a
+			// snapshot racing this put either sees the registration in
+			// its name capture or finds the record in the un-compacted
+			// tail; the registration cannot fall between.
+			if s.journal != nil {
+				s.journal.JournalRegisterName(b.Name, b.ID)
+			}
+		}
 		ns.mu.Unlock()
 		// A concurrent Delete of this id may have swept the name shards
 		// before the registration above landed. Re-check the block and
 		// roll the name back if it is gone, so no name ever dangles:
 		// whichever of this re-check and the delete's sweep runs last
-		// removes the registration.
+		// removes the registration. The journal stays consistent without
+		// extra help: the delete's record was appended after this put's
+		// (block-shard order), so replay also puts, then sweeps.
 		bs.mu.RLock()
 		_, alive := bs.byID[b.ID]
 		bs.mu.RUnlock()
@@ -92,6 +157,31 @@ func (s *Store) Put(b *Block) string {
 		}
 	}
 	return b.ID
+}
+
+// RegisterName points name at an already-stored block's content address.
+// It reports false when no block with that id exists (or name is empty).
+func (s *Store) RegisterName(name, id string) bool {
+	if name == "" {
+		return false
+	}
+	bs := &s.blocks[shardOf(id)]
+	bs.mu.RLock()
+	_, ok := bs.byID[id]
+	bs.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	ns := &s.names[shardOf(name)]
+	ns.mu.Lock()
+	if ns.byName[name] != id {
+		ns.byName[name] = id
+		if s.journal != nil {
+			s.journal.JournalRegisterName(name, id)
+		}
+	}
+	ns.mu.Unlock()
+	return true
 }
 
 // Get fetches a block by content address.
@@ -131,6 +221,10 @@ func (s *Store) Delete(id string) bool {
 	_, ok := bs.byID[id]
 	if ok {
 		delete(bs.byID, id)
+		// Journaled under the block-shard lock, mirroring putBlock.
+		if s.journal != nil {
+			s.journal.JournalDeleteBlock(id)
+		}
 	}
 	bs.mu.Unlock()
 	if !ok {
@@ -147,6 +241,29 @@ func (s *Store) Delete(id string) bool {
 		ns.mu.Unlock()
 	}
 	return true
+}
+
+// Each calls fn once per stored block, stopping early when fn returns
+// false. The pointers are the store's own copies: stored blocks are
+// immutable (Put clones on the way in and nothing mutates them after), so
+// fn may read them freely but must not modify or hold them past the call.
+// Pointers are collected shard-by-shard under the read lock and fn runs
+// outside it, so slow consumers (snapshot writers) do not stall writers.
+func (s *Store) Each(fn func(b *Block) bool) {
+	for i := range s.blocks {
+		bs := &s.blocks[i]
+		bs.mu.RLock()
+		batch := make([]*Block, 0, len(bs.byID))
+		for _, b := range bs.byID {
+			batch = append(batch, b)
+		}
+		bs.mu.RUnlock()
+		for _, b := range batch {
+			if !fn(b) {
+				return
+			}
+		}
+	}
 }
 
 // Len reports the number of stored blocks.

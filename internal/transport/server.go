@@ -23,6 +23,16 @@ type Registry struct {
 	mu    sync.RWMutex
 	docs  map[string]*core.Document
 	Store *media.Store
+
+	// OnPutDoc, when non-nil, observes every document registration
+	// (with the registry's own clone, after it lands). The durability
+	// layer uses it to journal document mutations. Set before serving.
+	OnPutDoc func(name string, d *core.Document)
+	// DurabilityErr, when non-nil, reports whether the durability layer
+	// has failed; mutating ops are refused once it returns non-nil, so
+	// the server never acknowledges a write it could not persist. Set
+	// before serving.
+	DurabilityErr func() error
 }
 
 // NewRegistry returns an empty registry backed by store (a fresh store when
@@ -36,9 +46,17 @@ func NewRegistry(store *media.Store) *Registry {
 
 // PutDoc registers a document under name.
 func (r *Registry) PutDoc(name string, d *core.Document) {
+	clone := d.Clone()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.docs[name] = d.Clone()
+	r.docs[name] = clone
+	// The hook runs under the lock so racing registrations of one name
+	// journal in the order they landed in the map — recovery replays the
+	// same winner the pre-crash server served. (Readers of the registry
+	// wait out the journal append, fsync included under SyncAlways.)
+	if r.OnPutDoc != nil {
+		r.OnPutDoc(name, clone)
+	}
 }
 
 // GetDoc fetches a clone of the document registered under name.
@@ -597,6 +615,9 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			return fail("putdoc: extract: %v", err)
 		}
 		s.reg.PutDoc(string(req.parts[0]), extracted)
+		if err := s.durabilityErr(); err != nil {
+			return fail("putdoc: durability: %v", err)
+		}
 		return opOK, nil
 	case opGetBlk:
 		if len(req.parts) != 1 {
@@ -684,6 +705,9 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			return fail("putblk: %v", err)
 		}
 		s.reg.Store.Put(blk)
+		if err := s.durabilityErr(); err != nil {
+			return fail("putblk: durability: %v", err)
+		}
 		return opOK, [][]byte{[]byte(blk.ID)}
 	case opList:
 		names := s.reg.DocNames()
@@ -695,6 +719,16 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 	default:
 		return fail("unknown op %d", req.op)
 	}
+}
+
+// durabilityErr reports a failed durability layer. A write that reached
+// memory but not the log must not be acknowledged: the client would treat
+// it as durable, and a restart would disprove that.
+func (s *Server) durabilityErr() error {
+	if s.reg.DurabilityErr == nil {
+		return nil
+	}
+	return s.reg.DurabilityErr()
 }
 
 // lookupBlock resolves a block by registered name first, then by content

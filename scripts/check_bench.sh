@@ -1,8 +1,9 @@
 #!/bin/sh
-# Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler) and
-# S3 (wire protocol) scenarios in quick smoke mode and validate both the
-# fresh results and the committed BENCH_store.json / BENCH_sched.json /
-# BENCH_wire.json reference files against the regression invariants:
+# Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler),
+# S3 (wire protocol) and S4 (durability) scenarios in quick smoke mode and
+# validate both the fresh results and the committed BENCH_store.json /
+# BENCH_sched.json / BENCH_wire.json / BENCH_durable.json reference files
+# against the regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
 #     at least 8x fewer, warm never more than cold; S3 scenarios exactly
@@ -17,7 +18,12 @@
 #     GOMAXPROCS ≥ 4; multiplexed wire protocol ≥ 3x over the serialized
 #     v1 path at 16 workers on one connection);
 #   - the streamed-transfer probe: a ≥ 64 MiB block retrieved through the
-#     v2 chunked stream, and unfetchable over protocol v1.
+#     v2 chunked stream, and unfetchable over protocol v1;
+#   - the durability invariants: recovery restores 100% of the corpus
+#     byte-for-byte (names, content addresses, payloads), write
+#     amplification stays within the record format's ceiling, sync=never
+#     out-runs sync=always, and WAL replay beats wire re-ingest (≥ 10x in
+#     the committed reference under sync=never).
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -35,9 +41,11 @@ go run ./cmd/cmifbench -smoke \
     -store-out "$BENCH_DIR/BENCH_store.json" \
     -sched-out "$BENCH_DIR/BENCH_sched.json" \
     -wire-out "$BENCH_DIR/BENCH_wire.json" \
+    -durable-out "$BENCH_DIR/BENCH_durable.json" \
     -check-store BENCH_store.json \
     -check-sched BENCH_sched.json \
     -check-wire BENCH_wire.json \
-    S1 S2 S3
+    -check-durable BENCH_durable.json \
+    S1 S2 S3 S4
 
 echo "bench-regression gate passed (results in $BENCH_DIR)"

@@ -9,7 +9,11 @@
 #   - every backticked `cmif.Xxx` symbol in docs/ and README.md must
 #     appear in the cmif facade sources;
 #   - every backticked `sched.Xxx` symbol in docs/ must appear in
-#     internal/sched (the scheduler-internals section of ARCHITECTURE.md).
+#     internal/sched (the scheduler-internals section of ARCHITECTURE.md);
+#   - every backticked `durable.Xxx` / `media.Xxx` / `ddbms.Xxx` symbol in
+#     docs/ must appear in the corresponding internal package, and every
+#     `recXxx` record op named in the durability section must appear in
+#     internal/durable/record.go.
 #
 # Run from the repository root: ./scripts/check_docs.sh
 set -eu
@@ -45,6 +49,24 @@ done
 for sym in $(grep -ho '`sched\.[A-Za-z.()]*`' docs/*.md | sed 's/`sched\.\([A-Za-z]*\).*/\1/' | sort -u); do
     if ! grep -q "\b$sym\b" internal/sched/*.go; then
         echo "docs reference \`sched.$sym\`, which no longer exists in internal/sched" >&2
+        fail=1
+    fi
+done
+
+# Durability-layer symbols (ARCHITECTURE.md "Durable server state").
+for pkg in durable media ddbms; do
+    for sym in $(grep -ho "\`$pkg\.[A-Za-z.()]*\`" docs/*.md | sed "s/\`$pkg\.\([A-Za-z]*\).*/\1/" | sort -u); do
+        if ! grep -q "\b$sym\b" "internal/$pkg"/*.go; then
+            echo "docs reference \`$pkg.$sym\`, which no longer exists in internal/$pkg" >&2
+            fail=1
+        fi
+    done
+done
+
+# WAL record ops named in the durability section.
+for ident in $(grep -o '`rec[A-Za-z]*`' docs/ARCHITECTURE.md | tr -d '`' | sort -u); do
+    if ! grep -q "\b$ident\b" internal/durable/record.go; then
+        echo "docs/ARCHITECTURE.md references \`$ident\`, which no longer exists in internal/durable/record.go" >&2
         fail=1
     fi
 done
