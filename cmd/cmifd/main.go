@@ -7,6 +7,7 @@
 //	cmifd [-addr 127.0.0.1:7911] [-news N] [-idle 2m] [-grace 5s]
 //	      [-max-inflight 32] [-max-proto 2]
 //	      [-data DIR] [-sync always|interval|never] [-snap-bytes N]
+//	      [-metrics ADDR] [-max-concurrent N] [-max-queue N] [-max-wait D]
 //
 // With -news, the built-in evening-news corpus is preloaded under the name
 // "news". With -data, the server is durable: the corpus recovers from DIR
@@ -17,8 +18,18 @@
 // snapshot/compaction threshold. The server speaks the multiplexed wire
 // protocol v2 to clients that negotiate it (cap with -max-proto 1 to
 // force the legacy protocol) and bounds per-connection pipelining with
-// -max-inflight. It runs until SIGINT or SIGTERM, then drains gracefully:
-// in-flight requests get their responses before the process exits.
+// -max-inflight.
+//
+// With -metrics, an HTTP endpoint serves the server's instruments at
+// /metrics: Prometheus text exposition by default, JSON with
+// ?format=json. With -max-concurrent, server-wide admission control
+// bounds how many requests execute at once (-max-queue more may wait,
+// each at most -max-wait); the excess is shed promptly with a busy
+// error instead of collapsing every request's latency.
+//
+// It runs until SIGINT or SIGTERM, then drains gracefully: in-flight
+// requests get their responses, the metrics listener drains after the
+// wire listener, and the final counter totals are logged before exit.
 package main
 
 import (
@@ -26,6 +37,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +57,10 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory: recover the corpus from it and write-ahead-log every mutation (empty = in-memory only)")
 	syncMode := flag.String("sync", "interval", "WAL fsync policy with -data: always, interval or never")
 	snapBytes := flag.Int64("snap-bytes", 0, "snapshot+compact once the WAL grows past this many bytes (0 = default 64 MiB, negative disables)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus/JSON metrics over HTTP at this address (empty disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "server-wide admission bound on concurrently executing requests (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 0, "requests allowed to queue for an admission slot beyond -max-concurrent")
+	maxWait := flag.Duration("max-wait", 0, "longest a queued request may wait before it is shed (0 = default 100ms)")
 	flag.Parse()
 
 	opts := []cmif.ServerOption{
@@ -51,6 +68,13 @@ func main() {
 		cmif.WithShutdownGrace(*grace),
 		cmif.WithMaxInFlight(*maxInFlight),
 		cmif.WithMaxProtocolVersion(*maxProto),
+	}
+	if *maxConcurrent > 0 {
+		opts = append(opts, cmif.WithAdmission(cmif.AdmissionConfig{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			MaxWait:       *maxWait,
+		}))
 	}
 	if *dataDir != "" {
 		policy, err := cmif.ParseSyncPolicy(*syncMode)
@@ -77,13 +101,55 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := cmif.Serve(ctx, *addr, func(bound string, s *cmif.Server) {
-		fmt.Printf("cmifd: serving %d documents, %d blocks on %s\n",
-			len(s.DocumentNames()), s.Store().Len(), bound)
-		if *dataDir != "" {
-			fmt.Printf("cmifd: durable in %s (sync=%s)\n", *dataDir, *syncMode)
+	s := cmif.NewServer(opts...)
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		s.Close()
+		fatal(err)
+	}
+	fmt.Printf("cmifd: serving %d documents, %d blocks on %s\n",
+		len(s.DocumentNames()), s.Store().Len(), bound)
+	if *dataDir != "" {
+		fmt.Printf("cmifd: durable in %s (sync=%s)\n", *dataDir, *syncMode)
+	}
+	if *maxConcurrent > 0 {
+		fmt.Printf("cmifd: admission control: %d concurrent, %d queued, %v max wait\n",
+			*maxConcurrent, *maxQueue, *maxWait)
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			s.Close()
+			fatal(fmt.Errorf("metrics listener: %w", err))
 		}
-	}, opts...)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.Metrics().Handler())
+		metricsSrv = &http.Server{Handler: mux}
+		fmt.Printf("cmifd: metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "cmifd: metrics server:", err)
+			}
+		}()
+	}
+
+	err = s.Serve(ctx)
+
+	// Drain the metrics listener only after the wire server has drained:
+	// a scraper watching the shutdown sees the final request totals.
+	if metricsSrv != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		if serr := metricsSrv.Shutdown(drainCtx); serr != nil {
+			fmt.Fprintln(os.Stderr, "cmifd: metrics drain:", serr)
+		}
+		cancel()
+	}
+	for _, line := range s.Metrics().CounterTotals() {
+		fmt.Println("cmifd: final", line)
+	}
+
 	switch {
 	case err == nil:
 		fmt.Println("cmifd: drained, shutting down")

@@ -3,6 +3,7 @@ package cmif
 import (
 	"context"
 
+	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/newsdoc"
 )
@@ -19,6 +20,55 @@ func BuildNews(cfg NewsConfig) (*Document, *Store, error) {
 		return nil, nil, err
 	}
 	return wrapDocument(d), store, nil
+}
+
+// CorpusShape selects a load-test corpus generator: CorpusNewsWeb (wide
+// multilingual news webs), CorpusArchive (long text-heavy journal runs)
+// or CorpusDeepNest (deep par/seq nesting with dense May arcs — schedule
+// it with WithRelaxation).
+type CorpusShape = corpus.Shape
+
+// The generator shapes.
+const (
+	CorpusNewsWeb  = corpus.NewsWeb
+	CorpusArchive  = corpus.Archive
+	CorpusDeepNest = corpus.DeepNest
+)
+
+// CorpusSpec sizes one generated document; generation is deterministic
+// in the spec, so two processes with the same spec agree on the corpus.
+type CorpusSpec = corpus.Spec
+
+// GenerateCorpus builds one synthetic document of the given shape plus
+// the store holding its external media blocks. The document validates
+// before it is returned.
+func GenerateCorpus(spec CorpusSpec) (*Document, *Store, error) {
+	d, store, err := corpus.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapDocument(d), store, nil
+}
+
+// CorpusDocument is one entry of a generated corpus set.
+type CorpusDocument struct {
+	Name  string
+	Doc   *Document
+	Store *Store
+}
+
+// GenerateCorpusSet builds a mixed corpus — one document per shape per
+// round — for loading into a server under test.
+func GenerateCorpusSet(seed uint64, rounds int) ([]CorpusDocument, error) {
+	set, err := corpus.GenerateSet(seed, rounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CorpusDocument, len(set))
+	for i, n := range set {
+		out[i] = CorpusDocument{Name: n.Name, Doc: wrapDocument(n.Doc), Store: n.Store}
+	}
+	return out, nil
 }
 
 // Experiment pairs an experiment id (T1, F1..F10, A1, A2) with its
@@ -97,6 +147,41 @@ type DurableBenchReport = experiments.DurableBenchReport
 // corpus-equality verification.
 func RunDurableBench(ctx context.Context, cfg DurableBenchConfig) (*DurableBenchReport, error) {
 	return experiments.DurableBench(ctx, cfg)
+}
+
+// SoakBenchConfig sizes the S5 soak scenario: a steady mixed workload
+// (read/fetch/query/edit) against a LIVE daemon, then a deliberate
+// overload flood, then a scrape of the daemon's metrics endpoint. Addr
+// and MetricsURL are required; everything else has usable defaults (60 s
+// steady phase, 4 workers, 8 flooding connections, 50/250/1000 ms SLO).
+type SoakBenchConfig = experiments.SoakBenchConfig
+
+// SoakSLO is the soak latency budget in milliseconds.
+type SoakSLO = experiments.SoakSLO
+
+// SoakBenchReport is the machine-readable result set of RunSoakBench;
+// cmifsoak writes it to BENCH_soak.json.
+type SoakBenchReport = experiments.SoakBenchReport
+
+// RunSoakBench loads a generated corpus into the daemon at cfg.Addr,
+// drives the steady and overload phases, scrapes cfg.MetricsURL and
+// returns the report. The context bounds the whole run.
+func RunSoakBench(ctx context.Context, cfg SoakBenchConfig) (*SoakBenchReport, error) {
+	return experiments.SoakBench(ctx, cfg)
+}
+
+// LoadSoakBenchReport reads a BENCH_soak.json report from disk.
+func LoadSoakBenchReport(path string) (*SoakBenchReport, error) {
+	return experiments.LoadSoakReport(path)
+}
+
+// CheckSoakBenchReport validates a soak report: every steady class ran
+// error-free within its latency SLO, the overload phase both shed (via
+// busy errors) and served (admitted p99 within the tail budget), and the metrics
+// endpoint corroborated the client-side story. The committed reference
+// file must record ≥ 30 s of steady traffic at GOMAXPROCS ≥ 4.
+func CheckSoakBenchReport(r *SoakBenchReport, committed bool) []string {
+	return experiments.CheckSoakReport(r, committed)
 }
 
 // BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU

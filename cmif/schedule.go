@@ -26,8 +26,9 @@ type Plan struct {
 
 // scheduleConfig collects the scheduling options.
 type scheduleConfig struct {
-	opts  sched.Options
-	solve sched.SolveOptions
+	opts    sched.Options
+	solve   sched.SolveOptions
+	metrics *Metrics
 }
 
 // ScheduleOption configures Schedule.
@@ -75,6 +76,9 @@ func Schedule(d *Document, opts ...ScheduleOption) (*Plan, error) {
 	solver, err := sched.NewSolver(d.doc, cfg.opts, cfg.solve)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.metrics != nil {
+		solver.Instrument(cfg.metrics)
 	}
 	s, err := solver.Schedule()
 	if err != nil {

@@ -20,6 +20,9 @@ type Server struct {
 	grace time.Duration
 	// log is the durability layer when WithDataDir is in effect.
 	log *durable.Log
+	// metrics is the registry the server's instruments live in; always
+	// non-nil (private unless WithServerMetrics shared one).
+	metrics *Metrics
 	// initErr holds a durable-recovery failure; Listen and Serve report
 	// it (NewServer keeps its no-error signature).
 	initErr error
@@ -37,6 +40,8 @@ type serverConfig struct {
 	dataDir      string
 	syncPolicy   SyncPolicy
 	snapBytes    int64
+	admission    AdmissionConfig
+	metrics      *Metrics
 }
 
 type namedDoc struct {
@@ -190,6 +195,15 @@ func NewServer(opts ...ServerOption) *Server {
 	srv.WriteTimeout = cfg.writeTimeout
 	srv.MaxInFlight = cfg.maxInFlight
 	srv.MaxVersion = cfg.maxVersion
+	srv.Admission = cfg.admission
+	if cfg.metrics == nil {
+		cfg.metrics = NewMetrics()
+	}
+	s.metrics = cfg.metrics
+	srv.Metrics = transport.NewServerMetrics(cfg.metrics)
+	if s.log != nil {
+		s.log.Instrument(cfg.metrics)
+	}
 	s.reg, s.srv = reg, srv
 	return s
 }

@@ -1,0 +1,375 @@
+// Package corpus generates realistic CMIF document corpora for load
+// testing: multilingual news webs (the paper's running example scaled
+// out), journal/archive collections (many small, text-heavy issues), and
+// deep seq/par nestings with dense synchronization arcs (the solver's
+// worst case). Generators are seeded and deterministic — the same Spec
+// always yields byte-identical documents and media — so soak runs are
+// reproducible and two processes can agree on a corpus without shipping
+// it.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/units"
+)
+
+// Shape selects a generator.
+type Shape string
+
+const (
+	// NewsWeb is a web of parallel news stories: per-story video/audio
+	// tracks plus one caption track per language, cross-linked with
+	// Must/May arcs — wide documents, mixed media, moderate arc density.
+	NewsWeb Shape = "newsweb"
+	// Archive is a journal archive: a long sequence of small issues,
+	// each a par of title/articles/figure — many shallow nodes, text
+	// heavy, light on arcs. The shape of a document server's long tail.
+	Archive Shape = "archive"
+	// DeepNest alternates par/seq nesting to a configurable depth and
+	// sprays May arcs between random leaves — small payloads, dense
+	// constraints, the scheduler-bound shape.
+	DeepNest Shape = "deepnest"
+)
+
+// Shapes lists every generator shape.
+func Shapes() []Shape { return []Shape{NewsWeb, Archive, DeepNest} }
+
+// Spec sizes one generated document. The zero value of everything but
+// Shape is usable.
+type Spec struct {
+	Shape Shape
+	// Seed drives every random choice; equal specs generate equal output.
+	Seed uint64
+	// Size scales the shape: stories (NewsWeb), issues (Archive), or
+	// fanout per level (DeepNest). Default 4.
+	Size int
+	// Languages is the caption-track count for NewsWeb; default 3.
+	Languages int
+	// Depth is the nesting depth for DeepNest; default 5.
+	Depth int
+}
+
+func (s *Spec) defaults() {
+	if s.Size <= 0 {
+		s.Size = 4
+	}
+	if s.Languages <= 0 {
+		s.Languages = 3
+	}
+	if s.Depth <= 0 {
+		s.Depth = 5
+	}
+}
+
+// languages is the pool NewsWeb draws caption tracks from.
+var languages = []string{"en", "nl", "fr", "de", "es", "it", "pt", "sv"}
+
+// Generate builds one document and the media store holding its external
+// blocks. The document validates (core.NewDocument + Refresh) before it
+// is returned. DeepNest documents carry deliberately conflicting May
+// arcs, so schedule them with relaxation enabled (the paper's conflict
+// resolution); NewsWeb and Archive schedule without it.
+func Generate(spec Spec) (*core.Document, *media.Store, error) {
+	spec.defaults()
+	switch spec.Shape {
+	case NewsWeb:
+		return newsWeb(spec)
+	case Archive:
+		return archive(spec)
+	case DeepNest:
+		return deepNest(spec)
+	default:
+		return nil, nil, fmt.Errorf("corpus: unknown shape %q", spec.Shape)
+	}
+}
+
+// Named is one generated document under its corpus name.
+type Named struct {
+	Name  string
+	Doc   *core.Document
+	Store *media.Store
+}
+
+// GenerateSet builds a mixed corpus: one document per shape per round,
+// sizes varied by the seed. It is what the soak driver loads into a
+// fresh daemon.
+func GenerateSet(seed uint64, rounds int) ([]Named, error) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var out []Named
+	for r := 0; r < rounds; r++ {
+		for _, sh := range Shapes() {
+			spec := Spec{
+				Shape: sh,
+				Seed:  seed + uint64(r)*1009,
+				Size:  3 + (r % 3),
+			}
+			if sh == DeepNest {
+				// Leaves grow as Size^Depth; keep the scheduler-bound
+				// shape heavy but not the corpus bottleneck.
+				spec.Size = 3
+				spec.Depth = 4
+			}
+			d, st, err := Generate(spec)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: %s round %d: %w", sh, r, err)
+			}
+			out = append(out, Named{
+				Name:  fmt.Sprintf("%s-%d", sh, r),
+				Doc:   d,
+				Store: st,
+			})
+		}
+	}
+	return out, nil
+}
+
+// rng builds the deterministic stream for one spec.
+func rng(spec Spec) *rand.Rand {
+	return rand.New(rand.NewSource(int64(spec.Seed ^ 0x9e3779b97f4a7c15)))
+}
+
+// --- newsweb -----------------------------------------------------------
+
+// newsWeb is the paper's evening news scaled out: Size stories, each a
+// par of a video sequence, a narration track and Languages caption
+// sequences. Captions hard-start with their story's video; translated
+// tracks are loosely synchronized to the primary language; stories chain
+// with hard begin-after-end arcs.
+func newsWeb(spec Spec) (*core.Document, *media.Store, error) {
+	rnd := rng(spec)
+	store := media.NewStore()
+	root := core.NewPar().SetName("newsweb")
+	root.Attrs.Set("title", attr.String("Generated News Web"))
+
+	if spec.Languages > len(languages) {
+		spec.Languages = len(languages)
+	}
+	langs := languages[:spec.Languages]
+
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "video", Medium: core.MediumVideo, Rates: units.Rates{FrameRate: 25}})
+	cd.Define(core.Channel{Name: "audio", Medium: core.MediumAudio, Rates: units.Rates{SampleRate: 8000}})
+	for _, lang := range langs {
+		ch := core.Channel{Name: "captions-" + lang, Medium: core.MediumText}
+		ch.Attrs.Set("lang", attr.ID(lang))
+		cd.Define(ch)
+	}
+
+	for i := 0; i < spec.Size; i++ {
+		story := core.NewPar().SetName(fmt.Sprintf("story-%d", i))
+
+		vseq := core.NewSeq().SetName("video").SetAttr("channel", attr.ID("video"))
+		shots := 2 + rnd.Intn(3)
+		for j := 0; j < shots; j++ {
+			frames := 25 * (2 + rnd.Intn(6)) // 2..7 s at 25 fps
+			file := fmt.Sprintf("nw%d-s%d-shot%d.vid", spec.Seed, i, j)
+			store.Put(media.CaptureVideo(file, frames, 32, 24, 25, spec.Seed+uint64(i*100+j)))
+			vseq.AddChild(core.NewExt().SetName(fmt.Sprintf("shot-%d", j)).
+				SetAttr("file", attr.String(file)).
+				SetAttr("duration", attr.Quantity(units.Q(int64(frames), units.Frames))))
+		}
+
+		aseq := core.NewSeq().SetName("audio").SetAttr("channel", attr.ID("audio"))
+		voiceMS := int64(4000 + rnd.Intn(8000))
+		voice := fmt.Sprintf("nw%d-s%d-voice.aud", spec.Seed, i)
+		store.Put(media.CaptureAudio(voice, voiceMS, 8000, 220+int64(rnd.Intn(440)), spec.Seed+uint64(i)))
+		aseq.AddChild(core.NewExt().SetName("voice").
+			SetAttr("file", attr.String(voice)).
+			SetAttr("duration", attr.Quantity(units.Q(voiceMS*8, units.Samples))))
+
+		story.Add(vseq, aseq)
+
+		caps := 2 + rnd.Intn(4)
+		for _, lang := range langs {
+			cseq := core.NewSeq().SetName("caption-"+lang).
+				SetAttr("channel", attr.ID("captions-"+lang))
+			for j := 0; j < caps; j++ {
+				text := fmt.Sprintf("[%s] story %d caption %d", lang, i, j)
+				cseq.AddChild(core.NewImm([]byte(text)).
+					SetName(fmt.Sprintf("cap-%d", j)).
+					SetAttr("duration", attr.Quantity(units.MS(int64(1500+rnd.Intn(2500))))))
+			}
+			story.AddChild(cseq)
+			if lang == langs[0] {
+				// The primary track hard-starts with the video.
+				cseq.AddArc(core.SyncArc{
+					DestEnd: core.Begin, Strict: core.Must,
+					Source: "../video", SrcEnd: core.Begin,
+					MaxDelay: units.MS(0),
+				})
+			} else {
+				// Translations follow the primary loosely.
+				cseq.AddArc(core.SyncArc{
+					DestEnd: core.Begin, Strict: core.May,
+					Source: "../caption-" + langs[0], SrcEnd: core.Begin,
+					MaxDelay: units.MS(int64(100 + rnd.Intn(200))),
+				})
+			}
+		}
+
+		root.AddChild(story)
+		if i > 0 {
+			story.AddArc(core.SyncArc{
+				DestEnd: core.Begin, Strict: core.Must,
+				Source: fmt.Sprintf("../story-%d", i-1), SrcEnd: core.End,
+				MaxDelay: units.MS(0),
+			})
+		}
+	}
+
+	d, err := core.NewDocument(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.SetChannels(cd)
+	if err := d.Refresh(); err != nil {
+		return nil, nil, err
+	}
+	return d, store, nil
+}
+
+// --- archive -----------------------------------------------------------
+
+// archive is a journal back-catalogue: a seq of Size issues, each a par
+// of a title, an article sequence and one figure, the figure's display
+// loosely tied to its article.
+func archive(spec Spec) (*core.Document, *media.Store, error) {
+	rnd := rng(spec)
+	store := media.NewStore()
+	root := core.NewSeq().SetName("archive")
+	root.Attrs.Set("title", attr.String("Generated Journal Archive"))
+
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "text", Medium: core.MediumText})
+	cd.Define(core.Channel{Name: "figures", Medium: core.MediumImage})
+
+	for i := 0; i < spec.Size; i++ {
+		issue := core.NewPar().SetName(fmt.Sprintf("issue-%d", i))
+		issue.AddChild(core.NewImm([]byte(fmt.Sprintf("Journal issue %d", i))).
+			SetName("title").
+			SetAttr("channel", attr.ID("text")).
+			SetAttr("duration", attr.Quantity(units.MS(2000))))
+
+		articles := core.NewSeq().SetName("articles").SetAttr("channel", attr.ID("text"))
+		n := 2 + rnd.Intn(4)
+		for j := 0; j < n; j++ {
+			body := fmt.Sprintf("issue %d article %d: %x", i, j, rnd.Uint64())
+			articles.AddChild(core.NewImm([]byte(body)).
+				SetName(fmt.Sprintf("article-%d", j)).
+				SetAttr("duration", attr.Quantity(units.MS(int64(3000+rnd.Intn(5000))))))
+		}
+		issue.AddChild(articles)
+
+		figFile := fmt.Sprintf("ar%d-issue%d-fig.img", spec.Seed, i)
+		store.Put(media.CaptureImage(figFile, 64, 48, spec.Seed+uint64(i)))
+		fig := core.NewExt().SetName("figure").
+			SetAttr("channel", attr.ID("figures")).
+			SetAttr("file", attr.String(figFile)).
+			SetAttr("duration", attr.Quantity(units.MS(int64(2000+rnd.Intn(4000)))))
+		issue.AddChild(fig)
+		// The figure comes up with a mid-issue article, not the cover.
+		fig.AddArc(core.SyncArc{
+			DestEnd: core.Begin, Strict: core.May,
+			Source: fmt.Sprintf("../articles/article-%d", rnd.Intn(n)), SrcEnd: core.Begin,
+			MaxDelay: units.MS(int64(200 + rnd.Intn(300))),
+		})
+		root.AddChild(issue)
+	}
+
+	d, err := core.NewDocument(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.SetChannels(cd)
+	if err := d.Refresh(); err != nil {
+		return nil, nil, err
+	}
+	return d, store, nil
+}
+
+// --- deepnest ----------------------------------------------------------
+
+// deepNest alternates par and seq composites down to spec.Depth with
+// spec.Size children per level, then sprays one May arc per leaf at a
+// random earlier leaf. The arcs are deliberately allowed to conflict:
+// scheduling this shape exercises relaxation, so solve it with Relax.
+func deepNest(spec Spec) (*core.Document, *media.Store, error) {
+	rnd := rng(spec)
+	root := core.NewPar().SetName("deepnest")
+	root.Attrs.Set("title", attr.String("Generated Deep Nesting"))
+
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "text", Medium: core.MediumText})
+
+	// leafPaths collects absolute paths as targets for the arc spray.
+	var leafPaths []string
+	var build func(parent *core.Node, path string, depth int)
+	build = func(parent *core.Node, path string, depth int) {
+		for i := 0; i < spec.Size; i++ {
+			if depth >= spec.Depth {
+				name := fmt.Sprintf("leaf-%d", i)
+				leaf := core.NewImm([]byte(fmt.Sprintf("payload %s/%s %x", path, name, rnd.Uint32()))).
+					SetName(name).
+					SetAttr("channel", attr.ID("text")).
+					SetAttr("duration", attr.Quantity(units.MS(int64(500+rnd.Intn(1500)))))
+				parent.AddChild(leaf)
+				leafPaths = append(leafPaths, path+"/"+name)
+				continue
+			}
+			var n *core.Node
+			var name string
+			if depth%2 == 0 {
+				name = fmt.Sprintf("seq-%d", i)
+				n = core.NewSeq().SetName(name)
+			} else {
+				name = fmt.Sprintf("par-%d", i)
+				n = core.NewPar().SetName(name)
+			}
+			parent.AddChild(n)
+			build(n, path+"/"+name, depth+1)
+		}
+	}
+	build(root, "", 0)
+
+	// Dense arc spray: every third leaf points a May arc at a random
+	// earlier leaf — cross-component, cross-depth, and free to conflict
+	// (relaxation drops the losers). Density is capped at a third because
+	// each dropped arc costs the solver a relaxation iteration; a spray
+	// on every leaf makes big documents quadratically expensive to
+	// schedule without making the shape harder.
+	d, err := core.NewDocument(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, path := range leafPaths {
+		if i == 0 || i%3 != 0 {
+			continue
+		}
+		src := leafPaths[rnd.Intn(i)]
+		leaf, rerr := root.Resolve(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		srcEnd := core.End
+		if rnd.Intn(2) == 0 {
+			srcEnd = core.Begin
+		}
+		leaf.AddArc(core.SyncArc{
+			DestEnd: core.Begin, Strict: core.May,
+			Source: src, SrcEnd: srcEnd,
+			MaxDelay: units.MS(int64(50 + rnd.Intn(500))),
+		})
+	}
+	d.SetChannels(cd)
+	if err := d.Refresh(); err != nil {
+		return nil, nil, err
+	}
+	return d, media.NewStore(), nil
+}

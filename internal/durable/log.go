@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsio"
 	"repro/internal/media"
+	"repro/internal/metrics"
 )
 
 // ErrClosed is returned by operations on a closed log.
@@ -106,6 +107,14 @@ type Log struct {
 	appended  atomic.Int64
 	snapshots atomic.Int64
 	snapBytes atomic.Int64
+
+	// Mirrored instruments (Instrument); nil when uninstrumented. They
+	// move together with the Stats counters above.
+	mAppendSec *metrics.Histogram
+	mAppends   *metrics.Counter
+	mWALBytes  *metrics.Gauge
+	mSnapshots *metrics.Counter
+	mSnapBytes *metrics.Gauge
 }
 
 // Open recovers dir (creating it if needed) and returns the log plus the
@@ -246,6 +255,19 @@ func (l *Log) Sync() error {
 // appendLocked frames and writes one record under l.mu, honouring the
 // sync policy, and reports whether the auto-snapshot threshold tripped.
 func (l *Log) appendLocked(op byte, fields ...[]byte) (snapDue bool, err error) {
+	if l.mAppendSec != nil {
+		start := time.Now()
+		defer func() {
+			if err == nil {
+				// Append lag: framing, the write syscall, and whatever
+				// fsync the policy demanded — the full delay a mutation
+				// waits before it may be acknowledged.
+				l.mAppendSec.Observe(time.Since(start))
+				l.mAppends.Inc()
+				l.mWALBytes.Set(l.walBytes)
+			}
+		}()
+	}
 	if l.closed {
 		return false, ErrClosed
 	}
@@ -549,9 +571,16 @@ func (l *Log) snapshot() error {
 	// could not compact then is compacted now, so Close must not keep
 	// reporting the stale error.
 	l.snapErr = nil
+	if l.mWALBytes != nil {
+		l.mWALBytes.Set(l.walBytes)
+	}
 	l.mu.Unlock()
 	l.snapshots.Add(1)
 	l.snapBytes.Store(size)
+	if l.mSnapshots != nil {
+		l.mSnapshots.Inc()
+		l.mSnapBytes.Set(size)
+	}
 	l.removeCovered()
 	return nil
 }

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the registry over HTTP: the Prometheus text exposition
+// format by default, JSON when the request asks for it with
+// ?format=json or an Accept: application/json header. Any path works, so
+// one handler backs both /metrics and /metrics.json on cmifd's metrics
+// listener.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Prometheus()))
+	})
+}
+
+// wantsJSON decides the response format: an explicit ?format=json, a
+// .json path suffix, or a JSON Accept header.
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	if strings.HasSuffix(req.URL.Path, ".json") {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cmif_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name resolves to the same instrument.
+	if r.Counter("cmif_test_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("cmif_test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmif_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("cmif_conflict", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("cmif_test_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	// 90 fast observations, 10 slow: p50 must sit in the first bucket,
+	// p99 in the slow bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 0 || p50 > 0.001 {
+		t.Errorf("p50 = %v, want within (0, 0.001]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 0.01 || p99 > 0.1 {
+		t.Errorf("p99 = %v, want within (0.01, 0.1]", p99)
+	}
+	// Monotonic: p999 >= p99 >= p50.
+	if p999 := h.Quantile(0.999); p999 < p99 {
+		t.Errorf("p999 %v < p99 %v", p999, p99)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("cmif_test_seconds", "", []float64{0.001, 0.01})
+	h.Observe(5 * time.Second) // past every bound
+	// The +Inf bucket caps the estimate at the largest finite bound.
+	if got := h.Quantile(0.99); got != 0.01 {
+		t.Fatalf("overflow quantile = %v, want 0.01", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cmif_test_seconds", "")
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty-histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cmif_conc_total", "")
+	h := r.Histogram("cmif_conc_seconds", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmif_requests_total", "requests served", "op", "getblk").Add(3)
+	r.Counter("cmif_requests_total", "requests served", "op", "getdoc").Add(2)
+	r.Gauge("cmif_inflight_requests", "in flight").Set(1)
+	r.HistogramBuckets("cmif_request_seconds", "latency", []float64{0.01, 1}).Observe(5 * time.Millisecond)
+
+	text := r.Prometheus()
+	for _, want := range []string{
+		"# HELP cmif_requests_total requests served",
+		"# TYPE cmif_requests_total counter",
+		`cmif_requests_total{op="getblk"} 3`,
+		`cmif_requests_total{op="getdoc"} 2`,
+		"# TYPE cmif_inflight_requests gauge",
+		"cmif_inflight_requests 1",
+		"# TYPE cmif_request_seconds histogram",
+		`cmif_request_seconds_bucket{le="0.01"} 1`,
+		`cmif_request_seconds_bucket{le="+Inf"} 1`,
+		"cmif_request_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP header per family even with several label sets.
+	if n := strings.Count(text, "# TYPE cmif_requests_total"); n != 1 {
+		t.Errorf("family header rendered %d times, want 1", n)
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmif_a_total", "").Add(9)
+	r.Gauge("cmif_b", "").Set(-2)
+	h := r.Histogram("cmif_c_seconds", "")
+	h.Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap.Counters["cmif_a_total"] != 9 {
+		t.Errorf("snapshot counter = %d, want 9", snap.Counters["cmif_a_total"])
+	}
+	if snap.Gauges["cmif_b"] != -2 {
+		t.Errorf("snapshot gauge = %d, want -2", snap.Gauges["cmif_b"])
+	}
+	hs := snap.Histograms["cmif_c_seconds"]
+	if hs.Count != 1 || hs.P99 <= 0 {
+		t.Errorf("snapshot histogram = %+v, want count 1 and positive p99", hs)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmif_h_total", "handled").Add(1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path, accept string) (int, string, string) {
+		req := httptest.NewRequest("GET", path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, req)
+		return rec.Code, rec.Header().Get("Content-Type"), rec.Body.String()
+	}
+
+	code, ct, body := get("/metrics", "")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "cmif_h_total 1") {
+		t.Errorf("text scrape: code=%d ct=%q body=%q", code, ct, body)
+	}
+	for _, path := range []string{"/metrics?format=json", "/metrics.json"} {
+		code, ct, body = get(path, "")
+		if code != 200 || ct != "application/json" {
+			t.Errorf("%s: code=%d ct=%q", path, code, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Errorf("%s: bad JSON: %v", path, err)
+		} else if snap.Counters["cmif_h_total"] != 1 {
+			t.Errorf("%s: counter = %d, want 1", path, snap.Counters["cmif_h_total"])
+		}
+	}
+	code, ct, _ = get("/metrics", "application/json")
+	if code != 200 || ct != "application/json" {
+		t.Errorf("Accept negotiation: code=%d ct=%q", code, ct)
+	}
+
+	req := httptest.NewRequest("POST", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != 405 {
+		t.Errorf("POST = %d, want 405", rec.Code)
+	}
+}
+
+func TestCounterTotals(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmif_z_total", "").Add(2)
+	r.Counter("cmif_a_total", "").Add(1)
+	got := r.CounterTotals()
+	if len(got) != 2 || got[0] != "cmif_a_total=1" || got[1] != "cmif_z_total=2" {
+		t.Fatalf("CounterTotals = %v, want sorted [cmif_a_total=1 cmif_z_total=2]", got)
+	}
+}

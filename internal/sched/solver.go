@@ -40,6 +40,10 @@ type Solver struct {
 	compDropped map[EventID][]ArcRef
 
 	stats SolveStats
+
+	// m mirrors pass activity into a metrics registry (Instrument); nil
+	// when uninstrumented.
+	m *solverMetrics
 }
 
 // SolveStats describes the last (re)scheduling pass.
@@ -96,6 +100,7 @@ func (s *Solver) workers() int {
 // last saw it. The result is identical to Graph.Solve on the same
 // constraint system.
 func (s *Solver) Schedule() (*Schedule, error) {
+	start := time.Now()
 	if s.cursor != s.doc.Generation() || s.broken {
 		g, err := Build(s.doc, s.buildOpts)
 		if err != nil {
@@ -105,8 +110,13 @@ func (s *Solver) Schedule() (*Schedule, error) {
 		s.cursor = s.doc.Generation()
 		s.broken = false
 		s.stats.FullRebuilds++
+		s.m.countRebuild()
 	}
-	return s.solveAll()
+	sch, err := s.solveAll()
+	if err == nil {
+		s.m.observePass(true, start, s.stats)
+	}
+	return sch, err
 }
 
 // solveAll solves every component from scratch and records the solution.
@@ -160,10 +170,12 @@ func (s *Solver) Reschedule() (*Schedule, error) {
 	if !s.solved {
 		return s.Schedule()
 	}
+	start := time.Now()
 	changes := s.doc.ChangesSince(s.cursor)
 	s.cursor = s.doc.Generation()
 	if len(changes) == 0 {
 		s.stats.Resolved, s.stats.Reused = 0, len(s.cs.eventsOrNone())
+		s.m.observePass(false, start, s.stats)
 		return s.snapshot(s.aggregateDropped()), nil
 	}
 
@@ -219,9 +231,18 @@ func (s *Solver) Reschedule() (*Schedule, error) {
 		}
 		s.g = g
 		s.stats.FullRebuilds++
-		return s.solveAll()
+		s.m.countRebuild()
+		sch, err := s.solveAll()
+		if err == nil {
+			s.m.observePass(false, start, s.stats)
+		}
+		return sch, err
 	}
-	return s.applyPatch(&p)
+	sch, err := s.applyPatch(&p)
+	if err == nil {
+		s.m.observePass(false, start, s.stats)
+	}
+	return sch, err
 }
 
 // patchPlan accumulates what an edit batch dirtied.

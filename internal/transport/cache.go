@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/media"
+	"repro/internal/metrics"
 )
 
 // DefaultCacheSize is the block capacity a BlockCache gets when built with
@@ -32,6 +33,53 @@ type BlockCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// Mirrored instruments (Instrument); nil when uninstrumented. They
+	// increment at exactly the sites the fields above do, so the metrics
+	// and CacheStats always agree on semantics.
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mEvictions *metrics.Counter
+}
+
+// Instrument mirrors the cache's effectiveness counters into reg as
+// cmif_cache_hits_total / cmif_cache_misses_total /
+// cmif_cache_evictions_total, with the exact accounting semantics of
+// CacheStats: a hit is any lookup that costs no wire call of its own —
+// including waiting on another goroutine's in-flight fetch — and a
+// singleflight-collapsed miss counts once, charged to the leader that
+// performs the wire fetch. Instrument at construction time; the mirrored
+// counters start at zero, so a cache instrumented mid-life disagrees with
+// CacheStats by whatever happened before.
+func (c *BlockCache) Instrument(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = reg.Counter("cmif_cache_hits_total", "block-cache lookups served without a wire call")
+	c.mMisses = reg.Counter("cmif_cache_misses_total", "block-cache lookups that led a wire fetch (collapsed misses count once)")
+	c.mEvictions = reg.Counter("cmif_cache_evictions_total", "blocks evicted by LRU pressure")
+}
+
+// countHit/countMiss/countEviction move the CacheStats field and its
+// mirrored instrument together. Caller holds c.mu.
+func (c *BlockCache) countHit() {
+	c.hits++
+	if c.mHits != nil {
+		c.mHits.Inc()
+	}
+}
+
+func (c *BlockCache) countMiss() {
+	c.misses++
+	if c.mMisses != nil {
+		c.mMisses.Inc()
+	}
+}
+
+func (c *BlockCache) countEviction() {
+	c.evictions++
+	if c.mEvictions != nil {
+		c.mEvictions.Inc()
+	}
 }
 
 // cacheEntry is one resident block.
@@ -71,7 +119,7 @@ func (c *BlockCache) Get(key string) (*media.Block, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	c.hits++
+	c.countHit()
 	return el.Value.(*cacheEntry).blk.Clone(), true
 }
 
@@ -95,7 +143,7 @@ func (c *BlockCache) addLocked(key string, blk *media.Block) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*cacheEntry).key)
-		c.evictions++
+		c.countEviction()
 	}
 }
 
@@ -111,16 +159,16 @@ func (c *BlockCache) join(key string) (blk *media.Block, f *flight, leader bool)
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
-		c.hits++
+		c.countHit()
 		return el.Value.(*cacheEntry).blk.Clone(), nil, false
 	}
 	if f, ok := c.flights[key]; ok {
-		c.hits++
+		c.countHit()
 		return nil, f, false
 	}
 	f = &flight{done: make(chan struct{})}
 	c.flights[key] = f
-	c.misses++
+	c.countMiss()
 	return nil, f, true
 }
 

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/metrics"
+)
+
+// TestCacheMetricsMirrorStats pins the accounting contract shared by
+// CacheStats and the mirrored instruments: a singleflight-collapsed miss
+// counts once (charged to the leader), every collapsed waiter counts as a
+// hit, and the two views never disagree.
+func TestCacheMetricsMirrorStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewBlockCache(2)
+	c.Instrument(reg)
+
+	// Leader misses; a second joiner collapses onto the flight (a hit —
+	// it costs no wire call of its own).
+	blk, f, leader := c.join("a")
+	if blk != nil || !leader {
+		t.Fatalf("join(a) = %v leader=%v, want leader miss", blk, leader)
+	}
+	if blk2, f2, leader2 := c.join("a"); blk2 != nil || leader2 || f2 != f {
+		t.Fatalf("second join(a) = %v leader=%v flight=%p, want collapse onto %p", blk2, leader2, f2, f)
+	}
+	c.settle("a", f, media.NewBlock("a", core.MediumText, []byte("x"), attr.List{}), nil)
+	if b, err := f.wait(context.Background()); err != nil || b == nil {
+		t.Fatalf("wait = %v, %v", b, err)
+	}
+
+	// A resident lookup is a plain hit.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("Get(a) missed after settle")
+	}
+
+	// Fill past capacity to force an eviction.
+	c.Add("b", media.NewBlock("b", core.MediumText, []byte("y"), attr.List{}))
+	c.Add("c", media.NewBlock("c", core.MediumText, []byte("z"), attr.List{}))
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("Stats = %+v, want hits=2 misses=1 evictions=1", st)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"cmif_cache_hits_total":      st.Hits,
+		"cmif_cache_misses_total":    st.Misses,
+		"cmif_cache_evictions_total": st.Evictions,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (CacheStats value)", name, got, want)
+		}
+	}
+}
+
+// TestCacheMetricsConcurrentParity hammers one key from many goroutines
+// and checks the invariant survives real concurrency: exactly one miss
+// per distinct fetch, everything else hits, and the mirrored counters
+// match CacheStats exactly.
+func TestCacheMetricsConcurrentParity(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewBlockCache(8)
+	c.Instrument(reg)
+
+	const goroutines = 16
+	var fetches int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrFetch(context.Background(), "hot", func(context.Context) (*media.Block, error) {
+				mu.Lock()
+				fetches++
+				mu.Unlock()
+				return media.NewBlock("hot", core.MediumText, []byte("v"), attr.List{}), nil
+			})
+			if err != nil {
+				t.Errorf("GetOrFetch: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != fetches {
+		t.Errorf("misses = %d, fetches = %d; a collapsed miss must count once", st.Misses, fetches)
+	}
+	if st.Hits+st.Misses != goroutines {
+		t.Errorf("hits+misses = %d, want %d lookups accounted", st.Hits+st.Misses, goroutines)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["cmif_cache_hits_total"]; got != st.Hits {
+		t.Errorf("cmif_cache_hits_total = %d, CacheStats.Hits = %d", got, st.Hits)
+	}
+	if got := snap.Counters["cmif_cache_misses_total"]; got != st.Misses {
+		t.Errorf("cmif_cache_misses_total = %d, CacheStats.Misses = %d", got, st.Misses)
+	}
+}

@@ -312,6 +312,11 @@ func (c *Client) roundTripV1(ctx context.Context, op byte, parts ...[]byte) ([][
 		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotFound, errText(resp))
 	case opErrTooLarge:
 		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, errTooLarge, errText(resp))
+	case opErrBusy:
+		// Server-wide admission control sheds on v1 connections too; the
+		// typed error lets callers back off instead of treating it as a
+		// hard failure.
+		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, ErrBusy, errText(resp))
 	case opErr:
 		return nil, fmt.Errorf("%w: %s", ErrRemote, errText(resp))
 	default:

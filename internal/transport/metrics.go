@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ServerMetrics is the transport server's instrument set, resolved once
+// against a metrics.Registry so the per-request path touches only
+// atomics. Every method is nil-receiver safe: an uninstrumented server
+// pays a single predictable branch.
+//
+// Metric names (see docs/ARCHITECTURE.md, scale layer 6):
+//
+//	cmif_connections_open          gauge      open client connections
+//	cmif_requests_total{op}        counter    requests received, by op
+//	cmif_request_seconds{op}       histogram  admitted-request latency, by op
+//	cmif_inflight_requests         gauge      requests currently executing
+//	cmif_admission_queue_depth     gauge      requests waiting for a slot
+//	cmif_busy_rejections_total{reason} counter sheds: conn_inflight,
+//	                                          queue_full, queue_timeout
+//	cmif_desc_cache_hits_total     counter    descriptor-cache hits
+//	cmif_desc_cache_misses_total   counter    descriptor-cache misses
+type ServerMetrics struct {
+	reg *metrics.Registry
+
+	conns      *metrics.Gauge
+	inflight   *metrics.Gauge
+	queueDepth *metrics.Gauge
+
+	requests       map[byte]*metrics.Counter
+	opSeconds      map[byte]*metrics.Histogram
+	requestsOther  *metrics.Counter
+	opSecondsOther *metrics.Histogram
+
+	busyConnInflight *metrics.Counter
+	busyQueueFull    *metrics.Counter
+	busyQueueTimeout *metrics.Counter
+
+	descHits   *metrics.Counter
+	descMisses *metrics.Counter
+}
+
+// opNames maps the request ops the server handles to their label values.
+var opNames = map[byte]string{
+	opGetDoc:       "getdoc",
+	opPutDoc:       "putdoc",
+	opGetBlk:       "getblk",
+	opGetBlks:      "getblks",
+	opGetDescs:     "getdescs",
+	opPutBlk:       "putblk",
+	opList:         "list",
+	opGetBlkStream: "getblkstream",
+}
+
+// NewServerMetrics resolves the server instrument set in reg. Attach it
+// to a Server before Listen.
+func NewServerMetrics(reg *metrics.Registry) *ServerMetrics {
+	m := &ServerMetrics{
+		reg:        reg,
+		conns:      reg.Gauge("cmif_connections_open", "open client connections"),
+		inflight:   reg.Gauge("cmif_inflight_requests", "requests currently executing"),
+		queueDepth: reg.Gauge("cmif_admission_queue_depth", "requests waiting for an admission slot"),
+		requests:   map[byte]*metrics.Counter{},
+		opSeconds:  map[byte]*metrics.Histogram{},
+		busyConnInflight: reg.Counter("cmif_busy_rejections_total",
+			"requests shed with a busy error", "reason", "conn_inflight"),
+		busyQueueFull: reg.Counter("cmif_busy_rejections_total",
+			"requests shed with a busy error", "reason", "queue_full"),
+		busyQueueTimeout: reg.Counter("cmif_busy_rejections_total",
+			"requests shed with a busy error", "reason", "queue_timeout"),
+		descHits:   reg.Counter("cmif_desc_cache_hits_total", "descriptor-cache hits"),
+		descMisses: reg.Counter("cmif_desc_cache_misses_total", "descriptor-cache misses"),
+	}
+	for op, name := range opNames {
+		m.requests[op] = reg.Counter("cmif_requests_total", "requests received", "op", name)
+		m.opSeconds[op] = reg.Histogram("cmif_request_seconds", "request latency", "op", name)
+	}
+	m.requestsOther = reg.Counter("cmif_requests_total", "requests received", "op", "other")
+	m.opSecondsOther = reg.Histogram("cmif_request_seconds", "request latency", "op", "other")
+	return m
+}
+
+// Registry returns the registry the instruments live in.
+func (m *ServerMetrics) Registry() *metrics.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+func (m *ServerMetrics) connOpened() {
+	if m != nil {
+		m.conns.Add(1)
+	}
+}
+
+func (m *ServerMetrics) connClosed() {
+	if m != nil {
+		m.conns.Add(-1)
+	}
+}
+
+// countRequest tallies one received request by op.
+func (m *ServerMetrics) countRequest(op byte) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.requests[op]; ok {
+		c.Inc()
+		return
+	}
+	m.requestsOther.Inc()
+}
+
+// observe records one admitted request's latency — queue wait plus
+// service time, the delay the client actually saw.
+func (m *ServerMetrics) observe(op byte, start time.Time) {
+	if m == nil {
+		return
+	}
+	d := time.Since(start)
+	if h, ok := m.opSeconds[op]; ok {
+		h.Observe(d)
+		return
+	}
+	m.opSecondsOther.Observe(d)
+}
+
+func (m *ServerMetrics) inflightAdd(delta int64) {
+	if m != nil {
+		m.inflight.Add(delta)
+	}
+}
+
+func (m *ServerMetrics) queueDepthSet(depth int64) {
+	if m != nil {
+		m.queueDepth.Set(depth)
+	}
+}
+
+// shed tallies one busy rejection by reason.
+func (m *ServerMetrics) shed(reason string) {
+	if m == nil {
+		return
+	}
+	switch reason {
+	case shedConnInflight:
+		m.busyConnInflight.Inc()
+	case shedQueueFull:
+		m.busyQueueFull.Inc()
+	case shedQueueTimeout:
+		m.busyQueueTimeout.Inc()
+	}
+}
+
+// descCacheLookup tallies one descriptor-cache lookup.
+func (m *ServerMetrics) descCacheLookup(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.descHits.Inc()
+	} else {
+		m.descMisses.Inc()
+	}
+}

@@ -125,6 +125,16 @@ type Server struct {
 	// means the newest this build speaks. Set to 1 to force every
 	// connection onto the legacy protocol. Set before Listen.
 	MaxVersion int
+	// Admission configures server-wide admission control: a concurrency
+	// bound across all connections with a bounded, deadline-aware queue.
+	// Requests past the bounds are shed with opErrBusy instead of
+	// degrading every request's latency. The zero value disables it. Set
+	// before Listen.
+	Admission Admission
+	// Metrics, when non-nil, records request counts, per-op latency,
+	// in-flight and queue gauges, busy rejections and descriptor-cache
+	// effectiveness (NewServerMetrics). Set before Listen.
+	Metrics *ServerMetrics
 
 	// testOpDelay, when non-nil, stalls request handling — a test hook
 	// for exercising backpressure deterministically.
@@ -135,6 +145,9 @@ type Server struct {
 	// goes stale; it saves re-encoding the descriptor on every fetch of
 	// a hot block.
 	descCache sync.Map // string (block ID) → string (descriptor text)
+
+	// adm enforces Admission; nil admits everything. Built at Listen.
+	adm *admitter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -158,6 +171,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.listener = l
+	if s.adm == nil {
+		s.adm = newAdmitter(s.Admission, s.Metrics)
+	}
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(l)
@@ -281,6 +297,8 @@ func (s *Server) acceptLoop(l net.Listener) {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
+			s.Metrics.connOpened()
+			defer s.Metrics.connClosed()
 			s.serveConn(conn)
 		}()
 	}
@@ -391,11 +409,29 @@ func (s *Server) serveConnV1(conn net.Conn, in *bufio.Reader, first *frame) {
 				return
 			}
 		}
-		resp, parts := s.handle(req)
+		resp, parts := s.admitAndHandle(req)
 		if err := s.writeV1(conn, resp, parts...); err != nil {
 			return
 		}
 	}
+}
+
+// admitAndHandle runs one request through server-wide admission control
+// and the dispatcher, recording request count, in-flight gauge and
+// admitted latency. Shed requests answer opErrBusy without executing.
+func (s *Server) admitAndHandle(req frame) (byte, [][]byte) {
+	s.Metrics.countRequest(req.op)
+	start := time.Now()
+	release, shed := s.adm.acquire()
+	if shed != "" {
+		return opErrBusy, [][]byte{busyText(shed)}
+	}
+	defer release()
+	s.Metrics.inflightAdd(1)
+	defer s.Metrics.inflightAdd(-1)
+	resp, parts := s.handle(req)
+	s.Metrics.observe(req.op, start)
+	return resp, parts
 }
 
 // serveConnV2 is the multiplexed loop: the connection goroutine reads
@@ -452,12 +488,23 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader) {
 				return
 			}
 			if failed {
+				if f.done != nil {
+					f.done()
+				}
 				continue
 			}
 			if s.WriteTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 			}
-			if err := writeFrameV2(bw, f.op, f.id, f.parts...); err != nil {
+			err := writeFrameV2(bw, f.op, f.id, f.parts...)
+			if f.done != nil {
+				// The frame is in the write buffer (or the buffer's own
+				// flush blocked until the socket drained): release the
+				// admission slot only now, so clients that cannot absorb
+				// responses keep the server's capacity visibly occupied.
+				f.done()
+			}
+			if err != nil {
 				failed = true
 				_ = conn.Close()
 			}
@@ -475,6 +522,8 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader) {
 			break
 		}
 		if !admit(sem) {
+			s.Metrics.countRequest(req.op)
+			s.Metrics.shed(shedConnInflight)
 			respCh <- frameV2{op: opErrBusy, id: req.id,
 				parts: [][]byte{[]byte(fmt.Sprintf("busy: %d requests in flight", maxIF))}}
 			continue
@@ -513,18 +562,39 @@ func admit(sem chan struct{}) bool {
 	}
 }
 
-// handleV2 executes one multiplexed request, emitting its response
-// frame(s) — several for a streamed block — in order onto respCh.
+// handleV2 executes one multiplexed request — first through server-wide
+// admission control, then the dispatcher — emitting its response frame(s)
+// (several for a streamed block) in order onto respCh. Admission waiting
+// happens here, on the handler goroutine, so a saturated server never
+// stalls the connection's read loop: later frames still reach their own
+// handlers (or their own fast busy rejections).
 func (s *Server) handleV2(req frameV2, respCh chan<- frameV2) {
+	s.Metrics.countRequest(req.op)
+	start := time.Now()
+	release, shed := s.adm.acquire()
+	if shed != "" {
+		respCh <- frameV2{op: opErrBusy, id: req.id, parts: [][]byte{busyText(shed)}}
+		return
+	}
+	s.Metrics.inflightAdd(1)
+	defer s.Metrics.inflightAdd(-1)
+	defer s.Metrics.observe(req.op, start)
 	if s.testOpDelay != nil {
 		s.testOpDelay(req.op)
 	}
 	if req.op == opGetBlkStream {
+		// The stream handler blocks on respCh while it emits chunks, so
+		// the slot already covers the write side; release on return.
+		defer release()
 		s.handleStream(req, respCh)
 		return
 	}
 	op, parts := s.handle(frame{op: req.op, parts: req.parts})
-	respCh <- frameV2{op: op, id: req.id, parts: parts}
+	// The slot travels with the response frame and is released by the
+	// writer once the frame is actually written: a request occupies
+	// admission capacity for its whole lifetime, not just its compute,
+	// so overload driven by response backpressure still sheds.
+	respCh <- frameV2{op: op, id: req.id, parts: parts, done: release}
 }
 
 // handleStream answers opGetBlkStream: a header frame, the payload cut
@@ -744,8 +814,10 @@ func (s *Server) lookupBlock(name string) (*media.Block, bool) {
 // by content address.
 func (s *Server) descriptorText(blk *media.Block) (string, error) {
 	if text, ok := s.descCache.Load(blk.ID); ok {
+		s.Metrics.descCacheLookup(true)
 		return text.(string), nil
 	}
+	s.Metrics.descCacheLookup(false)
 	text, err := codec.EncodeNode(descriptorNode(blk), codec.WriteOptions{Form: codec.Embedded})
 	if err != nil {
 		return "", err

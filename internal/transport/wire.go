@@ -215,6 +215,12 @@ type frameV2 struct {
 	op    byte
 	id    uint32
 	parts [][]byte
+	// done, when non-nil, runs once the frame has been written (or
+	// dropped on a dead connection). The server's response path uses it
+	// to hold the admission slot until the response actually leaves, so
+	// write-side backpressure — slow or contended clients — counts as
+	// load the admission controller can see.
+	done func()
 }
 
 // writeFrameV2 encodes and sends a v2 frame:

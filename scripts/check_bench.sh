@@ -1,8 +1,9 @@
 #!/bin/sh
 # Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler),
-# S3 (wire protocol) and S4 (durability) scenarios in quick smoke mode and
-# validate both the fresh results and the committed BENCH_store.json /
-# BENCH_sched.json / BENCH_wire.json / BENCH_durable.json reference files
+# S3 (wire protocol) and S4 (durability) scenarios plus cmifsoak's S5
+# (production soak) in quick smoke mode and validate both the fresh
+# results and the committed BENCH_store.json / BENCH_sched.json /
+# BENCH_wire.json / BENCH_durable.json / BENCH_soak.json reference files
 # against the regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
@@ -23,7 +24,13 @@
 #     byte-for-byte (names, content addresses, payloads), write
 #     amplification stays within the record format's ceiling, sync=never
 #     out-runs sync=always, and WAL replay beats wire re-ingest (≥ 10x in
-#     the committed reference under sync=never).
+#     the committed reference under sync=never);
+#   - the soak invariants: every steady traffic class ran error-free
+#     within its latency SLO, the deliberate overload flood was shed via
+#     busy errors while admitted requests stayed within the tail budget,
+#     and the live /metrics endpoint corroborated the client-side counts
+#     (the committed BENCH_soak.json must record ≥ 30 s of steady
+#     traffic at GOMAXPROCS ≥ 4).
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -37,6 +44,15 @@ fi
 mkdir -p "$BENCH_DIR"
 trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
 
+# The committed soak reference was captured at GOMAXPROCS >= 4 (the S5
+# gate requires it); warn when this box cannot reproduce that
+# environment, because locally regenerated reference files would then
+# fail the gate.
+procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}"
+if [ "$procs" -lt 4 ]; then
+    echo "warning: GOMAXPROCS=$procs < 4; the committed BENCH_soak.json must be (re)generated with GOMAXPROCS>=4" >&2
+fi
+
 go run ./cmd/cmifbench -smoke \
     -store-out "$BENCH_DIR/BENCH_store.json" \
     -sched-out "$BENCH_DIR/BENCH_sched.json" \
@@ -47,5 +63,9 @@ go run ./cmd/cmifbench -smoke \
     -check-wire BENCH_wire.json \
     -check-durable BENCH_durable.json \
     S1 S2 S3 S4
+
+go run ./cmd/cmifsoak -smoke \
+    -out "$BENCH_DIR/BENCH_soak.json" \
+    -check BENCH_soak.json
 
 echo "bench-regression gate passed (results in $BENCH_DIR)"

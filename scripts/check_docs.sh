@@ -10,10 +10,12 @@
 #     appear in the cmif facade sources;
 #   - every backticked `sched.Xxx` symbol in docs/ must appear in
 #     internal/sched (the scheduler-internals section of ARCHITECTURE.md);
-#   - every backticked `durable.Xxx` / `media.Xxx` / `ddbms.Xxx` symbol in
-#     docs/ must appear in the corresponding internal package, and every
-#     `recXxx` record op named in the durability section must appear in
-#     internal/durable/record.go.
+#   - every backticked `durable.Xxx` / `media.Xxx` / `ddbms.Xxx` /
+#     `metrics.Xxx` / `corpus.Xxx` symbol in docs/ must appear in the
+#     corresponding internal package, and every `recXxx` record op named
+#     in the durability section must appear in internal/durable/record.go;
+#   - every backticked `cmif_xxx` metric name in docs/ must appear in the
+#     source, so the documented metric inventory tracks the instruments.
 #
 # Run from the repository root: ./scripts/check_docs.sh
 set -eu
@@ -53,14 +55,25 @@ for sym in $(grep -ho '`sched\.[A-Za-z.()]*`' docs/*.md | sed 's/`sched\.\([A-Za
     fi
 done
 
-# Durability-layer symbols (ARCHITECTURE.md "Durable server state").
-for pkg in durable media ddbms; do
+# Durability-layer symbols (ARCHITECTURE.md "Durable server state") plus
+# the observability and corpus packages (ARCHITECTURE.md "Observability
+# & load").
+for pkg in durable media ddbms metrics corpus; do
     for sym in $(grep -ho "\`$pkg\.[A-Za-z.()]*\`" docs/*.md | sed "s/\`$pkg\.\([A-Za-z]*\).*/\1/" | sort -u); do
         if ! grep -q "\b$sym\b" "internal/$pkg"/*.go; then
             echo "docs reference \`$pkg.$sym\`, which no longer exists in internal/$pkg" >&2
             fail=1
         fi
     done
+done
+
+# Metric names documented in the observability section: each must be
+# registered somewhere in the source (internal packages or the facade).
+for name in $(grep -ho '`cmif_[a-z_]*`' docs/*.md | tr -d '`' | sort -u); do
+    if ! grep -rq "\"$name\"" internal cmif; then
+        echo "docs reference metric \`$name\`, which is never registered in the source" >&2
+        fail=1
+    fi
 done
 
 # WAL record ops named in the durability section.
