@@ -2,19 +2,20 @@
 // reproduction — the section 3.1 table, Figures 1-10, the two ablations —
 // plus the S1 storage/fetch concurrency scenarios (BENCH_store.json),
 // the S2 scheduler scenarios (BENCH_sched.json), the S3 wire-protocol
-// scenarios (BENCH_wire.json) and the S4 durability scenarios
-// (BENCH_durable.json).
+// scenarios (BENCH_wire.json), the S4 durability scenarios
+// (BENCH_durable.json) and the S6 live-document subscription scenarios
+// (BENCH_subs.json).
 //
 // Usage:
 //
-//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6]
 //
 // Run with no experiment ids for everything; naming ids restricts the run.
-// -smoke shrinks the S1/S2/S3/S4 configurations to CI-sized quick runs.
-// The -check-store/-check-sched/-check-wire/-check-durable flags
-// additionally validate a committed BENCH file and the fresh results
-// against the bench-regression invariants, exiting nonzero on violation
-// (the scripts/check_bench.sh gate).
+// -smoke shrinks the S1/S2/S3/S4/S6 configurations to CI-sized quick runs.
+// The -check-store/-check-sched/-check-wire/-check-durable/-check-subs
+// flags additionally validate a committed BENCH file and the fresh
+// results against the bench-regression invariants, exiting nonzero on
+// violation (the scripts/check_bench.sh gate).
 package main
 
 import (
@@ -48,11 +49,17 @@ func main() {
 	durableRecover := flag.String("durable-recover", "", "comma-separated recovery corpus sizes for S4 (default 1000,10000)")
 	durableWrites := flag.Int("durable-writes", 0, "blocks in the S4 sync-policy write scenario (default 2048)")
 
-	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4 to quick CI-sized configurations")
+	subsOut := flag.String("subs-out", "BENCH_subs.json", "path for the S6 subscription-bench JSON results")
+	subsList := flag.String("subs-list", "", "comma-separated subscriber counts for S6 (default 100,1000,10000)")
+	subsEdits := flag.Int("subs-edits", 0, "edits per S6 scenario (default 16; quartered past 2000 subscribers)")
+	subsWriters := flag.Int("subs-writers", 0, "concurrent writers in S6 (default 2)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6 to quick CI-sized configurations")
 	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
 	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
 	checkWire := flag.String("check-wire", "", "committed BENCH_wire.json to validate against the regression gate")
 	checkDurable := flag.String("check-durable", "", "committed BENCH_durable.json to validate against the regression gate")
+	checkSubs := flag.String("check-subs", "", "committed BENCH_subs.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -94,6 +101,12 @@ func main() {
 	if runAll || want["S4"] {
 		if err := runDurableBench(*durableOut, *durableRecover, *durableWrites, *smoke, *checkDurable); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S4: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S6"] {
+		if err := runSubsBench(*subsOut, *subsList, *subsEdits, *subsWriters, *smoke, *checkSubs); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S6: %v\n", err)
 			failed++
 		}
 	}
@@ -297,6 +310,58 @@ func runDurableBench(out, recoverList string, writeBlocks int, smoke bool, check
 		violations = append(violations, "fresh: "+v)
 	}
 	return reportViolations("durable", violations)
+}
+
+// runSubsBench runs the S6 live-document scenarios with the same output
+// and gating shape as S1-S4.
+func runSubsBench(out, subsList string, edits, writers int, smoke bool, checkAgainst string) error {
+	cfg := cmif.SubsBenchConfig{Edits: edits, Writers: writers}
+	if subsList != "" {
+		for _, f := range strings.Split(subsList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -subs-list entry %q", f)
+			}
+			cfg.Subscribers = append(cfg.Subscribers, n)
+		}
+	}
+	if smoke {
+		if len(cfg.Subscribers) == 0 {
+			cfg.Subscribers = []int{8, 32}
+		}
+		if cfg.Edits == 0 {
+			cfg.Edits = 8
+		}
+		cfg.DocLeaves, cfg.DocArms = 200, 8
+	}
+	report, err := cmif.RunSubsBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadSubsBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckSubsBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckSubsBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("subs", violations)
 }
 
 func reportViolations(name string, violations []string) error {

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	cmifd [-addr 127.0.0.1:7911] [-news N] [-idle 2m] [-grace 5s]
-//	      [-max-inflight 32] [-max-proto 2]
+//	      [-max-inflight 32] [-max-proto 3]
 //	      [-data DIR] [-sync always|interval|never] [-snap-bytes N]
 //	      [-metrics ADDR] [-max-concurrent N] [-max-queue N] [-max-wait D]
+//	      [-max-subscribers N] [-sub-queue N]
 //
 // With -news, the built-in evening-news corpus is preloaded under the name
 // "news". With -data, the server is durable: the corpus recovers from DIR
@@ -16,9 +17,11 @@
 // mid-ingest — even with SIGKILL — restarts with its exact pre-kill
 // corpus. -sync picks the fsync policy and -snap-bytes the automatic
 // snapshot/compaction threshold. The server speaks the multiplexed wire
-// protocol v2 to clients that negotiate it (cap with -max-proto 1 to
-// force the legacy protocol) and bounds per-connection pipelining with
-// -max-inflight.
+// protocol, up to v3 with live-document subscriptions, to clients that
+// negotiate it (cap with -max-proto; 1 forces the legacy protocol) and
+// bounds per-connection pipelining with -max-inflight. -max-subscribers
+// bounds live subscriptions server-wide and -sub-queue sets how many
+// pending changes a slow watcher may buffer before it is shed.
 //
 // With -metrics, an HTTP endpoint serves the server's instruments at
 // /metrics: Prometheus text exposition by default, JSON with
@@ -53,7 +56,7 @@ func main() {
 	idle := flag.Duration("idle", 2*time.Minute, "drop connections that deliver no data for this long (0 = never)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	maxInFlight := flag.Int("max-inflight", 0, "max pipelined requests per v2 connection (0 = default 32)")
-	maxProto := flag.Int("max-proto", 2, "newest wire protocol version to negotiate (1 forces legacy)")
+	maxProto := flag.Int("max-proto", 3, "newest wire protocol version to negotiate (1 forces legacy)")
 	dataDir := flag.String("data", "", "durable data directory: recover the corpus from it and write-ahead-log every mutation (empty = in-memory only)")
 	syncMode := flag.String("sync", "interval", "WAL fsync policy with -data: always, interval or never")
 	snapBytes := flag.Int64("snap-bytes", 0, "snapshot+compact once the WAL grows past this many bytes (0 = default 64 MiB, negative disables)")
@@ -61,6 +64,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "server-wide admission bound on concurrently executing requests (0 disables admission control)")
 	maxQueue := flag.Int("max-queue", 0, "requests allowed to queue for an admission slot beyond -max-concurrent")
 	maxWait := flag.Duration("max-wait", 0, "longest a queued request may wait before it is shed (0 = default 100ms)")
+	maxSubs := flag.Int("max-subscribers", 0, "server-wide bound on live document subscriptions (0 = unlimited)")
+	subQueue := flag.Int("sub-queue", 0, "per-subscriber change queue depth before a slow watcher is shed (0 = default 64)")
 	flag.Parse()
 
 	opts := []cmif.ServerOption{
@@ -68,12 +73,14 @@ func main() {
 		cmif.WithShutdownGrace(*grace),
 		cmif.WithMaxInFlight(*maxInFlight),
 		cmif.WithMaxProtocolVersion(*maxProto),
+		cmif.WithSubscriberQueue(*subQueue),
 	}
-	if *maxConcurrent > 0 {
+	if *maxConcurrent > 0 || *maxSubs > 0 {
 		opts = append(opts, cmif.WithAdmission(cmif.AdmissionConfig{
-			MaxConcurrent: *maxConcurrent,
-			MaxQueue:      *maxQueue,
-			MaxWait:       *maxWait,
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			MaxWait:        *maxWait,
+			MaxSubscribers: *maxSubs,
 		}))
 	}
 	if *dataDir != "" {

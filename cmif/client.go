@@ -49,8 +49,11 @@ func WithPoolSize(n int) ClientOption {
 
 // WithProtocolVersion caps the wire protocol version the client offers
 // at connect: 1 forces the legacy strict request/response protocol, 2
-// (the default) negotiates the multiplexed protocol and falls back to 1
-// against old servers.
+// the multiplexed protocol without live documents, and 3 (the default)
+// adds subscriptions and edit submission. Negotiation falls back to the
+// newest version the server speaks; only Subscribe and SubmitEdit — the
+// v3 operations — fail (with ErrUnsupported) on a downgraded
+// connection.
 func WithProtocolVersion(v int) ClientOption {
 	return func(c *clientConfig) { c.maxVersion = v }
 }
@@ -87,7 +90,7 @@ func WithSharedCache(cache *BlockCache) ClientOption {
 // Dial connects to an interchange server, honouring ctx during connection
 // establishment and the protocol handshake.
 func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
-	cfg := clientConfig{poolSize: 1, maxVersion: 2}
+	cfg := clientConfig{poolSize: 1, maxVersion: 3}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -132,7 +135,7 @@ func (c *Client) Close() error {
 func (c *Client) PoolSize() int { return len(c.conns) }
 
 // ProtocolVersion reports the wire protocol version the connections
-// negotiated (1 or 2).
+// negotiated (1, 2 or 3).
 func (c *Client) ProtocolVersion() int {
 	if len(c.conns) == 0 {
 		return 0

@@ -184,6 +184,38 @@ func CheckSoakBenchReport(r *SoakBenchReport, committed bool) []string {
 	return experiments.CheckSoakReport(r, committed)
 }
 
+// SubsBenchConfig sizes the S6 live-document scenario: N watchers follow
+// a generated document while W writers submit edits, once through v3
+// delta fan-out and once through the pre-v3 poll-refetch discipline. The
+// zero value is usable (100/1k/10k subscribers, 16 edits, 2 writers).
+type SubsBenchConfig = experiments.SubsBenchConfig
+
+// SubsBenchReport is the machine-readable result set of RunSubsBench;
+// cmifbench writes it to BENCH_subs.json.
+type SubsBenchReport = experiments.SubsBenchReport
+
+// RunSubsBench measures live-document fan-out against an in-process
+// server: every watcher must absorb every edit, replicas must converge
+// byte-for-byte on the authoritative document, and the report records
+// how much faster pushed deltas are than per-update refetching.
+func RunSubsBench(ctx context.Context, cfg SubsBenchConfig) (*SubsBenchReport, error) {
+	return experiments.SubsBench(ctx, cfg)
+}
+
+// LoadSubsBenchReport reads a BENCH_subs.json report from disk.
+func LoadSubsBenchReport(path string) (*SubsBenchReport, error) {
+	return experiments.LoadSubsReport(path)
+}
+
+// CheckSubsBenchReport validates a subscription-bench report: exact
+// update arithmetic (Subscribers × Edits, no resyncs, converged
+// replicas) and the delta-push speedup floor (5x at ≥ 1000 subscribers
+// for the committed reference file, which must also record
+// GOMAXPROCS ≥ 4).
+func CheckSubsBenchReport(r *SubsBenchReport, committed bool) []string {
+	return experiments.CheckSubsReport(r, committed)
+}
+
 // BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU
 // count, go version); it travels inside every BENCH report.
 type BenchEnv = experiments.BenchEnv

@@ -39,6 +39,20 @@ var (
 	// ErrUnsupportable reports that a device profile cannot present the
 	// document (a strict pipeline run against an inadequate environment).
 	ErrUnsupportable = errors.New("cmif: document not supportable in this environment")
+
+	// ErrUnsupported reports that the negotiated wire protocol version
+	// cannot carry the requested operation: Subscribe and SubmitEdit need
+	// protocol v3, and against an older server they fail locally with
+	// this error — the connection stays healthy for everything the server
+	// does speak.
+	ErrUnsupported = errors.New("cmif: not supported by negotiated protocol version")
+
+	// ErrConflict reports a rejected edit submission: a concurrent
+	// writer's edit was accepted first and this batch's pre-edit paths no
+	// longer resolve. Nothing was applied — catch up (Subscription.Next,
+	// or a fresh fetch) and rebuild the batch. A conflict wraps both
+	// ErrRemote and ErrConflict.
+	ErrConflict = errors.New("cmif: edit conflict")
 )
 
 // ValidationError reports that a document failed validation. It carries the
@@ -99,6 +113,11 @@ func wireError(err error) error {
 		return nil
 	}
 	switch {
+	case errors.Is(err, transport.ErrUnsupported):
+		// A local protocol-capability check, not a server report.
+		return tag(err, ErrUnsupported)
+	case errors.Is(err, transport.ErrConflict):
+		return tag(err, ErrRemote, ErrConflict)
 	case errors.Is(err, transport.ErrNotFound):
 		return tag(err, ErrRemote, ErrNotFound)
 	case errors.Is(err, transport.ErrBusy):

@@ -42,6 +42,7 @@ type serverConfig struct {
 	snapBytes    int64
 	admission    AdmissionConfig
 	metrics      *Metrics
+	subQueue     int
 }
 
 type namedDoc struct {
@@ -119,10 +120,21 @@ func WithSnapshotThreshold(n int64) ServerOption {
 
 // WithMaxProtocolVersion caps the wire protocol version the server
 // negotiates: 1 forces every connection onto the legacy strict
-// request/response protocol, 2 (the default) offers the multiplexed
-// protocol to clients that ask for it while still serving v1 clients.
+// request/response protocol, 2 offers the multiplexed protocol without
+// live documents, and 3 (the default) adds subscriptions and edit
+// submission. Older clients are always served at their own version.
 func WithMaxProtocolVersion(v int) ServerOption {
 	return func(c *serverConfig) { c.maxVersion = v }
+}
+
+// WithSubscriberQueue bounds each live subscription's server-side event
+// queue to n pending changes. A subscriber whose queue overflows — a
+// watcher reading slower than writers write — is shed (its subscription
+// ends with reason "sub_slow") rather than allowed to buffer without
+// bound; the client resynchronizes by subscribing again. Zero (the
+// default) means 64.
+func WithSubscriberQueue(n int) ServerOption {
+	return func(c *serverConfig) { c.subQueue = n }
 }
 
 // NewServer builds a server from functional options. It does not listen
@@ -196,6 +208,7 @@ func NewServer(opts ...ServerOption) *Server {
 	srv.MaxInFlight = cfg.maxInFlight
 	srv.MaxVersion = cfg.maxVersion
 	srv.Admission = cfg.admission
+	srv.SubQueueCap = cfg.subQueue
 	if cfg.metrics == nil {
 		cfg.metrics = NewMetrics()
 	}

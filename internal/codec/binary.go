@@ -176,6 +176,31 @@ func decodeNode(r *byteReader, depth int) (*core.Node, error) {
 	return n, nil
 }
 
+// EncodeBinaryValue serializes one attribute value in the binary form —
+// the payload format change records (core.ChangeRecord) use for setattr
+// and addarc edits.
+func EncodeBinaryValue(v attr.Value) ([]byte, error) {
+	var b bytes.Buffer
+	if err := encodeValue(&b, v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeBinaryValue parses one binary-encoded attribute value, rejecting
+// trailing bytes.
+func DecodeBinaryValue(data []byte) (attr.Value, error) {
+	r := &byteReader{data: data}
+	v, err := decodeValue(r, 0)
+	if err != nil {
+		return attr.Value{}, err
+	}
+	if r.off != len(r.data) {
+		return attr.Value{}, fmt.Errorf("codec: %d trailing bytes after value", len(r.data)-r.off)
+	}
+	return v, nil
+}
+
 func encodeValue(b *bytes.Buffer, v attr.Value) error {
 	switch v.Kind() {
 	case attr.KindID:

@@ -1,0 +1,123 @@
+package edit
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Change-record construction and re-execution. A core.ChangeRecord is the
+// wire form of one edit; this file is the single bridge between records
+// and the path-addressed edit operations above: writers build records
+// with the Record* constructors, and every receiver — the authoritative
+// server copy and each subscriber replica — re-executes them through
+// Apply. Because both sides run the identical code, a replica that
+// applies the pushed records of an edit stream is structurally identical
+// to the source document, and its own change log advances by the same
+// entries, which is what lets incremental rescheduling run on replicas.
+
+// RecordSetAttr builds the record for SetAttr(path, name, v).
+func RecordSetAttr(path, name string, v attr.Value) (core.ChangeRecord, error) {
+	payload, err := codec.EncodeBinaryValue(v)
+	if err != nil {
+		return core.ChangeRecord{}, fmt.Errorf("edit: encode attr value: %w", err)
+	}
+	return core.ChangeRecord{Op: core.OpSetAttr, Path: path, Name: name, Payload: payload}, nil
+}
+
+// RecordAddArc builds the record for AddArc(path, a).
+func RecordAddArc(path string, a core.SyncArc) (core.ChangeRecord, error) {
+	payload, err := codec.EncodeBinaryValue(a.Value())
+	if err != nil {
+		return core.ChangeRecord{}, fmt.Errorf("edit: encode arc: %w", err)
+	}
+	return core.ChangeRecord{Op: core.OpAddArc, Path: path, Payload: payload}, nil
+}
+
+// RecordRemoveArc builds the record for RemoveArc(path, index).
+func RecordRemoveArc(path string, index int) core.ChangeRecord {
+	return core.ChangeRecord{Op: core.OpRemoveArc, Path: path, Index: index}
+}
+
+// RecordInsert builds the record for InsertNode(parentPath, index, child).
+// The child subtree is serialized; the caller keeps ownership of it.
+func RecordInsert(parentPath string, index int, child *core.Node) (core.ChangeRecord, error) {
+	payload, err := codec.EncodeBinaryNode(child)
+	if err != nil {
+		return core.ChangeRecord{}, fmt.Errorf("edit: encode subtree: %w", err)
+	}
+	return core.ChangeRecord{Op: core.OpInsert, Dest: parentPath, Index: index, Payload: payload}, nil
+}
+
+// RecordDelete builds the record for DeleteNode(path).
+func RecordDelete(path string) core.ChangeRecord {
+	return core.ChangeRecord{Op: core.OpRemove, Path: path}
+}
+
+// RecordMove builds the record for MoveNode(fromPath, toParentPath, index).
+func RecordMove(fromPath, toParentPath string, index int) core.ChangeRecord {
+	return core.ChangeRecord{Op: core.OpMove, Path: fromPath, Dest: toParentPath, Index: index}
+}
+
+// RecordRename builds the record for RenameNode(path, newName).
+func RecordRename(path, newName string) core.ChangeRecord {
+	return core.ChangeRecord{Op: core.OpRename, Path: path, Name: newName}
+}
+
+// Apply re-executes an ordered edit batch against d. It stops at the
+// first record that fails — an unresolvable path, a malformed payload, a
+// structural rejection — and reports which record failed; records before
+// it have already mutated d. Callers needing atomicity apply to a clone
+// and swap on success (transport.Registry.EditDoc does exactly that).
+func Apply(d *core.Document, recs []core.ChangeRecord) error {
+	for i, rec := range recs {
+		if err := applyOne(d, rec); err != nil {
+			return fmt.Errorf("edit: record %d (%v): %w", i, rec.Op, err)
+		}
+	}
+	return nil
+}
+
+// applyOne dispatches one record to its edit operation.
+func applyOne(d *core.Document, rec core.ChangeRecord) error {
+	switch rec.Op {
+	case core.OpSetAttr:
+		v, err := codec.DecodeBinaryValue(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return SetAttr(d, rec.Path, rec.Name, v)
+	case core.OpAddArc:
+		v, err := codec.DecodeBinaryValue(rec.Payload)
+		if err != nil {
+			return err
+		}
+		a, err := core.ParseArc(v)
+		if err != nil {
+			return err
+		}
+		return AddArc(d, rec.Path, a)
+	case core.OpRemoveArc:
+		return RemoveArc(d, rec.Path, rec.Index)
+	case core.OpInsert:
+		child, err := codec.DecodeBinaryNode(rec.Payload)
+		if err != nil {
+			return err
+		}
+		_, err = InsertNode(d, rec.Dest, rec.Index, child)
+		return err
+	case core.OpRemove:
+		_, err := DeleteNode(d, rec.Path)
+		return err
+	case core.OpMove:
+		_, err := MoveNode(d, rec.Path, rec.Dest, rec.Index)
+		return err
+	case core.OpRename:
+		_, err := RenameNode(d, rec.Path, rec.Name)
+		return err
+	default:
+		return fmt.Errorf("unknown edit op %d", byte(rec.Op))
+	}
+}

@@ -280,6 +280,13 @@ func CheckSchedReport(r *SchedBenchReport, committed bool) []string {
 			fail("parallel speedup %.2fx below the %.1fx floor at GOMAXPROCS=%d",
 				r.ParallelSpeedup, minParallel, r.Env.GoMaxProcs)
 		}
+	} else if committed {
+		// A reference file recorded on a single-core environment proves
+		// nothing about the parallel headline — and silently skipping the
+		// floor would let such a file pass as if it did. Refuse it:
+		// re-record with GOMAXPROCS ≥ 4.
+		fail("committed sched report ran at GOMAXPROCS=%d; the parallel-speedup floor cannot be gated on a single-core record — re-record with GOMAXPROCS ≥ 4",
+			r.Env.GoMaxProcs)
 	}
 	return v
 }
@@ -327,7 +334,7 @@ func CheckSoakReport(r *SoakBenchReport, committed bool) []string {
 	for _, row := range r.Rows {
 		rows[row.Class] = row
 	}
-	for _, class := range []string{"read", "fetch", "query", "edit"} {
+	for _, class := range []string{"read", "fetch", "query", "edit", "subscribe"} {
 		row, ok := rows[class]
 		if !ok {
 			fail("missing %s row", class)
@@ -407,6 +414,91 @@ func CheckSoakReport(r *SoakBenchReport, committed bool) []string {
 	}
 	if over.Busy > 0 && shed == 0 {
 		fail("clients saw %d busy rejections but cmif_busy_rejections_total is zero", over.Busy)
+	}
+	return v
+}
+
+// LoadSubsReport reads a BENCH_subs.json.
+func LoadSubsReport(path string) (*SubsBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SubsBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckSubsReport validates a subscription-bench report against the S6
+// gate. The structural invariants are machine-independent and exact:
+// every scenario must deliver every update (Subscribers × Edits), no
+// watcher may have resynchronized, and sampled replicas must have
+// converged byte-for-byte on the authoritative document. The committed
+// reference must additionally document the live-document headline —
+// delta-push at least 5x poll-refetch at a scale of ≥ 1000 watchers —
+// and, like every reference with a concurrency headline, must have been
+// recorded at GOMAXPROCS ≥ 4.
+func CheckSubsReport(r *SubsBenchReport, committed bool) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if len(r.Rows) == 0 {
+		return []string{"subs report has no rows"}
+	}
+	if r.Env.GoMaxProcs < 1 || r.Env.GoVersion == "" {
+		fail("subs report env not captured: %+v", r.Env)
+	}
+	if committed && r.Env.GoMaxProcs < 4 {
+		fail("committed subs report ran at GOMAXPROCS=%d; the fan-out headline cannot be gated on a single-core record — re-record with GOMAXPROCS ≥ 4",
+			r.Env.GoMaxProcs)
+	}
+
+	scales := map[int]map[string]bool{}
+	for _, row := range r.Rows {
+		if scales[row.Subscribers] == nil {
+			scales[row.Subscribers] = map[string]bool{}
+		}
+		scales[row.Subscribers][row.Scenario] = true
+
+		want := int64(row.Subscribers) * int64(row.Edits)
+		if row.Updates != want {
+			fail("%s at %d subscribers: %d updates, want exactly %d×%d = %d",
+				row.Scenario, row.Subscribers, row.Updates, row.Subscribers, row.Edits, want)
+		}
+		if row.Resyncs != 0 {
+			fail("%s at %d subscribers: %d resyncs; a correctly sized run sheds nothing",
+				row.Scenario, row.Subscribers, row.Resyncs)
+		}
+		if !row.Converged {
+			fail("%s at %d subscribers: replicas did not converge on the authoritative document",
+				row.Scenario, row.Subscribers)
+		}
+		if row.Seconds <= 0 || row.UpdatesPerSec <= 0 {
+			fail("%s at %d subscribers: no measured throughput", row.Scenario, row.Subscribers)
+		}
+	}
+	for _, scale := range r.Config.Subscribers {
+		if !scales[scale]["delta-push"] || !scales[scale]["poll-refetch"] {
+			fail("missing delta-push/poll-refetch rows at %d subscribers", scale)
+		}
+	}
+
+	// The headline: watchers following pushed deltas absorb updates far
+	// faster than watchers refetching whole documents. Fresh smoke runs on
+	// noisy runners only have to show the push path is not slower.
+	minSpeedup := 1.2
+	if committed {
+		minSpeedup = 5.0
+	}
+	if r.SpeedupDeltaVsPoll < minSpeedup {
+		fail("delta-push speedup %.2fx below the %.1fx floor at %d subscribers",
+			r.SpeedupDeltaVsPoll, minSpeedup, r.SpeedupAtSubscribers)
+	}
+	if committed && r.SpeedupAtSubscribers < 1000 {
+		fail("committed subs report measures its headline at %d subscribers; the reference requires ≥ 1000",
+			r.SpeedupAtSubscribers)
 	}
 	return v
 }

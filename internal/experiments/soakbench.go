@@ -94,8 +94,10 @@ func (c *SoakBenchConfig) fillDefaults() {
 
 // SoakRow aggregates one traffic class: read (single-block gets), fetch
 // (batched gets), query (document/descriptor/listing reads), edit
-// (block and document puts), and overload (the flood phase; Busy counts
-// its ErrBusy sheds, the quantiles cover only admitted requests).
+// (block and document puts), subscribe (a live-document subscription
+// opened, snapshot received, closed — the v3 watch handshake), and
+// overload (the flood phase; Busy counts its ErrBusy sheds, the
+// quantiles cover only admitted requests).
 type SoakRow struct {
 	Class  string  `json:"class"`
 	Ops    int64   `json:"ops"`
@@ -227,7 +229,7 @@ func SoakBench(ctx context.Context, cfg SoakBenchConfig) (*SoakBenchReport, erro
 	report := &SoakBenchReport{Config: cfg, Env: CaptureBenchEnv()}
 	reg := metrics.NewRegistry()
 	classes := map[string]*soakClass{}
-	for _, name := range []string{"read", "fetch", "query", "edit", "overload"} {
+	for _, name := range []string{"read", "fetch", "query", "edit", "subscribe", "overload"} {
 		classes[name] = newSoakClass(reg, name)
 	}
 
@@ -259,7 +261,7 @@ func SoakBench(ctx context.Context, cfg SoakBenchConfig) (*SoakBenchReport, erro
 
 	// --- report -------------------------------------------------------
 	var steadyOps int64
-	for _, name := range []string{"read", "fetch", "query", "edit", "overload"} {
+	for _, name := range []string{"read", "fetch", "query", "edit", "subscribe", "overload"} {
 		row := classes[name].row(name)
 		report.Rows = append(report.Rows, row)
 		if name != "overload" {
@@ -307,9 +309,9 @@ func soakPopulate(ctx context.Context, addr string, set []corpus.Named) (blockNa
 	return blockNames, docNames, docs, nil
 }
 
-// soakWorker drives one steady-phase connection with the 50/20/20/10
-// read/fetch/query/edit mix until the deadline. Draws are deterministic
-// in (cfg.CorpusSeed, w).
+// soakWorker drives one steady-phase connection with the 46/18/18/10/8
+// read/fetch/query/edit/subscribe mix until the deadline. Draws are
+// deterministic in (cfg.CorpusSeed, w).
 func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.Time,
 	blockNames, docNames []string, docs []*core.Document, classes map[string]*soakClass) error {
 	c, err := transport.DialContext(ctx, addrOf(cfg))
@@ -334,11 +336,11 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 		roll := next() % 100
 		start := time.Now()
 		switch {
-		case roll < 50: // read: one block
+		case roll < 46: // read: one block
 			name := blockNames[next()%uint64(len(blockNames))]
 			_, err := c.GetBlock(ctx, name)
 			classes["read"].observe(start, err)
-		case roll < 70: // fetch: a batch
+		case roll < 64: // fetch: a batch
 			n := 2 + int(next()%7)
 			names := make([]string, n)
 			for i := range names {
@@ -346,7 +348,7 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 			}
 			_, err := c.GetBlocks(ctx, names)
 			classes["fetch"].observe(start, err)
-		case roll < 90: // query: listings, descriptors, documents
+		case roll < 82: // query: listings, descriptors, documents
 			switch next() % 3 {
 			case 0:
 				_, err = c.ListDocs(ctx)
@@ -362,7 +364,7 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 				_, err = c.GetDoc(ctx, name, transport.GetDocOptions{Encoding: transport.EncodingBinary})
 			}
 			classes["query"].observe(start, err)
-		default: // edit: put a fresh block or re-register a document
+		case roll < 92: // edit: put a fresh block or re-register a document
 			if next()%2 == 0 {
 				editSeq++
 				payload := fmt.Sprintf("soak edit w%d #%d", w, editSeq)
@@ -374,6 +376,17 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 				err = c.PutDoc(ctx, docNames[i], docs[i], transport.EncodingBinary)
 			}
 			classes["edit"].observe(start, err)
+		default: // subscribe: the v3 live-document watch handshake
+			name := docNames[next()%uint64(len(docNames))]
+			sub, serr := c.SubscribeDoc(ctx, name)
+			if serr == nil {
+				// The measured operation is the handshake — subscribe,
+				// receive the snapshot, release the fan-out queue. Long-lived
+				// watchers are S6's subject; the soak cares that opening one
+				// against live mixed traffic stays within the SLO.
+				serr = sub.Close()
+			}
+			classes["subscribe"].observe(start, serr)
 		}
 	}
 	return nil

@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/edit"
+	"repro/internal/media"
+	"repro/internal/sched"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// S6 — live documents: server-push delta fan-out versus poll-refetch.
+//
+// The question: when W writers edit a document that N watchers follow,
+// how much cheaper is pushing each accepted edit as a delta (every
+// replica re-executes the change records and reschedules incrementally)
+// than the v1/v2 alternative — every watcher refetching the whole
+// document and scheduling it from scratch per update? The delta path
+// pays per change; the poll path pays per document. The gap is the
+// justification for protocol v3.
+
+// SubsBenchConfig sizes the S6 run.
+type SubsBenchConfig struct {
+	// Subscribers is the watcher-count ladder; each scale runs both
+	// scenarios. Default {100, 1000, 10000}.
+	Subscribers []int `json:"subscribers"`
+	// Edits is how many single-record edits the writers submit per
+	// scenario at scales up to 2000 subscribers; larger scales divide it
+	// by 4 (floor 4) to keep total work bounded. Rows record the actual
+	// count. Default 16.
+	Edits int `json:"edits"`
+	// Writers is how many concurrent writers split the edit sequence —
+	// the multi-writer fan-in. Default 2.
+	Writers int `json:"writers"`
+	// DocLeaves and DocArms size the watched document: the same
+	// par-of-seq shape S2 benchmarks (DocArms independent seq
+	// components sharing DocLeaves leaves). The scenario's point is
+	// that polling pays per-document while a delta pays per-component,
+	// so the watched document must actually decompose — a single fused
+	// component would hide exactly that difference. Defaults 2000
+	// leaves over 32 arms.
+	DocLeaves int `json:"doc_leaves"`
+	DocArms   int `json:"doc_arms"`
+	// Conns is how many pooled client connections the watchers and
+	// pollers spread over. Default 8.
+	Conns int `json:"conns"`
+}
+
+func (c *SubsBenchConfig) fillDefaults() {
+	if len(c.Subscribers) == 0 {
+		c.Subscribers = []int{100, 1000, 10000}
+	}
+	if c.Edits <= 0 {
+		c.Edits = 16
+	}
+	if c.Writers <= 0 {
+		c.Writers = 2
+	}
+	if c.DocLeaves <= 0 {
+		c.DocLeaves = 2000
+	}
+	if c.DocArms <= 0 {
+		c.DocArms = 32
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+}
+
+// editsAt is the per-scenario edit count at a subscriber scale: the
+// configured count, divided by 4 (floor 4) past 2000 subscribers so the
+// 10k cell stays tractable.
+func (c *SubsBenchConfig) editsAt(subs int) int {
+	if subs <= 2000 {
+		return c.Edits
+	}
+	e := c.Edits / 4
+	if e < 4 {
+		e = 4
+	}
+	return e
+}
+
+// SubsBenchRow is one (scenario, subscriber-count) measurement. Updates
+// counts completed watcher updates: applied change records in the
+// delta-push scenario, completed refetch+reschedule cycles in the
+// poll-refetch scenario — both must equal Subscribers×Edits or the
+// scenario lost updates. Resyncs counts snapshot recoveries (sheds,
+// generation gaps, unexpected events); a correctly sized run stays at
+// zero. Converged reports that sampled replicas ended byte-identical to
+// the authoritative server document.
+type SubsBenchRow struct {
+	Scenario      string  `json:"scenario"`
+	Subscribers   int     `json:"subscribers"`
+	Edits         int     `json:"edits"`
+	Writers       int     `json:"writers"`
+	Updates       int64   `json:"updates"`
+	Resyncs       int64   `json:"resyncs"`
+	Converged     bool    `json:"converged"`
+	Seconds       float64 `json:"seconds"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+}
+
+// SubsBenchReport is the S6 result set cmifbench writes to
+// BENCH_subs.json.
+type SubsBenchReport struct {
+	Config SubsBenchConfig `json:"config"`
+	Env    BenchEnv        `json:"env"`
+	Rows   []SubsBenchRow  `json:"rows"`
+	// SpeedupDeltaVsPoll is delta-push updates/sec over poll-refetch
+	// updates/sec at SpeedupAtSubscribers — the largest scale both
+	// scenarios ran at.
+	SpeedupDeltaVsPoll   float64 `json:"speedup_delta_vs_poll"`
+	SpeedupAtSubscribers int     `json:"speedup_at_subscribers"`
+}
+
+// JSON renders the report for BENCH_subs.json.
+func (r *SubsBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the experiment-table format.
+func (r *SubsBenchReport) Table() *Table {
+	t := &Table{
+		ID:     "S6",
+		Title:  "live documents: delta fan-out vs poll-refetch",
+		Header: []string{"scenario", "subs", "edits", "updates", "resyncs", "converged", "seconds", "updates/s"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scenario,
+			fmt.Sprintf("%d", row.Subscribers),
+			fmt.Sprintf("%d", row.Edits),
+			fmt.Sprintf("%d", row.Updates),
+			fmt.Sprintf("%d", row.Resyncs),
+			fmt.Sprintf("%v", row.Converged),
+			fmt.Sprintf("%.3f", row.Seconds),
+			fmt.Sprintf("%.0f", row.UpdatesPerSec),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("delta-push over poll-refetch at %d subscribers: %.1fx",
+			r.SpeedupAtSubscribers, r.SpeedupDeltaVsPoll),
+		"expect: pushed deltas cost per change; polling costs per document, once per watcher per update")
+	return t
+}
+
+// SubsBench runs the S6 scenarios against an in-process server and
+// returns the measurements. The context bounds every wire operation.
+func SubsBench(ctx context.Context, cfg SubsBenchConfig) (*SubsBenchReport, error) {
+	cfg.fillDefaults()
+
+	doc, _, err := buildParOfSeq(cfg.DocLeaves, cfg.DocArms, 20)
+	if err != nil {
+		return nil, fmt.Errorf("subsbench: build document: %w", err)
+	}
+	store := media.NewStore()
+	leaves := leafPaths(doc)
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("subsbench: generated document has no leaves")
+	}
+
+	reg := transport.NewRegistry(store)
+	srv := transport.NewServer(reg)
+	// The scenario submits every edit before any watcher necessarily
+	// drains, so a queue one batch deeper than the longest edit sequence
+	// guarantees no watcher is shed for slowness: sheds here would mean
+	// lost measurements, not backpressure insight.
+	srv.SubQueueCap = cfg.Edits + 8
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	clients := make([]*transport.Client, cfg.Conns)
+	for i := range clients {
+		c, err := transport.DialContext(ctx, addr)
+		if err != nil {
+			return nil, fmt.Errorf("subsbench: dial: %w", err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	report := &SubsBenchReport{Config: cfg, Env: CaptureBenchEnv()}
+	for _, subs := range cfg.Subscribers {
+		edits := cfg.editsAt(subs)
+		recs, err := editScript(leaves, edits)
+		if err != nil {
+			return nil, err
+		}
+		deltaRow, err := runSubsDelta(ctx, reg, clients, doc, subs, cfg.Writers, recs)
+		if err != nil {
+			return nil, fmt.Errorf("subsbench delta/%d: %w", subs, err)
+		}
+		report.Rows = append(report.Rows, deltaRow)
+		pollRow, err := runSubsPoll(ctx, reg, clients, doc, subs, cfg.Writers, recs)
+		if err != nil {
+			return nil, fmt.Errorf("subsbench poll/%d: %w", subs, err)
+		}
+		report.Rows = append(report.Rows, pollRow)
+	}
+
+	// Headline: the largest scale with both scenarios measured.
+	perScale := map[int]map[string]SubsBenchRow{}
+	for _, row := range report.Rows {
+		if perScale[row.Subscribers] == nil {
+			perScale[row.Subscribers] = map[string]SubsBenchRow{}
+		}
+		perScale[row.Subscribers][row.Scenario] = row
+	}
+	for scale, rows := range perScale {
+		delta, dok := rows["delta-push"]
+		poll, pok := rows["poll-refetch"]
+		if dok && pok && poll.UpdatesPerSec > 0 && scale > report.SpeedupAtSubscribers {
+			report.SpeedupAtSubscribers = scale
+			report.SpeedupDeltaVsPoll = delta.UpdatesPerSec / poll.UpdatesPerSec
+		}
+	}
+	return report, nil
+}
+
+// leafPaths collects the absolute paths of every data leaf, in document
+// order. The edit script addresses leaves by these paths; attribute
+// edits never change structure, so the paths stay valid all run.
+func leafPaths(d *core.Document) []string {
+	var paths []string
+	d.Root.Walk(func(n *core.Node) bool {
+		if n.Type.IsLeaf() {
+			paths = append(paths, n.PathString())
+		}
+		return true
+	})
+	return paths
+}
+
+// editScript builds the edit sequence both scenarios replay: duration
+// reassignments round-robin over the leaves. Attribute edits keep the
+// document schedulable at every intermediate generation, drive real
+// incremental rescheduling (durations feed the constraint graph), and
+// never conflict — so the measured window is fan-out cost, not
+// rejection noise.
+func editScript(leaves []string, edits int) ([]core.ChangeRecord, error) {
+	recs := make([]core.ChangeRecord, edits)
+	for k := range recs {
+		rec, err := edit.RecordSetAttr(leaves[k%len(leaves)], "duration",
+			attr.Quantity(units.MS(int64(100+k))))
+		if err != nil {
+			return nil, fmt.Errorf("subsbench: edit script: %w", err)
+		}
+		recs[k] = rec
+	}
+	return recs, nil
+}
+
+// subsWatcher is one delta-push subscriber: a wire subscription, the
+// replica it maintains, and the incremental solver over the replica.
+type subsWatcher struct {
+	sub    *transport.DocSubscription
+	solver *sched.Solver
+	gen    uint64
+}
+
+// runSubsDelta measures the push scenario at one scale: subscribe every
+// watcher (snapshot + initial schedule are setup, outside the clock),
+// then start the clock, let the writers race the edit script in, and
+// stop when every watcher has applied every record incrementally.
+func runSubsDelta(ctx context.Context, reg *transport.Registry, clients []*transport.Client,
+	base *core.Document, subs, writers int, recs []core.ChangeRecord) (SubsBenchRow, error) {
+	name := fmt.Sprintf("live-%d", subs)
+	reg.PutDoc(name, base.Clone())
+
+	row := SubsBenchRow{
+		Scenario: "delta-push", Subscribers: subs, Edits: len(recs), Writers: writers,
+	}
+
+	// --- setup: subscribe everyone, schedule every replica ------------
+	watchers := make([]*subsWatcher, subs)
+	var setupErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w, err := openWatcher(ctx, clients[i%len(clients)], name)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && setupErr == nil {
+				setupErr = err
+				return
+			}
+			watchers[i] = w
+		}(i)
+	}
+	wg.Wait()
+	if setupErr != nil {
+		return row, fmt.Errorf("subscribe: %w", setupErr)
+	}
+	defer func() {
+		for _, w := range watchers {
+			if w != nil {
+				_ = w.sub.Close()
+			}
+		}
+	}()
+
+	// --- measured window: fan-in the edits, drain every watcher -------
+	var updates, resyncs atomic.Int64
+	start := time.Now()
+	errs := make(chan error, writers+subs)
+	var run sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		run.Add(1)
+		go func(w int) {
+			defer run.Done()
+			c := clients[w%len(clients)]
+			for k := w; k < len(recs); k += writers {
+				if _, err := c.SubmitEdit(ctx, name, recs[k:k+1]); err != nil {
+					errs <- fmt.Errorf("writer %d edit %d: %w", w, k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := range watchers {
+		run.Add(1)
+		go func(w *subsWatcher) {
+			defer run.Done()
+			applied, bad, err := w.drain(ctx, len(recs))
+			updates.Add(applied)
+			resyncs.Add(bad)
+			if err != nil {
+				errs <- err
+			}
+		}(watchers[i])
+	}
+	run.Wait()
+	row.Seconds = time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return row, err
+	}
+
+	row.Updates = updates.Load()
+	row.Resyncs = resyncs.Load()
+	if row.Seconds > 0 {
+		row.UpdatesPerSec = float64(row.Updates) / row.Seconds
+	}
+
+	// --- convergence: sampled replicas must match the server byte for
+	// byte after the full script.
+	authoritative, err := clients[0].GetDoc(ctx, name,
+		transport.GetDocOptions{Encoding: transport.EncodingBinary})
+	if err != nil {
+		return row, fmt.Errorf("refetch: %w", err)
+	}
+	want, err := codec.EncodeBinary(authoritative)
+	if err != nil {
+		return row, err
+	}
+	row.Converged = true
+	step := subs / 8
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < subs; i += step {
+		got, err := codec.EncodeBinary(watchers[i].sub.Doc)
+		if err != nil {
+			return row, err
+		}
+		if !bytes.Equal(got, want) {
+			row.Converged = false
+			break
+		}
+	}
+	return row, nil
+}
+
+// openWatcher subscribes one watcher and schedules its replica.
+func openWatcher(ctx context.Context, c *transport.Client, name string) (*subsWatcher, error) {
+	sub, err := c.SubscribeDoc(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := sched.NewSolver(sub.Doc, sched.Options{}, sched.SolveOptions{})
+	if err != nil {
+		_ = sub.Close()
+		return nil, err
+	}
+	if _, err := solver.Schedule(); err != nil {
+		_ = sub.Close()
+		return nil, err
+	}
+	return &subsWatcher{sub: sub, solver: solver, gen: sub.Gen}, nil
+}
+
+// drain applies pushed deltas until the watcher has absorbed want
+// records: re-execute the records on the replica, reschedule
+// incrementally, count. Any event that would force a resynchronization
+// (a shed, a generation gap, an unexpected snapshot) abandons the
+// watcher and is reported in the resync count — the gate treats any
+// nonzero count as a failed run.
+func (w *subsWatcher) drain(ctx context.Context, want int) (applied, resyncs int64, err error) {
+	for applied < int64(want) {
+		ev, rerr := w.sub.Recv(ctx)
+		if rerr != nil {
+			return applied, resyncs + 1, nil
+		}
+		switch ev.Kind {
+		case transport.SubDelta:
+			if ev.FromGen != w.gen {
+				return applied, resyncs + 1, nil
+			}
+			if aerr := edit.Apply(w.sub.Doc, ev.Records); aerr != nil {
+				return applied, resyncs, fmt.Errorf("apply delta: %w", aerr)
+			}
+			w.gen = ev.Gen
+			if _, serr := w.solver.Reschedule(); serr != nil {
+				return applied, resyncs, fmt.Errorf("reschedule: %w", serr)
+			}
+			applied += int64(len(ev.Records))
+		default:
+			return applied, resyncs + 1, nil
+		}
+	}
+	return applied, resyncs, nil
+}
+
+// runSubsPoll measures the pre-v3 alternative at the same scale: the
+// writers submit the same script, and every watcher observes each edit
+// the only way v1/v2 allow — refetch the whole document and schedule it
+// from scratch. The clock covers submissions and all refetches.
+func runSubsPoll(ctx context.Context, reg *transport.Registry, clients []*transport.Client,
+	base *core.Document, subs, writers int, recs []core.ChangeRecord) (SubsBenchRow, error) {
+	name := fmt.Sprintf("poll-%d", subs)
+	reg.PutDoc(name, base.Clone())
+
+	row := SubsBenchRow{
+		Scenario: "poll-refetch", Subscribers: subs, Edits: len(recs), Writers: writers,
+	}
+
+	var updates atomic.Int64
+	start := time.Now()
+	errs := make(chan error, writers+subs)
+	var run sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		run.Add(1)
+		go func(w int) {
+			defer run.Done()
+			c := clients[w%len(clients)]
+			for k := w; k < len(recs); k += writers {
+				if _, err := c.SubmitEdit(ctx, name, recs[k:k+1]); err != nil {
+					errs <- fmt.Errorf("writer %d edit %d: %w", w, k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < subs; i++ {
+		run.Add(1)
+		go func(i int) {
+			defer run.Done()
+			c := clients[i%len(clients)]
+			for k := 0; k < len(recs); k++ {
+				d, err := c.GetDoc(ctx, name, transport.GetDocOptions{Encoding: transport.EncodingBinary})
+				if err != nil {
+					errs <- fmt.Errorf("poller %d fetch %d: %w", i, k, err)
+					return
+				}
+				solver, err := sched.NewSolver(d, sched.Options{}, sched.SolveOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := solver.Schedule(); err != nil {
+					errs <- err
+					return
+				}
+				updates.Add(1)
+			}
+		}(i)
+	}
+	run.Wait()
+	row.Seconds = time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return row, err
+	}
+
+	row.Updates = updates.Load()
+	// Pollers read the authoritative document directly; convergence is
+	// definitional for this scenario.
+	row.Converged = true
+	if row.Seconds > 0 {
+		row.UpdatesPerSec = float64(row.Updates) / row.Seconds
+	}
+	return row, nil
+}

@@ -34,6 +34,13 @@ type Admission struct {
 	// after MaxWait it is shed with the same fast busy error instead of
 	// occupying the queue. Zero means DefaultAdmissionWait.
 	MaxWait time.Duration
+	// MaxSubscribers bounds live-document subscriptions (protocol v3)
+	// across the whole server; an opSubscribe past the bound is shed
+	// with opErrBusy (reason subs_full). Independent of MaxConcurrent —
+	// a subscription occupies an admission slot only while its snapshot
+	// is produced and written, not for its whole lifetime. Zero means
+	// unlimited.
+	MaxSubscribers int
 }
 
 // DefaultAdmissionWait bounds queued-request waiting when Admission.MaxWait

@@ -8,8 +8,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/attr"
 	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/edit"
 	"repro/internal/media"
+	"repro/internal/units"
 )
 
 // seedFrames captures the real wire traffic of the transport tests: one
@@ -213,6 +217,90 @@ func FuzzReassembleChunks(f *testing.F) {
 	})
 }
 
+// seedChangeFrames captures the v3 subscription traffic: opChange frames
+// exactly as the fan-out hub emits them — a snapshot of the real fixture
+// document, deltas carrying genuinely encoded change records, and every
+// end reason the server produces — plus the malformed shapes the decoder
+// must reject cleanly.
+func seedChangeFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	d, _ := fixture(tb)
+	snap, err := codec.EncodeBinary(d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec1, err := edit.RecordSetAttr("/intro", "duration", attr.Quantity(units.MS(400)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec2 := edit.RecordDelete("/label")
+	recs := core.EncodeChangeRecords([]core.ChangeRecord{rec1, rec2})
+
+	var frames [][]byte
+	add := func(id uint32, parts ...[]byte) {
+		var buf bytes.Buffer
+		if err := writeFrameV2(&buf, opChange, id, parts...); err != nil {
+			tb.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	// The healthy shapes, built through the server's own part renderers.
+	add(11, subEvent{kind: changeSnapshot, toGen: 0, doc: snap}.parts()...)
+	add(11, subEvent{kind: changeDelta, fromGen: 0, toGen: 2, recs: recs}.parts()...)
+	add(11, subEvent{kind: changeDelta, fromGen: 2, toGen: 3, recs: core.EncodeChangeRecords([]core.ChangeRecord{rec1})}.parts()...)
+	for _, reason := range []string{endReasonUnsubscribed, shedSubSlow, shedSubsFull} {
+		add(11, endParts(reason)...)
+	}
+	// The malformed shapes: the decoder must reject, never panic.
+	add(11)                                              // no discriminator
+	add(11, []byte{'X'}, u64be(0))                       // unknown discriminator
+	add(11, []byte("SS"), u64be(0), snap)                // oversized discriminator
+	add(11, []byte{changeSnapshot}, []byte{1, 2}, snap)  // truncated generation
+	add(11, []byte{changeSnapshot}, u64be(0), snap[:16]) // truncated document
+	add(11, []byte{changeDelta}, u64be(0), u64be(2))     // missing records part
+	add(11, []byte{changeDelta}, u64be(0), u64be(2), []byte("not records"))
+	add(11, []byte{changeEnd}) // missing reason
+	return frames
+}
+
+// FuzzDecodeChangeFrame drives arbitrary bytes through the full
+// subscription receive path — v2 frame decode, then the opChange event
+// decoder: it must never panic, and any delta it accepts must carry
+// records that survive an encode-decode round trip unchanged.
+func FuzzDecodeChangeFrame(f *testing.F) {
+	for _, frame := range seedChangeFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frm, err := readFrameV2(bytes.NewReader(data))
+		if err != nil || frm.op != opChange {
+			return
+		}
+		ev, err := decodeSubEvent(frm.parts)
+		if err != nil {
+			return
+		}
+		switch ev.Kind {
+		case SubSnapshot:
+			if ev.Doc == nil {
+				t.Fatal("accepted snapshot with nil document")
+			}
+		case SubDelta:
+			again, err := core.DecodeChangeRecords(core.EncodeChangeRecords(ev.Records))
+			if err != nil {
+				t.Fatalf("accepted delta does not re-encode: %v", err)
+			}
+			if len(again) != len(ev.Records) {
+				t.Fatalf("delta round trip changed the batch: %d -> %d records", len(ev.Records), len(again))
+			}
+		case SubEnd:
+			// Any reason string is legal; nothing further to hold.
+		default:
+			t.Fatalf("decodeSubEvent returned unknown kind %d", ev.Kind)
+		}
+	})
+}
+
 // TestWriteFuzzSeedCorpus materializes the captured frames as corpus
 // files under testdata/fuzz when UPDATE_FUZZ_CORPUS=1, so the committed
 // corpus stays derivable from the transport tests' real traffic.
@@ -235,4 +323,5 @@ func TestWriteFuzzSeedCorpus(t *testing.T) {
 	}
 	write("FuzzDecodeFrame", seedFrames(t))
 	write("FuzzReassembleChunks", seedStreams(t))
+	write("FuzzDecodeChangeFrame", seedChangeFrames(t))
 }

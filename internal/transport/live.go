@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/edit"
+)
+
+// Live documents (protocol v3): the registry is the fan-out hub. Every
+// watched document has a set of subscribers, each with a bounded event
+// queue; every mutation — an opSubmitEdit batch through EditDoc, a
+// whole-document PutDoc — broadcasts to those queues under the registry
+// lock, so the order subscribers observe is exactly the order mutations
+// landed (and, with a durability hook attached, exactly the WAL order:
+// EditDoc journals before it broadcasts, so an acked, fanned-out edit
+// survives a crash). A subscriber that cannot keep up — its queue
+// overflows — is shed rather than allowed to stall the hub: its
+// subscription ends with a changeEnd frame and the client resynchronizes
+// with a fresh fetch.
+
+// Change-frame discriminators: parts[0][0] of every opChange frame.
+const (
+	// changeSnapshot carries [gen(u64), doc(binary)] — the full document
+	// at generation gen. Always the first frame of a subscription, and
+	// pushed again whenever the document is wholesale replaced.
+	changeSnapshot byte = 'S'
+	// changeDelta carries [fromGen(u64), toGen(u64), records] — the
+	// encoded edit batch advancing the document from one generation to
+	// the next. Deltas arrive contiguously: each frame's fromGen equals
+	// the previous frame's toGen.
+	changeDelta byte = 'D'
+	// changeEnd carries [reason] and terminates the subscription: the
+	// client unsubscribed, the connection is draining, or the subscriber
+	// was shed as too slow.
+	changeEnd byte = 'E'
+)
+
+// Shed reasons specific to the subscription path.
+const (
+	// shedSubSlow: the subscriber's bounded event queue overflowed.
+	shedSubSlow = "sub_slow"
+	// shedSubsFull: the server-wide subscriber bound was reached.
+	shedSubsFull = "subs_full"
+)
+
+// endReasonUnsubscribed labels a clean, client-requested end.
+const endReasonUnsubscribed = "unsubscribed"
+
+// defaultSubQueue bounds each subscriber's event queue when the server
+// does not configure Server.SubQueueCap: deep enough to absorb an edit
+// burst, shallow enough that one stuck watcher sheds quickly instead of
+// buffering without bound.
+const defaultSubQueue = 64
+
+// errUnknownDoc distinguishes "no such document" mutations/subscriptions
+// so serve loops answer opErrNotFound.
+var errUnknownDoc = errors.New("transport: no such document")
+
+// errSubsFull reports the server-wide subscriber bound; serve loops
+// answer opErrBusy with the subs_full shed reason.
+var errSubsFull = errors.New("transport: subscriber limit reached")
+
+// subEvent is one queued fan-out event. Payload slices are shared across
+// every subscriber of the broadcast — queues must treat them read-only.
+type subEvent struct {
+	kind           byte // changeSnapshot or changeDelta
+	fromGen, toGen uint64
+	doc, recs      []byte
+	at             time.Time // broadcast instant, for fan-out lag metrics
+}
+
+// parts renders the event as opChange frame parts.
+func (ev subEvent) parts() [][]byte {
+	switch ev.kind {
+	case changeSnapshot:
+		return [][]byte{{changeSnapshot}, u64be(ev.toGen), ev.doc}
+	default:
+		return [][]byte{{changeDelta}, u64be(ev.fromGen), u64be(ev.toGen), ev.recs}
+	}
+}
+
+// endParts renders a changeEnd frame's parts.
+func endParts(reason string) [][]byte {
+	return [][]byte{{changeEnd}, []byte(reason)}
+}
+
+func u64be(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// subscriber is one watcher's registry-side state. The pump goroutine of
+// the owning connection drains q onto the wire; end may be called from
+// any goroutine (broadcast overflow, unsubscribe, teardown) and is
+// idempotent — the first reason wins.
+type subscriber struct {
+	doc      string
+	q        chan subEvent
+	stop     chan struct{}
+	stopOnce sync.Once
+	reason   string // valid after stop is closed
+}
+
+// end terminates the subscription with reason. Safe to call repeatedly
+// and from multiple goroutines.
+func (s *subscriber) end(reason string) {
+	s.stopOnce.Do(func() {
+		s.reason = reason
+		close(s.stop)
+	})
+}
+
+// liveState is the registry's fan-out hub, guarded by Registry.mu. gens
+// carries each document's authoritative generation — cumulative across
+// edit batches, reset by a wholesale PutDoc — and enc caches the encoded
+// snapshot serving repeated subscribes of an unchanged document.
+type liveState struct {
+	gens  map[string]uint64
+	subs  map[string]map[*subscriber]struct{}
+	count int
+	enc   map[string]encodedDoc
+}
+
+type encodedDoc struct {
+	gen  uint64
+	data []byte
+}
+
+// initLocked lazily builds the hub maps. Callers hold r.mu.
+func (l *liveState) initLocked() {
+	if l.gens == nil {
+		l.gens = make(map[string]uint64)
+		l.subs = make(map[string]map[*subscriber]struct{})
+		l.enc = make(map[string]encodedDoc)
+	}
+}
+
+// Generation reports the authoritative generation of the document
+// registered under name: how many change records have been applied since
+// it was last wholesale registered.
+func (r *Registry) Generation(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live.gens[name]
+}
+
+// SubscriberCount reports the live subscriptions registered across every
+// document — queues whose events a connection pump still drains.
+func (r *Registry) SubscriberCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live.count
+}
+
+// subscribe registers a watcher on the document under name and seeds its
+// queue with the current snapshot, atomically with respect to mutations:
+// no edit can intervene between the snapshot and the registration, so
+// the first delta a subscriber observes continues exactly where its
+// snapshot left off. queueCap bounds the event queue (<=0 means the
+// default); maxSubs, when positive, bounds subscriptions server-wide.
+func (r *Registry) subscribe(name string, queueCap, maxSubs int) (*subscriber, error) {
+	if queueCap <= 0 {
+		queueCap = defaultSubQueue
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownDoc, name)
+	}
+	r.live.initLocked()
+	if maxSubs > 0 && r.live.count >= maxSubs {
+		return nil, errSubsFull
+	}
+	data, err := r.encodedLocked(name, d)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode snapshot of %q: %w", name, err)
+	}
+	sub := &subscriber{
+		doc:  name,
+		q:    make(chan subEvent, queueCap),
+		stop: make(chan struct{}),
+	}
+	sub.q <- subEvent{kind: changeSnapshot, toGen: r.live.gens[name], doc: data, at: time.Now()}
+	set := r.live.subs[name]
+	if set == nil {
+		set = make(map[*subscriber]struct{})
+		r.live.subs[name] = set
+	}
+	set[sub] = struct{}{}
+	r.live.count++
+	return sub, nil
+}
+
+// unsubscribe drops a watcher from the hub. Idempotent; the subscriber's
+// queue is abandoned (broadcasts stop reaching it immediately).
+func (r *Registry) unsubscribe(sub *subscriber) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.live.subs[sub.doc]
+	if _, ok := set[sub]; !ok {
+		return
+	}
+	delete(set, sub)
+	if len(set) == 0 {
+		delete(r.live.subs, sub.doc)
+	}
+	r.live.count--
+}
+
+// encodedLocked returns the binary snapshot of the document under name,
+// serving repeated subscribes of an unchanged document from a one-entry
+// cache. Callers hold r.mu with the hub initialized.
+func (r *Registry) encodedLocked(name string, d *core.Document) ([]byte, error) {
+	gen := r.live.gens[name]
+	if e, ok := r.live.enc[name]; ok && e.gen == gen {
+		return e.data, nil
+	}
+	data, err := codec.EncodeBinary(d)
+	if err != nil {
+		return nil, err
+	}
+	r.live.enc[name] = encodedDoc{gen: gen, data: data}
+	return data, nil
+}
+
+// broadcastLocked fans one event out to every watcher of name. Sends
+// never block: a subscriber whose queue is full is shed — its
+// subscription ends and its connection pump emits the terminal frame.
+// Callers hold r.mu, so subscribers observe events in mutation order.
+func (r *Registry) broadcastLocked(name string, ev subEvent) {
+	for sub := range r.live.subs[name] {
+		select {
+		case sub.q <- ev:
+		default:
+			sub.end(shedSubSlow)
+		}
+	}
+}
+
+// EditDoc applies an ordered edit batch to the document registered under
+// name, atomically: the records re-execute against a clone, and only a
+// fully applied batch replaces the registered document — a conflicting
+// batch (a record whose pre-edit path no longer resolves, because an
+// earlier writer's edit won the registry lock) is rejected without
+// side effects, and the submitter refetches. Accepted batches journal
+// through the OnPutDoc durability hook before fanning out to
+// subscribers, both under the registry lock: the WAL order, the registry
+// order and the delta order every watcher observes are the same order.
+// It returns the document's new generation.
+func (r *Registry) EditDoc(name string, recs []core.ChangeRecord) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("transport: empty edit batch")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.docs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", errUnknownDoc, name)
+	}
+	clone := d.Clone()
+	if err := edit.Apply(clone, recs); err != nil {
+		return 0, fmt.Errorf("conflict: %w", err)
+	}
+	r.docs[name] = clone
+	if r.OnPutDoc != nil {
+		r.OnPutDoc(name, clone)
+	}
+	r.live.initLocked()
+	delete(r.live.enc, name)
+	from := r.live.gens[name]
+	to := from + clone.Generation()
+	r.live.gens[name] = to
+	if len(r.live.subs[name]) > 0 {
+		r.broadcastLocked(name, subEvent{
+			kind:    changeDelta,
+			fromGen: from,
+			toGen:   to,
+			recs:    core.EncodeChangeRecords(recs),
+			at:      time.Now(),
+		})
+	}
+	return to, nil
+}
+
+// notePutDocLocked folds a wholesale document registration into the live
+// hub: the generation resets (the new document carries a fresh change
+// log) and watchers receive a new snapshot. Called by PutDoc with r.mu
+// held, after the durability hook.
+func (r *Registry) notePutDocLocked(name string, d *core.Document) {
+	r.live.initLocked()
+	delete(r.live.enc, name)
+	r.live.gens[name] = 0
+	if len(r.live.subs[name]) == 0 {
+		return
+	}
+	data, err := r.encodedLocked(name, d)
+	if err != nil {
+		// The document just decoded or cloned successfully; an encode
+		// failure here means a subscriber cannot be brought to the new
+		// state — end its subscription and let it resynchronize.
+		for sub := range r.live.subs[name] {
+			sub.end("snapshot encode failed")
+		}
+		return
+	}
+	r.broadcastLocked(name, subEvent{kind: changeSnapshot, toGen: 0, doc: data, at: time.Now()})
+}

@@ -19,9 +19,13 @@ import (
 //	cmif_inflight_requests         gauge      requests currently executing
 //	cmif_admission_queue_depth     gauge      requests waiting for a slot
 //	cmif_busy_rejections_total{reason} counter sheds: conn_inflight,
-//	                                          queue_full, queue_timeout
+//	                                          queue_full, queue_timeout,
+//	                                          sub_slow, subs_full
 //	cmif_desc_cache_hits_total     counter    descriptor-cache hits
 //	cmif_desc_cache_misses_total   counter    descriptor-cache misses
+//	cmif_subscribers_active        gauge      live document subscriptions
+//	cmif_deltas_pushed_total       counter    change deltas fanned out
+//	cmif_delta_fanout_seconds      histogram  edit-broadcast → frame handoff lag
 type ServerMetrics struct {
 	reg *metrics.Registry
 
@@ -37,9 +41,15 @@ type ServerMetrics struct {
 	busyConnInflight *metrics.Counter
 	busyQueueFull    *metrics.Counter
 	busyQueueTimeout *metrics.Counter
+	busySubSlow      *metrics.Counter
+	busySubsFull     *metrics.Counter
 
 	descHits   *metrics.Counter
 	descMisses *metrics.Counter
+
+	subscribers *metrics.Gauge
+	deltas      *metrics.Counter
+	deltaLag    *metrics.Histogram
 }
 
 // opNames maps the request ops the server handles to their label values.
@@ -52,6 +62,9 @@ var opNames = map[byte]string{
 	opPutBlk:       "putblk",
 	opList:         "list",
 	opGetBlkStream: "getblkstream",
+	opSubscribe:    "subscribe",
+	opUnsubscribe:  "unsubscribe",
+	opSubmitEdit:   "submitedit",
 }
 
 // NewServerMetrics resolves the server instrument set in reg. Attach it
@@ -70,8 +83,15 @@ func NewServerMetrics(reg *metrics.Registry) *ServerMetrics {
 			"requests shed with a busy error", "reason", "queue_full"),
 		busyQueueTimeout: reg.Counter("cmif_busy_rejections_total",
 			"requests shed with a busy error", "reason", "queue_timeout"),
-		descHits:   reg.Counter("cmif_desc_cache_hits_total", "descriptor-cache hits"),
-		descMisses: reg.Counter("cmif_desc_cache_misses_total", "descriptor-cache misses"),
+		busySubSlow: reg.Counter("cmif_busy_rejections_total",
+			"requests shed with a busy error", "reason", "sub_slow"),
+		busySubsFull: reg.Counter("cmif_busy_rejections_total",
+			"requests shed with a busy error", "reason", "subs_full"),
+		descHits:    reg.Counter("cmif_desc_cache_hits_total", "descriptor-cache hits"),
+		descMisses:  reg.Counter("cmif_desc_cache_misses_total", "descriptor-cache misses"),
+		subscribers: reg.Gauge("cmif_subscribers_active", "live document subscriptions"),
+		deltas:      reg.Counter("cmif_deltas_pushed_total", "change deltas fanned out to subscribers"),
+		deltaLag:    reg.Histogram("cmif_delta_fanout_seconds", "edit broadcast to frame handoff lag"),
 	}
 	for op, name := range opNames {
 		m.requests[op] = reg.Counter("cmif_requests_total", "requests received", "op", name)
@@ -152,7 +172,28 @@ func (m *ServerMetrics) shed(reason string) {
 		m.busyQueueFull.Inc()
 	case shedQueueTimeout:
 		m.busyQueueTimeout.Inc()
+	case shedSubSlow:
+		m.busySubSlow.Inc()
+	case shedSubsFull:
+		m.busySubsFull.Inc()
 	}
+}
+
+// subscriberAdd moves the active-subscription gauge.
+func (m *ServerMetrics) subscriberAdd(delta int64) {
+	if m != nil {
+		m.subscribers.Add(delta)
+	}
+}
+
+// deltaPushed tallies one fanned-out change delta and its hub-to-wire
+// handoff lag.
+func (m *ServerMetrics) deltaPushed(lag time.Duration) {
+	if m == nil {
+		return
+	}
+	m.deltas.Inc()
+	m.deltaLag.Observe(lag)
 }
 
 // descCacheLookup tallies one descriptor-cache lookup.

@@ -59,6 +59,10 @@ type clientMux struct {
 type muxCall struct {
 	ch   chan frameV2  // response frames for this request ID
 	gone chan struct{} // closed when the caller abandons the call
+	// detached marks a call that released its in-flight slot early (a
+	// long-lived subscription); finish must not release it again.
+	// Guarded by the mux mutex.
+	detached bool
 }
 
 // newClientMux starts the writer and reader goroutines over conn.
@@ -197,6 +201,16 @@ func (m *clientMux) readLoop() {
 // ctx and the in-flight bound. The caller must end the call with
 // m.finish(id, call) exactly once.
 func (m *clientMux) begin(ctx context.Context, op byte, parts [][]byte) (uint32, *muxCall, error) {
+	// Buffered past the deepest healthy sequence (header + chunks +
+	// end arrive one at a time, consumed in lockstep); the reader
+	// only parks here when a response races the call's abandonment.
+	return m.beginBuf(ctx, op, parts, 4)
+}
+
+// beginBuf is begin with a caller-chosen response buffer: long-lived
+// subscription calls want a deeper channel so the reader never parks on
+// a consumer that is between Recv calls.
+func (m *clientMux) beginBuf(ctx context.Context, op byte, parts [][]byte, bufCap int) (uint32, *muxCall, error) {
 	select {
 	case m.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -205,10 +219,7 @@ func (m *clientMux) begin(ctx context.Context, op byte, parts [][]byte) (uint32,
 		return 0, nil, m.deadErr()
 	}
 	call := &muxCall{
-		// Buffered past the deepest healthy sequence (header + chunks +
-		// end arrive one at a time, consumed in lockstep); the reader
-		// only parks here when a response races the call's abandonment.
-		ch:   make(chan frameV2, 4),
+		ch:   make(chan frameV2, bufCap),
 		gone: make(chan struct{}),
 	}
 	m.mu.Lock()
@@ -233,8 +244,24 @@ func (m *clientMux) begin(ctx context.Context, op byte, parts [][]byte) (uint32,
 func (m *clientMux) finish(id uint32, call *muxCall) {
 	m.mu.Lock()
 	delete(m.pending, id)
+	detached := call.detached
 	m.mu.Unlock()
 	close(call.gone)
+	if !detached {
+		<-m.sem
+	}
+}
+
+// detach releases the call's in-flight slot while keeping the call
+// registered. A subscription occupies its request ID for the whole watch
+// but must not hold a pipeline slot hostage — after its snapshot arrives
+// the server pushes frames unprompted, paying admission per push, so the
+// client-side slot would only starve ordinary requests. The caller still
+// ends the call with finish exactly once.
+func (m *clientMux) detach(call *muxCall) {
+	m.mu.Lock()
+	call.detached = true
+	m.mu.Unlock()
 	<-m.sem
 }
 

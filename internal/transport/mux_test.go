@@ -69,8 +69,9 @@ func exerciseClient(t *testing.T, c *Client, wantVersion int) {
 }
 
 // TestVersionNegotiationMatrix runs the full client workout across every
-// protocol pairing: a v1-capped client against a v2 server, a v2 client
-// against a v1-capped server, and both same-version pairs.
+// protocol pairing — v1, v2 and v3 caps on either side — verifying each
+// pair lands on min(clientMax, serverMax) and every classic operation
+// works there.
 func TestVersionNegotiationMatrix(t *testing.T) {
 	for _, tc := range []struct {
 		clientMax, serverMax, want int
@@ -79,6 +80,11 @@ func TestVersionNegotiationMatrix(t *testing.T) {
 		{1, 2, 1},
 		{2, 1, 1},
 		{2, 2, 2},
+		{1, 3, 1},
+		{3, 1, 1},
+		{2, 3, 2},
+		{3, 2, 2},
+		{3, 3, 3},
 	} {
 		t.Run(fmt.Sprintf("client%d-server%d", tc.clientMax, tc.serverMax), func(t *testing.T) {
 			d, store := fixture(t)
@@ -394,7 +400,7 @@ func TestStreamedBlockTransfer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if c.Version() != protoV2 {
+	if c.Version() != maxProtoVersion {
 		t.Fatalf("version = %d", c.Version())
 	}
 

@@ -33,6 +33,10 @@ type Registry struct {
 	// the server never acknowledges a write it could not persist. Set
 	// before serving.
 	DurabilityErr func() error
+
+	// live is the protocol-v3 fan-out hub: per-document generations and
+	// subscriber queues, guarded by mu (see live.go).
+	live liveState
 }
 
 // NewRegistry returns an empty registry backed by store (a fresh store when
@@ -57,6 +61,7 @@ func (r *Registry) PutDoc(name string, d *core.Document) {
 	if r.OnPutDoc != nil {
 		r.OnPutDoc(name, clone)
 	}
+	r.notePutDocLocked(name, clone)
 }
 
 // GetDoc fetches a clone of the document registered under name.
@@ -131,6 +136,11 @@ type Server struct {
 	// degrading every request's latency. The zero value disables it. Set
 	// before Listen.
 	Admission Admission
+	// SubQueueCap bounds each live-document subscriber's event queue
+	// (protocol v3): a watcher whose queue overflows is shed with a
+	// changeEnd frame instead of buffering without bound. Zero means
+	// defaultSubQueue. Set before Listen.
+	SubQueueCap int
 	// Metrics, when non-nil, records request counts, per-op latency,
 	// in-flight and queue gauges, busy rejections and descriptor-cache
 	// effectiveness (NewServerMetrics). Set before Listen.
@@ -372,7 +382,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if version >= protoV2 {
-			s.serveConnV2(conn, in)
+			s.serveConnV2(conn, in, version)
 			return
 		}
 		s.serveConnV1(conn, in, nil)
@@ -434,6 +444,48 @@ func (s *Server) admitAndHandle(req frame) (byte, [][]byte) {
 	return resp, parts
 }
 
+// v2conn is one multiplexed connection's shared state: the response
+// channel its writer drains, the done channel that stops long-lived
+// subscription pumps when the read loop exits, the WaitGroup covering
+// handlers and pumps alike, and the per-connection subscription table
+// (request ID → subscriber) that opUnsubscribe resolves against.
+type v2conn struct {
+	s       *Server
+	version int
+	respCh  chan frameV2
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	subs map[uint32]*subscriber
+}
+
+// addSub records a live subscription under its opSubscribe request ID.
+func (cc *v2conn) addSub(id uint32, sub *subscriber) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.subs == nil {
+		cc.subs = make(map[uint32]*subscriber)
+	}
+	cc.subs[id] = sub
+}
+
+// takeSub resolves and forgets a subscription by request ID.
+func (cc *v2conn) takeSub(id uint32) *subscriber {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	sub := cc.subs[id]
+	delete(cc.subs, id)
+	return sub
+}
+
+// dropSub forgets a subscription (the pump is exiting on its own).
+func (cc *v2conn) dropSub(id uint32) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	delete(cc.subs, id)
+}
+
 // serveConnV2 is the multiplexed loop: the connection goroutine reads
 // request frames and dispatches each to its own handler goroutine,
 // bounded by the per-connection in-flight limit — requests past the
@@ -442,9 +494,9 @@ func (s *Server) admitAndHandle(req frame) (byte, [][]byte) {
 // writer, bounding each write with the write timeout), so responses
 // complete out of order and a large streamed block interleaves with
 // other responses instead of blocking them. On drain the reader stops,
-// in-flight handlers finish, and their responses are flushed before the
-// connection closes.
-func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader) {
+// subscription pumps are told to wind down, in-flight handlers finish,
+// and their responses are flushed before the connection closes.
+func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader, version int) {
 	maxIF := s.maxInFlight()
 	respCh := make(chan frameV2, maxIF+2)
 	writerDone := make(chan struct{})
@@ -511,8 +563,8 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader) {
 		}
 	}()
 
+	cc := &v2conn{s: s, version: version, respCh: respCh, done: make(chan struct{})}
 	sem := make(chan struct{}, maxIF)
-	var wg sync.WaitGroup
 	for s.armIdle(conn) {
 		req, err := readFrameV2(in)
 		if err != nil {
@@ -528,14 +580,19 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader) {
 				parts: [][]byte{[]byte(fmt.Sprintf("busy: %d requests in flight", maxIF))}}
 			continue
 		}
-		wg.Add(1)
+		cc.wg.Add(1)
 		go func(req frameV2) {
-			defer wg.Done()
+			defer cc.wg.Done()
 			defer func() { <-sem }()
-			s.handleV2(req, respCh)
+			s.handleV2(cc, req)
 		}(req)
 	}
-	wg.Wait()
+	// Stop subscription pumps first: they run for the subscription's
+	// lifetime, not a request's, and would otherwise hold the WaitGroup
+	// open forever. The writer keeps draining respCh until it closes, so
+	// a pump blocked mid-send always completes.
+	close(cc.done)
+	cc.wg.Wait()
 	close(respCh)
 	<-writerDone
 }
@@ -568,7 +625,8 @@ func admit(sem chan struct{}) bool {
 // happens here, on the handler goroutine, so a saturated server never
 // stalls the connection's read loop: later frames still reach their own
 // handlers (or their own fast busy rejections).
-func (s *Server) handleV2(req frameV2, respCh chan<- frameV2) {
+func (s *Server) handleV2(cc *v2conn, req frameV2) {
+	respCh := cc.respCh
 	s.Metrics.countRequest(req.op)
 	start := time.Now()
 	release, shed := s.adm.acquire()
@@ -582,11 +640,21 @@ func (s *Server) handleV2(req frameV2, respCh chan<- frameV2) {
 	if s.testOpDelay != nil {
 		s.testOpDelay(req.op)
 	}
-	if req.op == opGetBlkStream {
+	switch req.op {
+	case opGetBlkStream:
 		// The stream handler blocks on respCh while it emits chunks, so
 		// the slot already covers the write side; release on return.
 		defer release()
 		s.handleStream(req, respCh)
+		return
+	case opSubscribe:
+		// The subscription pump inherits the slot: it releases with the
+		// snapshot frame's write, then runs slot-free for the
+		// subscription's lifetime.
+		s.handleSubscribe(cc, req, release)
+		return
+	case opUnsubscribe:
+		s.handleUnsubscribe(cc, req, release)
 		return
 	}
 	op, parts := s.handle(frame{op: req.op, parts: req.parts})
@@ -595,6 +663,111 @@ func (s *Server) handleV2(req frameV2, respCh chan<- frameV2) {
 	// admission capacity for its whole lifetime, not just its compute,
 	// so overload driven by response backpressure still sheds.
 	respCh <- frameV2{op: op, id: req.id, parts: parts, done: release}
+}
+
+// handleSubscribe answers opSubscribe: it registers a watcher on the
+// document (whose queue the registry seeds with the current snapshot,
+// atomically with the registration) and starts the pump goroutine that
+// drains the queue onto the connection for the subscription's lifetime.
+// The admission slot rides the first pushed frame, exactly like a plain
+// response.
+func (s *Server) handleSubscribe(cc *v2conn, req frameV2, release func()) {
+	respCh := cc.respCh
+	if cc.version < protoV3 {
+		respCh <- frameV2{op: opErr, id: req.id,
+			parts: [][]byte{[]byte("subscribe: requires protocol v3")}, done: release}
+		return
+	}
+	if len(req.parts) != 1 {
+		respCh <- frameV2{op: opErr, id: req.id,
+			parts: [][]byte{[]byte("subscribe: want [name]")}, done: release}
+		return
+	}
+	name := string(req.parts[0])
+	sub, err := s.reg.subscribe(name, s.SubQueueCap, s.Admission.MaxSubscribers)
+	switch {
+	case errors.Is(err, errUnknownDoc):
+		respCh <- frameV2{op: opErrNotFound, id: req.id,
+			parts: [][]byte{[]byte(err.Error())}, done: release}
+		return
+	case errors.Is(err, errSubsFull):
+		s.Metrics.shed(shedSubsFull)
+		respCh <- frameV2{op: opErrBusy, id: req.id,
+			parts: [][]byte{busyText(shedSubsFull)}, done: release}
+		return
+	case err != nil:
+		respCh <- frameV2{op: opErr, id: req.id,
+			parts: [][]byte{[]byte(err.Error())}, done: release}
+		return
+	}
+	cc.addSub(req.id, sub)
+	s.Metrics.subscriberAdd(1)
+	cc.wg.Add(1)
+	go s.pumpSub(cc, req.id, sub, release)
+}
+
+// pumpSub forwards one subscriber's events onto the connection until the
+// subscription ends (unsubscribe, shed, registry replacement failure) or
+// the connection winds down. It owns the subscriber's registry
+// registration and the active-subscriber gauge: whatever the exit path,
+// both are released — the leak test pins this.
+func (s *Server) pumpSub(cc *v2conn, id uint32, sub *subscriber, release func()) {
+	defer cc.wg.Done()
+	defer s.Metrics.subscriberAdd(-1)
+	defer s.reg.unsubscribe(sub)
+	defer cc.dropSub(id)
+	send := func(f frameV2) bool {
+		select {
+		case cc.respCh <- f:
+			return true
+		case <-cc.done:
+			if f.done != nil {
+				f.done()
+			}
+			return false
+		}
+	}
+	for {
+		select {
+		case ev := <-sub.q:
+			f := frameV2{op: opChange, id: id, parts: ev.parts(), done: release}
+			release = nil
+			if ev.kind == changeDelta {
+				s.Metrics.deltaPushed(time.Since(ev.at))
+			}
+			if !send(f) {
+				return
+			}
+		case <-sub.stop:
+			if sub.reason == shedSubSlow {
+				s.Metrics.shed(shedSubSlow)
+			}
+			send(frameV2{op: opChange, id: id, parts: endParts(sub.reason), done: release})
+			return
+		case <-cc.done:
+			if release != nil {
+				release()
+			}
+			return
+		}
+	}
+}
+
+// handleUnsubscribe answers opUnsubscribe: it ends the named
+// subscription — the pump emits the terminal changeEnd frame — and
+// acknowledges. Unsubscribing an unknown or already-ended subscription
+// is not an error: the shed path races client-requested ends by design.
+func (s *Server) handleUnsubscribe(cc *v2conn, req frameV2, release func()) {
+	if len(req.parts) != 1 || len(req.parts[0]) != 4 {
+		cc.respCh <- frameV2{op: opErr, id: req.id,
+			parts: [][]byte{[]byte("unsubscribe: want [subID(u32)]")}, done: release}
+		return
+	}
+	subID := binary.BigEndian.Uint32(req.parts[0])
+	if sub := cc.takeSub(subID); sub != nil {
+		sub.end(endReasonUnsubscribed)
+	}
+	cc.respCh <- frameV2{op: opOK, id: req.id, done: release}
 }
 
 // handleStream answers opGetBlkStream: a header frame, the payload cut
@@ -689,6 +862,29 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			return fail("putdoc: durability: %v", err)
 		}
 		return opOK, nil
+	case opSubmitEdit:
+		if len(req.parts) != 2 {
+			return fail("submitedit: want [name, records]")
+		}
+		recs, err := core.DecodeChangeRecords(req.parts[1])
+		if err != nil {
+			return fail("submitedit: %v", err)
+		}
+		name := string(req.parts[0])
+		gen, err := s.reg.EditDoc(name, recs)
+		if errors.Is(err, errUnknownDoc) {
+			return notFound("submitedit: no document %q", name)
+		}
+		if err != nil {
+			// Typically a conflict: an earlier writer's edit won the
+			// registry lock and this batch's pre-edit paths no longer
+			// resolve. Nothing was applied; the submitter refetches.
+			return fail("submitedit: %v", err)
+		}
+		if err := s.durabilityErr(); err != nil {
+			return fail("submitedit: durability: %v", err)
+		}
+		return opOK, [][]byte{u64be(gen)}
 	case opGetBlk:
 		if len(req.parts) != 1 {
 			return fail("getblk: want [name]")

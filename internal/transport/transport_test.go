@@ -14,8 +14,9 @@ import (
 	"repro/internal/units"
 )
 
-// fixture: a two-leaf document plus its blocks.
-func fixture(t *testing.T) (*core.Document, *media.Store) {
+// fixture: a two-leaf document plus its blocks. Takes testing.TB so the
+// fuzz seed builders can reuse it from an *testing.F.
+func fixture(t testing.TB) (*core.Document, *media.Store) {
 	t.Helper()
 	store := media.NewStore()
 	store.Put(media.CaptureVideo("anchor.vid", 5, 16, 12, 25, 1))

@@ -41,7 +41,21 @@ const (
 	// opStreamHdr, then zero or more opStreamChunk, then opStreamEnd.
 	// Only valid after a v2 hello.
 	opGetBlkStream byte = 10
-	opOK           byte = 128
+	// opSubscribe watches a document: request [name]; the response is an
+	// open-ended sequence of opChange frames sharing the request ID — a
+	// snapshot first, then ordered deltas — until unsubscribe, shed or
+	// disconnect. Only valid after a v3 hello.
+	opSubscribe byte = 11
+	// opUnsubscribe ends a subscription: request [subID(u32)] naming the
+	// opSubscribe request's ID; response opOK []. Idempotent — an already
+	// ended subscription answers opOK too.
+	opUnsubscribe byte = 12
+	// opSubmitEdit applies an ordered edit batch to a document: request
+	// [name, records] (core.EncodeChangeRecords); response opOK
+	// [newGen(u64)]. Rejected edits answer opErr with a "conflict:"
+	// message — the submitter refetches and retries.
+	opSubmitEdit byte = 13
+	opOK         byte = 128
 	// opStreamHdr opens a streamed block response: parts are
 	// [name, medium, descriptor, payloadSize(u64)].
 	opStreamHdr byte = 129
@@ -51,6 +65,11 @@ const (
 	// opStreamEnd closes a streamed response: parts are [chunkCount(u32)],
 	// letting the client verify nothing was dropped.
 	opStreamEnd byte = 131
+	// opChange is a server-push subscription frame, sharing the
+	// opSubscribe request's ID. parts[0] is a one-byte discriminator:
+	// changeSnapshot [gen(u64), doc], changeDelta [fromGen(u64),
+	// toGen(u64), records] or changeEnd [reason].
+	opChange byte = 132
 	// opErrTooLarge reports that the requested block cannot be framed as a
 	// single response (payload past maxFrameSize); v2 clients retry with
 	// opGetBlkStream.
@@ -68,12 +87,15 @@ const (
 
 // Protocol versions. Version 1 is the original strict request/response
 // protocol; version 2 multiplexes pipelined requests over one connection
-// (frames carry a request ID) and adds chunked block streaming.
+// (frames carry a request ID) and adds chunked block streaming; version 3
+// adds document subscriptions — server-push ordered change deltas and
+// multi-writer edit submission over the same mux framing.
 const (
 	protoV1 = 1
 	protoV2 = 2
+	protoV3 = 3
 	// maxProtoVersion is the newest version this build speaks.
-	maxProtoVersion = protoV2
+	maxProtoVersion = protoV3
 )
 
 // defaultMaxInFlight bounds how many requests the server processes

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler),
-# S3 (wire protocol) and S4 (durability) scenarios plus cmifsoak's S5
-# (production soak) in quick smoke mode and validate both the fresh
-# results and the committed BENCH_store.json / BENCH_sched.json /
-# BENCH_wire.json / BENCH_durable.json / BENCH_soak.json reference files
-# against the regression invariants:
+# S3 (wire protocol), S4 (durability) and S6 (live-document fan-out)
+# scenarios plus cmifsoak's S5 (production soak) in quick smoke mode and
+# validate both the fresh results and the committed BENCH_store.json /
+# BENCH_sched.json / BENCH_wire.json / BENCH_durable.json /
+# BENCH_soak.json / BENCH_subs.json reference files against the
+# regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
 #     at least 8x fewer, warm never more than cold; S3 scenarios exactly
@@ -30,7 +31,14 @@
 #     busy errors while admitted requests stayed within the tail budget,
 #     and the live /metrics endpoint corroborated the client-side counts
 #     (the committed BENCH_soak.json must record ≥ 30 s of steady
-#     traffic at GOMAXPROCS ≥ 4).
+#     traffic at GOMAXPROCS ≥ 4);
+#   - the subscription invariants: every watcher received exactly
+#     subscribers x edits delta pushes with zero resyncs and converged
+#     byte-for-byte on the authoritative document, and delta push
+#     out-ran poll-refetch (≥ 5x at ≥ 1000 subscribers in the committed
+#     reference, which must also record GOMAXPROCS ≥ 4 — parallel
+#     speedup floors are meaningless on a single-core record, and the
+#     gate rejects committed files that claim otherwise).
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -44,13 +52,14 @@ fi
 mkdir -p "$BENCH_DIR"
 trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
 
-# The committed soak reference was captured at GOMAXPROCS >= 4 (the S5
-# gate requires it); warn when this box cannot reproduce that
-# environment, because locally regenerated reference files would then
-# fail the gate.
+# The committed soak, sched and subs references were captured at
+# GOMAXPROCS >= 4 (their gates require it — parallel-speedup floors
+# recorded on a single core prove nothing); warn when this box cannot
+# reproduce that environment, because locally regenerated reference
+# files would then fail the gate.
 procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}"
 if [ "$procs" -lt 4 ]; then
-    echo "warning: GOMAXPROCS=$procs < 4; the committed BENCH_soak.json must be (re)generated with GOMAXPROCS>=4" >&2
+    echo "warning: GOMAXPROCS=$procs < 4; committed BENCH_soak.json / BENCH_sched.json / BENCH_subs.json must be (re)generated with GOMAXPROCS>=4" >&2
 fi
 
 go run ./cmd/cmifbench -smoke \
@@ -58,11 +67,13 @@ go run ./cmd/cmifbench -smoke \
     -sched-out "$BENCH_DIR/BENCH_sched.json" \
     -wire-out "$BENCH_DIR/BENCH_wire.json" \
     -durable-out "$BENCH_DIR/BENCH_durable.json" \
+    -subs-out "$BENCH_DIR/BENCH_subs.json" \
     -check-store BENCH_store.json \
     -check-sched BENCH_sched.json \
     -check-wire BENCH_wire.json \
     -check-durable BENCH_durable.json \
-    S1 S2 S3 S4
+    -check-subs BENCH_subs.json \
+    S1 S2 S3 S4 S6
 
 go run ./cmd/cmifsoak -smoke \
     -out "$BENCH_DIR/BENCH_soak.json" \

@@ -4,8 +4,10 @@
 # the documentation.
 #
 #   - every backticked `opXxx` / `maxXxx` / `streamXxx` / `muxXxx` /
-#     `defaultXxx` / `protoXxx` identifier in docs/PROTOCOL.md must
-#     appear in internal/transport/wire.go;
+#     `defaultXxx` / `protoXxx` / `changeXxx` / `shedXxx` /
+#     `endReasonXxx` identifier in docs/PROTOCOL.md must appear in
+#     internal/transport/wire.go or internal/transport/live.go (the
+#     subscription fan-out hub);
 #   - every backticked `cmif.Xxx` symbol in docs/ and README.md must
 #     appear in the cmif facade sources;
 #   - every backticked `sched.Xxx` symbol in docs/ must appear in
@@ -23,10 +25,10 @@ set -eu
 fail=0
 
 # Wire-protocol identifiers (op codes, entry flags, framing limits,
-# protocol versions, stream and mux constants).
-for ident in $(grep -o '`\(op\|max\|entry\|batch\|stream\|mux\|default\|proto\)[A-Za-z]*`' docs/PROTOCOL.md | tr -d '`' | sort -u); do
-    if ! grep -q "\b$ident\b" internal/transport/wire.go; then
-        echo "docs/PROTOCOL.md references \`$ident\`, which no longer exists in internal/transport/wire.go" >&2
+# protocol versions, stream, mux and subscription constants).
+for ident in $(grep -o '`\(op\|max\|entry\|batch\|stream\|mux\|default\|proto\|change\|shed\|endReason\)[A-Za-z]*`' docs/PROTOCOL.md | tr -d '`' | sort -u); do
+    if ! grep -q "\b$ident\b" internal/transport/wire.go internal/transport/live.go; then
+        echo "docs/PROTOCOL.md references \`$ident\`, which no longer exists in internal/transport/wire.go or live.go" >&2
         fail=1
     fi
 done
