@@ -3,19 +3,19 @@
 // plus the S1 storage/fetch concurrency scenarios (BENCH_store.json),
 // the S2 scheduler scenarios (BENCH_sched.json), the S3 wire-protocol
 // scenarios (BENCH_wire.json), the S4 durability scenarios
-// (BENCH_durable.json) and the S6 live-document subscription scenarios
-// (BENCH_subs.json).
+// (BENCH_durable.json), the S6 live-document subscription scenarios
+// (BENCH_subs.json) and the S7 edge-tier scenarios (BENCH_edge.json).
 //
 // Usage:
 //
-//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6 S7]
 //
 // Run with no experiment ids for everything; naming ids restricts the run.
-// -smoke shrinks the S1/S2/S3/S4/S6 configurations to CI-sized quick runs.
-// The -check-store/-check-sched/-check-wire/-check-durable/-check-subs
-// flags additionally validate a committed BENCH file and the fresh
-// results against the bench-regression invariants, exiting nonzero on
-// violation (the scripts/check_bench.sh gate).
+// -smoke shrinks the S1/S2/S3/S4/S6/S7 configurations to CI-sized quick
+// runs. The -check-store/-check-sched/-check-wire/-check-durable/
+// -check-subs/-check-edge flags additionally validate a committed BENCH
+// file and the fresh results against the bench-regression invariants,
+// exiting nonzero on violation (the scripts/check_bench.sh gate).
 package main
 
 import (
@@ -54,12 +54,18 @@ func main() {
 	subsEdits := flag.Int("subs-edits", 0, "edits per S6 scenario (default 16; quartered past 2000 subscribers)")
 	subsWriters := flag.Int("subs-writers", 0, "concurrent writers in S6 (default 2)")
 
-	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6 to quick CI-sized configurations")
+	edgeOut := flag.String("edge-out", "BENCH_edge.json", "path for the S7 edge-bench JSON results")
+	edgeClients := flag.Int("edge-clients", 0, "downstream client population for S7 (default 1000)")
+	edgeList := flag.String("edge-list", "", "comma-separated edge counts for S7 (default 1,4)")
+	edgeFetches := flag.Int("edge-fetches", 0, "measured fetches per client in S7 (default 32)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6/S7 to quick CI-sized configurations")
 	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
 	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
 	checkWire := flag.String("check-wire", "", "committed BENCH_wire.json to validate against the regression gate")
 	checkDurable := flag.String("check-durable", "", "committed BENCH_durable.json to validate against the regression gate")
 	checkSubs := flag.String("check-subs", "", "committed BENCH_subs.json to validate against the regression gate")
+	checkEdge := flag.String("check-edge", "", "committed BENCH_edge.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -107,6 +113,12 @@ func main() {
 	if runAll || want["S6"] {
 		if err := runSubsBench(*subsOut, *subsList, *subsEdits, *subsWriters, *smoke, *checkSubs); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S6: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S7"] {
+		if err := runEdgeBench(*edgeOut, *edgeList, *edgeClients, *edgeFetches, *smoke, *checkEdge); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S7: %v\n", err)
 			failed++
 		}
 	}
@@ -362,6 +374,61 @@ func runSubsBench(out, subsList string, edits, writers int, smoke bool, checkAga
 		violations = append(violations, "fresh: "+v)
 	}
 	return reportViolations("subs", violations)
+}
+
+// runEdgeBench runs the S7 edge-tier scenarios with the same output and
+// gating shape as S1-S6.
+func runEdgeBench(out, edgeList string, clients, fetches int, smoke bool, checkAgainst string) error {
+	cfg := cmif.EdgeBenchConfig{Clients: clients, FetchesPerClient: fetches}
+	if edgeList != "" {
+		for _, f := range strings.Split(edgeList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -edge-list entry %q", f)
+			}
+			cfg.Edges = append(cfg.Edges, n)
+		}
+	}
+	if smoke {
+		if cfg.Clients == 0 {
+			cfg.Clients = 64
+		}
+		if len(cfg.Edges) == 0 {
+			cfg.Edges = []int{1, 2}
+		}
+		if cfg.FetchesPerClient == 0 {
+			cfg.FetchesPerClient = 16
+		}
+		cfg.Blocks, cfg.ConnsPerServer = 16, 8
+	}
+	report, err := cmif.RunEdgeBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadEdgeBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckEdgeBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckEdgeBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("edge", violations)
 }
 
 func reportViolations(name string, violations []string) error {

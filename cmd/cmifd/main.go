@@ -68,7 +68,7 @@ func main() {
 	subQueue := flag.Int("sub-queue", 0, "per-subscriber change queue depth before a slow watcher is shed (0 = default 64)")
 	flag.Parse()
 
-	opts := []cmif.ServerOption{
+	opts := []cmif.ServeOption{
 		cmif.WithIdleTimeout(*idle),
 		cmif.WithShutdownGrace(*grace),
 		cmif.WithMaxInFlight(*maxInFlight),

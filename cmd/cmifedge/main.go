@@ -1,0 +1,159 @@
+// Command cmifedge runs an edge cache: a read-through caching proxy
+// that serves the full interchange protocol downstream while sourcing
+// everything it serves from one upstream cmifd origin.
+//
+// Usage:
+//
+//	cmifedge -origin HOST:PORT -cache DIR [-addr 127.0.0.1:7912]
+//	         [-cache-bytes N] [-mem-blocks N] [-pool N]
+//	         [-upstream-timeout 10s] [-lease-ttl 2m]
+//	         [-idle 2m] [-grace 5s] [-max-inflight 32]
+//	         [-metrics ADDR] [-max-concurrent N] [-max-queue N]
+//	         [-max-wait D] [-max-subscribers N] [-sub-queue N]
+//
+// Blocks are immutable under their content address, so the edge caches
+// them forever: a miss fetches from the origin once, lands in the
+// crash-safe disk cache under -cache (bounded by -cache-bytes, evicted
+// least-recently-used), and survives restarts — a SIGKILLed edge comes
+// back serving its corpus from disk without refetching. Documents are
+// mutable, so the edge leases them: the first access subscribes to the
+// origin's change stream and keeps a live local replica that upstream
+// edits invalidate incrementally; an idle, unwatched replica is released
+// after -lease-ttl. Mutations — document puts, block puts, edit
+// batches — are forwarded to the origin and stream back down through
+// the lease, so the origin stays the single writer.
+//
+// With -metrics, an HTTP endpoint serves the standard server instruments
+// plus the cmif_edge_* cache and lease series at /metrics. The admission
+// flags mirror cmifd's. It runs until SIGINT or SIGTERM, then drains
+// gracefully and logs the final counter totals.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/cmif"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7912", "downstream listen address")
+	origin := flag.String("origin", "", "upstream origin address (required)")
+	cacheDir := flag.String("cache", "", "disk block cache directory (required)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "disk cache budget in payload bytes (0 = default 256 MiB)")
+	memBlocks := flag.Int("mem-blocks", 0, "in-memory block cache size fronting the disk tier (0 = default 1024)")
+	pool := flag.Int("pool", 0, "upstream connection pool size (0 = default 4)")
+	upstreamTimeout := flag.Duration("upstream-timeout", 0, "per-round-trip bound toward the origin (0 = default 10s)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "idle bound before an unwatched document lease is released (0 = default 2m)")
+	idle := flag.Duration("idle", 2*time.Minute, "drop downstream connections idle for this long (0 = never)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+	maxInFlight := flag.Int("max-inflight", 0, "max pipelined requests per downstream v2 connection (0 = default 32)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus/JSON metrics over HTTP at this address (empty disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "edge-wide admission bound on concurrently executing requests (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 0, "requests allowed to queue for an admission slot beyond -max-concurrent")
+	maxWait := flag.Duration("max-wait", 0, "longest a queued request may wait before it is shed (0 = default 100ms)")
+	maxSubs := flag.Int("max-subscribers", 0, "edge-wide bound on live downstream subscriptions (0 = unlimited)")
+	subQueue := flag.Int("sub-queue", 0, "per-subscriber change queue depth before a slow watcher is shed (0 = default 64)")
+	flag.Parse()
+
+	if *origin == "" {
+		fatal(errors.New("-origin is required"))
+	}
+	if *cacheDir == "" {
+		fatal(errors.New("-cache is required"))
+	}
+
+	metrics := cmif.NewMetrics()
+	opts := []cmif.EdgeOption{
+		cmif.WithOrigin(*origin),
+		cmif.WithCacheDir(*cacheDir),
+		cmif.WithCacheBytes(*cacheBytes),
+		cmif.WithEdgeMemBlocks(*memBlocks),
+		cmif.WithUpstreamPool(*pool),
+		cmif.WithUpstreamTimeout(*upstreamTimeout),
+		cmif.WithLeaseTTL(*leaseTTL),
+		cmif.WithEdgeIdleTimeout(*idle),
+		cmif.WithEdgeShutdownGrace(*grace),
+		cmif.WithEdgeMaxInFlight(*maxInFlight),
+		cmif.WithEdgeSubscriberQueue(*subQueue),
+		cmif.WithEdgeMetrics(metrics),
+	}
+	if *maxConcurrent > 0 || *maxSubs > 0 {
+		opts = append(opts, cmif.WithEdgeAdmission(cmif.AdmissionConfig{
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			MaxWait:        *maxWait,
+			MaxSubscribers: *maxSubs,
+		}))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	e, err := cmif.NewEdge(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	bound, err := e.Listen(*addr)
+	if err != nil {
+		e.Close()
+		fatal(err)
+	}
+	ds := e.DiskStats()
+	fmt.Printf("cmifedge: serving on %s, origin %s\n", bound, *origin)
+	fmt.Printf("cmifedge: disk cache %s: %d blocks, %d bytes recovered\n",
+		*cacheDir, ds.Blocks, ds.Bytes)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			e.Close()
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		metricsSrv = &http.Server{Handler: mux}
+		fmt.Printf("cmifedge: metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "cmifedge: metrics server:", err)
+			}
+		}()
+	}
+
+	err = e.Serve(ctx)
+
+	if metricsSrv != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		if serr := metricsSrv.Shutdown(drainCtx); serr != nil {
+			fmt.Fprintln(os.Stderr, "cmifedge: metrics drain:", serr)
+		}
+		cancel()
+	}
+	for _, line := range metrics.CounterTotals() {
+		fmt.Println("cmifedge: final", line)
+	}
+
+	switch {
+	case err == nil:
+		fmt.Println("cmifedge: drained, shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "cmifedge: grace period expired; remaining connections force-closed")
+	default:
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmifedge:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,10 @@
 //
 // Every request is bounded by -timeout; a missing document or block is
 // reported distinctly from other failures.
+//
+// The address may point at an origin server (cmifd) or an edge proxy
+// (cmifedge) — fetches go through the transport-neutral cmif.Fetcher
+// surface, so the tool neither knows nor cares which tier answers.
 package main
 
 import (
@@ -39,6 +43,11 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+	// Everything below fetches through the Fetcher interface; only the
+	// wire-encoding variants of "doc" (-inline/-binary) reach for the
+	// concrete client, because the encoding is a property of the dialed
+	// transport, not of the read surface.
+	var f cmif.Fetcher = c
 
 	switch flag.Arg(0) {
 	case "list":
@@ -53,14 +62,19 @@ func main() {
 		if flag.NArg() != 2 {
 			usage()
 		}
-		var opts []cmif.WireOption
-		if *binaryEnc {
-			opts = append(opts, cmif.WithBinaryWire())
+		var doc *cmif.Document
+		if *binaryEnc || *inline {
+			var opts []cmif.WireOption
+			if *binaryEnc {
+				opts = append(opts, cmif.WithBinaryWire())
+			}
+			if *inline {
+				opts = append(opts, cmif.WithInline())
+			}
+			doc, err = c.Document(ctx, flag.Arg(1), opts...)
+		} else {
+			doc, err = f.OpenDoc(ctx, flag.Arg(1))
 		}
-		if *inline {
-			opts = append(opts, cmif.WithInline())
-		}
-		doc, err := c.Document(ctx, flag.Arg(1), opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -72,10 +86,14 @@ func main() {
 		if flag.NArg() != 2 {
 			usage()
 		}
-		b, err := c.Block(ctx, flag.Arg(1))
+		blocks, err := f.Blocks(ctx, []string{flag.Arg(1)})
 		if err != nil {
 			fatal(err)
 		}
+		if len(blocks) == 0 || blocks[0] == nil {
+			fatal(fmt.Errorf("block %q: %w", flag.Arg(1), cmif.ErrNotFound))
+		}
+		b := blocks[0]
 		fmt.Fprintf(os.Stderr, "cmifget: %s (%s, %d bytes)\n", b.Name, b.Medium, len(b.Payload))
 		os.Stdout.Write(b.Payload)
 	default:

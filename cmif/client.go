@@ -29,12 +29,15 @@ type clientConfig struct {
 	maxVersion int
 }
 
-// ClientOption configures Dial.
-type ClientOption func(*clientConfig)
+// DialOption configures Dial. Dial options are a distinct type from the
+// server's ServeOption and the edge tier's EdgeOption, so mixing option
+// sets across constructors is a compile error rather than a silent
+// misconfiguration.
+type DialOption func(*clientConfig)
 
 // WithRequestTimeout bounds each round trip that carries no context
 // deadline of its own. Zero (the default) means unbounded.
-func WithRequestTimeout(d time.Duration) ClientOption {
+func WithRequestTimeout(d time.Duration) DialOption {
 	return func(c *clientConfig) { c.timeout = d }
 }
 
@@ -43,7 +46,7 @@ func WithRequestTimeout(d time.Duration) ClientOption {
 // pipelines many concurrent requests, so a small pool goes a long way;
 // under v1 (old servers) the pool is the only source of concurrency.
 // Values below 1 mean 1.
-func WithPoolSize(n int) ClientOption {
+func WithPoolSize(n int) DialOption {
 	return func(c *clientConfig) { c.poolSize = n }
 }
 
@@ -54,7 +57,7 @@ func WithPoolSize(n int) ClientOption {
 // newest version the server speaks; only Subscribe and SubmitEdit — the
 // v3 operations — fail (with ErrUnsupported) on a downgraded
 // connection.
-func WithProtocolVersion(v int) ClientOption {
+func WithProtocolVersion(v int) DialOption {
 	return func(c *clientConfig) { c.maxVersion = v }
 }
 
@@ -76,20 +79,20 @@ func NewBlockCache(size int) *BlockCache { return transport.NewBlockCache(size) 
 // and concurrent fetches of one block collapse into a single wire call.
 // The cache is shared across the client's pooled connections. To share a
 // cache across clients, use WithSharedCache.
-func WithCache(size int) ClientOption {
+func WithCache(size int) DialOption {
 	return func(c *clientConfig) { c.cache = transport.NewBlockCache(size) }
 }
 
 // WithSharedCache attaches an existing cache (NewBlockCache), so several
 // clients serve block fetches from common local memory and de-duplicate
 // concurrent misses process-wide.
-func WithSharedCache(cache *BlockCache) ClientOption {
+func WithSharedCache(cache *BlockCache) DialOption {
 	return func(c *clientConfig) { c.cache = cache }
 }
 
 // Dial connects to an interchange server, honouring ctx during connection
 // establishment and the protocol handshake.
-func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
 	cfg := clientConfig{poolSize: 1, maxVersion: 3}
 	for _, o := range opts {
 		o(&cfg)
@@ -204,6 +207,12 @@ func (c *Client) Document(ctx context.Context, name string, opts ...WireOption) 
 	return wrapDocument(d), nil
 }
 
+// OpenDoc fetches the document registered under name — the Fetcher
+// surface of Document, always in the default wire encoding.
+func (c *Client) OpenDoc(ctx context.Context, name string) (*Document, error) {
+	return c.Document(ctx, name)
+}
+
 // Put registers a document under name on the server. Inlined payloads are
 // absorbed into the server's store.
 func (c *Client) Put(ctx context.Context, name string, d *Document, opts ...WireOption) error {
@@ -256,29 +265,7 @@ func (c *Client) Descriptors(ctx context.Context, names []string) (map[string]At
 // attached, repeated prefetches of overlapping presentations hit the
 // network once per block.
 func (c *Client) Prefetch(ctx context.Context, d *Document) (*Store, error) {
-	store := NewStore()
-	names := d.ExternalFiles()
-	if len(names) == 0 {
-		return store, nil
-	}
-	blocks, err := c.Blocks(ctx, names)
-	if err != nil {
-		return nil, err
-	}
-	for i, b := range blocks {
-		if b == nil {
-			continue
-		}
-		if b.Name != names[i] {
-			// The server resolved an alias (a re-pointed or duplicate
-			// name): register the block under the name the document
-			// uses, or the pipeline would see it as missing.
-			b = b.Clone()
-			b.Name = names[i]
-		}
-		store.Put(b)
-	}
-	return store, nil
+	return PrefetchVia(ctx, c, d)
 }
 
 // CacheStats snapshots the attached cache's counters; ok is false when the

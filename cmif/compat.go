@@ -1,0 +1,19 @@
+package cmif
+
+// Deprecated option-type aliases, kept for one release while callers
+// migrate to the typed option sets. The old names conflated who was
+// being configured; the new ones make the three surfaces — dialing a
+// client, serving an origin, running an edge — distinct types, so
+// passing a server option to Dial is a compile error. New code uses
+// DialOption, ServeOption and EdgeOption directly; nothing outside this
+// file may reference the deprecated names.
+
+// ClientOption is the former name of DialOption.
+//
+// Deprecated: use DialOption.
+type ClientOption = DialOption
+
+// ServerOption is the former name of ServeOption.
+//
+// Deprecated: use ServeOption.
+type ServerOption = ServeOption

@@ -1,0 +1,32 @@
+//lint:file-ignore SA1019 this file exists to exercise the deprecated aliases
+
+package cmif_test
+
+import (
+	"time"
+
+	"repro/cmif"
+)
+
+// Compile-only coverage for the deprecated option aliases: code written
+// against the pre-rename API must keep building for one release. Every
+// assignment below crosses from an old alias name to the typed option
+// set (or back), so removing an alias or breaking its assignability
+// fails this file at compile time. Nothing here runs.
+var (
+	// Old names still accept the option constructors...
+	_ cmif.ClientOption = cmif.WithRequestTimeout(time.Second)
+	_ cmif.ClientOption = cmif.WithPoolSize(2)
+	_ cmif.ServerOption = cmif.WithMaxInFlight(8)
+	_ cmif.ServerOption = cmif.WithIdleTimeout(time.Minute)
+
+	// ...and are interchangeable with the typed sets.
+	_ cmif.DialOption  = cmif.ClientOption(nil)
+	_ cmif.ServeOption = cmif.ServerOption(nil)
+
+	// Slices of the old names still feed the variadic constructors.
+	_ = func() *cmif.Server {
+		opts := []cmif.ServerOption{cmif.WithMaxInFlight(8)}
+		return cmif.NewServer(opts...)
+	}
+)

@@ -216,6 +216,37 @@ func CheckSubsBenchReport(r *SubsBenchReport, committed bool) []string {
 	return experiments.CheckSubsReport(r, committed)
 }
 
+// EdgeBenchConfig sizes the S7 edge-tier scenario: a client population
+// fetching a shared corpus direct-to-origin and through ladders of
+// warmed edge caches. The zero value is usable (1000 clients, 1 then 4
+// edges, 64 blocks, 32 fetches per client, 16 connections per server).
+type EdgeBenchConfig = experiments.EdgeBenchConfig
+
+// EdgeBenchReport is the machine-readable result set of RunEdgeBench;
+// cmifbench writes it to BENCH_edge.json.
+type EdgeBenchReport = experiments.EdgeBenchReport
+
+// RunEdgeBench measures the edge tier against an in-process origin:
+// origin offload (from the edges' own upstream round-trip counters) and
+// client-observed p50/p99 latency, direct versus behind each configured
+// edge count.
+func RunEdgeBench(ctx context.Context, cfg EdgeBenchConfig) (*EdgeBenchReport, error) {
+	return experiments.EdgeBench(ctx, cfg)
+}
+
+// LoadEdgeBenchReport reads a BENCH_edge.json report from disk.
+func LoadEdgeBenchReport(path string) (*EdgeBenchReport, error) {
+	return experiments.LoadEdgeReport(path)
+}
+
+// CheckEdgeBenchReport validates an edge-bench report: exact fetch
+// arithmetic, warm offload ≥ 0.9, and — for the committed reference —
+// ≥ 1000 clients behind ≥ 4 edges whose p99 does not exceed the direct
+// p99, recorded at GOMAXPROCS ≥ 4.
+func CheckEdgeBenchReport(r *EdgeBenchReport, committed bool) []string {
+	return experiments.CheckEdgeReport(r, committed)
+}
+
 // BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU
 // count, go version); it travels inside every BENCH report.
 type BenchEnv = experiments.BenchEnv

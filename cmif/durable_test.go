@@ -9,9 +9,9 @@ import (
 )
 
 // startDurable builds and listens a durable server on dir.
-func startDurable(t *testing.T, dir string, opts ...cmif.ServerOption) (*cmif.Server, string) {
+func startDurable(t *testing.T, dir string, opts ...cmif.ServeOption) (*cmif.Server, string) {
 	t.Helper()
-	srv := cmif.NewServer(append([]cmif.ServerOption{cmif.WithDataDir(dir)}, opts...)...)
+	srv := cmif.NewServer(append([]cmif.ServeOption{cmif.WithDataDir(dir)}, opts...)...)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
@@ -28,7 +28,7 @@ func TestServerDurableRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seed := []cmif.ServerOption{
+	seed := []cmif.ServeOption{
 		cmif.WithServedStore(store),
 		cmif.WithServedDocument("news", doc),
 	}

@@ -30,7 +30,7 @@ import (
 
 // startLiveServer serves one generated document under the given name and
 // returns the address to dial.
-func startLiveServer(t *testing.T, name string, d *Document, store *Store, opts ...ServerOption) string {
+func startLiveServer(t *testing.T, name string, d *Document, store *Store, opts ...ServeOption) string {
 	t.Helper()
 	opts = append(opts, WithServedStore(store), WithServedDocument(name, d))
 	srv := NewServer(opts...)

@@ -41,7 +41,7 @@ const DefaultAdmissionWait = transport.DefaultAdmissionWait
 // a.MaxQueue more (each for at most a.MaxWait), and sheds the rest with a
 // fast busy error that clients surface as ErrBusy. Sheds are counted in
 // the server's metrics as cmif_busy_rejections_total by reason.
-func WithAdmission(a AdmissionConfig) ServerOption {
+func WithAdmission(a AdmissionConfig) ServeOption {
 	return func(c *serverConfig) { c.admission = a }
 }
 
@@ -49,7 +49,7 @@ func WithAdmission(a AdmissionConfig) ServerOption {
 // a private registry — useful when one process wants its server, client
 // caches and schedulers in a single exposition. Server.Metrics returns
 // reg.
-func WithServerMetrics(reg *Metrics) ServerOption {
+func WithServerMetrics(reg *Metrics) ServeOption {
 	return func(c *serverConfig) { c.metrics = reg }
 }
 

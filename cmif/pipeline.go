@@ -101,6 +101,7 @@ type pipelineConfig struct {
 	cfg     pipeline.Config
 	store   *media.Store
 	dataDir string
+	fetcher Fetcher
 }
 
 // PipelineOption configures NewPipeline and Pipeline.Run.
@@ -123,6 +124,15 @@ func WithStore(s *Store) PipelineOption {
 // must be quiescent — no live server writing it — like LoadDataDir.
 func WithStoreFromDataDir(dir string) PipelineOption {
 	return func(c *pipelineConfig) { c.dataDir = dir }
+}
+
+// WithFetcher backs the run with any Fetcher — an origin Client, an
+// Edge, or a Chain of layers: the document's external files are
+// prefetched through it at Run time (see PrefetchVia). An explicit
+// WithStore takes precedence; WithStoreFromDataDir is consulted after
+// the fetcher.
+func WithFetcher(f Fetcher) PipelineOption {
+	return func(c *pipelineConfig) { c.fetcher = f }
 }
 
 // WithScheduler tunes timing-graph construction (leaf durations, rigid
@@ -178,6 +188,13 @@ func (p *Pipeline) Run(ctx context.Context, doc *Document, opts ...PipelineOptio
 		o(&cfg)
 	}
 	store := cfg.store
+	if store == nil && cfg.fetcher != nil {
+		fetched, err := PrefetchVia(ctx, cfg.fetcher, doc)
+		if err != nil {
+			return nil, err
+		}
+		store = fetched
+	}
 	if store == nil && cfg.dataDir != "" {
 		recovered, _, err := LoadDataDir(cfg.dataDir)
 		if err != nil {

@@ -12,7 +12,7 @@ import (
 
 // startNewsServer serves the built-in evening-news corpus and returns
 // its address.
-func startNewsServer(t *testing.T, opts ...cmif.ServerOption) string {
+func startNewsServer(t *testing.T, opts ...cmif.ServeOption) string {
 	t.Helper()
 	doc, store, err := cmif.BuildNews(cmif.NewsConfig{Stories: 1})
 	if err != nil {

@@ -50,36 +50,36 @@ type namedDoc struct {
 	doc  *Document
 }
 
-// ServerOption configures NewServer and Serve.
-type ServerOption func(*serverConfig)
+// ServeOption configures NewServer and Serve.
+type ServeOption func(*serverConfig)
 
 // WithServedStore backs the server with an existing block store instead of
 // an empty one.
-func WithServedStore(s *Store) ServerOption {
+func WithServedStore(s *Store) ServeOption {
 	return func(c *serverConfig) { c.store = s }
 }
 
 // WithServedDocument preloads a document under name.
-func WithServedDocument(name string, d *Document) ServerOption {
+func WithServedDocument(name string, d *Document) ServeOption {
 	return func(c *serverConfig) { c.docs = append(c.docs, namedDoc{name, d}) }
 }
 
 // WithIdleTimeout hangs up connections that sit idle between requests
 // longer than d. Zero (the default) keeps them forever.
-func WithIdleTimeout(d time.Duration) ServerOption {
+func WithIdleTimeout(d time.Duration) ServeOption {
 	return func(c *serverConfig) { c.idleTimeout = d }
 }
 
 // WithWriteTimeout bounds each response write. Zero (the default) means no
 // bound.
-func WithWriteTimeout(d time.Duration) ServerOption {
+func WithWriteTimeout(d time.Duration) ServeOption {
 	return func(c *serverConfig) { c.writeTimeout = d }
 }
 
 // WithShutdownGrace bounds how long Serve waits for in-flight requests
 // after its context is cancelled before force-closing connections. The
 // default is 5 seconds.
-func WithShutdownGrace(d time.Duration) ServerOption {
+func WithShutdownGrace(d time.Duration) ServeOption {
 	return func(c *serverConfig) { c.grace = d }
 }
 
@@ -88,7 +88,7 @@ func WithShutdownGrace(d time.Duration) ServerOption {
 // busy error (ErrBusy). The bound is advertised to clients at connect so
 // well-behaved clients queue locally instead of being rejected. Zero (the
 // default) means 32.
-func WithMaxInFlight(n int) ServerOption {
+func WithMaxInFlight(n int) ServeOption {
 	return func(c *serverConfig) { c.maxInFlight = n }
 }
 
@@ -99,7 +99,7 @@ func WithMaxInFlight(n int) ServerOption {
 // exact pre-kill corpus. An empty or missing directory starts empty.
 // Combine with WithServedStore/WithServedDocument to seed a corpus: seed
 // content already recovered from dir journals nothing.
-func WithDataDir(dir string) ServerOption {
+func WithDataDir(dir string) ServeOption {
 	return func(c *serverConfig) { c.dataDir = dir }
 }
 
@@ -107,14 +107,14 @@ func WithDataDir(dir string) ServerOption {
 // every acknowledgement, SyncInterval (the default) on a background tick,
 // SyncNever when the OS feels like it. See the SyncPolicy docs for the
 // loss windows.
-func WithSyncPolicy(p SyncPolicy) ServerOption {
+func WithSyncPolicy(p SyncPolicy) ServeOption {
 	return func(c *serverConfig) { c.syncPolicy = p }
 }
 
 // WithSnapshotThreshold triggers a background snapshot (and WAL
 // compaction) whenever the un-snapshotted log grows past n bytes. Zero
 // keeps the 64 MiB default; negative disables automatic snapshots.
-func WithSnapshotThreshold(n int64) ServerOption {
+func WithSnapshotThreshold(n int64) ServeOption {
 	return func(c *serverConfig) { c.snapBytes = n }
 }
 
@@ -123,7 +123,7 @@ func WithSnapshotThreshold(n int64) ServerOption {
 // request/response protocol, 2 offers the multiplexed protocol without
 // live documents, and 3 (the default) adds subscriptions and edit
 // submission. Older clients are always served at their own version.
-func WithMaxProtocolVersion(v int) ServerOption {
+func WithMaxProtocolVersion(v int) ServeOption {
 	return func(c *serverConfig) { c.maxVersion = v }
 }
 
@@ -133,7 +133,7 @@ func WithMaxProtocolVersion(v int) ServerOption {
 // ends with reason "sub_slow") rather than allowed to buffer without
 // bound; the client resynchronizes by subscribing again. Zero (the
 // default) means 64.
-func WithSubscriberQueue(n int) ServerOption {
+func WithSubscriberQueue(n int) ServeOption {
 	return func(c *serverConfig) { c.subQueue = n }
 }
 
@@ -141,7 +141,7 @@ func WithSubscriberQueue(n int) ServerOption {
 // yet; call Listen, then Serve (or Close). A WithDataDir recovery failure
 // is deferred: it surfaces from Listen (and Serve), keeping NewServer's
 // signature.
-func NewServer(opts ...ServerOption) *Server {
+func NewServer(opts ...ServeOption) *Server {
 	cfg := serverConfig{grace: 5 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
@@ -311,7 +311,7 @@ func (s *Server) Close() error {
 // Serve is the one-call server: listen on addr, serve until ctx is
 // cancelled, then drain gracefully. The bound address is reported through
 // onListen when non-nil (useful with ":0" addresses).
-func Serve(ctx context.Context, addr string, onListen func(boundAddr string, s *Server), opts ...ServerOption) error {
+func Serve(ctx context.Context, addr string, onListen func(boundAddr string, s *Server), opts ...ServeOption) error {
 	s := NewServer(opts...)
 	bound, err := s.Listen(addr)
 	if err != nil {

@@ -147,9 +147,10 @@ func (c *Client) SubmitEdit(ctx context.Context, name string, b *EditBatch) (uin
 // Plan up to date with incremental rescheduling. Not safe for concurrent
 // use; one goroutine owns a subscription.
 type Subscription struct {
-	c    *Client
-	name string
-	opts []ScheduleOption
+	src     subSource
+	name    string
+	subtree string
+	opts    []ScheduleOption
 
 	sub     *transport.DocSubscription
 	doc     *Document
@@ -159,15 +160,36 @@ type Subscription struct {
 	closed  bool
 }
 
+// subSource opens (and re-opens, across resyncs) the wire subscription a
+// Subscription rides. *Client implements it against an origin server and
+// *Edge against its local fan-out hub; the Subscription logic — replica,
+// plan, gap detection, resync — is identical over either.
+type subSource interface {
+	openSub(ctx context.Context, name, subtree string) (*transport.DocSubscription, error)
+}
+
+// openSub implements subSource over a pooled origin connection.
+func (c *Client) openSub(ctx context.Context, name, subtree string) (*transport.DocSubscription, error) {
+	return c.pick().SubscribeDocSubtree(ctx, name, subtree)
+}
+
 // Subscribe opens a live subscription on the document registered under
 // name: the returned Subscription holds a replica of the document's
-// current state and a Plan scheduled from it (with opts), and Next
-// follows every subsequent edit. Requires protocol v3: against an older
-// server Subscribe fails with ErrUnsupported and the connection stays
-// usable for everything else. The initial scheduling must succeed; a
-// document that cannot be scheduled cannot be watched incrementally.
-func (c *Client) Subscribe(ctx context.Context, name string, opts ...ScheduleOption) (*Subscription, error) {
-	s := &Subscription{c: c, name: name, opts: opts}
+// current state and a Plan scheduled from it, and Next follows every
+// subsequent edit. WithSubtree restricts the delta stream to one part of
+// the document; WithSubscribeSchedule forwards scheduling options to the
+// replica's Plan. Requires protocol v3: against an older server
+// Subscribe fails with ErrUnsupported and the connection stays usable
+// for everything else. The initial scheduling must succeed; a document
+// that cannot be scheduled cannot be watched incrementally.
+func (c *Client) Subscribe(ctx context.Context, name string, opts ...SubscribeOption) (*Subscription, error) {
+	return openSubscription(ctx, c, name, opts)
+}
+
+// openSubscription builds a Subscription over any subSource.
+func openSubscription(ctx context.Context, src subSource, name string, opts []SubscribeOption) (*Subscription, error) {
+	cfg := subscribeConfigOf(opts)
+	s := &Subscription{src: src, name: name, subtree: cfg.subtree, opts: cfg.sched}
 	if err := s.open(ctx); err != nil {
 		return nil, err
 	}
@@ -177,7 +199,7 @@ func (c *Client) Subscribe(ctx context.Context, name string, opts ...ScheduleOpt
 // open establishes (or re-establishes) the wire subscription and builds
 // the replica and plan from its opening snapshot.
 func (s *Subscription) open(ctx context.Context) error {
-	sub, err := s.c.pick().SubscribeDoc(ctx, s.name)
+	sub, err := s.src.openSub(ctx, s.name, s.subtree)
 	if err != nil {
 		return wireError(err)
 	}

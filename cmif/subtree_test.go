@@ -1,0 +1,134 @@
+package cmif
+
+// Facade-level coverage for WithSubtree: a filtered Subscription opens
+// with a structurally complete snapshot, stays generation-contiguous
+// through foreign edits (empty deltas, no resyncs), and converges with
+// the authoritative document inside the watched subtree while foreign
+// subtrees are allowed to drift. The wire-level record filtering itself
+// is pinned by internal/transport's subtree tests; this exercises the
+// same contract through Client.Subscribe.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/units"
+)
+
+// subtreeTestDoc builds a two-section document whose leaves are all
+// immediate (no external blocks), so an empty store serves it.
+func subtreeTestDoc(t *testing.T) *Document {
+	t.Helper()
+	root := NewPar().SetName("news")
+
+	pictures := NewSeq().SetName("pictures").
+		SetAttr("channel", ID("subtitles"))
+	for _, name := range []string{"pic-1", "pic-2"} {
+		pictures.AddChild(NewImm([]byte(name)).SetName(name).
+			SetAttr("duration", Qty(Sec(2))))
+	}
+	voice := NewImm([]byte("voice-over")).SetName("voice").
+		SetAttr("channel", ID("subtitles")).
+		SetAttr("duration", Qty(Sec(4)))
+	root.Add(pictures, voice)
+
+	doc, err := NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := NewChannelDict()
+	cd.Define(Channel{Name: "subtitles", Medium: MediumText})
+	doc.SetChannels(cd)
+	return doc
+}
+
+func durationAt(t *testing.T, d *Document, path string) units.Quantity {
+	t.Helper()
+	n, err := d.ResolvePath(path)
+	if err != nil {
+		t.Fatalf("resolve %q: %v", path, err)
+	}
+	q, ok := d.DurationOf(n)
+	if !ok {
+		t.Fatalf("%q has no duration", path)
+	}
+	return q
+}
+
+func TestSubscribeWithSubtreeFacade(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addr := startLiveServer(t, "news", subtreeTestDoc(t), NewStore())
+
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	full, err := c.Subscribe(ctx, "news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	filtered, err := c.Subscribe(ctx, "news", WithSubtree("/pictures"))
+	if err != nil {
+		t.Fatalf("Subscribe(WithSubtree): %v", err)
+	}
+	defer filtered.Close()
+
+	// The opening snapshot is the whole document: the filtered replica
+	// still resolves nodes outside its subtree.
+	if _, err := filtered.Document().ResolvePath("/voice"); err != nil {
+		t.Fatalf("filtered snapshot is not structurally complete: %v", err)
+	}
+
+	// An edit outside the subtree: both watchers advance to the same
+	// authoritative generation (the filtered one via an empty delta),
+	// but only the full replica reflects the change — a filtered
+	// replica is authoritative only within its subtree.
+	if _, err := c.SubmitEdit(ctx, "news",
+		NewEditBatch().SetAttr("/voice", "duration", attr.Quantity(units.MS(4500)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filtered.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if fg, gg := filtered.Generation(), full.Generation(); fg != gg {
+		t.Fatalf("generations diverged: filtered %d, full %d", fg, gg)
+	}
+	if got := durationAt(t, full.Document(), "/voice"); got != units.MS(4500) {
+		t.Fatalf("full replica /voice duration = %v, want 4500ms", got)
+	}
+	if got := durationAt(t, filtered.Document(), "/voice"); got != units.Sec(4) {
+		t.Fatalf("filtered replica applied a foreign record: /voice duration = %v", got)
+	}
+
+	// An edit inside the subtree reaches the filtered replica with its
+	// record, continuing exactly where the empty delta left off — no
+	// gap, no resync.
+	if _, err := c.SubmitEdit(ctx, "news",
+		NewEditBatch().SetAttr("/pictures/pic-1", "duration", attr.Quantity(units.MS(2500)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filtered.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := durationAt(t, filtered.Document(), "/pictures/pic-1"); got != units.MS(2500) {
+		t.Fatalf("filtered replica missed an in-subtree edit: pic-1 duration = %v", got)
+	}
+	if fg, gg := filtered.Generation(), full.Generation(); fg != gg {
+		t.Fatalf("generations diverged after in-subtree edit: filtered %d, full %d", fg, gg)
+	}
+	if n := filtered.Resyncs(); n != 0 {
+		t.Fatalf("filtered subscription resynced %d times; the empty-delta chain must stay contiguous", n)
+	}
+}

@@ -76,10 +76,14 @@ func main() {
 	}
 	fmt.Printf("consumer: rebuilt local store with %d blocks\n", localStore.Len())
 
-	// 4. Run the local stages for a constrained laptop.
+	// 4. Run the local stages for a constrained laptop. The run is backed
+	// by a Fetcher chain instead of a bare store: the rebuilt local store
+	// answers first, and anything it lacks falls through to the origin
+	// client — the same code would work against an edge proxy, because
+	// Client, Edge and Chain all implement cmif.Fetcher.
 	out, err := cmif.RunPipeline(ctx, localDoc,
 		cmif.WithProfile(cmif.Laptop1991),
-		cmif.WithStore(localStore),
+		cmif.WithFetcher(cmif.Chain(cmif.StoreFetcher(localStore), c)),
 		cmif.WithScreen(cmif.Screen{W: 640, H: 480}),
 		cmif.WithSpeakers(1),
 		cmif.WithDeviceJitter(cmif.UniformJitter(42, 25*time.Millisecond)),

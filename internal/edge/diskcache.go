@@ -1,0 +1,393 @@
+// Package edge implements the read-through caching proxy tier: a
+// transport.Server whose misses are filled from an upstream origin and
+// cached — blocks in a two-level (memory + disk) LRU, documents in the
+// local registry under lease of the origin's v3 change stream. Content
+// addressing makes block caching trivially safe: a block's identity is
+// the hash of its payload, so a cached block can never be stale, only
+// absent. The interesting work is document freshness, which leases.go
+// handles.
+package edge
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/media"
+)
+
+// DefaultCacheBytes is the disk LRU's byte budget when the edge is not
+// configured with one.
+const DefaultCacheBytes = 256 << 20
+
+// diskMagic heads every cached block file. The trailing version byte
+// gates format evolution: an unknown version is treated as absent and
+// deleted, never misread.
+var diskMagic = []byte("CMEB1")
+
+// blockExt and nameExt are the cache's two file kinds: content-addressed
+// block bodies and name→address index entries.
+const (
+	blockExt = ".cmb"
+	nameExt  = ".cmn"
+	tmpExt   = ".tmp"
+)
+
+// DiskCache is the edge's second-level block cache: block bodies as
+// content-addressed files, plus small index files mapping served names
+// to content addresses, with byte-budget LRU eviction. Every write goes
+// through internal/fsio's fsync-before-rename discipline, so a SIGKILL
+// mid-write can lose the entry being written but can never leave a torn
+// file that decodes — and payloads are hash-verified on read, so even a
+// corrupted file degrades to a miss, not to wrong bytes. Safe for
+// concurrent use.
+type DiskCache struct {
+	dir    string
+	budget int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // content ID → LRU element
+	names   map[string]string        // served name → content ID
+	lru     *list.List               // front = most recently used
+	bytes   int64
+
+	hits, misses, evictions int64
+}
+
+// diskEntry is one cached block's in-memory index record.
+type diskEntry struct {
+	id   string
+	size int64
+}
+
+// DiskStats snapshots the disk cache's occupancy and effectiveness.
+type DiskStats struct {
+	Blocks    int
+	Bytes     int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// OpenDiskCache opens (or creates) the cache rooted at dir with the
+// given byte budget (<=0 means DefaultCacheBytes) and rebuilds the index
+// from what survived the last process: block files are trusted by name
+// (their content is verified on first read), leftover temp files are
+// removed, and the LRU order is seeded from file modification times —
+// an approximation that only matters until real accesses re-rank the
+// survivors.
+func OpenDiskCache(dir string, budget int64) (*DiskCache, error) {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("edge: open disk cache: %w", err)
+	}
+	c := &DiskCache{
+		dir:     dir,
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		names:   make(map[string]string),
+		lru:     list.New(),
+	}
+	dents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("edge: scan disk cache: %w", err)
+	}
+	type aged struct {
+		id    string
+		size  int64
+		mtime int64
+	}
+	var blocks []aged
+	for _, de := range dents {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, tmpExt):
+			// An interrupted write; the rename never happened.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, blockExt):
+			id := strings.TrimSuffix(name, blockExt)
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			blocks = append(blocks, aged{id: id, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		case strings.HasSuffix(name, nameExt):
+			served, id, ok := readNameFile(filepath.Join(dir, name))
+			if ok {
+				c.names[served] = id
+			} else {
+				_ = os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	// Oldest first, so the LRU front ends up holding the most recently
+	// touched survivors.
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].mtime < blocks[j].mtime })
+	for _, b := range blocks {
+		c.entries[b.id] = c.lru.PushFront(&diskEntry{id: b.id, size: b.size})
+		c.bytes += b.size
+	}
+	c.mu.Lock()
+	c.evictLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Dir reports the cache's root directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// Stats snapshots occupancy and effectiveness counters.
+func (c *DiskCache) Stats() DiskStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return DiskStats{
+		Blocks:    c.lru.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// Get resolves key — a served name or a content address — against the
+// cache. A hit re-ranks the entry most-recently-used; a file that fails
+// to decode or whose payload no longer hashes to its address is removed
+// and reported as a miss.
+func (c *DiskCache) Get(key string) (*media.Block, bool) {
+	c.mu.Lock()
+	id := key
+	if mapped, ok := c.names[key]; ok {
+		id = mapped
+	}
+	el, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.mu.Unlock()
+
+	blk, err := readBlockFile(c.blockPath(id), id)
+	if err != nil {
+		c.drop(id)
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return blk, true
+}
+
+// Put caches a fetched block under its content address and records the
+// served-name alias when it differs. Both files land atomically; a
+// failure to persist is silent (the cache is best-effort — the block
+// was already served from memory).
+func (c *DiskCache) Put(servedName string, b *media.Block) {
+	if b == nil || b.ID == "" {
+		return
+	}
+	data := encodeBlockFile(b)
+	size := int64(len(data))
+	c.mu.Lock()
+	_, exists := c.entries[b.ID]
+	c.mu.Unlock()
+	if !exists {
+		if err := fsio.WriteFileNoDirSync(c.blockPath(b.ID), data, 0o644); err != nil {
+			return
+		}
+	}
+	if servedName != "" && servedName != b.ID {
+		_ = fsio.WriteFileNoDirSync(c.namePath(servedName), encodeNameFile(servedName, b.ID), 0o644)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if servedName != "" && servedName != b.ID {
+		c.names[servedName] = b.ID
+	}
+	if el, ok := c.entries[b.ID]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[b.ID] = c.lru.PushFront(&diskEntry{id: b.ID, size: size})
+	c.bytes += size
+	c.evictLocked()
+}
+
+// evictLocked trims least-recently-used block files until the byte
+// budget holds. Name index entries pointing at an evicted block resolve
+// to a miss and are cleaned lazily. Callers hold c.mu.
+func (c *DiskCache) evictLocked() {
+	for c.bytes > c.budget && c.lru.Len() > 0 {
+		el := c.lru.Back()
+		ent := el.Value.(*diskEntry)
+		c.lru.Remove(el)
+		delete(c.entries, ent.id)
+		c.bytes -= ent.size
+		c.evictions++
+		_ = os.Remove(c.blockPath(ent.id))
+	}
+}
+
+// drop removes one entry (a corrupt or unreadable file).
+func (c *DiskCache) drop(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		ent := el.Value.(*diskEntry)
+		c.lru.Remove(el)
+		delete(c.entries, id)
+		c.bytes -= ent.size
+	}
+	_ = os.Remove(c.blockPath(id))
+}
+
+func (c *DiskCache) blockPath(id string) string {
+	return filepath.Join(c.dir, id+blockExt)
+}
+
+// namePath addresses a served name's index file. Names are arbitrary
+// strings, so the filename is the hex of the name itself — reversible,
+// collision-free and filesystem-safe.
+func (c *DiskCache) namePath(name string) string {
+	return filepath.Join(c.dir, hex.EncodeToString([]byte(name))+nameExt)
+}
+
+// encodeBlockFile serializes a block for disk: magic, then
+// length-prefixed name, medium, descriptor text and payload. The content
+// address is not stored — it is the filename, and is re-derived from the
+// payload on read for verification.
+func encodeBlockFile(b *media.Block) []byte {
+	desc := descriptorText(b.Descriptor)
+	var buf []byte
+	buf = append(buf, diskMagic...)
+	for _, field := range [][]byte{[]byte(b.Name), []byte(b.Medium.String()), []byte(desc), b.Payload} {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(field)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, field...)
+	}
+	return buf
+}
+
+// readBlockFile loads and verifies one cached block: framing must parse,
+// and the payload must hash back to the content address the file is
+// named for. Anything else is an error — the caller drops the file.
+func readBlockFile(path, wantID string) (*media.Block, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(diskMagic) || string(data[:len(diskMagic)]) != string(diskMagic) {
+		return nil, fmt.Errorf("edge: cache file %s: bad magic", filepath.Base(path))
+	}
+	rest := data[len(diskMagic):]
+	fields := make([][]byte, 0, 4)
+	for i := 0; i < 4; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("edge: cache file %s: truncated", filepath.Base(path))
+		}
+		l := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < l {
+			return nil, fmt.Errorf("edge: cache file %s: truncated field", filepath.Base(path))
+		}
+		fields = append(fields, rest[:l])
+		rest = rest[l:]
+	}
+	medium, err := core.ParseMedium(string(fields[1]))
+	if err != nil {
+		return nil, fmt.Errorf("edge: cache file %s: %w", filepath.Base(path), err)
+	}
+	descs, err := parseDescriptorText(string(fields[2]))
+	if err != nil {
+		return nil, fmt.Errorf("edge: cache file %s: %w", filepath.Base(path), err)
+	}
+	blk := media.NewBlock(string(fields[0]), medium, append([]byte(nil), fields[3]...), descs)
+	if blk.ID != wantID {
+		return nil, fmt.Errorf("edge: cache file %s: payload hash mismatch", filepath.Base(path))
+	}
+	return blk, nil
+}
+
+// encodeNameFile serializes a name index entry: magic, then the served
+// name and its content address, length-prefixed.
+func encodeNameFile(name, id string) []byte {
+	var buf []byte
+	buf = append(buf, diskMagic...)
+	for _, field := range [][]byte{[]byte(name), []byte(id)} {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(field)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, field...)
+	}
+	return buf
+}
+
+// readNameFile loads one name index entry; ok is false on any damage.
+func readNameFile(path string) (name, id string, ok bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", false
+	}
+	if len(data) < len(diskMagic) || string(data[:len(diskMagic)]) != string(diskMagic) {
+		return "", "", false
+	}
+	rest := data[len(diskMagic):]
+	var fields []string
+	for i := 0; i < 2; i++ {
+		if len(rest) < 4 {
+			return "", "", false
+		}
+		l := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < l {
+			return "", "", false
+		}
+		fields = append(fields, string(rest[:l]))
+		rest = rest[l:]
+	}
+	return fields[0], fields[1], true
+}
+
+// descriptorText renders a block descriptor as an embedded CMIF
+// fragment — the same encoding the wire uses, so the codec round-trips
+// it.
+func descriptorText(l attr.List) string {
+	n := core.NewExt()
+	for _, p := range l.Pairs() {
+		n.Attrs.Set(p.Name, p.Value)
+	}
+	text, err := codec.EncodeNode(n, codec.WriteOptions{Form: codec.Embedded})
+	if err != nil {
+		return ""
+	}
+	return text
+}
+
+// parseDescriptorText decodes a descriptorText rendering.
+func parseDescriptorText(text string) (attr.List, error) {
+	if text == "" {
+		return attr.List{}, nil
+	}
+	n, err := codec.ParseNode(text)
+	if err != nil {
+		return attr.List{}, err
+	}
+	return n.Attrs, nil
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/media"
+	"repro/internal/transport"
+)
+
+// S7 — the edge tier: origin offload and tail latency when a large client
+// population reads through caching proxies instead of hammering the
+// origin directly.
+//
+// The question: with N clients fetching a shared block corpus, how much
+// origin traffic does an edge tier absorb once warm, and what does the
+// extra hop cost the tail? The direct scenario sends everyone to the
+// origin over a fixed per-server connection budget; the edge scenarios
+// split the same population across E warmed edges, each with its own
+// budget of downstream connections. Offload is measured from the edges'
+// own upstream round-trip counters over the measured window — a warm
+// tier should satisfy ~everything locally.
+
+// EdgeBenchConfig sizes the S7 run. The zero value is usable: 1000
+// clients over 1 then 4 edges, a 64-block corpus of 4 KiB payloads, 32
+// fetches per client, 16 downstream connections per server.
+type EdgeBenchConfig struct {
+	// Clients is the downstream client population; every scenario runs
+	// the same population.
+	Clients int `json:"clients"`
+	// Edges is the edge-count ladder; the direct scenario is the
+	// zero-edge baseline and always runs.
+	Edges []int `json:"edges"`
+	// Blocks and BlockBytes size the shared corpus.
+	Blocks     int `json:"blocks"`
+	BlockBytes int `json:"block_bytes"`
+	// FetchesPerClient is the measured per-client fetch count,
+	// round-robin over the corpus with a per-client offset.
+	FetchesPerClient int `json:"fetches_per_client"`
+	// ConnsPerServer is the downstream connection budget each server
+	// (origin or edge) gets; clients multiplex over it. The budget is
+	// per server, so edge scenarios scale total connectivity with the
+	// tier — exactly the deployment argument for edges.
+	ConnsPerServer int `json:"conns_per_server"`
+}
+
+func (c *EdgeBenchConfig) fillDefaults() {
+	if c.Clients <= 0 {
+		c.Clients = 1000
+	}
+	if len(c.Edges) == 0 {
+		c.Edges = []int{1, 4}
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 64
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 4 << 10
+	}
+	if c.FetchesPerClient <= 0 {
+		c.FetchesPerClient = 32
+	}
+	if c.ConnsPerServer <= 0 {
+		c.ConnsPerServer = 16
+	}
+}
+
+// EdgeBenchRow is one scenario measurement. OriginTrips counts wire
+// round trips that reached the origin during the measured window: every
+// fetch in the direct scenario, only cache misses behind edges. Offload
+// is 1 − OriginTrips/Fetches.
+type EdgeBenchRow struct {
+	Scenario      string  `json:"scenario"` // direct | edge
+	Edges         int     `json:"edges"`
+	Clients       int     `json:"clients"`
+	Fetches       int64   `json:"fetches"`
+	OriginTrips   int64   `json:"origin_round_trips"`
+	Offload       float64 `json:"offload"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Seconds       float64 `json:"seconds"`
+	FetchesPerSec float64 `json:"fetches_per_sec"`
+}
+
+// EdgeBenchReport is the S7 result set cmifbench writes to
+// BENCH_edge.json.
+type EdgeBenchReport struct {
+	Config EdgeBenchConfig `json:"config"`
+	Env    BenchEnv        `json:"env"`
+	Rows   []EdgeBenchRow  `json:"rows"`
+	// WarmOffload and EdgeP99MS are read at OffloadAtEdges — the widest
+	// tier measured; DirectP99MS is the zero-edge baseline tail.
+	WarmOffload    float64 `json:"warm_offload"`
+	OffloadAtEdges int     `json:"offload_at_edges"`
+	EdgeP99MS      float64 `json:"edge_p99_ms"`
+	DirectP99MS    float64 `json:"direct_p99_ms"`
+}
+
+// JSON renders the report for BENCH_edge.json.
+func (r *EdgeBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the experiment-table format.
+func (r *EdgeBenchReport) Table() *Table {
+	t := &Table{
+		ID:     "S7",
+		Title:  "edge tier: origin offload and tail latency",
+		Header: []string{"scenario", "edges", "clients", "fetches", "origin trips", "offload", "p50 ms", "p99 ms", "fetches/s"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scenario,
+			fmt.Sprintf("%d", row.Edges),
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Fetches),
+			fmt.Sprintf("%d", row.OriginTrips),
+			fmt.Sprintf("%.3f", row.Offload),
+			fmt.Sprintf("%.2f", row.P50MS),
+			fmt.Sprintf("%.2f", row.P99MS),
+			fmt.Sprintf("%.0f", row.FetchesPerSec),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("warm offload at %d edges: %.1f%%; edge p99 %.2fms vs direct %.2fms",
+			r.OffloadAtEdges, 100*r.WarmOffload, r.EdgeP99MS, r.DirectP99MS),
+		"expect: a warm edge tier absorbs ~all reads; the origin sees only misses")
+	return t
+}
+
+// EdgeBench runs the S7 scenarios — direct, then each edge-count — and
+// returns the measurements. The context bounds every wire operation.
+// Edge disk caches live in throwaway temp directories.
+func EdgeBench(ctx context.Context, cfg EdgeBenchConfig) (*EdgeBenchReport, error) {
+	cfg.fillDefaults()
+
+	// Corpus: deterministic synthetic image blocks, served by the origin.
+	store := media.NewStore()
+	names := make([]string, cfg.Blocks)
+	side := 1
+	for side*side < cfg.BlockBytes {
+		side++
+	}
+	for i := range names {
+		names[i] = fmt.Sprintf("edge-%04d.img", i)
+		store.Put(media.CaptureImage(names[i], side, side, uint64(i)+1))
+	}
+
+	origin := transport.NewServer(transport.NewRegistry(store))
+	addr, err := origin.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer origin.Close()
+
+	report := &EdgeBenchReport{Config: cfg, Env: CaptureBenchEnv()}
+
+	// Baseline: every client straight at the origin. Every fetch is an
+	// origin round trip by construction.
+	direct, err := runEdgeScenario(ctx, []string{addr}, names, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("edgebench direct: %w", err)
+	}
+	direct.Scenario = "direct"
+	direct.OriginTrips = direct.Fetches
+	report.Rows = append(report.Rows, direct)
+	report.DirectP99MS = direct.P99MS
+
+	for _, n := range cfg.Edges {
+		row, err := runEdgeTier(ctx, addr, names, cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("edgebench %d edges: %w", n, err)
+		}
+		report.Rows = append(report.Rows, row)
+		if n >= report.OffloadAtEdges {
+			report.OffloadAtEdges = n
+			report.WarmOffload = row.Offload
+			report.EdgeP99MS = row.P99MS
+		}
+	}
+	return report, nil
+}
+
+// runEdgeTier stands up n warmed edges over the origin and drives the
+// client population through them.
+func runEdgeTier(ctx context.Context, origin string, names []string, cfg EdgeBenchConfig, n int) (EdgeBenchRow, error) {
+	row := EdgeBenchRow{Scenario: "edge", Edges: n}
+	edges := make([]*edge.Edge, 0, n)
+	addrs := make([]string, 0, n)
+	defer func() {
+		for _, e := range edges {
+			_ = e.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "edgebench-")
+		if err != nil {
+			return row, err
+		}
+		defer os.RemoveAll(dir)
+		e, err := edge.New(edge.Config{
+			Origin:    origin,
+			CacheDir:  dir,
+			MemBlocks: len(names) + 8,
+		})
+		if err != nil {
+			return row, err
+		}
+		a, err := e.Listen("127.0.0.1:0")
+		if err != nil {
+			e.Close()
+			return row, err
+		}
+		edges = append(edges, e)
+		addrs = append(addrs, a)
+	}
+
+	// Warm every edge: one batched pass pulls the whole corpus through.
+	for _, a := range addrs {
+		c, err := transport.DialContext(ctx, a)
+		if err != nil {
+			return row, err
+		}
+		blocks, err := c.GetBlocks(ctx, names)
+		c.Close()
+		if err != nil {
+			return row, err
+		}
+		for i, b := range blocks {
+			if b == nil {
+				return row, fmt.Errorf("warm-up missed block %q", names[i])
+			}
+		}
+	}
+	var warmTrips int64
+	for _, e := range edges {
+		warmTrips += e.UpstreamRoundTrips()
+	}
+
+	measured, err := runEdgeScenario(ctx, addrs, names, cfg)
+	if err != nil {
+		return row, err
+	}
+	measured.Scenario, measured.Edges = "edge", n
+	for _, e := range edges {
+		measured.OriginTrips += e.UpstreamRoundTrips()
+	}
+	measured.OriginTrips -= warmTrips
+	if measured.Fetches > 0 {
+		measured.Offload = 1 - float64(measured.OriginTrips)/float64(measured.Fetches)
+	}
+	return measured, nil
+}
+
+// runEdgeScenario drives the whole client population against the given
+// servers: clients spread round-robin over the servers, multiplex over
+// each server's fixed connection budget, and each records per-fetch
+// latency. Returns the measured row with scenario/edges/offload left for
+// the caller.
+func runEdgeScenario(ctx context.Context, servers []string, names []string, cfg EdgeBenchConfig) (EdgeBenchRow, error) {
+	var row EdgeBenchRow
+	pools := make([][]*transport.Client, len(servers))
+	defer func() {
+		for _, pool := range pools {
+			for _, c := range pool {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	}()
+	for s, addr := range servers {
+		pools[s] = make([]*transport.Client, cfg.ConnsPerServer)
+		for i := range pools[s] {
+			c, err := transport.DialContext(ctx, addr)
+			if err != nil {
+				return row, err
+			}
+			pools[s][i] = c
+		}
+	}
+
+	lat := make([]time.Duration, cfg.Clients*cfg.FetchesPerClient)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := i % len(servers)
+			c := pools[s][(i/len(servers))%cfg.ConnsPerServer]
+			for j := 0; j < cfg.FetchesPerClient; j++ {
+				name := names[(i+j)%len(names)]
+				t0 := time.Now()
+				if _, err := c.GetBlock(ctx, name); err != nil {
+					errs[i] = fmt.Errorf("client %d fetch %q: %w", i, name, err)
+					return
+				}
+				lat[i*cfg.FetchesPerClient+j] = time.Since(t0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+
+	row.Clients = cfg.Clients
+	row.Fetches = int64(cfg.Clients) * int64(cfg.FetchesPerClient)
+	row.Seconds = elapsed.Seconds()
+	if row.Seconds > 0 {
+		row.FetchesPerSec = float64(row.Fetches) / row.Seconds
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	row.P50MS = float64(lat[(len(lat)-1)/2]) / float64(time.Millisecond)
+	row.P99MS = float64(lat[(len(lat)-1)*99/100]) / float64(time.Millisecond)
+	return row, nil
+}
+
+// LoadEdgeReport reads a BENCH_edge.json.
+func LoadEdgeReport(path string) (*EdgeBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r EdgeBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckEdgeReport validates an edge-bench report against the S7 gate.
+// The structural invariants hold anywhere: fetch arithmetic is exact, a
+// warm tier must offload ≥ 90% of reads (the warm-up is total, so misses
+// in the measured window are a correctness smell, not machine noise),
+// and offloads stay within [0, 1]. The committed reference must document
+// the deployment headline — ≥ 1000 clients behind a tier of ≥ 4 edges
+// whose p99 does not exceed the direct-to-origin p99 — and, like every
+// reference with a concurrency headline, must record GOMAXPROCS ≥ 4.
+func CheckEdgeReport(r *EdgeBenchReport, committed bool) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if len(r.Rows) == 0 {
+		return []string{"edge report has no rows"}
+	}
+	if r.Env.GoMaxProcs < 1 || r.Env.GoVersion == "" {
+		fail("edge report env not captured: %+v", r.Env)
+	}
+	if committed && r.Env.GoMaxProcs < 4 {
+		fail("committed edge report ran at GOMAXPROCS=%d; the tail-latency headline cannot be gated on a single-core record — re-record with GOMAXPROCS ≥ 4",
+			r.Env.GoMaxProcs)
+	}
+	if committed && r.Config.Clients < 1000 {
+		fail("committed edge report drove %d clients; the reference requires ≥ 1000", r.Config.Clients)
+	}
+
+	var direct *EdgeBenchRow
+	maxEdges := 0
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		want := int64(row.Clients) * int64(r.Config.FetchesPerClient)
+		if row.Fetches != want {
+			fail("%s/%d edges: %d fetches, want exactly %d clients × %d = %d",
+				row.Scenario, row.Edges, row.Fetches, row.Clients, r.Config.FetchesPerClient, want)
+		}
+		if row.Offload < 0 || row.Offload > 1 {
+			fail("%s/%d edges: offload %.3f outside [0,1]", row.Scenario, row.Edges, row.Offload)
+		}
+		if row.Seconds <= 0 || row.FetchesPerSec <= 0 {
+			fail("%s/%d edges: no measured throughput", row.Scenario, row.Edges)
+		}
+		switch row.Scenario {
+		case "direct":
+			direct = row
+			if row.OriginTrips != row.Fetches {
+				fail("direct: %d origin trips != %d fetches; the baseline bypasses nothing",
+					row.OriginTrips, row.Fetches)
+			}
+		case "edge":
+			if row.Edges > maxEdges {
+				maxEdges = row.Edges
+			}
+			if row.OriginTrips > row.Fetches {
+				fail("edge/%d: %d origin trips exceed %d fetches", row.Edges, row.OriginTrips, row.Fetches)
+			}
+			if row.Offload < 0.9 {
+				fail("edge/%d: warm offload %.3f below the 0.90 floor — a fully warmed tier leaked reads to the origin",
+					row.Edges, row.Offload)
+			}
+		default:
+			fail("unknown scenario %q", row.Scenario)
+		}
+	}
+	if direct == nil {
+		fail("missing the direct baseline row")
+	}
+	if committed && maxEdges < 4 {
+		fail("committed edge report tops out at %d edges; the reference requires a tier of ≥ 4", maxEdges)
+	}
+	if r.WarmOffload < 0.9 {
+		fail("headline warm offload %.3f below the 0.90 floor at %d edges", r.WarmOffload, r.OffloadAtEdges)
+	}
+
+	// The tail headline: reads behind the widest tier must not be slower
+	// than direct-to-origin reads. Fresh smoke runs on noisy shared
+	// runners get slack; the committed reference must show the real win.
+	if direct != nil && r.DirectP99MS > 0 {
+		maxRatio := 2.5
+		if committed {
+			maxRatio = 1.0
+		}
+		if r.EdgeP99MS > r.DirectP99MS*maxRatio {
+			fail("edge p99 %.2fms exceeds %.1fx the direct p99 %.2fms at %d edges",
+				r.EdgeP99MS, maxRatio, r.DirectP99MS, r.OffloadAtEdges)
+		}
+	}
+	return v
+}

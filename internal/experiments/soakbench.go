@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/edge"
 	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/transport"
@@ -23,9 +25,10 @@ import (
 // The soak bench (scenario S5) drives a LIVE daemon — not an in-process
 // server — with a realistic mixed workload for a sustained period: a
 // generated multi-shape corpus is loaded first, then read/fetch/query/
-// edit traffic runs against it from several connections, then a
-// deliberate overload phase floods the admission controller from many
-// more connections than it has slots for. Client-observed latency is
+// edit/subscribe/edge traffic runs against it from several connections
+// (the edge class reads through an in-process edge cache fronting the
+// daemon), then a deliberate overload phase floods the admission
+// controller from many more connections than it has slots for. Client-observed latency is
 // recorded per traffic class with p50/p99/p999 read-outs, the daemon's
 // /metrics endpoint is scraped (both Prometheus text and JSON), and the
 // report carries everything CheckSoakReport needs to enforce the SLOs:
@@ -95,9 +98,11 @@ func (c *SoakBenchConfig) fillDefaults() {
 // SoakRow aggregates one traffic class: read (single-block gets), fetch
 // (batched gets), query (document/descriptor/listing reads), edit
 // (block and document puts), subscribe (a live-document subscription
-// opened, snapshot received, closed — the v3 watch handshake), and
-// overload (the flood phase; Busy counts its ErrBusy sheds, the
-// quantiles cover only admitted requests).
+// opened, snapshot received, closed — the v3 watch handshake), edge
+// (block and document reads through an in-process edge cache fronting
+// the daemon, so a warm tier serves most of them without touching the
+// origin), and overload (the flood phase; Busy counts its ErrBusy
+// sheds, the quantiles cover only admitted requests).
 type SoakRow struct {
 	Class  string  `json:"class"`
 	Ops    int64   `json:"ops"`
@@ -229,8 +234,28 @@ func SoakBench(ctx context.Context, cfg SoakBenchConfig) (*SoakBenchReport, erro
 	report := &SoakBenchReport{Config: cfg, Env: CaptureBenchEnv()}
 	reg := metrics.NewRegistry()
 	classes := map[string]*soakClass{}
-	for _, name := range []string{"read", "fetch", "query", "edit", "subscribe", "overload"} {
+	for _, name := range []string{"read", "fetch", "query", "edit", "subscribe", "edge", "overload"} {
 		classes[name] = newSoakClass(reg, name)
+	}
+
+	// The edge class reads through an in-process edge cache fronting the
+	// daemon — the tier the deployment story puts between clients and the
+	// origin. Its disk cache is throwaway; the point is that reads
+	// through a warming tier stay within the same SLO as direct reads
+	// while the steady mix churns the origin underneath it.
+	edgeDir, err := os.MkdirTemp("", "cmifsoak-edge-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(edgeDir)
+	tier, err := edge.New(edge.Config{Origin: cfg.Addr, CacheDir: edgeDir})
+	if err != nil {
+		return nil, fmt.Errorf("soakbench: edge tier: %w", err)
+	}
+	defer tier.Close()
+	edgeAddr, err := tier.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("soakbench: edge tier: %w", err)
 	}
 
 	// --- steady phase -------------------------------------------------
@@ -243,7 +268,7 @@ func SoakBench(ctx context.Context, cfg SoakBenchConfig) (*SoakBenchReport, erro
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = soakWorker(ctx, cfg, w, deadline, blockNames, docNames, docs, classes)
+			workerErrs[w] = soakWorker(ctx, cfg, w, edgeAddr, deadline, blockNames, docNames, docs, classes)
 		}(w)
 	}
 	wg.Wait()
@@ -261,7 +286,7 @@ func SoakBench(ctx context.Context, cfg SoakBenchConfig) (*SoakBenchReport, erro
 
 	// --- report -------------------------------------------------------
 	var steadyOps int64
-	for _, name := range []string{"read", "fetch", "query", "edit", "subscribe", "overload"} {
+	for _, name := range []string{"read", "fetch", "query", "edit", "subscribe", "edge", "overload"} {
 		row := classes[name].row(name)
 		report.Rows = append(report.Rows, row)
 		if name != "overload" {
@@ -309,10 +334,10 @@ func soakPopulate(ctx context.Context, addr string, set []corpus.Named) (blockNa
 	return blockNames, docNames, docs, nil
 }
 
-// soakWorker drives one steady-phase connection with the 46/18/18/10/8
-// read/fetch/query/edit/subscribe mix until the deadline. Draws are
-// deterministic in (cfg.CorpusSeed, w).
-func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.Time,
+// soakWorker drives one steady-phase connection with the
+// 38/18/18/10/8/8 read/fetch/query/edit/subscribe/edge mix until the
+// deadline. Draws are deterministic in (cfg.CorpusSeed, w).
+func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, edgeAddr string, deadline time.Time,
 	blockNames, docNames []string, docs []*core.Document, classes map[string]*soakClass) error {
 	c, err := transport.DialContext(ctx, addrOf(cfg))
 	if err != nil {
@@ -320,6 +345,12 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 	}
 	defer c.Close()
 	c.Timeout = 5 * time.Second
+	ec, err := transport.DialContext(ctx, edgeAddr)
+	if err != nil {
+		return err
+	}
+	defer ec.Close()
+	ec.Timeout = 5 * time.Second
 
 	// A tiny deterministic generator keeps the mix reproducible without
 	// sharing a lock between workers.
@@ -336,11 +367,11 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 		roll := next() % 100
 		start := time.Now()
 		switch {
-		case roll < 46: // read: one block
+		case roll < 38: // read: one block
 			name := blockNames[next()%uint64(len(blockNames))]
 			_, err := c.GetBlock(ctx, name)
 			classes["read"].observe(start, err)
-		case roll < 64: // fetch: a batch
+		case roll < 56: // fetch: a batch
 			n := 2 + int(next()%7)
 			names := make([]string, n)
 			for i := range names {
@@ -348,7 +379,7 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 			}
 			_, err := c.GetBlocks(ctx, names)
 			classes["fetch"].observe(start, err)
-		case roll < 82: // query: listings, descriptors, documents
+		case roll < 74: // query: listings, descriptors, documents
 			switch next() % 3 {
 			case 0:
 				_, err = c.ListDocs(ctx)
@@ -364,7 +395,7 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 				_, err = c.GetDoc(ctx, name, transport.GetDocOptions{Encoding: transport.EncodingBinary})
 			}
 			classes["query"].observe(start, err)
-		case roll < 92: // edit: put a fresh block or re-register a document
+		case roll < 84: // edit: put a fresh block or re-register a document
 			if next()%2 == 0 {
 				editSeq++
 				payload := fmt.Sprintf("soak edit w%d #%d", w, editSeq)
@@ -376,7 +407,7 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 				err = c.PutDoc(ctx, docNames[i], docs[i], transport.EncodingBinary)
 			}
 			classes["edit"].observe(start, err)
-		default: // subscribe: the v3 live-document watch handshake
+		case roll < 92: // subscribe: the v3 live-document watch handshake
 			name := docNames[next()%uint64(len(docNames))]
 			sub, serr := c.SubscribeDoc(ctx, name)
 			if serr == nil {
@@ -387,6 +418,15 @@ func soakWorker(ctx context.Context, cfg SoakBenchConfig, w int, deadline time.T
 				serr = sub.Close()
 			}
 			classes["subscribe"].observe(start, serr)
+		default: // edge: a block or document read through the caching tier
+			if next()%3 == 0 {
+				name := docNames[next()%uint64(len(docNames))]
+				_, err = ec.GetDoc(ctx, name, transport.GetDocOptions{Encoding: transport.EncodingBinary})
+			} else {
+				name := blockNames[next()%uint64(len(blockNames))]
+				_, err = ec.GetBlock(ctx, name)
+			}
+			classes["edge"].observe(start, err)
 		}
 	}
 	return nil

@@ -101,7 +101,11 @@ func u64be(v uint64) []byte {
 // any goroutine (broadcast overflow, unsubscribe, teardown) and is
 // idempotent — the first reason wins.
 type subscriber struct {
-	doc      string
+	doc string
+	// subtree, when non-empty, restricts delta fan-out to change records
+	// affecting that part of the document (see recordTouches). Snapshots
+	// are always full documents.
+	subtree  string
 	q        chan subEvent
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -159,16 +163,47 @@ func (r *Registry) SubscriberCount() int {
 	return r.live.count
 }
 
+// SubscribersOf reports the live subscriptions watching the document
+// registered under name.
+func (r *Registry) SubscribersOf(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.live.subs[name])
+}
+
+// DropDoc unregisters the document under name and ends its watchers'
+// subscriptions with reason (they resynchronize by subscribing again —
+// at an edge, that re-drives the read-through load path). The dropped
+// state is forgotten, not journaled: DropDoc is cache eviction, not
+// deletion, and a durable origin never calls it. Reports whether a
+// document was registered.
+func (r *Registry) DropDoc(name, reason string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.docs[name]; !ok {
+		return false
+	}
+	delete(r.docs, name)
+	r.live.initLocked()
+	delete(r.live.enc, name)
+	delete(r.live.gens, name)
+	for sub := range r.live.subs[name] {
+		sub.end(reason)
+	}
+	return true
+}
+
 // subscribe registers a watcher on the document under name and seeds its
 // queue with the current snapshot, atomically with respect to mutations:
 // no edit can intervene between the snapshot and the registration, so
 // the first delta a subscriber observes continues exactly where its
 // snapshot left off. queueCap bounds the event queue (<=0 means the
 // default); maxSubs, when positive, bounds subscriptions server-wide.
-func (r *Registry) subscribe(name string, queueCap, maxSubs int) (*subscriber, error) {
+func (r *Registry) subscribe(name string, queueCap, maxSubs int, subtree string) (*subscriber, error) {
 	if queueCap <= 0 {
 		queueCap = defaultSubQueue
 	}
+	subtree = normalizeSubtree(subtree)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	d, ok := r.docs[name]
@@ -184,9 +219,10 @@ func (r *Registry) subscribe(name string, queueCap, maxSubs int) (*subscriber, e
 		return nil, fmt.Errorf("transport: encode snapshot of %q: %w", name, err)
 	}
 	sub := &subscriber{
-		doc:  name,
-		q:    make(chan subEvent, queueCap),
-		stop: make(chan struct{}),
+		doc:     name,
+		subtree: subtree,
+		q:       make(chan subEvent, queueCap),
+		stop:    make(chan struct{}),
 	}
 	sub.q <- subEvent{kind: changeSnapshot, toGen: r.live.gens[name], doc: data, at: time.Now()}
 	set := r.live.subs[name]
@@ -235,14 +271,98 @@ func (r *Registry) encodedLocked(name string, d *core.Document) ([]byte, error) 
 // never block: a subscriber whose queue is full is shed — its
 // subscription ends and its connection pump emits the terminal frame.
 // Callers hold r.mu, so subscribers observe events in mutation order.
-func (r *Registry) broadcastLocked(name string, ev subEvent) {
+// For delta events, recs carries the batch's decoded records so
+// subtree-filtered subscribers receive only the records touching their
+// subtree; the filtered encoding is computed at most once per distinct
+// subtree per broadcast. Filtered deltas keep the authoritative
+// fromGen/toGen — generations count server-side mutations, not delivered
+// records — so a delta carrying zero relevant records still advances the
+// watcher's generation and the contiguity contract holds.
+func (r *Registry) broadcastLocked(name string, ev subEvent, recs []core.ChangeRecord) {
+	var filtered map[string][]byte
 	for sub := range r.live.subs[name] {
+		out := ev
+		if ev.kind == changeDelta && sub.subtree != "" {
+			enc, ok := filtered[sub.subtree]
+			if !ok {
+				enc = core.EncodeChangeRecords(filterRecords(recs, sub.subtree))
+				if filtered == nil {
+					filtered = make(map[string][]byte, 1)
+				}
+				filtered[sub.subtree] = enc
+			}
+			out.recs = enc
+		}
 		select {
-		case sub.q <- ev:
+		case sub.q <- out:
 		default:
 			sub.end(shedSubSlow)
 		}
 	}
+}
+
+// normalizeSubtree canonicalizes a subscription's subtree filter: "" and
+// "/" mean the whole document (no filter), and trailing slashes are
+// insignificant.
+func normalizeSubtree(subtree string) string {
+	for len(subtree) > 1 && subtree[len(subtree)-1] == '/' {
+		subtree = subtree[:len(subtree)-1]
+	}
+	if subtree == "/" {
+		return ""
+	}
+	return subtree
+}
+
+// filterRecords keeps the records of one edit batch that affect the
+// subtree rooted at the absolute path subtree.
+func filterRecords(recs []core.ChangeRecord, subtree string) []core.ChangeRecord {
+	out := make([]core.ChangeRecord, 0, len(recs))
+	for _, rec := range recs {
+		if recordTouches(rec, subtree) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// recordTouches reports whether one change record is relevant to a
+// watcher of subtree: its pre-edit path or its destination parent lies
+// inside the subtree, is the subtree root itself, or sits on the
+// ancestor chain above it (removing, moving or re-attributing an
+// ancestor affects everything below it). A record carrying neither path
+// is delivered — never silently dropped on a shape the filter does not
+// understand. Paths are matched textually, so positional ("#i")
+// components match exactly as the submitter spelled them; watchers of
+// positionally-addressed subtrees should expect conservative delivery,
+// and a replica filtered this way is authoritative only within its
+// subtree.
+func recordTouches(rec core.ChangeRecord, subtree string) bool {
+	if rec.Path == "" && rec.Dest == "" {
+		return true
+	}
+	if rec.Path != "" && pathTouches(rec.Path, subtree) {
+		return true
+	}
+	return rec.Dest != "" && pathTouches(rec.Dest, subtree)
+}
+
+// pathTouches reports whether the node at absolute path p is the subtree
+// root, inside the subtree, or an ancestor of it. Both paths are
+// slash-separated; component boundaries are respected ("/ab" is not
+// inside "/a").
+func pathTouches(p, subtree string) bool {
+	p = normalizeSubtree(p)
+	if p == "" || subtree == "" || p == subtree {
+		return true
+	}
+	if len(p) > len(subtree) && p[:len(subtree)] == subtree && p[len(subtree)] == '/' {
+		return true // p inside the subtree
+	}
+	if len(subtree) > len(p) && subtree[:len(p)] == p && subtree[len(p)] == '/' {
+		return true // p an ancestor of the subtree root
+	}
+	return false
 }
 
 // EditDoc applies an ordered edit batch to the document registered under
@@ -285,7 +405,7 @@ func (r *Registry) EditDoc(name string, recs []core.ChangeRecord) (uint64, error
 			toGen:   to,
 			recs:    core.EncodeChangeRecords(recs),
 			at:      time.Now(),
-		})
+		}, recs)
 	}
 	return to, nil
 }
@@ -295,9 +415,15 @@ func (r *Registry) EditDoc(name string, recs []core.ChangeRecord) (uint64, error
 // log) and watchers receive a new snapshot. Called by PutDoc with r.mu
 // held, after the durability hook.
 func (r *Registry) notePutDocLocked(name string, d *core.Document) {
+	r.notePutDocAtLocked(name, d, 0)
+}
+
+// notePutDocAtLocked is notePutDocLocked with an explicit generation
+// baseline (see PutDocAt).
+func (r *Registry) notePutDocAtLocked(name string, d *core.Document, gen uint64) {
 	r.live.initLocked()
 	delete(r.live.enc, name)
-	r.live.gens[name] = 0
+	r.live.gens[name] = gen
 	if len(r.live.subs[name]) == 0 {
 		return
 	}
@@ -311,5 +437,23 @@ func (r *Registry) notePutDocLocked(name string, d *core.Document) {
 		}
 		return
 	}
-	r.broadcastLocked(name, subEvent{kind: changeSnapshot, toGen: 0, doc: data, at: time.Now()})
+	r.broadcastLocked(name, subEvent{kind: changeSnapshot, toGen: gen, doc: data, at: time.Now()}, nil)
+}
+
+// PutDocAt registers a document under name with an explicit generation
+// baseline instead of the zero a wholesale PutDoc establishes. A proxy
+// replicating an upstream document registers the snapshot at the
+// upstream's authoritative generation, so its own subscribers observe
+// the same generation numbers the origin assigns — a writer can
+// correlate the generation a forwarded edit returned with the deltas its
+// subscription through the proxy delivers.
+func (r *Registry) PutDocAt(name string, d *core.Document, gen uint64) {
+	clone := d.Clone()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.docs[name] = clone
+	if r.OnPutDoc != nil {
+		r.OnPutDoc(name, clone)
+	}
+	r.notePutDocAtLocked(name, clone, gen)
 }

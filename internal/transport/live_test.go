@@ -140,7 +140,7 @@ func TestHubShedSlowSubscriber(t *testing.T) {
 	reg := NewRegistry(store)
 	reg.PutDoc("news", d)
 
-	sub, err := reg.subscribe("news", 2, 0)
+	sub, err := reg.subscribe("news", 2, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,6 +145,14 @@ type Server struct {
 	// in-flight and queue gauges, busy rejections and descriptor-cache
 	// effectiveness (NewServerMetrics). Set before Listen.
 	Metrics *ServerMetrics
+	// Loader, when non-nil, turns the server into a read-through proxy:
+	// document and block lookups that miss the local registry consult the
+	// loader (which typically fetches from an upstream origin and caches),
+	// and mutations — document registrations, block puts, edit batches —
+	// are forwarded upstream instead of applied locally, so the origin
+	// stays the single writer and mutations flow back down through the
+	// proxy's upstream subscriptions. Set before Listen.
+	Loader Loader
 
 	// testOpDelay, when non-nil, stalls request handling — a test hook
 	// for exercising backpressure deterministically.
@@ -169,6 +177,31 @@ type Server struct {
 // NewServer returns a server over reg.
 func NewServer(reg *Registry) *Server {
 	return &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+}
+
+// Loader is the read-through seam an edge cache implements (see
+// Server.Loader). Load methods run on request-handler goroutines and
+// may block on upstream round trips; Forward methods relay mutations to
+// the authority and return its verdict.
+type Loader interface {
+	// LoadDoc materializes the document registered upstream under name
+	// into the server's registry (typically by subscribing upstream, so
+	// later mutations stream down as deltas) and reports whether it
+	// exists. A false return answers the client's request with not-found.
+	LoadDoc(name string) bool
+	// LoadBlock fetches a block the local store misses, by name or
+	// content address. The implementation caches what it returns.
+	LoadBlock(name string) (*media.Block, bool)
+	// ForwardPutDoc relays a wholesale document registration upstream.
+	ForwardPutDoc(name string, d *core.Document) error
+	// ForwardPutBlock relays a block put upstream, returning the content
+	// address the authority assigned.
+	ForwardPutBlock(b *media.Block) (string, error)
+	// ForwardEdit relays an edit batch upstream, returning the new
+	// authoritative generation.
+	ForwardEdit(name string, recs []core.ChangeRecord) (uint64, error)
+	// ListDocs names the documents the authority offers.
+	ListDocs() ([]string, error)
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns the
@@ -678,13 +711,17 @@ func (s *Server) handleSubscribe(cc *v2conn, req frameV2, release func()) {
 			parts: [][]byte{[]byte("subscribe: requires protocol v3")}, done: release}
 		return
 	}
-	if len(req.parts) != 1 {
+	if len(req.parts) != 1 && len(req.parts) != 2 {
 		respCh <- frameV2{op: opErr, id: req.id,
-			parts: [][]byte{[]byte("subscribe: want [name]")}, done: release}
+			parts: [][]byte{[]byte("subscribe: want [name] or [name, subtree]")}, done: release}
 		return
 	}
 	name := string(req.parts[0])
-	sub, err := s.reg.subscribe(name, s.SubQueueCap, s.Admission.MaxSubscribers)
+	subtree := ""
+	if len(req.parts) == 2 {
+		subtree = string(req.parts[1])
+	}
+	sub, err := s.subscribeDoc(name, subtree)
 	switch {
 	case errors.Is(err, errUnknownDoc):
 		respCh <- frameV2{op: opErrNotFound, id: req.id,
@@ -829,6 +866,9 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		}
 		name := string(req.parts[0])
 		doc, ok := s.reg.GetDoc(name)
+		if !ok && s.Loader != nil && s.Loader.LoadDoc(name) {
+			doc, ok = s.reg.GetDoc(name)
+		}
 		if !ok {
 			return notFound("getdoc: no document %q", name)
 		}
@@ -852,6 +892,15 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		if err != nil {
 			return fail("putdoc: %v", err)
 		}
+		if s.Loader != nil {
+			// A proxy never registers documents itself: the origin is the
+			// single writer, and its accepted registration streams back
+			// down through the proxy's upstream subscription.
+			if err := s.Loader.ForwardPutDoc(string(req.parts[0]), doc); err != nil {
+				return fail("putdoc: upstream: %v", err)
+			}
+			return opOK, nil
+		}
 		// Absorb any inlined payloads into the local store.
 		extracted, err := Extract(doc, s.reg.Store)
 		if err != nil {
@@ -871,6 +920,18 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			return fail("submitedit: %v", err)
 		}
 		name := string(req.parts[0])
+		if s.Loader != nil {
+			gen, err := s.Loader.ForwardEdit(name, recs)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				return notFound("submitedit: no document %q", name)
+			case err != nil:
+				// A conflict's "conflict:" text survives the relay, so
+				// downstream clients still classify it as ErrConflict.
+				return fail("submitedit: %v", err)
+			}
+			return opOK, [][]byte{u64be(gen)}
+		}
 		gen, err := s.reg.EditDoc(name, recs)
 		if errors.Is(err, errUnknownDoc) {
 			return notFound("submitedit: no document %q", name)
@@ -970,12 +1031,29 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		if err != nil {
 			return fail("putblk: %v", err)
 		}
+		if s.Loader != nil {
+			id, err := s.Loader.ForwardPutBlock(blk)
+			if err != nil {
+				return fail("putblk: upstream: %v", err)
+			}
+			return opOK, [][]byte{[]byte(id)}
+		}
 		s.reg.Store.Put(blk)
 		if err := s.durabilityErr(); err != nil {
 			return fail("putblk: durability: %v", err)
 		}
 		return opOK, [][]byte{[]byte(blk.ID)}
 	case opList:
+		if s.Loader != nil {
+			if names, err := s.Loader.ListDocs(); err == nil {
+				parts := make([][]byte, len(names))
+				for i, n := range names {
+					parts[i] = []byte(n)
+				}
+				return opOK, parts
+			}
+			// Upstream unreachable: fall back to what is cached locally.
+		}
 		names := s.reg.DocNames()
 		parts := make([][]byte, len(names))
 		for i, n := range names {
@@ -998,12 +1076,31 @@ func (s *Server) durabilityErr() error {
 }
 
 // lookupBlock resolves a block by registered name first, then by content
-// address — the resolution order every block-fetch op shares.
+// address — the resolution order every block-fetch op shares. A miss
+// consults the Loader when one is attached (the edge read-through path).
 func (s *Server) lookupBlock(name string) (*media.Block, bool) {
 	if blk, ok := s.reg.Store.GetByName(name); ok {
 		return blk, true
 	}
-	return s.reg.Store.Get(name)
+	if blk, ok := s.reg.Store.Get(name); ok {
+		return blk, true
+	}
+	if s.Loader != nil {
+		return s.Loader.LoadBlock(name)
+	}
+	return nil, false
+}
+
+// subscribeDoc registers a watcher on the document under name,
+// materializing it through the Loader first when the registry misses —
+// an edge's downstream subscribers lease documents into the edge on
+// demand.
+func (s *Server) subscribeDoc(name, subtree string) (*subscriber, error) {
+	sub, err := s.reg.subscribe(name, s.SubQueueCap, s.Admission.MaxSubscribers, subtree)
+	if errors.Is(err, errUnknownDoc) && s.Loader != nil && s.Loader.LoadDoc(name) {
+		sub, err = s.reg.subscribe(name, s.SubQueueCap, s.Admission.MaxSubscribers, subtree)
+	}
+	return sub, err
 }
 
 // descriptorText returns the block's wire-encoded descriptor, memoized

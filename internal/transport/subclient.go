@@ -133,18 +133,37 @@ type DocSubscription struct {
 // connection older than protocol v3 it fails locally with
 // ErrUnsupported, leaving the connection untouched.
 func (c *Client) SubscribeDoc(ctx context.Context, name string) (*DocSubscription, error) {
+	return c.SubscribeDocSubtree(ctx, name, "")
+}
+
+// SubscribeDocSubtree is SubscribeDoc with a server-side delta filter:
+// when subtree is a non-empty absolute path ("/news/story-3"), pushed
+// deltas carry only the change records affecting that subtree or its
+// ancestor chain. The opening snapshot is still the full document, and
+// generations still advance with every server-side edit — a filtered
+// delta may carry zero records — so the contiguity contract (each
+// delta's FromGen equals the previous event's Gen) is unchanged. The
+// replica is authoritative only within the watched subtree. An empty
+// subtree (or "/") subscribes unfiltered.
+func (c *Client) SubscribeDocSubtree(ctx context.Context, name, subtree string) (*DocSubscription, error) {
 	if c.version < protoV3 {
 		return nil, fmt.Errorf("%w: subscriptions need protocol v3, negotiated v%d", ErrUnsupported, c.version)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	parts := [][]byte{[]byte(name)}
+	if subtree != "" && subtree != "/" {
+		// Omitted when unfiltered, so plain subscriptions stay
+		// byte-compatible with pre-filter servers.
+		parts = append(parts, []byte(subtree))
+	}
 	// The per-call timeout bounds only the subscribe handshake; the
 	// subscription itself lives until Close or a server-side end.
 	hctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	m := c.mux
-	id, call, err := m.beginBuf(hctx, opSubscribe, [][]byte{[]byte(name)}, subRecvBuf)
+	id, call, err := m.beginBuf(hctx, opSubscribe, parts, subRecvBuf)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,142 @@
+package transport
+
+// Subtree-filtered subscriptions (opSubscribe [name, subtree]): the
+// filter predicate tables, and the wire contract — filtered watchers
+// receive every generation (zero-record deltas for irrelevant edits), so
+// the contiguity invariant survives filtering.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPathTouchesTable(t *testing.T) {
+	cases := []struct {
+		p, subtree string
+		want       bool
+	}{
+		{"/a/b", "/a", true},        // inside
+		{"/a", "/a", true},          // the root itself
+		{"/a", "/a/b", true},        // ancestor of the subtree
+		{"/ab", "/a", false},        // component boundary respected
+		{"/a", "/ab", false},        // both directions
+		{"/x", "/a", false},         // disjoint
+		{"", "/a", true},            // empty path: conservative
+		{"/", "/a", true},           // root path normalizes to ""
+		{"/a/b/", "/a", true},       // trailing slash insignificant
+		{"/a/b/c", "/a/b", true},    // deep inside
+		{"/a/b", "/a/b/c/d", true},  // deep ancestor
+		{"/news/#2", "/news", true}, // positional components match textually
+		{"/news/#2", "/news/#3", false},
+	}
+	for _, tc := range cases {
+		if got := pathTouches(tc.p, normalizeSubtree(tc.subtree)); got != tc.want {
+			t.Errorf("pathTouches(%q, %q) = %v, want %v", tc.p, tc.subtree, got, tc.want)
+		}
+	}
+	// An unfiltered subscription (subtree "") touches everything.
+	if !pathTouches("/anything", normalizeSubtree("")) || !pathTouches("/anything", normalizeSubtree("/")) {
+		t.Error("empty subtree must match every path")
+	}
+}
+
+func TestFilterRecordsConservative(t *testing.T) {
+	recs := setDuration(t, "/intro", 100)
+	if got := filterRecords(recs, "/voice"); len(got) != 0 {
+		t.Errorf("irrelevant record survived the filter: %v", got)
+	}
+	if got := filterRecords(recs, "/intro"); len(got) != 1 {
+		t.Errorf("relevant record filtered out")
+	}
+	// A record carrying neither a path nor a destination is delivered,
+	// never silently dropped.
+	blank := []core.ChangeRecord{{}}
+	if got := filterRecords(blank, "/intro"); len(got) != 1 {
+		t.Error("pathless record must be delivered conservatively")
+	}
+}
+
+func TestSubscribeSubtreeWire(t *testing.T) {
+	addr, _ := liveServer(t, nil)
+	ctx := context.Background()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	filtered, err := c.SubscribeDocSubtree(ctx, "news", "/intro")
+	if err != nil {
+		t.Fatalf("SubscribeDocSubtree: %v", err)
+	}
+	defer filtered.Close()
+	full, err := c.SubscribeDoc(ctx, "news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if filtered.Doc == nil || filtered.Doc.Root.Name() != "news" {
+		t.Fatal("filtered subscription must still open with the full snapshot")
+	}
+
+	// An edit outside the subtree: the full watcher gets the record, the
+	// filtered watcher gets a zero-record delta with the SAME
+	// authoritative generations — the stream stays contiguous.
+	gen, err := c.SubmitEdit(ctx, "news", setDuration(t, "/voice", 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fev, err := full.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fev.Kind != SubDelta || len(fev.Records) != 1 || fev.Gen != gen {
+		t.Fatalf("full watcher: kind=%v records=%d gen=%d, want delta/1/%d", fev.Kind, len(fev.Records), fev.Gen, gen)
+	}
+	ev, err := filtered.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != SubDelta || len(ev.Records) != 0 {
+		t.Fatalf("filtered watcher: kind=%v records=%d, want an empty delta", ev.Kind, len(ev.Records))
+	}
+	if ev.FromGen != fev.FromGen || ev.Gen != fev.Gen {
+		t.Fatalf("filtered delta gens [%d,%d] diverge from authoritative [%d,%d]",
+			ev.FromGen, ev.Gen, fev.FromGen, fev.Gen)
+	}
+
+	// An edit inside the subtree reaches both, record included, and the
+	// filtered stream continues exactly where the empty delta left off.
+	gen2, err := c.SubmitEdit(ctx, "news", setDuration(t, "/intro", 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := filtered.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Kind != SubDelta || len(ev2.Records) != 1 {
+		t.Fatalf("filtered watcher missed an in-subtree edit: kind=%v records=%d", ev2.Kind, len(ev2.Records))
+	}
+	if ev2.FromGen != ev.Gen || ev2.Gen != gen2 {
+		t.Fatalf("filtered stream not contiguous: [%d,%d] after gen %d", ev2.FromGen, ev2.Gen, ev.Gen)
+	}
+	if ev2.Records[0].Path != "/intro" {
+		t.Fatalf("filtered record path %q, want /intro", ev2.Records[0].Path)
+	}
+
+	// An edit touching the subtree's ancestor chain (the root) is
+	// relevant to every watcher.
+	if _, err := c.SubmitEdit(ctx, "news", setDuration(t, "/", 900)); err != nil {
+		t.Fatal(err)
+	}
+	ev3, err := filtered.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev3.Records) != 1 {
+		t.Fatalf("ancestor edit filtered out: %d records", len(ev3.Records))
+	}
+}

@@ -41,10 +41,14 @@ const (
 	// opStreamHdr, then zero or more opStreamChunk, then opStreamEnd.
 	// Only valid after a v2 hello.
 	opGetBlkStream byte = 10
-	// opSubscribe watches a document: request [name]; the response is an
-	// open-ended sequence of opChange frames sharing the request ID — a
-	// snapshot first, then ordered deltas — until unsubscribe, shed or
-	// disconnect. Only valid after a v3 hello.
+	// opSubscribe watches a document: request [name] or [name, subtree];
+	// the response is an open-ended sequence of opChange frames sharing
+	// the request ID — a snapshot first, then ordered deltas — until
+	// unsubscribe, shed or disconnect. With the optional subtree part
+	// (an absolute node path), deltas carry only the change records
+	// affecting that subtree or its ancestors; snapshots stay whole and
+	// generations still advance per server-side edit, so filtered deltas
+	// may be empty. Only valid after a v3 hello.
 	opSubscribe byte = 11
 	// opUnsubscribe ends a subscription: request [subID(u32)] naming the
 	// opSubscribe request's ID; response opOK []. Idempotent — an already

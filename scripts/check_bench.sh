@@ -1,11 +1,11 @@
 #!/bin/sh
 # Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler),
-# S3 (wire protocol), S4 (durability) and S6 (live-document fan-out)
-# scenarios plus cmifsoak's S5 (production soak) in quick smoke mode and
-# validate both the fresh results and the committed BENCH_store.json /
-# BENCH_sched.json / BENCH_wire.json / BENCH_durable.json /
-# BENCH_soak.json / BENCH_subs.json reference files against the
-# regression invariants:
+# S3 (wire protocol), S4 (durability), S6 (live-document fan-out) and
+# S7 (edge tier) scenarios plus cmifsoak's S5 (production soak) in quick
+# smoke mode and validate both the fresh results and the committed
+# BENCH_store.json / BENCH_sched.json / BENCH_wire.json /
+# BENCH_durable.json / BENCH_soak.json / BENCH_subs.json /
+# BENCH_edge.json reference files against the regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
 #     at least 8x fewer, warm never more than cold; S3 scenarios exactly
@@ -38,7 +38,11 @@
 #     out-ran poll-refetch (≥ 5x at ≥ 1000 subscribers in the committed
 #     reference, which must also record GOMAXPROCS ≥ 4 — parallel
 #     speedup floors are meaningless on a single-core record, and the
-#     gate rejects committed files that claim otherwise).
+#     gate rejects committed files that claim otherwise);
+#   - the edge-tier invariants: warm edges offload ≥ 90% of reads from
+#     the origin, and the committed BENCH_edge.json records ≥ 1000
+#     clients behind ≥ 4 edges whose p99 does not exceed the
+#     direct-to-origin p99, at GOMAXPROCS ≥ 4.
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -52,14 +56,24 @@ fi
 mkdir -p "$BENCH_DIR"
 trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
 
-# The committed soak, sched and subs references were captured at
-# GOMAXPROCS >= 4 (their gates require it — parallel-speedup floors
-# recorded on a single core prove nothing); warn when this box cannot
-# reproduce that environment, because locally regenerated reference
-# files would then fail the gate.
+# The committed sched (S2), wire (S3), soak (S5), subs (S6) and edge
+# (S7) references carry concurrency headlines, so their gates require a
+# record captured at GOMAXPROCS >= 4 — parallel-speedup and tail-latency
+# floors recorded on a single core prove nothing. A box that cannot
+# provide that environment cannot validate (or regenerate) those
+# references, so the gate refuses to run rather than bless a result it
+# could not have measured. Print each reference's recorded BenchEnv so
+# the offending record is visible in the failure output.
 procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}"
 if [ "$procs" -lt 4 ]; then
-    echo "warning: GOMAXPROCS=$procs < 4; committed BENCH_soak.json / BENCH_sched.json / BENCH_subs.json must be (re)generated with GOMAXPROCS>=4" >&2
+    echo "error: GOMAXPROCS=$procs < 4; the S2/S3/S5/S6/S7 concurrency gates require >= 4 procs" >&2
+    for f in BENCH_sched.json BENCH_wire.json BENCH_soak.json BENCH_subs.json BENCH_edge.json; do
+        if [ -f "$f" ]; then
+            echo "$f recorded env:" >&2
+            grep -A6 '"env"' "$f" | head -7 >&2
+        fi
+    done
+    exit 1
 fi
 
 go run ./cmd/cmifbench -smoke \
@@ -68,12 +82,14 @@ go run ./cmd/cmifbench -smoke \
     -wire-out "$BENCH_DIR/BENCH_wire.json" \
     -durable-out "$BENCH_DIR/BENCH_durable.json" \
     -subs-out "$BENCH_DIR/BENCH_subs.json" \
+    -edge-out "$BENCH_DIR/BENCH_edge.json" \
     -check-store BENCH_store.json \
     -check-sched BENCH_sched.json \
     -check-wire BENCH_wire.json \
     -check-durable BENCH_durable.json \
     -check-subs BENCH_subs.json \
-    S1 S2 S3 S4 S6
+    -check-edge BENCH_edge.json \
+    S1 S2 S3 S4 S6 S7
 
 go run ./cmd/cmifsoak -smoke \
     -out "$BENCH_DIR/BENCH_soak.json" \
