@@ -4,18 +4,20 @@
 // the S2 scheduler scenarios (BENCH_sched.json), the S3 wire-protocol
 // scenarios (BENCH_wire.json), the S4 durability scenarios
 // (BENCH_durable.json), the S6 live-document subscription scenarios
-// (BENCH_subs.json) and the S7 edge-tier scenarios (BENCH_edge.json).
+// (BENCH_subs.json), the S7 edge-tier scenarios (BENCH_edge.json) and
+// the S8 cluster scenarios (BENCH_cluster.json).
 //
 // Usage:
 //
-//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6 S7]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6 S7 S8]
 //
 // Run with no experiment ids for everything; naming ids restricts the run.
-// -smoke shrinks the S1/S2/S3/S4/S6/S7 configurations to CI-sized quick
-// runs. The -check-store/-check-sched/-check-wire/-check-durable/
-// -check-subs/-check-edge flags additionally validate a committed BENCH
-// file and the fresh results against the bench-regression invariants,
-// exiting nonzero on violation (the scripts/check_bench.sh gate).
+// -smoke shrinks the S1/S2/S3/S4/S6/S7/S8 configurations to CI-sized
+// quick runs. The -check-store/-check-sched/-check-wire/-check-durable/
+// -check-subs/-check-edge/-check-cluster flags additionally validate a
+// committed BENCH file and the fresh results against the bench-regression
+// invariants, exiting nonzero on violation (the scripts/check_bench.sh
+// gate).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/cmif"
 )
@@ -59,13 +62,18 @@ func main() {
 	edgeList := flag.String("edge-list", "", "comma-separated edge counts for S7 (default 1,4)")
 	edgeFetches := flag.Int("edge-fetches", 0, "measured fetches per client in S7 (default 32)")
 
-	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6/S7 to quick CI-sized configurations")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "path for the S8 cluster-bench JSON results")
+	clusterList := flag.String("cluster-list", "", "comma-separated node counts for S8 (default 1,3,5)")
+	clusterSeconds := flag.Float64("cluster-seconds", 0, "per-scenario load window for S8 in seconds (default 3)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6/S7/S8 to quick CI-sized configurations")
 	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
 	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
 	checkWire := flag.String("check-wire", "", "committed BENCH_wire.json to validate against the regression gate")
 	checkDurable := flag.String("check-durable", "", "committed BENCH_durable.json to validate against the regression gate")
 	checkSubs := flag.String("check-subs", "", "committed BENCH_subs.json to validate against the regression gate")
 	checkEdge := flag.String("check-edge", "", "committed BENCH_edge.json to validate against the regression gate")
+	checkCluster := flag.String("check-cluster", "", "committed BENCH_cluster.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -119,6 +127,12 @@ func main() {
 	if runAll || want["S7"] {
 		if err := runEdgeBench(*edgeOut, *edgeList, *edgeClients, *edgeFetches, *smoke, *checkEdge); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S7: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S8"] {
+		if err := runClusterBench(*clusterOut, *clusterList, *clusterSeconds, *smoke, *checkCluster); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S8: %v\n", err)
 			failed++
 		}
 	}
@@ -429,6 +443,60 @@ func runEdgeBench(out, edgeList string, clients, fetches int, smoke bool, checkA
 		violations = append(violations, "fresh: "+v)
 	}
 	return reportViolations("edge", violations)
+}
+
+// runClusterBench runs the S8 cluster scenarios with the same output and
+// gating shape as S1-S7.
+func runClusterBench(out, nodeList string, seconds float64, smoke bool, checkAgainst string) error {
+	var cfg cmif.ClusterBenchConfig
+	if nodeList != "" {
+		for _, f := range strings.Split(nodeList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -cluster-list entry %q", f)
+			}
+			cfg.Nodes = append(cfg.Nodes, n)
+		}
+	}
+	if seconds > 0 {
+		cfg.Duration = time.Duration(seconds * float64(time.Second))
+	}
+	if smoke {
+		if len(cfg.Nodes) == 0 {
+			cfg.Nodes = []int{1, 3}
+		}
+		if cfg.Duration == 0 {
+			cfg.Duration = 1500 * time.Millisecond
+		}
+	}
+	report, err := cmif.RunClusterBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadClusterBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckClusterBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckClusterBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("cluster", violations)
 }
 
 func reportViolations(name string, violations []string) error {

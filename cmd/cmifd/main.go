@@ -36,52 +36,33 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
 	"repro/cmif"
+	"repro/internal/daemon"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7911", "listen address")
+	var common daemon.Flags
+	common.Register(flag.CommandLine, "127.0.0.1:7911", "server-wide")
 	news := flag.Int("news", 2, "preload the evening news with N stories (0 disables)")
-	idle := flag.Duration("idle", 2*time.Minute, "drop connections that deliver no data for this long (0 = never)")
-	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
-	maxInFlight := flag.Int("max-inflight", 0, "max pipelined requests per v2 connection (0 = default 32)")
 	maxProto := flag.Int("max-proto", 3, "newest wire protocol version to negotiate (1 forces legacy)")
 	dataDir := flag.String("data", "", "durable data directory: recover the corpus from it and write-ahead-log every mutation (empty = in-memory only)")
 	syncMode := flag.String("sync", "interval", "WAL fsync policy with -data: always, interval or never")
 	snapBytes := flag.Int64("snap-bytes", 0, "snapshot+compact once the WAL grows past this many bytes (0 = default 64 MiB, negative disables)")
-	metricsAddr := flag.String("metrics", "", "serve Prometheus/JSON metrics over HTTP at this address (empty disables)")
-	maxConcurrent := flag.Int("max-concurrent", 0, "server-wide admission bound on concurrently executing requests (0 disables admission control)")
-	maxQueue := flag.Int("max-queue", 0, "requests allowed to queue for an admission slot beyond -max-concurrent")
-	maxWait := flag.Duration("max-wait", 0, "longest a queued request may wait before it is shed (0 = default 100ms)")
-	maxSubs := flag.Int("max-subscribers", 0, "server-wide bound on live document subscriptions (0 = unlimited)")
-	subQueue := flag.Int("sub-queue", 0, "per-subscriber change queue depth before a slow watcher is shed (0 = default 64)")
 	flag.Parse()
 
 	opts := []cmif.ServeOption{
-		cmif.WithIdleTimeout(*idle),
-		cmif.WithShutdownGrace(*grace),
-		cmif.WithMaxInFlight(*maxInFlight),
+		cmif.WithIdleTimeout(common.Idle),
+		cmif.WithShutdownGrace(common.Grace),
+		cmif.WithMaxInFlight(common.MaxInFlight),
 		cmif.WithMaxProtocolVersion(*maxProto),
-		cmif.WithSubscriberQueue(*subQueue),
+		cmif.WithSubscriberQueue(common.SubQueue),
 	}
-	if *maxConcurrent > 0 || *maxSubs > 0 {
-		opts = append(opts, cmif.WithAdmission(cmif.AdmissionConfig{
-			MaxConcurrent:  *maxConcurrent,
-			MaxQueue:       *maxQueue,
-			MaxWait:        *maxWait,
-			MaxSubscribers: *maxSubs,
-		}))
+	if adm, ok := common.Admission(); ok {
+		opts = append(opts, cmif.WithAdmission(adm))
 	}
 	if *dataDir != "" {
 		policy, err := cmif.ParseSyncPolicy(*syncMode)
@@ -105,11 +86,11 @@ func main() {
 		)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := daemon.SignalContext()
 	defer stop()
 
 	s := cmif.NewServer(opts...)
-	bound, err := s.Listen(*addr)
+	bound, err := s.Listen(common.Addr)
 	if err != nil {
 		s.Close()
 		fatal(err)
@@ -119,52 +100,17 @@ func main() {
 	if *dataDir != "" {
 		fmt.Printf("cmifd: durable in %s (sync=%s)\n", *dataDir, *syncMode)
 	}
-	if *maxConcurrent > 0 {
+	if common.MaxConcurrent > 0 {
 		fmt.Printf("cmifd: admission control: %d concurrent, %d queued, %v max wait\n",
-			*maxConcurrent, *maxQueue, *maxWait)
+			common.MaxConcurrent, common.MaxQueue, common.MaxWait)
 	}
 
-	var metricsSrv *http.Server
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			s.Close()
-			fatal(fmt.Errorf("metrics listener: %w", err))
-		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", s.Metrics().Handler())
-		metricsSrv = &http.Server{Handler: mux}
-		fmt.Printf("cmifd: metrics on http://%s/metrics\n", ln.Addr())
-		go func() {
-			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "cmifd: metrics server:", err)
-			}
-		}()
-	}
-
-	err = s.Serve(ctx)
-
-	// Drain the metrics listener only after the wire server has drained:
-	// a scraper watching the shutdown sees the final request totals.
-	if metricsSrv != nil {
-		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
-		if serr := metricsSrv.Shutdown(drainCtx); serr != nil {
-			fmt.Fprintln(os.Stderr, "cmifd: metrics drain:", serr)
-		}
-		cancel()
-	}
-	for _, line := range s.Metrics().CounterTotals() {
-		fmt.Println("cmifd: final", line)
-	}
-
-	switch {
-	case err == nil:
-		fmt.Println("cmifd: drained, shutting down")
-	case errors.Is(err, context.DeadlineExceeded):
-		fmt.Fprintln(os.Stderr, "cmifd: grace period expired; remaining connections force-closed")
-	default:
-		fatal(err)
-	}
+	os.Exit(daemon.Run(ctx, s, daemon.RunConfig{
+		Name:        "cmifd",
+		Grace:       common.Grace,
+		MetricsAddr: common.Metrics,
+		Metrics:     s.Metrics(),
+	}))
 }
 
 func fatal(err error) {

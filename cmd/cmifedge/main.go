@@ -30,22 +30,18 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
 	"repro/cmif"
+	"repro/internal/daemon"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7912", "downstream listen address")
+	var common daemon.Flags
+	common.Register(flag.CommandLine, "127.0.0.1:7912", "edge-wide")
 	origin := flag.String("origin", "", "upstream origin address (required)")
 	cacheDir := flag.String("cache", "", "disk block cache directory (required)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "disk cache budget in payload bytes (0 = default 256 MiB)")
@@ -53,15 +49,6 @@ func main() {
 	pool := flag.Int("pool", 0, "upstream connection pool size (0 = default 4)")
 	upstreamTimeout := flag.Duration("upstream-timeout", 0, "per-round-trip bound toward the origin (0 = default 10s)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "idle bound before an unwatched document lease is released (0 = default 2m)")
-	idle := flag.Duration("idle", 2*time.Minute, "drop downstream connections idle for this long (0 = never)")
-	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
-	maxInFlight := flag.Int("max-inflight", 0, "max pipelined requests per downstream v2 connection (0 = default 32)")
-	metricsAddr := flag.String("metrics", "", "serve Prometheus/JSON metrics over HTTP at this address (empty disables)")
-	maxConcurrent := flag.Int("max-concurrent", 0, "edge-wide admission bound on concurrently executing requests (0 disables admission control)")
-	maxQueue := flag.Int("max-queue", 0, "requests allowed to queue for an admission slot beyond -max-concurrent")
-	maxWait := flag.Duration("max-wait", 0, "longest a queued request may wait before it is shed (0 = default 100ms)")
-	maxSubs := flag.Int("max-subscribers", 0, "edge-wide bound on live downstream subscriptions (0 = unlimited)")
-	subQueue := flag.Int("sub-queue", 0, "per-subscriber change queue depth before a slow watcher is shed (0 = default 64)")
 	flag.Parse()
 
 	if *origin == "" {
@@ -80,29 +67,24 @@ func main() {
 		cmif.WithUpstreamPool(*pool),
 		cmif.WithUpstreamTimeout(*upstreamTimeout),
 		cmif.WithLeaseTTL(*leaseTTL),
-		cmif.WithEdgeIdleTimeout(*idle),
-		cmif.WithEdgeShutdownGrace(*grace),
-		cmif.WithEdgeMaxInFlight(*maxInFlight),
-		cmif.WithEdgeSubscriberQueue(*subQueue),
+		cmif.WithEdgeIdleTimeout(common.Idle),
+		cmif.WithEdgeShutdownGrace(common.Grace),
+		cmif.WithEdgeMaxInFlight(common.MaxInFlight),
+		cmif.WithEdgeSubscriberQueue(common.SubQueue),
 		cmif.WithEdgeMetrics(metrics),
 	}
-	if *maxConcurrent > 0 || *maxSubs > 0 {
-		opts = append(opts, cmif.WithEdgeAdmission(cmif.AdmissionConfig{
-			MaxConcurrent:  *maxConcurrent,
-			MaxQueue:       *maxQueue,
-			MaxWait:        *maxWait,
-			MaxSubscribers: *maxSubs,
-		}))
+	if adm, ok := common.Admission(); ok {
+		opts = append(opts, cmif.WithEdgeAdmission(adm))
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := daemon.SignalContext()
 	defer stop()
 
 	e, err := cmif.NewEdge(opts...)
 	if err != nil {
 		fatal(err)
 	}
-	bound, err := e.Listen(*addr)
+	bound, err := e.Listen(common.Addr)
 	if err != nil {
 		e.Close()
 		fatal(err)
@@ -112,45 +94,12 @@ func main() {
 	fmt.Printf("cmifedge: disk cache %s: %d blocks, %d bytes recovered\n",
 		*cacheDir, ds.Blocks, ds.Bytes)
 
-	var metricsSrv *http.Server
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			e.Close()
-			fatal(fmt.Errorf("metrics listener: %w", err))
-		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", metrics.Handler())
-		metricsSrv = &http.Server{Handler: mux}
-		fmt.Printf("cmifedge: metrics on http://%s/metrics\n", ln.Addr())
-		go func() {
-			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "cmifedge: metrics server:", err)
-			}
-		}()
-	}
-
-	err = e.Serve(ctx)
-
-	if metricsSrv != nil {
-		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
-		if serr := metricsSrv.Shutdown(drainCtx); serr != nil {
-			fmt.Fprintln(os.Stderr, "cmifedge: metrics drain:", serr)
-		}
-		cancel()
-	}
-	for _, line := range metrics.CounterTotals() {
-		fmt.Println("cmifedge: final", line)
-	}
-
-	switch {
-	case err == nil:
-		fmt.Println("cmifedge: drained, shutting down")
-	case errors.Is(err, context.DeadlineExceeded):
-		fmt.Fprintln(os.Stderr, "cmifedge: grace period expired; remaining connections force-closed")
-	default:
-		fatal(err)
-	}
+	os.Exit(daemon.Run(ctx, e, daemon.RunConfig{
+		Name:        "cmifedge",
+		Grace:       common.Grace,
+		MetricsAddr: common.Metrics,
+		Metrics:     metrics,
+	}))
 }
 
 func fatal(err error) {

@@ -303,3 +303,36 @@ func CheckStoreBenchReport(r *StoreBenchReport, committed bool) []string {
 func CheckSchedBenchReport(r *SchedBenchReport, committed bool) []string {
 	return experiments.CheckSchedReport(r, committed)
 }
+
+// ClusterBenchConfig sizes the S8 cluster-tier scenario: a node-count
+// ladder under concurrent readers and writers, with one node killed
+// mid-load in every scenario. The zero value is usable (1/3/5 nodes, 12
+// readers, 2 writers, replication 3, a 3s window per scenario).
+type ClusterBenchConfig = experiments.ClusterBenchConfig
+
+// ClusterBenchReport is the machine-readable result set of
+// RunClusterBench; cmifbench writes it to BENCH_cluster.json.
+type ClusterBenchReport = experiments.ClusterBenchReport
+
+// RunClusterBench measures the cluster tier: acked-write survival and
+// read availability through a mid-load node kill (failover for
+// multi-node scenarios, restart-and-recover for the single node), and
+// how read throughput scales with the node count under a fixed per-node
+// capacity model.
+func RunClusterBench(ctx context.Context, cfg ClusterBenchConfig) (*ClusterBenchReport, error) {
+	return experiments.ClusterBench(ctx, cfg)
+}
+
+// LoadClusterBenchReport reads a BENCH_cluster.json report from disk.
+func LoadClusterBenchReport(path string) (*ClusterBenchReport, error) {
+	return experiments.LoadClusterReport(path)
+}
+
+// CheckClusterBenchReport validates a cluster-bench report: zero lost
+// acknowledged writes and continued reads through every kill, the
+// no-read-gap SLO, and — for the committed reference — the full
+// 1/3/5-node ladder with 3-node read throughput ≥ 2x the single node's,
+// recorded at GOMAXPROCS ≥ 4.
+func CheckClusterBenchReport(r *ClusterBenchReport, committed bool) []string {
+	return experiments.CheckClusterReport(r, committed)
+}

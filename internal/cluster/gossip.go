@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Gossip membership: every node keeps a View — a table of Member records
+// — and exchanges it with each live peer every gossip interval. A merge
+// keeps, per member, the record with the higher incarnation; within an
+// incarnation a higher heartbeat wins, and a death declaration beats any
+// heartbeat (SWIM's rule: only the member itself can refute its death,
+// by bumping its incarnation). Failure evidence comes from two sources:
+// a peer whose connections fail is marked dead directly, and a peer
+// whose heartbeat stops advancing is swept dead after SuspectAfter.
+// Small clusters (the sizes the benches run) gossip all-to-all, so
+// membership converges within one or two intervals.
+
+// MemberState is a member's liveness as gossiped.
+type MemberState byte
+
+const (
+	// StateAlive members serve reads, accept replication and count on
+	// the ring.
+	StateAlive MemberState = 0
+	// StateDead members are off the ring; their key ranges have failed
+	// over. A dead record is a tombstone — only the member itself can
+	// clear it, by rejoining with a higher incarnation.
+	StateDead MemberState = 1
+)
+
+func (s MemberState) String() string {
+	if s == StateAlive {
+		return "alive"
+	}
+	return "dead"
+}
+
+// Member is one node's gossiped record. ID and Addr coincide for the
+// daemons (the listen address is the identity); they stay separate
+// fields so an operator-assigned ID keeps working.
+type Member struct {
+	ID          string      `json:"id"`
+	Addr        string      `json:"addr"`
+	Incarnation uint64      `json:"incarnation"`
+	Heartbeat   uint64      `json:"heartbeat"`
+	State       MemberState `json:"state"`
+}
+
+// View is a node's local membership table. All methods are safe for
+// concurrent use.
+type View struct {
+	mu      sync.Mutex
+	self    string
+	members map[string]Member
+	// beatAt is the local wall-clock time each member's record last
+	// advanced (heartbeat or incarnation), for the staleness sweep.
+	beatAt map[string]time.Time
+}
+
+// NewView builds a view for the node self listening on addr, seeded with
+// peer addresses (whose real incarnations take over on first contact).
+func NewView(self, addr string, seeds []string) *View {
+	v := &View{
+		self:    self,
+		members: make(map[string]Member),
+		beatAt:  make(map[string]time.Time),
+	}
+	now := time.Now()
+	v.members[self] = Member{ID: self, Addr: addr, Incarnation: 1, Heartbeat: 1, State: StateAlive}
+	v.beatAt[self] = now
+	for _, s := range seeds {
+		if s == "" || s == self {
+			continue
+		}
+		if _, ok := v.members[s]; !ok {
+			v.members[s] = Member{ID: s, Addr: s, State: StateAlive}
+			v.beatAt[s] = now
+		}
+	}
+	return v
+}
+
+// SelfID returns the local node's ID.
+func (v *View) SelfID() string { return v.self }
+
+// Tick advances the local heartbeat.
+func (v *View) Tick() {
+	v.mu.Lock()
+	m := v.members[v.self]
+	m.Heartbeat++
+	v.members[v.self] = m
+	v.beatAt[v.self] = time.Now()
+	v.mu.Unlock()
+}
+
+// Encode serializes the view for a gossip exchange: the member list,
+// sorted by ID, as JSON (a low-rate control path — a handful of records
+// per interval).
+func (v *View) Encode() []byte {
+	data, _ := json.Marshal(v.Members())
+	return data
+}
+
+// DecodeMembers parses an encoded view.
+func DecodeMembers(data []byte) ([]Member, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var ms []Member
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return nil, fmt.Errorf("cluster: bad gossip view: %w", err)
+	}
+	return ms, nil
+}
+
+// Merge folds a peer's encoded view into this one and reports whether
+// anything changed. A death declared for self at our incarnation (or
+// later) is refuted by bumping our incarnation — the rejoin path.
+func (v *View) Merge(data []byte) (changed bool, err error) {
+	ms, err := DecodeMembers(data)
+	if err != nil {
+		return false, err
+	}
+	now := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, m := range ms {
+		if m.ID == "" {
+			continue
+		}
+		if m.ID == v.self {
+			self := v.members[v.self]
+			if m.State == StateDead && m.Incarnation >= self.Incarnation {
+				self.Incarnation = m.Incarnation + 1
+				self.State = StateAlive
+				v.members[v.self] = self
+				v.beatAt[v.self] = now
+				changed = true
+			}
+			continue
+		}
+		local, ok := v.members[m.ID]
+		adopt := false
+		switch {
+		case !ok:
+			adopt = true
+		case m.Incarnation > local.Incarnation:
+			adopt = true
+		case m.Incarnation == local.Incarnation:
+			if m.State == StateDead && local.State == StateAlive {
+				adopt = true
+			} else if m.State == local.State && m.Heartbeat > local.Heartbeat {
+				adopt = true
+			}
+		}
+		if adopt {
+			v.members[m.ID] = m
+			v.beatAt[m.ID] = now
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// MarkDead records direct failure evidence (a refused or broken
+// connection) for a member, at its current incarnation. Marking self is
+// ignored. Reports whether the member was alive.
+func (v *View) MarkDead(id string) bool {
+	if id == v.self {
+		return false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m, ok := v.members[id]
+	if !ok || m.State == StateDead {
+		return false
+	}
+	m.State = StateDead
+	v.members[id] = m
+	return true
+}
+
+// SweepStale marks alive peers whose records have not advanced within
+// maxAge as dead, and reports how many it condemned.
+func (v *View) SweepStale(maxAge time.Duration) int {
+	cutoff := time.Now().Add(-maxAge)
+	n := 0
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for id, m := range v.members {
+		if id == v.self || m.State != StateAlive {
+			continue
+		}
+		if at, ok := v.beatAt[id]; ok && at.Before(cutoff) {
+			m.State = StateDead
+			v.members[id] = m
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns every record, sorted by ID.
+func (v *View) Members() []Member {
+	v.mu.Lock()
+	ms := make([]Member, 0, len(v.members))
+	for _, m := range v.members {
+		ms = append(ms, m)
+	}
+	v.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	return ms
+}
+
+// Alive returns the IDs of alive members (self included), sorted — the
+// ring's input.
+func (v *View) Alive() []string {
+	v.mu.Lock()
+	ids := make([]string, 0, len(v.members))
+	for id, m := range v.members {
+		if m.State == StateAlive {
+			ids = append(ids, id)
+		}
+	}
+	v.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// AliveAddr returns the address of an alive member, "" if unknown or
+// dead.
+func (v *View) AliveAddr(id string) string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m, ok := v.members[id]
+	if !ok || m.State != StateAlive {
+		return ""
+	}
+	return m.Addr
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func member(v *View, id string) (Member, bool) {
+	for _, m := range v.Members() {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+func TestGossipMergeRules(t *testing.T) {
+	a := NewView("a", "a", []string{"b"})
+	b := NewView("b", "b", nil)
+
+	// First contact: b's real record (incarnation 1) replaces a's seed
+	// stub (incarnation 0).
+	if _, err := a.Merge(b.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	mb, ok := member(a, "b")
+	if !ok || mb.Incarnation != 1 || mb.State != StateAlive {
+		t.Fatalf("after first contact, b = %+v", mb)
+	}
+
+	// Heartbeat advance within an incarnation wins; regression loses.
+	b.Tick()
+	b.Tick()
+	if _, err := a.Merge(b.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	mb, _ = member(a, "b")
+	if mb.Heartbeat != 3 {
+		t.Fatalf("heartbeat = %d, want 3", mb.Heartbeat)
+	}
+	stale := NewView("b", "b", nil) // heartbeat 1 again
+	if changed, _ := a.Merge(stale.Encode()); changed {
+		t.Fatal("stale heartbeat overwrote a newer record")
+	}
+
+	// A death declaration beats any heartbeat at the same incarnation.
+	if !a.MarkDead("b") {
+		t.Fatal("MarkDead reported no change")
+	}
+	b.Tick()
+	if _, err := a.Merge(b.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if mb, _ = member(a, "b"); mb.State != StateDead {
+		t.Fatal("heartbeat resurrected a condemned member")
+	}
+
+	// Only the member itself refutes its death: merging a's view into b
+	// bumps b's incarnation, and that higher incarnation resurrects it
+	// everywhere.
+	if _, err := b.Merge(a.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	self, _ := member(b, "b")
+	if self.State != StateAlive || self.Incarnation != 2 {
+		t.Fatalf("refutation: self = %+v", self)
+	}
+	if _, err := a.Merge(b.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if mb, _ = member(a, "b"); mb.State != StateAlive || mb.Incarnation != 2 {
+		t.Fatalf("rejoin did not propagate: %+v", mb)
+	}
+}
+
+func TestGossipSweepStale(t *testing.T) {
+	a := NewView("a", "a", []string{"b", "c"})
+	time.Sleep(5 * time.Millisecond)
+	if n := a.SweepStale(time.Millisecond); n != 2 {
+		t.Fatalf("swept %d, want 2", n)
+	}
+	if ids := a.Alive(); len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("alive after sweep = %v", ids)
+	}
+	// Self is never swept.
+	time.Sleep(5 * time.Millisecond)
+	if n := a.SweepStale(time.Millisecond); n != 0 {
+		t.Fatalf("second sweep condemned %d more", n)
+	}
+}
+
+func TestGossipBadViewRejected(t *testing.T) {
+	a := NewView("a", "a", nil)
+	if _, err := a.Merge([]byte("{not json")); err == nil {
+		t.Fatal("bad view accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+type fakeServer struct {
+	err    error
+	closed bool
+}
+
+func (f *fakeServer) Serve(ctx context.Context) error {
+	<-ctx.Done()
+	return f.err
+}
+
+func (f *fakeServer) Close() error {
+	f.closed = true
+	return nil
+}
+
+func TestFlagsRegisterAndAdmission(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs, "127.0.0.1:7999", "test-wide")
+	err := fs.Parse([]string{
+		"-addr", "10.0.0.1:80", "-idle", "30s", "-grace", "1s",
+		"-max-concurrent", "8", "-max-queue", "16", "-max-wait", "50ms",
+		"-max-subscribers", "4", "-sub-queue", "9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != "10.0.0.1:80" || f.Idle != 30*time.Second || f.Grace != time.Second {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+	adm, ok := f.Admission()
+	if !ok {
+		t.Fatal("admission bounds requested but not reported")
+	}
+	if adm.MaxConcurrent != 8 || adm.MaxQueue != 16 || adm.MaxWait != 50*time.Millisecond || adm.MaxSubscribers != 4 {
+		t.Fatalf("admission = %+v", adm)
+	}
+
+	var off Flags
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	off.Register(fs2, "x", "test-wide")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := off.Admission(); ok {
+		t.Fatal("admission reported enabled with no bounds set")
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &fakeServer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- Run(ctx, srv, RunConfig{Name: "testd", Grace: time.Second, Metrics: reg})
+	}()
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("clean drain exited %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// An expired grace period is an orderly (if noisy) shutdown.
+	if code := Run(ctx, &fakeServer{err: context.DeadlineExceeded}, RunConfig{Name: "testd", Metrics: reg}); code != 0 {
+		t.Fatalf("grace expiry exited %d, want 0", code)
+	}
+	// Any other serve error is a failure.
+	if code := Run(ctx, &fakeServer{err: errors.New("bind lost")}, RunConfig{Name: "testd", Metrics: reg}); code != 1 {
+		t.Fatalf("serve error exited %d, want 1", code)
+	}
+}

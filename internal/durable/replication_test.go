@@ -1,0 +1,323 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/media"
+)
+
+// shipAll drains a source log's full state through ResyncChunk with a
+// deliberately tiny chunk budget, applying each chunk to the target —
+// the rejoin path, end to end.
+func shipAll(t *testing.T, src, dst *Log, maxBytes int) {
+	t.Helper()
+	cursor := ""
+	for rounds := 0; ; rounds++ {
+		if rounds > 10_000 {
+			t.Fatal("resync did not terminate")
+		}
+		frames, next, err := src.ResyncChunk(cursor, maxBytes)
+		if err != nil {
+			t.Fatalf("ResyncChunk(%q): %v", cursor, err)
+		}
+		if len(frames) > 0 {
+			if _, _, err := dst.AppendFrames(frames); err != nil {
+				t.Fatalf("AppendFrames: %v", err)
+			}
+		}
+		if next == "" {
+			return
+		}
+		cursor = next
+	}
+}
+
+// compareStates asserts two states hold the same documents, blocks,
+// names and descriptors.
+func compareStates(t *testing.T, got, want *State) {
+	t.Helper()
+	if len(got.Docs) != len(want.Docs) {
+		t.Fatalf("docs: got %d, want %d", len(got.Docs), len(want.Docs))
+	}
+	for name, wd := range want.Docs {
+		gd, ok := got.Docs[name]
+		if !ok {
+			t.Fatalf("doc %q missing", name)
+		}
+		wb, err := codec.EncodeBinary(wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := codec.EncodeBinary(gd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("doc %q differs", name)
+		}
+	}
+	if got.Store.Len() != want.Store.Len() {
+		t.Fatalf("blocks: got %d, want %d", got.Store.Len(), want.Store.Len())
+	}
+	want.Store.Each(func(b *media.Block) bool {
+		gb, ok := got.Store.Get(b.ID)
+		if !ok {
+			t.Fatalf("block %s missing", b.ID)
+			return false
+		}
+		if !bytes.Equal(gb.Payload, b.Payload) {
+			t.Fatalf("block %s payload differs", b.ID)
+		}
+		return true
+	})
+	wantNames := want.Store.Names()
+	for _, name := range wantNames {
+		wid, _ := want.Store.Resolve(name)
+		gid, ok := got.Store.Resolve(name)
+		if !ok || gid != wid {
+			t.Fatalf("name %q: got %q (%v), want %q", name, gid, ok, wid)
+		}
+	}
+	if gl, wl := len(got.Store.Names()), len(wantNames); gl != wl {
+		t.Fatalf("names: got %d, want %d", gl, wl)
+	}
+	wantIDs := want.DB.IDs()
+	if gl, wl := len(got.DB.IDs()), len(wantIDs); gl != wl {
+		t.Fatalf("descriptors: got %d, want %d", gl, wl)
+	}
+	for _, id := range wantIDs {
+		if _, ok := got.DB.Get(id); !ok {
+			t.Fatalf("descriptor %q missing", id)
+		}
+	}
+}
+
+func TestFrameHelpersRoundTrip(t *testing.T) {
+	doc := testDoc(t, "frame")
+	data, err := codec.EncodeBinary(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := media.CaptureText("frame.txt", "framed body", "en")
+	bf, err := FramePutBlock(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream = append(stream, FramePutDoc("frame", data)...)
+	stream = append(stream, bf...)
+	stream = append(stream, FrameRegisterName("frame.txt", blk.ID)...)
+	stream = append(stream, FrameDelDoc("frame")...)
+	stream = append(stream, FrameDelBlock(blk.ID)...)
+	stream = append(stream, FrameDelDescriptor("d1")...)
+
+	recs, err := DecodeFrames(stream)
+	if err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	wantOps := []byte{RecPutDoc, RecPutBlk, RecName, RecDelDoc, RecDelBlk, RecDelDesc}
+	if len(recs) != len(wantOps) {
+		t.Fatalf("got %d records, want %d", len(recs), len(wantOps))
+	}
+	for i, r := range recs {
+		if r.Op != wantOps[i] {
+			t.Fatalf("record %d: op %d, want %d", i, r.Op, wantOps[i])
+		}
+	}
+	if got := string(recs[0].Fields[0]); got != "frame" {
+		t.Fatalf("putdoc key: %q", got)
+	}
+	if got := string(recs[1].Fields[0]); got != blk.ID {
+		t.Fatalf("putblk key: %q, want %q", got, blk.ID)
+	}
+}
+
+func TestDecodeFramesRejectsCorruption(t *testing.T) {
+	frame := FramePutDoc("x", []byte("not-a-doc"))
+	// Flip one payload byte: checksum must catch it.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := DecodeFrames(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt payload: err = %v, want ErrCorrupt", err)
+	}
+	// Truncated payload.
+	if _, err := DecodeFrames(frame[:len(frame)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendFramesAppliesAndSurvivesRecovery(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, srcSt := mustOpen(t, srcDir, Options{Sync: SyncNever})
+	populate(t, src, srcSt)
+
+	// Replica log: journal NOT attached (AppendFrames applies directly).
+	dst, dstSt, err := Open(dstDir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, src, dst, 256) // tiny chunks: many cursor resumptions
+	compareStates(t, dstSt, srcSt)
+
+	// A doc put on the replica via frames must be visible and durable.
+	doc := testDoc(t, "repl")
+	data, err := codec.EncodeBinary(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putDocs, delDocs, err := dst.AppendFrames(FramePutDoc("repl", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(putDocs) != 1 || putDocs[0] != "repl" || len(delDocs) != 0 {
+		t.Fatalf("putDocs=%v delDocs=%v", putDocs, delDocs)
+	}
+
+	if err := dst.Close(); err != nil {
+		t.Fatalf("close replica: %v", err)
+	}
+	// The replica's directory must recover exactly what was shipped —
+	// replication replays through the same path as crash recovery.
+	re, reSt, err := Open(dstDir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("reopen replica: %v", err)
+	}
+	defer re.Close()
+	if _, ok := reSt.Docs["repl"]; !ok {
+		t.Fatal("replicated doc lost on recovery")
+	}
+	// Mirror the extra put on the source, then the two must match again.
+	if err := src.PutDoc("repl", doc); err != nil {
+		t.Fatal(err)
+	}
+	compareStates(t, reSt, srcSt)
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendFramesDedupes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	doc := testDoc(t, "dedupe")
+	data, err := codec.EncodeBinary(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := media.CaptureText("dd.txt", "dedupe body", "en")
+	bf, err := FramePutBlock(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte(nil), FramePutDoc("dd", data)...), bf...)
+	stream = append(stream, FrameRegisterName("dd.txt", blk.ID)...)
+
+	if _, _, err := l.AppendFrames(stream); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats().Records
+	if before != 3 {
+		t.Fatalf("first batch appended %d records, want 3", before)
+	}
+	putDocs, _, err := l.AppendFrames(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(putDocs) != 0 {
+		t.Fatalf("re-put reported changed docs: %v", putDocs)
+	}
+	if after := l.Stats().Records; after != before {
+		t.Fatalf("idempotent re-send appended %d records", after-before)
+	}
+}
+
+func TestAppendFramesRejectsBadBatchAtomically(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	doc := testDoc(t, "atomic")
+	data, err := codec.EncodeBinary(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid putdoc followed by a record that decodes but cannot apply
+	// (putdoc whose document bytes are garbage): nothing may append.
+	stream := append([]byte(nil), FramePutDoc("ok", data)...)
+	stream = append(stream, FramePutDoc("bad", []byte("garbage"))...)
+	if _, _, err := l.AppendFrames(stream); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if n := l.Stats().Records; n != 0 {
+		t.Fatalf("bad batch appended %d records", n)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("bad batch stuck the log: %v", err)
+	}
+	// The log must still accept a good batch afterwards.
+	if _, _, err := l.AppendFrames(FramePutDoc("ok", data)); err != nil {
+		t.Fatalf("log unusable after rejected batch: %v", err)
+	}
+}
+
+func TestResyncChunkCursorIsKeyed(t *testing.T) {
+	dir := t.TempDir()
+	l, st := mustOpen(t, dir, Options{Sync: SyncNever})
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		if err := l.PutDoc(fmt.Sprintf("doc-%d", i), testDoc(t, fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = st
+
+	frames, next, err := l.ResyncChunk("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == "" {
+		t.Fatal("one-byte budget drained everything at once")
+	}
+	recs, err := DecodeFrames(frames)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("chunk: %d records, err %v", len(recs), err)
+	}
+	// Deleting the already-shipped key must not derail resumption.
+	if err := l.DelDoc(string(recs[0].Fields[0])); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	cursor := next
+	for cursor != "" {
+		frames, cursor, err = l.ResyncChunk(cursor, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := DecodeFrames(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Op == RecPutDoc {
+				seen[string(r.Fields[0])] = true
+			}
+		}
+	}
+	for i := 1; i < 6; i++ {
+		if !seen[fmt.Sprintf("doc-%d", i)] {
+			t.Fatalf("doc-%d not shipped after churn", i)
+		}
+	}
+}

@@ -1,0 +1,641 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// S8 — the cluster tier: replicated, consistent-hash-sharded serving
+// under node loss.
+//
+// The question: does a cluster of cmifd-class nodes deliver the two
+// promises that justify running more than one — no acknowledged write is
+// ever lost when a node dies, and read capacity grows with the node
+// count? Each scenario runs N nodes with a fixed per-node capacity model
+// (admission slots × synthetic service time, so capacity is a property
+// of the node, not of the host's core count), drives concurrent writers
+// and readers against the whole membership, and kills one node
+// mid-load. Multi-node scenarios must fail over — reads and writes keep
+// succeeding against the survivors, and every acknowledged write is
+// still served. The single-node scenario restarts the killed node on its
+// data directory — the downtime is visible as a read gap, and recovery
+// must restore every acknowledged write. Read throughput is measured
+// over the pre-kill window, where every scenario offers the same load to
+// a healthy cluster.
+
+// ClusterBenchConfig sizes the S8 run. The zero value is usable: a
+// 1/3/5-node ladder, 12 readers, 2 writers, replication 3, a 3-second
+// load window per scenario, and a 2ms × 4-slot per-node capacity model.
+type ClusterBenchConfig struct {
+	// Nodes is the cluster-size ladder; every scenario kills one node
+	// mid-load. Size 1 restarts it (durability); larger sizes leave it
+	// dead (failover).
+	Nodes []int `json:"nodes"`
+	// Readers and Writers are the concurrent client populations, spread
+	// round-robin over the membership. The populations are fixed across
+	// scenarios, so throughput differences come from the serving tier.
+	Readers int `json:"readers"`
+	Writers int `json:"writers"`
+	// Replication is how many nodes each document lands on.
+	Replication int `json:"replication"`
+	// Duration is the per-scenario load window; the kill lands a third
+	// of the way in.
+	Duration time.Duration `json:"duration_ns"`
+	// ServiceDelay and MaxConcurrent form the per-node capacity model:
+	// each admitted request holds one of MaxConcurrent slots for at
+	// least ServiceDelay, so a node serves at most
+	// MaxConcurrent/ServiceDelay requests per second regardless of how
+	// fast the host is — the property that makes the node-count scaling
+	// measurable on any machine.
+	ServiceDelay  time.Duration `json:"service_delay_ns"`
+	MaxConcurrent int           `json:"max_concurrent"`
+}
+
+func (c *ClusterBenchConfig) fillDefaults() {
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{1, 3, 5}
+	}
+	if c.Readers <= 0 {
+		c.Readers = 12
+	}
+	if c.Writers <= 0 {
+		c.Writers = 2
+	}
+	if c.Replication <= 0 {
+		c.Replication = cluster.DefaultReplication
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.ServiceDelay <= 0 {
+		c.ServiceDelay = 2 * time.Millisecond
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+}
+
+// ClusterBenchRow is one scenario measurement.
+type ClusterBenchRow struct {
+	Nodes int `json:"nodes"`
+	// Kill names what happened to the killed node: "failover" (left
+	// dead, survivors take over) or "restart" (single node, recovered
+	// from its data directory).
+	Kill string `json:"kill"`
+	// AckedWrites is how many writes the cluster acknowledged;
+	// LostWrites is how many of those the post-run verification could
+	// not read back from any surviving node. Any nonzero value is data
+	// loss.
+	AckedWrites int64 `json:"acked_writes"`
+	LostWrites  int64 `json:"lost_writes"`
+	// Reads counts successful reads over the whole window; PreKillReads
+	// and PreKillSeconds isolate the healthy-cluster throughput window
+	// the scaling headline is read from; PostKillReads proves the
+	// cluster kept serving after the kill.
+	Reads          int64   `json:"reads"`
+	PreKillReads   int64   `json:"pre_kill_reads"`
+	PreKillSeconds float64 `json:"pre_kill_seconds"`
+	ReadsPerSec    float64 `json:"reads_per_sec"`
+	PostKillReads  int64   `json:"post_kill_reads"`
+	// MaxReadGapMS is the longest span with no successful read anywhere;
+	// RecoverMS is the span from the kill to the first successful read
+	// after it.
+	MaxReadGapMS float64 `json:"max_read_gap_ms"`
+	RecoverMS    float64 `json:"recover_ms"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// ClusterBenchReport is the S8 result set cmifbench writes to
+// BENCH_cluster.json.
+type ClusterBenchReport struct {
+	Config ClusterBenchConfig `json:"config"`
+	Env    BenchEnv           `json:"env"`
+	Rows   []ClusterBenchRow  `json:"rows"`
+	// ReadSpeedup3x1 is the 3-node pre-kill read throughput over the
+	// single node's — the scaling headline.
+	ReadSpeedup3x1 float64 `json:"read_speedup_3x1"`
+}
+
+// JSON renders the report for BENCH_cluster.json.
+func (r *ClusterBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the experiment-table format.
+func (r *ClusterBenchReport) Table() *Table {
+	t := &Table{
+		ID:     "S8",
+		Title:  "cluster tier: node loss, acked-write survival and read scaling",
+		Header: []string{"nodes", "kill", "acked", "lost", "reads", "reads/s pre-kill", "post-kill reads", "max gap ms", "recover ms"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Nodes),
+			row.Kill,
+			fmt.Sprintf("%d", row.AckedWrites),
+			fmt.Sprintf("%d", row.LostWrites),
+			fmt.Sprintf("%d", row.Reads),
+			fmt.Sprintf("%.0f", row.ReadsPerSec),
+			fmt.Sprintf("%d", row.PostKillReads),
+			fmt.Sprintf("%.0f", row.MaxReadGapMS),
+			fmt.Sprintf("%.0f", row.RecoverMS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("3-node read throughput %.2fx the single node's", r.ReadSpeedup3x1),
+		"expect: zero lost acked writes in every scenario; reads continue through the kill; capacity grows with nodes")
+	return t
+}
+
+// benchClusterDoc builds the small document the writers put.
+func benchClusterDoc(label string) (*core.Document, error) {
+	root := core.NewPar().SetName("doc")
+	root.Add(
+		core.NewImm([]byte(label)).SetName("label").
+			SetAttr("channel", attr.ID("labels")).
+			SetAttr("duration", attr.Quantity(units.MS(100))),
+	)
+	d, err := core.NewDocument(root)
+	if err != nil {
+		return nil, err
+	}
+	cd := core.NewChannelDict()
+	cd.Define(core.Channel{Name: "labels", Medium: core.MediumText})
+	d.SetChannels(cd)
+	return d, nil
+}
+
+// addrBook is the membership the bench clients dial: a mutable address
+// list, because the single-node scenario restarts its node on a new
+// port mid-run.
+type addrBook struct {
+	mu    sync.Mutex
+	addrs []string
+}
+
+func (b *addrBook) snapshot() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.addrs...)
+}
+
+func (b *addrBook) replace(addrs []string) {
+	b.mu.Lock()
+	b.addrs = append([]string(nil), addrs...)
+	b.mu.Unlock()
+}
+
+// ackedSet collects acknowledged write names.
+type ackedSet struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (a *ackedSet) add(name string) {
+	a.mu.Lock()
+	a.names = append(a.names, name)
+	a.mu.Unlock()
+}
+
+func (a *ackedSet) pick(i int) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.names) == 0 {
+		return ""
+	}
+	return a.names[i%len(a.names)]
+}
+
+func (a *ackedSet) snapshot() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.names...)
+}
+
+// readTracker records successful reads' timing: totals, the pre/post
+// kill split, the widest no-read gap and the post-kill recovery span.
+type readTracker struct {
+	mu        sync.Mutex
+	last      time.Time
+	maxGap    time.Duration
+	killedAt  time.Time
+	recovered time.Duration
+	reads     int64
+	preKill   int64
+	postKill  int64
+}
+
+func (rt *readTracker) start(now time.Time) {
+	rt.mu.Lock()
+	rt.last = now
+	rt.mu.Unlock()
+}
+
+func (rt *readTracker) kill(now time.Time) {
+	rt.mu.Lock()
+	rt.killedAt = now
+	rt.mu.Unlock()
+}
+
+func (rt *readTracker) success(now time.Time) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if gap := now.Sub(rt.last); gap > rt.maxGap {
+		rt.maxGap = gap
+	}
+	rt.last = now
+	rt.reads++
+	if rt.killedAt.IsZero() {
+		rt.preKill++
+	} else {
+		rt.postKill++
+		if rt.recovered == 0 {
+			rt.recovered = now.Sub(rt.killedAt)
+		}
+	}
+}
+
+// benchConn is one worker's connection: it dials the current membership
+// round-robin and advances to the next address whenever the transport
+// fails, which is how the bench clients fail over.
+type benchConn struct {
+	book *addrBook
+	idx  int
+	c    *transport.Client
+}
+
+func (w *benchConn) get(ctx context.Context) (*transport.Client, error) {
+	if w.c != nil {
+		return w.c, nil
+	}
+	addrs := w.book.snapshot()
+	if len(addrs) == 0 {
+		return nil, errors.New("clusterbench: empty membership")
+	}
+	addr := addrs[w.idx%len(addrs)]
+	dialCtx, cancel := context.WithTimeout(ctx, time.Second)
+	c, err := transport.DialContext(dialCtx, addr)
+	cancel()
+	if err != nil {
+		w.idx++
+		// A dead listener refuses instantly; don't spin on it.
+		time.Sleep(2 * time.Millisecond)
+		return nil, err
+	}
+	w.c = c
+	return c, nil
+}
+
+func (w *benchConn) fail() {
+	if w.c != nil {
+		w.c.Close()
+		w.c = nil
+	}
+	w.idx++
+}
+
+func (w *benchConn) close() {
+	if w.c != nil {
+		w.c.Close()
+		w.c = nil
+	}
+}
+
+// ClusterBench runs the S8 scenarios and returns the measurements. Node
+// data directories are throwaway temp directories; every node runs
+// SyncAlways, so an acknowledged write is on disk before the ack.
+func ClusterBench(ctx context.Context, cfg ClusterBenchConfig) (*ClusterBenchReport, error) {
+	cfg.fillDefaults()
+	report := &ClusterBenchReport{Config: cfg, Env: CaptureBenchEnv()}
+	for _, n := range cfg.Nodes {
+		row, err := runClusterScenario(ctx, cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("clusterbench %d nodes: %w", n, err)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	var r1, r3 float64
+	for _, row := range report.Rows {
+		switch row.Nodes {
+		case 1:
+			r1 = row.ReadsPerSec
+		case 3:
+			r3 = row.ReadsPerSec
+		}
+	}
+	if r1 > 0 {
+		report.ReadSpeedup3x1 = r3 / r1
+	}
+	return report, nil
+}
+
+func benchNodeConfig(cfg ClusterBenchConfig, addr, dir string, peers []string) cluster.Config {
+	return cluster.Config{
+		Addr:           addr,
+		DataDir:        dir,
+		Peers:          peers,
+		Replication:    cfg.Replication,
+		GossipInterval: 50 * time.Millisecond,
+		Sync:           durable.SyncAlways,
+		ServiceDelay:   cfg.ServiceDelay,
+		Admission: transport.Admission{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      1024,
+			MaxWait:       2 * time.Second,
+		},
+	}
+}
+
+func runClusterScenario(ctx context.Context, cfg ClusterBenchConfig, n int) (ClusterBenchRow, error) {
+	row := ClusterBenchRow{Nodes: n, Kill: "failover"}
+	if n == 1 {
+		row.Kill = "restart"
+	}
+
+	nodes := make([]*cluster.Node, 0, n)
+	dirs := make([]string, 0, n)
+	defer func() {
+		for _, node := range nodes {
+			if node != nil {
+				node.Kill()
+			}
+		}
+		for _, dir := range dirs {
+			os.RemoveAll(dir)
+		}
+	}()
+	var addrs, peers []string
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "clusterbench-")
+		if err != nil {
+			return row, err
+		}
+		dirs = append(dirs, dir)
+		node, err := cluster.Start(benchNodeConfig(cfg, "127.0.0.1:0", dir, peers))
+		if err != nil {
+			return row, err
+		}
+		nodes = append(nodes, node)
+		addrs = append(addrs, node.Addr())
+		peers = append(peers, node.Addr())
+	}
+	for _, node := range nodes {
+		syncCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := node.WaitSynced(syncCtx)
+		cancel()
+		if err != nil {
+			return row, fmt.Errorf("node %s never synced: %w", node.Addr(), err)
+		}
+	}
+
+	book := &addrBook{}
+	book.replace(addrs)
+	acked := &ackedSet{}
+	tracker := &readTracker{}
+
+	workCtx, stopWork := context.WithCancel(ctx)
+	defer stopWork()
+
+	var writeSeq atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	tracker.start(start)
+
+	// Writers: put documents through whichever node answers; an
+	// acknowledged put is recorded for the post-run survival audit.
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn := &benchConn{book: book, idx: w}
+			defer conn.close()
+			for workCtx.Err() == nil {
+				c, err := conn.get(workCtx)
+				if err != nil {
+					continue
+				}
+				seq := writeSeq.Add(1)
+				name := fmt.Sprintf("doc-%05d", seq)
+				doc, err := benchClusterDoc(name)
+				if err != nil {
+					return
+				}
+				opCtx, cancel := context.WithTimeout(workCtx, 5*time.Second)
+				err = c.PutDoc(opCtx, name, doc, transport.EncodingBinary)
+				cancel()
+				if err == nil {
+					acked.add(name)
+					continue
+				}
+				if !errors.Is(err, transport.ErrRemote) {
+					conn.fail()
+				}
+			}
+		}(w)
+	}
+
+	// Readers: read acknowledged documents from round-robin nodes,
+	// rotating to another node on any failure (a dead listener, a busy
+	// rejection, or an authoritative miss on a post-kill substitute
+	// owner that never received the pre-kill copy).
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conn := &benchConn{book: book, idx: r}
+			defer conn.close()
+			for i := r; workCtx.Err() == nil; i++ {
+				name := acked.pick(i)
+				if name == "" {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				c, err := conn.get(workCtx)
+				if err != nil {
+					continue
+				}
+				opCtx, cancel := context.WithTimeout(workCtx, 5*time.Second)
+				_, err = c.GetDoc(opCtx, name, transport.GetDocOptions{Encoding: transport.EncodingBinary})
+				cancel()
+				if err == nil {
+					tracker.success(time.Now())
+					continue
+				}
+				conn.fail()
+			}
+		}(r)
+	}
+
+	// The kill, a third of the way into the window. The last node dies
+	// without draining; a single-node scenario restarts it on the same
+	// data directory (new port — the address book is how clients learn).
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		select {
+		case <-time.After(cfg.Duration / 3):
+		case <-workCtx.Done():
+			return
+		}
+		victim := nodes[n-1]
+		tracker.kill(time.Now())
+		tracker.mu.Lock()
+		row.PreKillSeconds = tracker.killedAt.Sub(start).Seconds()
+		row.PreKillReads = tracker.preKill
+		tracker.mu.Unlock()
+		victim.Kill()
+		if n == 1 {
+			restarted, err := cluster.Start(benchNodeConfig(cfg, "127.0.0.1:0", dirs[n-1], nil))
+			if err == nil {
+				nodes[n-1] = restarted
+				book.replace([]string{restarted.Addr()})
+			}
+		}
+	}()
+
+	select {
+	case <-time.After(cfg.Duration):
+	case <-ctx.Done():
+	}
+	stopWork()
+	wg.Wait()
+	<-killDone
+	elapsed := time.Since(start)
+
+	// Survival audit: every acknowledged write must be readable from
+	// some live node. Retries absorb the single-node restart window.
+	names := acked.snapshot()
+	row.AckedWrites = int64(len(names))
+	verifyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	conn := &benchConn{book: book}
+	defer conn.close()
+	for _, name := range names {
+		found := false
+		deadline := time.Now().Add(15 * time.Second)
+		for !found && time.Now().Before(deadline) && verifyCtx.Err() == nil {
+			c, err := conn.get(verifyCtx)
+			if err != nil {
+				continue
+			}
+			opCtx, opCancel := context.WithTimeout(verifyCtx, 5*time.Second)
+			_, err = c.GetDoc(opCtx, name, transport.GetDocOptions{Encoding: transport.EncodingBinary})
+			opCancel()
+			if err == nil {
+				found = true
+				break
+			}
+			conn.fail()
+		}
+		if !found {
+			row.LostWrites++
+		}
+	}
+
+	tracker.mu.Lock()
+	row.Reads = tracker.reads
+	row.PostKillReads = tracker.postKill
+	row.MaxReadGapMS = float64(tracker.maxGap) / float64(time.Millisecond)
+	row.RecoverMS = float64(tracker.recovered) / float64(time.Millisecond)
+	tracker.mu.Unlock()
+	row.Seconds = elapsed.Seconds()
+	if row.PreKillSeconds > 0 {
+		row.ReadsPerSec = float64(row.PreKillReads) / row.PreKillSeconds
+	}
+	return row, nil
+}
+
+// LoadClusterReport reads a BENCH_cluster.json.
+func LoadClusterReport(path string) (*ClusterBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ClusterBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckClusterReport validates a cluster-bench report against the S8
+// gate. The correctness invariants hold anywhere: every scenario
+// acknowledged writes and lost none of them, reads continued after the
+// kill, and the no-read gap stayed within the failover SLO. The
+// committed reference must additionally cover the 1/3/5-node ladder,
+// record GOMAXPROCS ≥ 4 (the scaling headline is a concurrency claim),
+// and show the 3-node tier serving reads at ≥ 2x the single node.
+func CheckClusterReport(r *ClusterBenchReport, committed bool) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if len(r.Rows) == 0 {
+		return []string{"cluster report has no rows"}
+	}
+	if r.Env.GoMaxProcs < 1 || r.Env.GoVersion == "" {
+		fail("cluster report env not captured: %+v", r.Env)
+	}
+	if committed && r.Env.GoMaxProcs < 4 {
+		fail("committed cluster report ran at GOMAXPROCS=%d; the read-scaling headline cannot be gated on a single-core record — re-record with GOMAXPROCS ≥ 4",
+			r.Env.GoMaxProcs)
+	}
+
+	maxGapSLO := 5000.0
+	if !committed {
+		maxGapSLO = 15000.0 // fresh smoke runs on noisy shared runners get slack
+	}
+	seen := map[int]bool{}
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		seen[row.Nodes] = true
+		if row.AckedWrites <= 0 {
+			fail("%d nodes: no acknowledged writes — the load never exercised the write path", row.Nodes)
+		}
+		if row.LostWrites != 0 {
+			fail("%d nodes: %d of %d acknowledged writes lost after the kill — replication or recovery dropped acked data",
+				row.Nodes, row.LostWrites, row.AckedWrites)
+		}
+		if row.Reads <= 0 || row.PreKillReads <= 0 {
+			fail("%d nodes: no measured reads", row.Nodes)
+		}
+		if row.PostKillReads <= 0 {
+			fail("%d nodes: zero reads after the kill — the cluster went unavailable", row.Nodes)
+		}
+		if row.MaxReadGapMS > maxGapSLO {
+			fail("%d nodes: %.0fms with no successful read anywhere exceeds the %.0fms SLO",
+				row.Nodes, row.MaxReadGapMS, maxGapSLO)
+		}
+		if row.Nodes == 1 && row.Kill != "restart" {
+			fail("single-node scenario must restart its node, got kill=%q", row.Kill)
+		}
+		if row.Nodes > 1 && row.Kill != "failover" {
+			fail("%d-node scenario must leave the killed node dead, got kill=%q", row.Nodes, row.Kill)
+		}
+	}
+	if committed {
+		for _, want := range []int{1, 3, 5} {
+			if !seen[want] {
+				fail("committed cluster report is missing the %d-node scenario", want)
+			}
+		}
+		if r.ReadSpeedup3x1 < 2.0 {
+			fail("3-node read throughput %.2fx the single node's, below the 2.0x floor", r.ReadSpeedup3x1)
+		}
+	} else if seen[1] && seen[3] && r.ReadSpeedup3x1 < 1.2 {
+		fail("fresh 3-node read throughput %.2fx the single node's; the tier is not scaling at all", r.ReadSpeedup3x1)
+	}
+	return v
+}

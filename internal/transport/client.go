@@ -616,6 +616,57 @@ func (c *Client) ListDocs(ctx context.Context) ([]string, error) {
 	return out, nil
 }
 
+// ListDocsLocal returns only the documents the server holds locally,
+// skipping any cluster-wide or upstream merge — the query cluster nodes
+// use on each other so a listing fan-out cannot recurse.
+func (c *Client) ListDocsLocal(ctx context.Context) ([]string, error) {
+	parts, err := c.roundTrip(ctx, opList, listScopeLocal)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = string(p)
+	}
+	return out, nil
+}
+
+// GossipExchange sends an encoded membership view to a cluster node and
+// returns the node's view after the merge. An empty view reads the
+// node's membership without asserting any — how a cluster client
+// discovers the member set.
+func (c *Client) GossipExchange(ctx context.Context, view []byte) ([]byte, error) {
+	parts, err := c.roundTrip(ctx, opGossip, view)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != 1 {
+		return nil, fmt.Errorf("transport: gossip returned %d parts", len(parts))
+	}
+	return parts[0], nil
+}
+
+// Replicate ships a batch of framed durable WAL records to a replica,
+// which verifies, appends and applies them before answering.
+func (c *Client) Replicate(ctx context.Context, frames []byte) error {
+	_, err := c.roundTrip(ctx, opReplicate, frames)
+	return err
+}
+
+// ResyncPull fetches one chunk of a peer's full state as framed WAL
+// records, resuming from cursor ("" starts). An empty next cursor ends
+// the walk.
+func (c *Client) ResyncPull(ctx context.Context, cursor string) (frames []byte, next string, err error) {
+	parts, err := c.roundTrip(ctx, opResync, []byte(cursor))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) != 2 {
+		return nil, "", fmt.Errorf("transport: resync returned %d parts", len(parts))
+	}
+	return parts[0], string(parts[1]), nil
+}
+
 // ErrNotFound reports that the server does not hold the requested document
 // or block. It is wrapped (with ErrRemote) into errors returned by GetDoc
 // and GetBlock, so callers can test errors.Is(err, ErrNotFound).

@@ -59,8 +59,10 @@ const endReasonUnsubscribed = "unsubscribed"
 const defaultSubQueue = 64
 
 // errUnknownDoc distinguishes "no such document" mutations/subscriptions
-// so serve loops answer opErrNotFound.
-var errUnknownDoc = errors.New("transport: no such document")
+// so serve loops answer opErrNotFound. It wraps ErrNotFound, so cluster
+// handlers calling EditDoc locally classify the miss the same way they
+// classify a forwarded peer's opErrNotFound reply.
+var errUnknownDoc = fmt.Errorf("%w: transport: no such document", ErrNotFound)
 
 // errSubsFull reports the server-wide subscriber bound; serve loops
 // answer opErrBusy with the subs_full shed reason.

@@ -145,6 +145,14 @@ type Server struct {
 	// in-flight and queue gauges, busy rejections and descriptor-cache
 	// effectiveness (NewServerMetrics). Set before Listen.
 	Metrics *ServerMetrics
+	// Cluster, when non-nil, turns the server into one node of a
+	// replicated cluster: writes — document registrations, block puts,
+	// edit batches — route through the handler (which journals on the
+	// key's primary and replicates before acknowledging), reads that
+	// miss locally are proxied to the key's replicas, and the gossip,
+	// replication and resync ops (opGossip/opReplicate/opResync) are
+	// answered. Mutually exclusive with Loader. Set before Listen.
+	Cluster ClusterHandler
 	// Loader, when non-nil, turns the server into a read-through proxy:
 	// document and block lookups that miss the local registry consult the
 	// loader (which typically fetches from an upstream origin and caches),
@@ -153,6 +161,13 @@ type Server struct {
 	// stays the single writer and mutations flow back down through the
 	// proxy's upstream subscriptions. Set before Listen.
 	Loader Loader
+
+	// ServiceDelay, when nonzero, stalls every admitted request for the
+	// given duration before handling — a capacity-modeling knob for
+	// benchmarks that emulate a fixed per-node service time (so cluster
+	// scaling measures added serving slots, not the host's core count).
+	// Zero, the production value, disables it. Set before Listen.
+	ServiceDelay time.Duration
 
 	// testOpDelay, when non-nil, stalls request handling — a test hook
 	// for exercising backpressure deterministically.
@@ -202,6 +217,40 @@ type Loader interface {
 	ForwardEdit(name string, recs []core.ChangeRecord) (uint64, error)
 	// ListDocs names the documents the authority offers.
 	ListDocs() ([]string, error)
+}
+
+// ClusterHandler is the seam a cluster node implements (see
+// Server.Cluster). Write methods run on request-handler goroutines and
+// may block on forwarding and synchronous replication; read-miss methods
+// may block on peer round trips.
+type ClusterHandler interface {
+	// Gossip merges a peer's encoded membership view and returns the
+	// local view (after the merge). An empty view reads membership
+	// without asserting any.
+	Gossip(view []byte) ([]byte, error)
+	// Replicate verifies and appends a batch of framed WAL records
+	// shipped by a key's primary, applying them to the live state.
+	Replicate(frames []byte) error
+	// Resync returns a chunk of full-state WAL records starting at
+	// cursor ("" starts); an empty next cursor ends the walk.
+	Resync(cursor string) (frames []byte, next string, err error)
+	// PutDoc routes a document registration through the ring: journal
+	// on the primary, replicate, then acknowledge.
+	PutDoc(name string, d *core.Document) error
+	// PutBlock routes a block put through the ring, returning the
+	// content address.
+	PutBlock(b *media.Block) (string, error)
+	// SubmitEdit routes an edit batch through the ring, returning the
+	// new generation. A missing document matches ErrNotFound; a
+	// conflict keeps its "conflict:" text.
+	SubmitEdit(name string, recs []core.ChangeRecord) (uint64, error)
+	// MissingDoc proxies a read for a document this node does not hold
+	// to the key's replicas.
+	MissingDoc(name string) (*core.Document, bool)
+	// MissingBlock proxies a block read this node cannot serve.
+	MissingBlock(name string) (*media.Block, bool)
+	// DocNames merges the cluster-wide document listing.
+	DocNames() ([]string, error)
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns the
@@ -472,6 +521,9 @@ func (s *Server) admitAndHandle(req frame) (byte, [][]byte) {
 	defer release()
 	s.Metrics.inflightAdd(1)
 	defer s.Metrics.inflightAdd(-1)
+	if s.ServiceDelay > 0 {
+		time.Sleep(s.ServiceDelay)
+	}
 	resp, parts := s.handle(req)
 	s.Metrics.observe(req.op, start)
 	return resp, parts
@@ -673,6 +725,9 @@ func (s *Server) handleV2(cc *v2conn, req frameV2) {
 	if s.testOpDelay != nil {
 		s.testOpDelay(req.op)
 	}
+	if s.ServiceDelay > 0 {
+		time.Sleep(s.ServiceDelay)
+	}
 	switch req.op {
 	case opGetBlkStream:
 		// The stream handler blocks on respCh while it emits chunks, so
@@ -869,6 +924,9 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 		if !ok && s.Loader != nil && s.Loader.LoadDoc(name) {
 			doc, ok = s.reg.GetDoc(name)
 		}
+		if !ok && s.Cluster != nil {
+			doc, ok = s.Cluster.MissingDoc(name)
+		}
 		if !ok {
 			return notFound("getdoc: no document %q", name)
 		}
@@ -901,6 +959,14 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			}
 			return opOK, nil
 		}
+		if s.Cluster != nil {
+			// The cluster handler extracts inlined payloads itself (each
+			// block routes to its own replica set, not this node's store).
+			if err := s.Cluster.PutDoc(string(req.parts[0]), doc); err != nil {
+				return fail("putdoc: %v", err)
+			}
+			return opOK, nil
+		}
 		// Absorb any inlined payloads into the local store.
 		extracted, err := Extract(doc, s.reg.Store)
 		if err != nil {
@@ -928,6 +994,18 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			case err != nil:
 				// A conflict's "conflict:" text survives the relay, so
 				// downstream clients still classify it as ErrConflict.
+				return fail("submitedit: %v", err)
+			}
+			return opOK, [][]byte{u64be(gen)}
+		}
+		if s.Cluster != nil {
+			gen, err := s.Cluster.SubmitEdit(name, recs)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				return notFound("submitedit: no document %q", name)
+			case err != nil:
+				// A conflict's "conflict:" text survives the relay, so
+				// clients still classify it as ErrConflict.
 				return fail("submitedit: %v", err)
 			}
 			return opOK, [][]byte{u64be(gen)}
@@ -1038,13 +1116,24 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			}
 			return opOK, [][]byte{[]byte(id)}
 		}
+		if s.Cluster != nil {
+			id, err := s.Cluster.PutBlock(blk)
+			if err != nil {
+				return fail("putblk: %v", err)
+			}
+			return opOK, [][]byte{[]byte(id)}
+		}
 		s.reg.Store.Put(blk)
 		if err := s.durabilityErr(); err != nil {
 			return fail("putblk: durability: %v", err)
 		}
 		return opOK, [][]byte{[]byte(blk.ID)}
 	case opList:
-		if s.Loader != nil {
+		// listScopeLocal restricts the answer to locally held documents;
+		// cluster nodes use it when merging peers' listings, so the
+		// fan-out cannot recurse.
+		localOnly := len(req.parts) == 1 && string(req.parts[0]) == string(listScopeLocal)
+		if s.Loader != nil && !localOnly {
 			if names, err := s.Loader.ListDocs(); err == nil {
 				parts := make([][]byte, len(names))
 				for i, n := range names {
@@ -1054,12 +1143,61 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			}
 			// Upstream unreachable: fall back to what is cached locally.
 		}
+		if s.Cluster != nil && !localOnly {
+			if names, err := s.Cluster.DocNames(); err == nil {
+				parts := make([][]byte, len(names))
+				for i, n := range names {
+					parts[i] = []byte(n)
+				}
+				return opOK, parts
+			}
+			// Peers unreachable: fall back to the local listing.
+		}
 		names := s.reg.DocNames()
 		parts := make([][]byte, len(names))
 		for i, n := range names {
 			parts[i] = []byte(n)
 		}
 		return opOK, parts
+	case opGossip:
+		if s.Cluster == nil {
+			return fail("gossip: not a cluster node")
+		}
+		if len(req.parts) > 1 {
+			return fail("gossip: want [view]")
+		}
+		var view []byte
+		if len(req.parts) == 1 {
+			view = req.parts[0]
+		}
+		local, err := s.Cluster.Gossip(view)
+		if err != nil {
+			return fail("gossip: %v", err)
+		}
+		return opOK, [][]byte{local}
+	case opReplicate:
+		if s.Cluster == nil {
+			return fail("replicate: not a cluster node")
+		}
+		if len(req.parts) != 1 {
+			return fail("replicate: want [frames]")
+		}
+		if err := s.Cluster.Replicate(req.parts[0]); err != nil {
+			return fail("replicate: %v", err)
+		}
+		return opOK, nil
+	case opResync:
+		if s.Cluster == nil {
+			return fail("resync: not a cluster node")
+		}
+		if len(req.parts) != 1 {
+			return fail("resync: want [cursor]")
+		}
+		frames, next, err := s.Cluster.Resync(string(req.parts[0]))
+		if err != nil {
+			return fail("resync: %v", err)
+		}
+		return opOK, [][]byte{frames, []byte(next)}
 	default:
 		return fail("unknown op %d", req.op)
 	}
@@ -1087,6 +1225,9 @@ func (s *Server) lookupBlock(name string) (*media.Block, bool) {
 	}
 	if s.Loader != nil {
 		return s.Loader.LoadBlock(name)
+	}
+	if s.Cluster != nil {
+		return s.Cluster.MissingBlock(name)
 	}
 	return nil, false
 }

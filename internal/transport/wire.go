@@ -59,7 +59,23 @@ const (
 	// [newGen(u64)]. Rejected edits answer opErr with a "conflict:"
 	// message — the submitter refetches and retries.
 	opSubmitEdit byte = 13
-	opOK         byte = 128
+	// opGossip exchanges cluster membership views: request [view], the
+	// sender's encoded member table; response opOK [view], the
+	// receiver's table after merging. Only meaningful against a cluster
+	// node (Server.Cluster attached); others answer opErr. A client may
+	// send an empty view to read membership without asserting any.
+	opGossip byte = 14
+	// opReplicate ships a batch of framed durable WAL records from a
+	// key's primary to a replica: request [frames] (concatenated
+	// length+CRC framed records, exactly the bytes the primary appended
+	// to its own log); response opOK []. The replica verifies, appends
+	// and applies them — the same path crash recovery replays.
+	opReplicate byte = 15
+	// opResync pulls a chunk of a peer's full state as WAL records for
+	// rejoin catch-up: request [cursor] ("" starts); response opOK
+	// [frames, nextCursor], where an empty nextCursor ends the walk.
+	opResync byte = 16
+	opOK     byte = 128
 	// opStreamHdr opens a streamed block response: parts are
 	// [name, medium, descriptor, payloadSize(u64)].
 	opStreamHdr byte = 129
@@ -120,6 +136,13 @@ const maxStreamBytes = int64(1) << 31
 // maxBatch is the largest multi-get a single frame carries: one request
 // part (and one response entry) per name. Clients chunk larger batches.
 const maxBatch = maxParts
+
+// listScopeLocal is the optional opList request part restricting the
+// listing to locally held documents. Cluster nodes answering a plain
+// opList merge every peer's local listing; the merge queries peers with
+// this scope so the fan-out cannot recurse. Servers that predate the
+// scope ignore request parts, so sending it is always safe.
+var listScopeLocal = []byte("local")
 
 // Batched responses pack each entry into a single frame part, so a batch
 // of N names always answers with exactly N parts regardless of how many

@@ -1,11 +1,12 @@
 #!/bin/sh
 # Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler),
-# S3 (wire protocol), S4 (durability), S6 (live-document fan-out) and
-# S7 (edge tier) scenarios plus cmifsoak's S5 (production soak) in quick
-# smoke mode and validate both the fresh results and the committed
-# BENCH_store.json / BENCH_sched.json / BENCH_wire.json /
-# BENCH_durable.json / BENCH_soak.json / BENCH_subs.json /
-# BENCH_edge.json reference files against the regression invariants:
+# S3 (wire protocol), S4 (durability), S6 (live-document fan-out),
+# S7 (edge tier) and S8 (cluster tier) scenarios plus cmifsoak's S5
+# (production soak) in quick smoke mode and validate both the fresh
+# results and the committed BENCH_store.json / BENCH_sched.json /
+# BENCH_wire.json / BENCH_durable.json / BENCH_soak.json /
+# BENCH_subs.json / BENCH_edge.json / BENCH_cluster.json reference
+# files against the regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
 #     at least 8x fewer, warm never more than cold; S3 scenarios exactly
@@ -42,7 +43,12 @@
 #   - the edge-tier invariants: warm edges offload ≥ 90% of reads from
 #     the origin, and the committed BENCH_edge.json records ≥ 1000
 #     clients behind ≥ 4 edges whose p99 does not exceed the
-#     direct-to-origin p99, at GOMAXPROCS ≥ 4.
+#     direct-to-origin p99, at GOMAXPROCS ≥ 4;
+#   - the cluster invariants: every scenario kills a node mid-load and
+#     loses zero acknowledged writes, reads continue through the kill
+#     within the no-read-gap SLO, and the committed BENCH_cluster.json
+#     covers the 1/3/5-node ladder with 3-node read throughput ≥ 2x the
+#     single node's, at GOMAXPROCS ≥ 4.
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -66,8 +72,8 @@ trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
 # the offending record is visible in the failure output.
 procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}"
 if [ "$procs" -lt 4 ]; then
-    echo "error: GOMAXPROCS=$procs < 4; the S2/S3/S5/S6/S7 concurrency gates require >= 4 procs" >&2
-    for f in BENCH_sched.json BENCH_wire.json BENCH_soak.json BENCH_subs.json BENCH_edge.json; do
+    echo "error: GOMAXPROCS=$procs < 4; the S2/S3/S5/S6/S7/S8 concurrency gates require >= 4 procs" >&2
+    for f in BENCH_sched.json BENCH_wire.json BENCH_soak.json BENCH_subs.json BENCH_edge.json BENCH_cluster.json; do
         if [ -f "$f" ]; then
             echo "$f recorded env:" >&2
             grep -A6 '"env"' "$f" | head -7 >&2
@@ -83,13 +89,15 @@ go run ./cmd/cmifbench -smoke \
     -durable-out "$BENCH_DIR/BENCH_durable.json" \
     -subs-out "$BENCH_DIR/BENCH_subs.json" \
     -edge-out "$BENCH_DIR/BENCH_edge.json" \
+    -cluster-out "$BENCH_DIR/BENCH_cluster.json" \
     -check-store BENCH_store.json \
     -check-sched BENCH_sched.json \
     -check-wire BENCH_wire.json \
     -check-durable BENCH_durable.json \
     -check-subs BENCH_subs.json \
     -check-edge BENCH_edge.json \
-    S1 S2 S3 S4 S6 S7
+    -check-cluster BENCH_cluster.json \
+    S1 S2 S3 S4 S6 S7 S8
 
 go run ./cmd/cmifsoak -smoke \
     -out "$BENCH_DIR/BENCH_soak.json" \

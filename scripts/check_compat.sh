@@ -1,0 +1,33 @@
+#!/bin/sh
+# Deprecated-API gate: the ClientOption/ServerOption aliases live in
+# cmif/compat.go for one release while callers migrate to the typed
+# option sets (DialOption, ServeOption, EdgeOption, JoinOption,
+# ClusterOption). Nothing else in the tree may reference the deprecated
+# names — not code, not tests, not new daemons — or the eventual removal
+# breaks a caller the aliases were supposed to have weaned off.
+#
+# Run from the repository root: ./scripts/check_compat.sh
+set -eu
+
+allowed="cmif/compat.go cmif/compat_test.go"
+
+offenders=$(grep -rln --include='*.go' -E '\b(ClientOption|ServerOption)\b' . \
+    | sed 's|^\./||' \
+    | while read -r f; do
+        skip=0
+        for a in $allowed; do
+            [ "$f" = "$a" ] && skip=1
+        done
+        [ "$skip" = 0 ] && echo "$f"
+    done || true)
+
+if [ -n "$offenders" ]; then
+    echo "error: deprecated ClientOption/ServerOption referenced outside the compat shim:" >&2
+    for f in $offenders; do
+        grep -n -E '\b(ClientOption|ServerOption)\b' "$f" | sed "s|^|  $f:|" >&2
+    done
+    echo "migrate to the typed option sets (DialOption/ServeOption/EdgeOption/JoinOption/ClusterOption)" >&2
+    exit 1
+fi
+
+echo "compat gate passed: deprecated option names confined to cmif/compat.go"

@@ -13,14 +13,15 @@
 #   - every backticked `sched.Xxx` symbol in docs/ must appear in
 #     internal/sched (the scheduler-internals section of ARCHITECTURE.md);
 #   - every backticked `durable.Xxx` / `media.Xxx` / `ddbms.Xxx` /
-#     `metrics.Xxx` / `corpus.Xxx` / `edge.Xxx` symbol in docs/ must
-#     appear in the corresponding internal package, and every `recXxx`
-#     record op named in the durability section must appear in
-#     internal/durable/record.go;
+#     `metrics.Xxx` / `corpus.Xxx` / `edge.Xxx` / `cluster.Xxx` /
+#     `daemon.Xxx` symbol in docs/ must appear in the corresponding
+#     internal package, and every `recXxx` record op named in the
+#     durability section must appear in internal/durable/record.go;
 #   - the redesigned client API must stay documented: the docs must
 #     reference `cmif.Fetcher`, the typed option sets (`cmif.DialOption`,
-#     `cmif.ServeOption`, `cmif.EdgeOption`) and the `edge.` package at
-#     least once each, and each of those symbols must still exist;
+#     `cmif.ServeOption`, `cmif.EdgeOption`, `cmif.JoinOption`,
+#     `cmif.ClusterOption`) and the `edge.` package at least once each,
+#     and each of those symbols must still exist;
 #   - every backticked `cmif_xxx` metric name in docs/ must appear in the
 #     source, so the documented metric inventory tracks the instruments.
 #
@@ -65,7 +66,7 @@ done
 # Durability-layer symbols (ARCHITECTURE.md "Durable server state") plus
 # the observability and corpus packages (ARCHITECTURE.md "Observability
 # & load").
-for pkg in durable media ddbms metrics corpus edge; do
+for pkg in durable media ddbms metrics corpus edge cluster daemon; do
     for sym in $(grep -ho "\`$pkg\.[A-Za-z.()]*\`" docs/*.md | sed "s/\`$pkg\.\([A-Za-z]*\).*/\1/" | sort -u); do
         if ! grep -q "\b$sym\b" "internal/$pkg"/*.go; then
             echo "docs reference \`$pkg.$sym\`, which no longer exists in internal/$pkg" >&2
@@ -87,7 +88,7 @@ done
 # the typed option sets and the edge tier must stay documented (and the
 # symbols themselves must still exist — the facade loop above validates
 # existence for anything referenced, this insists they are referenced).
-for sym in Fetcher DialOption ServeOption EdgeOption; do
+for sym in Fetcher DialOption ServeOption EdgeOption JoinOption ClusterOption; do
     if ! grep -q "\`cmif\.$sym\`" docs/*.md; then
         echo "docs no longer document \`cmif.$sym\` — the client API section has rotted" >&2
         fail=1
