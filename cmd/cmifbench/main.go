@@ -5,19 +5,20 @@
 // scenarios (BENCH_wire.json), the S4 durability scenarios
 // (BENCH_durable.json), the S6 live-document subscription scenarios
 // (BENCH_subs.json), the S7 edge-tier scenarios (BENCH_edge.json) and
-// the S8 cluster scenarios (BENCH_cluster.json).
+// the S8 cluster scenarios (BENCH_cluster.json) and the S9
+// wire-saturation scenarios (BENCH_wire2.json).
 //
 // Usage:
 //
-//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6 S7 S8]
+//	cmifbench [flags] [T1 F1 ... A2 S1 S2 S3 S4 S6 S7 S8 S9]
 //
 // Run with no experiment ids for everything; naming ids restricts the run.
-// -smoke shrinks the S1/S2/S3/S4/S6/S7/S8 configurations to CI-sized
+// -smoke shrinks the S1/S2/S3/S4/S6/S7/S8/S9 configurations to CI-sized
 // quick runs. The -check-store/-check-sched/-check-wire/-check-durable/
-// -check-subs/-check-edge/-check-cluster flags additionally validate a
-// committed BENCH file and the fresh results against the bench-regression
-// invariants, exiting nonzero on violation (the scripts/check_bench.sh
-// gate).
+// -check-subs/-check-edge/-check-cluster/-check-wire2 flags additionally
+// validate a committed BENCH file and the fresh results against the
+// bench-regression invariants, exiting nonzero on violation (the
+// scripts/check_bench.sh gate).
 package main
 
 import (
@@ -66,7 +67,12 @@ func main() {
 	clusterList := flag.String("cluster-list", "", "comma-separated node counts for S8 (default 1,3,5)")
 	clusterSeconds := flag.Float64("cluster-seconds", 0, "per-scenario load window for S8 in seconds (default 3)")
 
-	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6/S7/S8 to quick CI-sized configurations")
+	wire2Out := flag.String("wire2-out", "BENCH_wire2.json", "path for the S9 wire-saturation JSON results")
+	wire2Blocks := flag.Int("wire2-blocks", 0, "blocks per corpus in S9 (default 48)")
+	wire2Bytes := flag.Int("wire2-bytes", 0, "payload size in bytes for S9 (default 256 KiB)")
+	wire2Workers := flag.Int("wire2-workers", 0, "concurrent workers sharing one connection in S9 (default 8)")
+
+	smoke := flag.Bool("smoke", false, "shrink S1/S2/S3/S4/S6/S7/S8/S9 to quick CI-sized configurations")
 	checkStore := flag.String("check-store", "", "committed BENCH_store.json to validate against the regression gate")
 	checkSched := flag.String("check-sched", "", "committed BENCH_sched.json to validate against the regression gate")
 	checkWire := flag.String("check-wire", "", "committed BENCH_wire.json to validate against the regression gate")
@@ -74,6 +80,7 @@ func main() {
 	checkSubs := flag.String("check-subs", "", "committed BENCH_subs.json to validate against the regression gate")
 	checkEdge := flag.String("check-edge", "", "committed BENCH_edge.json to validate against the regression gate")
 	checkCluster := flag.String("check-cluster", "", "committed BENCH_cluster.json to validate against the regression gate")
+	checkWire2 := flag.String("check-wire2", "", "committed BENCH_wire2.json to validate against the regression gate")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -133,6 +140,12 @@ func main() {
 	if runAll || want["S8"] {
 		if err := runClusterBench(*clusterOut, *clusterList, *clusterSeconds, *smoke, *checkCluster); err != nil {
 			fmt.Fprintf(os.Stderr, "cmifbench: S8: %v\n", err)
+			failed++
+		}
+	}
+	if runAll || want["S9"] {
+		if err := runWireSatBench(*wire2Out, *wire2Blocks, *wire2Bytes, *wire2Workers, *smoke, *checkWire2); err != nil {
+			fmt.Fprintf(os.Stderr, "cmifbench: S9: %v\n", err)
 			failed++
 		}
 	}
@@ -497,6 +510,49 @@ func runClusterBench(out, nodeList string, seconds float64, smoke bool, checkAga
 		violations = append(violations, "fresh: "+v)
 	}
 	return reportViolations("cluster", violations)
+}
+
+// runWireSatBench runs the S9 wire-saturation scenarios with the same
+// output and gating shape as S1-S8.
+func runWireSatBench(out string, blocks, blockBytes, workers int, smoke bool, checkAgainst string) error {
+	cfg := cmif.WireSatBenchConfig{Blocks: blocks, BlockBytes: blockBytes, Workers: workers}
+	if smoke {
+		if cfg.Blocks == 0 {
+			cfg.Blocks = 16
+		}
+		if cfg.BlockBytes == 0 {
+			cfg.BlockBytes = 128 << 10
+		}
+		cfg.WarmRounds = 2
+	}
+	report, err := cmif.RunWireSatBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table())
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmifbench: wrote %s\n", out)
+	if checkAgainst == "" {
+		return nil
+	}
+	committed, err := cmif.LoadWireSatBenchReport(checkAgainst)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, v := range cmif.CheckWireSatBenchReport(committed, true) {
+		violations = append(violations, "committed: "+v)
+	}
+	for _, v := range cmif.CheckWireSatBenchReport(report, false) {
+		violations = append(violations, "fresh: "+v)
+	}
+	return reportViolations("wire-saturation", violations)
 }
 
 func reportViolations(name string, violations []string) error {

@@ -48,6 +48,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "nodes each document and block lands on (0 = default 3)")
 	gossipInterval := flag.Duration("gossip-interval", 0, "membership exchange pace; failure detection scales with it (0 = default 250ms)")
 	syncMode := flag.String("sync", "interval", "WAL fsync policy: always, interval or never")
+	compress := flag.Bool("compress", true, "offer negotiated per-frame compression to protocol-v4 clients")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -69,6 +70,7 @@ func main() {
 		cmif.WithNodeShutdownGrace(common.Grace),
 		cmif.WithNodeMaxInFlight(common.MaxInFlight),
 		cmif.WithNodeSubscriberQueue(common.SubQueue),
+		cmif.WithNodeCompression(*compress),
 		cmif.WithNodeMetrics(metrics),
 	}
 	if *peers != "" {

@@ -49,6 +49,7 @@ func main() {
 	pool := flag.Int("pool", 0, "upstream connection pool size (0 = default 4)")
 	upstreamTimeout := flag.Duration("upstream-timeout", 0, "per-round-trip bound toward the origin (0 = default 10s)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "idle bound before an unwatched document lease is released (0 = default 2m)")
+	compress := flag.Bool("compress", true, "offer negotiated per-frame compression to downstream protocol-v4 clients")
 	flag.Parse()
 
 	if *origin == "" {
@@ -71,6 +72,7 @@ func main() {
 		cmif.WithEdgeShutdownGrace(common.Grace),
 		cmif.WithEdgeMaxInFlight(common.MaxInFlight),
 		cmif.WithEdgeSubscriberQueue(common.SubQueue),
+		cmif.WithEdgeCompression(*compress),
 		cmif.WithEdgeMetrics(metrics),
 	}
 	if adm, ok := common.Admission(); ok {

@@ -23,6 +23,12 @@
 // committed reference report (with the tighter committed thresholds)
 // and the fresh run (with the looser floor) and exits nonzero on any
 // violation, same as cmifbench's gates.
+//
+// With -cluster SEED[,SEED...] cmifsoak instead runs the cluster churn
+// soak (see cluster.go and scripts/cluster_soak.sh): a ClusterClient
+// workload of acknowledged writes and verified reads, followed by a
+// zero-loss audit that re-fetches every acknowledged write. -seconds,
+// -workers, -out and -smoke apply; the S5 flags do not.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 )
 
 func main() {
+	cluster := flag.String("cluster", "", "comma-separated cmifcluster seed addresses: run the churn soak (zero-loss audit) instead of S5")
 	addr := flag.String("addr", "", "daemon address to soak (empty = start an in-process server)")
 	metricsURL := flag.String("metrics-url", "", "daemon metrics endpoint to scrape (required with -addr)")
 	seconds := flag.Int("seconds", 60, "steady-phase duration in seconds")
@@ -56,6 +63,23 @@ func main() {
 	smoke := flag.Bool("smoke", false, "shrink to a quick CI-sized run")
 	check := flag.String("check", "", "validate this committed BENCH_soak.json (and the fresh run) against the soak gate")
 	flag.Parse()
+
+	if *cluster != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		secs, outPath, nWorkers := *seconds, *out, *workers
+		if *smoke {
+			secs = 10
+		}
+		if outPath == "BENCH_soak.json" {
+			outPath = "SOAK_cluster.json"
+		}
+		if err := runClusterSoak(ctx, *cluster, secs, nWorkers, outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "cmifsoak:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*addr, *metricsURL, *seconds, *overloadSeconds, *workers,
 		*overloadConns, *seed, *rounds, *maxConcurrent, *maxQueue, *maxWait,

@@ -25,8 +25,10 @@ type Client struct {
 type clientConfig struct {
 	timeout    time.Duration
 	cache      *BlockCache
+	chunkCache *ChunkCache
 	poolSize   int
 	maxVersion int
+	compress   bool
 }
 
 // DialOption configures Dial. Dial options are a distinct type from the
@@ -52,13 +54,49 @@ func WithPoolSize(n int) DialOption {
 
 // WithProtocolVersion caps the wire protocol version the client offers
 // at connect: 1 forces the legacy strict request/response protocol, 2
-// the multiplexed protocol without live documents, and 3 (the default)
-// adds subscriptions and edit submission. Negotiation falls back to the
-// newest version the server speaks; only Subscribe and SubmitEdit — the
-// v3 operations — fail (with ErrUnsupported) on a downgraded
-// connection.
+// the multiplexed protocol without live documents, 3 adds subscriptions
+// and edit submission, and 4 (the default) adds negotiated frame
+// compression and chunk-deduped block fetches. Negotiation falls back
+// to the newest version the server speaks; only the newer operations
+// fail (with ErrUnsupported) on a downgraded connection.
 func WithProtocolVersion(v int) DialOption {
 	return func(c *clientConfig) { c.maxVersion = v }
+}
+
+// WithCompression turns negotiated per-frame compression on or off for
+// this client (the default is on). It takes effect only when the server
+// also speaks protocol v4 with compression enabled; either side
+// declining leaves frames plain.
+func WithCompression(on bool) DialOption {
+	return func(c *clientConfig) { c.compress = on }
+}
+
+// ChunkCache is a client-side LRU cache of content-defined chunks,
+// byte-budgeted, backing the protocol-v4 dedupe fetch path: a client
+// holding most of a block's chunks fetches only the manifest plus the
+// missing chunks. Safe for concurrent use and shareable across clients
+// with WithSharedChunkCache.
+type ChunkCache = transport.ChunkCache
+
+// ChunkCacheStats snapshots a ChunkCache's effectiveness counters.
+type ChunkCacheStats = transport.ChunkCacheStats
+
+// NewChunkCache returns a chunk cache with the given byte budget (a
+// non-positive budget gets 64 MiB).
+func NewChunkCache(budgetBytes int64) *ChunkCache { return transport.NewChunkCache(budgetBytes) }
+
+// WithChunkCache gives the client a private chunk cache with the given
+// byte budget, enabling dedupe block fetches on protocol v4: warm
+// re-fetches of near-duplicate blocks move only the chunks the client
+// does not already hold. Shared across the client's pooled connections.
+func WithChunkCache(budgetBytes int64) DialOption {
+	return func(c *clientConfig) { c.chunkCache = transport.NewChunkCache(budgetBytes) }
+}
+
+// WithSharedChunkCache attaches an existing chunk cache (NewChunkCache),
+// so several clients dedupe fetches against common local memory.
+func WithSharedChunkCache(cc *ChunkCache) DialOption {
+	return func(c *clientConfig) { c.chunkCache = cc }
 }
 
 // BlockCache is a client-side LRU block cache with singleflight miss
@@ -93,7 +131,7 @@ func WithSharedCache(cache *BlockCache) DialOption {
 // Dial connects to an interchange server, honouring ctx during connection
 // establishment and the protocol handshake.
 func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
-	cfg := clientConfig{poolSize: 1, maxVersion: 3}
+	cfg := clientConfig{poolSize: 1, maxVersion: 4, compress: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -102,7 +140,14 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 	}
 	c := &Client{}
 	for i := 0; i < cfg.poolSize; i++ {
-		tc, err := transport.DialContext(ctx, addr, transport.WithMaxProtocolVersion(cfg.maxVersion))
+		dialOpts := []transport.DialOption{
+			transport.WithMaxProtocolVersion(cfg.maxVersion),
+			transport.WithFrameCompression(cfg.compress),
+		}
+		if cfg.chunkCache != nil {
+			dialOpts = append(dialOpts, transport.WithChunkCache(cfg.chunkCache))
+		}
+		tc, err := transport.DialContext(ctx, addr, dialOpts...)
 		if err != nil {
 			c.Close()
 			return nil, wireError(err)
@@ -138,12 +183,49 @@ func (c *Client) Close() error {
 func (c *Client) PoolSize() int { return len(c.conns) }
 
 // ProtocolVersion reports the wire protocol version the connections
-// negotiated (1, 2 or 3).
+// negotiated (1 through 4).
 func (c *Client) ProtocolVersion() int {
 	if len(c.conns) == 0 {
 		return 0
 	}
 	return c.conns[0].Version()
+}
+
+// Compressed reports whether negotiated frame compression is active on
+// the pooled connections.
+func (c *Client) Compressed() bool {
+	return len(c.conns) > 0 && c.conns[0].Compressed()
+}
+
+// ChunkCacheStats snapshots the attached chunk cache's counters; ok is
+// false when the client was dialled without one.
+func (c *Client) ChunkCacheStats() (stats ChunkCacheStats, ok bool) {
+	if len(c.conns) == 0 || c.conns[0].ChunkCache == nil {
+		return ChunkCacheStats{}, false
+	}
+	return c.conns[0].ChunkCache.Stats(), true
+}
+
+// DedupeFetches reports how many block fetches across the pool were
+// served by the chunk-dedupe path (manifest plus missing chunks) rather
+// than a whole-payload transfer.
+func (c *Client) DedupeFetches() int64 {
+	var n int64
+	for _, tc := range c.conns {
+		n += tc.DedupeFetches()
+	}
+	return n
+}
+
+// DedupeBytesSaved reports payload bytes the dedupe path kept off the
+// wire across the pool — chunk bytes served from the local cache during
+// dedupe fetches.
+func (c *Client) DedupeBytesSaved() int64 {
+	var n int64
+	for _, tc := range c.conns {
+		n += tc.DedupeBytesSaved()
+	}
+	return n
 }
 
 // BytesSent reports accumulated request traffic across the pool, for

@@ -103,6 +103,13 @@ func WithNodeSubscriberQueue(n int) JoinOption {
 	return func(c *joinConfig) { c.cfg.SubQueueCap = n }
 }
 
+// WithNodeCompression turns negotiated per-frame compression for the
+// node's protocol-v4 clients on or off (the default is on), exactly as
+// WithServerCompression does for a single server.
+func WithNodeCompression(on bool) JoinOption {
+	return func(c *joinConfig) { c.cfg.Compression = on }
+}
+
 // WithNodeShutdownGrace bounds how long Serve waits for in-flight
 // requests when its context is cancelled (default 5s), exactly as
 // WithShutdownGrace does for a single server.
@@ -130,6 +137,7 @@ type ClusterNode struct {
 func JoinCluster(opts ...JoinOption) (*ClusterNode, error) {
 	cfg := joinConfig{grace: 5 * time.Second}
 	cfg.cfg.Addr = "127.0.0.1:0"
+	cfg.cfg.Compression = true
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -447,14 +455,20 @@ func (cc *ClusterClient) dropNode(addr string) {
 
 // do runs op against the key's candidate nodes in order, failing over on
 // connection-level errors. An error the node itself answered (ErrRemote
-// wraps it: not-found, busy, conflict) is authoritative and returns
-// immediately — a dead node never produces one.
+// wraps it: busy, conflict) is authoritative and returns immediately — a
+// dead node never produces one. Not-found is the one exception: a node
+// that rejoined mid-churn can be missing a write that raced its resync
+// window (the write was acked by a primary whose gossip view did not yet
+// include it), so one replica's not-found does not speak for the
+// cluster. The remaining candidates are tried, and not-found is returned
+// only once every one of them agrees — a genuinely absent key costs a
+// membership-wide walk, a present one is found wherever it lives.
 func (cc *ClusterClient) do(ctx context.Context, key string, op func(c *Client) error) error {
 	addrs, err := cc.candidates(ctx, key)
 	if err != nil {
 		return err
 	}
-	var lastErr error
+	var lastErr, notFound error
 	for _, addr := range addrs {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -466,11 +480,18 @@ func (cc *ClusterClient) do(ctx context.Context, key string, op func(c *Client) 
 			continue
 		}
 		err = op(c)
+		if err != nil && errors.Is(err, ErrNotFound) {
+			notFound = err
+			continue
+		}
 		if err == nil || errors.Is(err, ErrRemote) || errors.Is(err, ErrUnsupported) {
 			return err
 		}
 		cc.dropNode(addr)
 		lastErr = err
+	}
+	if notFound != nil {
+		return notFound
 	}
 	if lastErr == nil {
 		lastErr = errors.New("cmif: no alive cluster members")

@@ -131,6 +131,38 @@ func RunWireBench(ctx context.Context, cfg WireBenchConfig) (*WireBenchReport, e
 	return experiments.WireBench(ctx, cfg)
 }
 
+// WireSatBenchConfig sizes the S9 wire-saturation scenarios: the
+// dup-heavy and compressible corpora fetched cold and warm over the
+// plain v3 discipline and the v4 dedupe/compression paths. The zero
+// value is usable (48 blocks of 256 KiB per corpus, 8 workers, 3 warm
+// rounds).
+type WireSatBenchConfig = experiments.WireSatBenchConfig
+
+// WireSatBenchReport is the machine-readable result set of
+// RunWireSatBench; cmifbench writes it to BENCH_wire2.json.
+type WireSatBenchReport = experiments.WireSatReport
+
+// RunWireSatBench measures what the v4 wire ships against an in-process
+// server: warm chunk-deduped fetches and negotiated compression versus
+// plain whole-payload transfers of the same logical bytes.
+func RunWireSatBench(ctx context.Context, cfg WireSatBenchConfig) (*WireSatBenchReport, error) {
+	return experiments.WireSatBench(ctx, cfg)
+}
+
+// LoadWireSatBenchReport reads a BENCH_wire2.json report from disk.
+func LoadWireSatBenchReport(path string) (*WireSatBenchReport, error) {
+	return experiments.LoadWireSatReport(path)
+}
+
+// CheckWireSatBenchReport validates a wire-saturation report: exact
+// payload and bytes-on-wire arithmetic, and the committed headline
+// floors (warm dedupe throughput ≥ 2x and wire bytes ≥ 5x down on the
+// dup-heavy corpus, compression ≥ 2x down on the text corpus, recorded
+// at GOMAXPROCS ≥ 4).
+func CheckWireSatBenchReport(r *WireSatBenchReport, committed bool) []string {
+	return experiments.CheckWireSatReport(r, committed)
+}
+
 // DurableBenchConfig sizes the S4 durability scenarios: write throughput
 // by fsync policy, recovery time (WAL replay vs snapshot vs wire
 // re-ingest) and write amplification. The zero value is usable (2048
@@ -250,6 +282,9 @@ func CheckEdgeBenchReport(r *EdgeBenchReport, committed bool) []string {
 // BenchEnv records the environment a benchmark ran under (GOMAXPROCS, CPU
 // count, go version); it travels inside every BENCH report.
 type BenchEnv = experiments.BenchEnv
+
+// CaptureBenchEnv snapshots the current process environment for a report.
+func CaptureBenchEnv() BenchEnv { return experiments.CaptureBenchEnv() }
 
 // LoadStoreBenchReport reads a BENCH_store.json report from disk.
 func LoadStoreBenchReport(path string) (*StoreBenchReport, error) {

@@ -118,6 +118,14 @@ func WithEdgeSubscriberQueue(n int) EdgeOption {
 	return func(c *edgeConfig) { c.cfg.SubQueueCap = n }
 }
 
+// WithEdgeCompression turns negotiated per-frame compression for
+// downstream protocol-v4 clients on or off (the default is on).
+// Upstream compression is negotiated independently by the edge's own
+// origin dials.
+func WithEdgeCompression(on bool) EdgeOption {
+	return func(c *edgeConfig) { c.cfg.Compression = on }
+}
+
 // WithEdgeMetrics shares a metrics registry: the edge contributes the
 // standard server series plus cmif_edge_* cache and lease counters.
 func WithEdgeMetrics(m *Metrics) EdgeOption {
@@ -138,6 +146,7 @@ type DiskCacheStats = edge.DiskStats
 // recovers) the disk cache, and is then ready to Listen.
 func NewEdge(opts ...EdgeOption) (*Edge, error) {
 	cfg := edgeConfig{grace: 5 * time.Second}
+	cfg.cfg.Compression = true
 	for _, o := range opts {
 		o(&cfg)
 	}

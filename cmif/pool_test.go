@@ -47,8 +47,8 @@ func TestClientPool(t *testing.T) {
 	if got := c.PoolSize(); got != 3 {
 		t.Errorf("PoolSize = %d, want 3", got)
 	}
-	if got := c.ProtocolVersion(); got != 3 {
-		t.Errorf("ProtocolVersion = %d, want 3", got)
+	if got := c.ProtocolVersion(); got != 4 {
+		t.Errorf("ProtocolVersion = %d, want 4", got)
 	}
 
 	doc, err := c.Document(context.Background(), "news")

@@ -43,6 +43,7 @@ type serverConfig struct {
 	admission    AdmissionConfig
 	metrics      *Metrics
 	subQueue     int
+	compression  bool
 }
 
 type namedDoc struct {
@@ -121,10 +122,22 @@ func WithSnapshotThreshold(n int64) ServeOption {
 // WithMaxProtocolVersion caps the wire protocol version the server
 // negotiates: 1 forces every connection onto the legacy strict
 // request/response protocol, 2 offers the multiplexed protocol without
-// live documents, and 3 (the default) adds subscriptions and edit
-// submission. Older clients are always served at their own version.
+// live documents, 3 adds subscriptions and edit submission, and 4 (the
+// default) adds negotiated frame compression and chunk-deduped block
+// fetches. Older clients are always served at their own version.
 func WithMaxProtocolVersion(v int) ServeOption {
 	return func(c *serverConfig) { c.maxVersion = v }
+}
+
+// WithServerCompression turns negotiated per-frame compression on or
+// off (the default is on). When on, protocol-v4 clients that also
+// enable it (WithCompression on the dial side) receive large
+// compressible response frames deflated; older clients and
+// incompressible payloads are unaffected frame by frame. Turn it off
+// for corpora of pre-compressed media where the codec probe is pure
+// overhead.
+func WithServerCompression(on bool) ServeOption {
+	return func(c *serverConfig) { c.compression = on }
 }
 
 // WithSubscriberQueue bounds each live subscription's server-side event
@@ -142,7 +155,7 @@ func WithSubscriberQueue(n int) ServeOption {
 // is deferred: it surfaces from Listen (and Serve), keeping NewServer's
 // signature.
 func NewServer(opts ...ServeOption) *Server {
-	cfg := serverConfig{grace: 5 * time.Second}
+	cfg := serverConfig{grace: 5 * time.Second, compression: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -209,11 +222,15 @@ func NewServer(opts ...ServeOption) *Server {
 	srv.MaxVersion = cfg.maxVersion
 	srv.Admission = cfg.admission
 	srv.SubQueueCap = cfg.subQueue
+	srv.Compression = cfg.compression
 	if cfg.metrics == nil {
 		cfg.metrics = NewMetrics()
 	}
 	s.metrics = cfg.metrics
 	srv.Metrics = transport.NewServerMetrics(cfg.metrics)
+	// The store's chunk index feeds the dedupe half of
+	// cmif_bytes_saved_total; attach before any traffic arrives.
+	reg.Store.SetDedupeObserver(srv.Metrics.DedupeSaved)
 	if s.log != nil {
 		s.log.Instrument(cfg.metrics)
 	}

@@ -66,6 +66,9 @@ type Config struct {
 	MaxInFlight  int
 	Admission    transport.Admission
 	SubQueueCap  int
+	// Compression offers negotiated per-frame compression to
+	// protocol-v4 clients of this node.
+	Compression bool
 	// ServiceDelay adds a fixed per-request service time — the capacity
 	// model the cluster bench scales against.
 	ServiceDelay time.Duration
@@ -193,6 +196,7 @@ func Start(cfg Config) (*Node, error) {
 	srv.MaxInFlight = cfg.MaxInFlight
 	srv.Admission = cfg.Admission
 	srv.SubQueueCap = cfg.SubQueueCap
+	srv.Compression = cfg.Compression
 	srv.ServiceDelay = cfg.ServiceDelay
 	srv.Cluster = n
 	if cfg.Metrics != nil {

@@ -1,0 +1,119 @@
+package codec
+
+// Frame compression: the codec seam the transport layer runs wire
+// frames through when both peers negotiated it at hello (protocol v4).
+// It sits *above* CRC/framing — durable WAL records and replication
+// streams carry the same bytes whether or not the wire compresses —
+// and below nothing else: a compressed frame is an ordinary frame body
+// that has been deflated whole.
+//
+// Only stdlib flate is used. The API is deliberately small so an
+// alternative codec (zstd, lz4) can slot in behind the same two
+// functions if a dependency ever becomes available.
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CompressFloor is the minimum frame-body size worth deflating.
+// Below it the flate header/trailer overhead and the extra copy cost
+// more than the bytes they save, so senders pass small frames through
+// uncompressed.
+const CompressFloor = 512
+
+// FrameCodec identifiers exchanged in the hello capability byte.
+// Zero means "no compression" and is never sent.
+const (
+	FrameCodecNone  byte = 0
+	FrameCodecFlate byte = 1
+)
+
+var (
+	// ErrCompressedTooLarge reports a compressed frame whose declared
+	// or actual inflated size exceeds the caller's limit.
+	ErrCompressedTooLarge = errors.New("codec: compressed frame exceeds size limit")
+	// ErrCompressedCorrupt reports a compressed frame that does not
+	// inflate cleanly back to its declared size.
+	ErrCompressedCorrupt = errors.New("codec: compressed frame corrupt")
+)
+
+// flateWriters pools flate writers: NewWriter allocates ~600 KiB of
+// history/window state, far too hot to rebuild per frame.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is a valid level; cannot happen
+		}
+		return w
+	},
+}
+
+var flateReaders = sync.Pool{
+	New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	},
+}
+
+// CompressFrame deflates a frame body. It returns (compressed, true)
+// only when compression is worth it: the input is at least
+// CompressFloor bytes and deflate actually shrank it. Otherwise it
+// returns (nil, false) and the caller sends the raw body — the
+// incompressible-data bypass (already-compressed media payloads are
+// the common case in a CMIF corpus).
+//
+// The returned slice is freshly allocated; the input is not retained.
+func CompressFrame(raw []byte) ([]byte, bool) {
+	if len(raw) < CompressFloor {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(raw) / 2)
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	if _, err := w.Write(raw); err != nil {
+		flateWriters.Put(w)
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		flateWriters.Put(w)
+		return nil, false
+	}
+	flateWriters.Put(w)
+	if buf.Len() >= len(raw) {
+		return nil, false // incompressible: not smaller, send raw
+	}
+	return buf.Bytes(), true
+}
+
+// DecompressFrame inflates a compressed frame body back to exactly
+// rawLen bytes. rawLen comes from the wire envelope and limit is the
+// receiver's frame-size ceiling; both bound allocation before any
+// inflation happens, so a hostile peer cannot balloon memory with a
+// tiny deflate bomb.
+func DecompressFrame(compressed []byte, rawLen, limit int) ([]byte, error) {
+	if rawLen < 0 || rawLen > limit {
+		return nil, fmt.Errorf("%w: declared %d bytes, limit %d", ErrCompressedTooLarge, rawLen, limit)
+	}
+	r := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(r)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(compressed), nil); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCompressedCorrupt, err)
+	}
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCompressedCorrupt, err)
+	}
+	// The stream must end exactly at rawLen: trailing garbage or an
+	// understated rawLen are both protocol errors.
+	var tail [1]byte
+	if n, _ := r.Read(tail[:]); n != 0 {
+		return nil, fmt.Errorf("%w: inflates past declared %d bytes", ErrCompressedTooLarge, rawLen)
+	}
+	return raw, nil
+}

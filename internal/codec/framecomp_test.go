@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCompressFrameRoundTrip(t *testing.T) {
+	raw := bytes.Repeat([]byte("synchronization arc channel view "), 200)
+	comp, ok := CompressFrame(raw)
+	if !ok {
+		t.Fatal("highly repetitive frame did not compress")
+	}
+	if len(comp) >= len(raw) {
+		t.Fatalf("compressed %d >= raw %d", len(comp), len(raw))
+	}
+	got, err := DecompressFrame(comp, len(raw), 1<<20)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("round trip corrupted the frame")
+	}
+}
+
+func TestCompressFrameFloor(t *testing.T) {
+	small := bytes.Repeat([]byte{'a'}, CompressFloor-1)
+	if _, ok := CompressFrame(small); ok {
+		t.Fatal("frame below the floor was compressed")
+	}
+}
+
+func TestCompressFrameIncompressibleBypass(t *testing.T) {
+	raw := make([]byte, 1<<16)
+	rand.New(rand.NewSource(1)).Read(raw)
+	if comp, ok := CompressFrame(raw); ok {
+		t.Fatalf("random frame claimed compressible: %d -> %d", len(raw), len(comp))
+	}
+}
+
+func TestDecompressFrameRejectsOversizedDeclaration(t *testing.T) {
+	raw := bytes.Repeat([]byte{'z'}, 4096)
+	comp, ok := CompressFrame(raw)
+	if !ok {
+		t.Fatal("setup: frame did not compress")
+	}
+	if _, err := DecompressFrame(comp, len(raw), len(raw)-1); !errors.Is(err, ErrCompressedTooLarge) {
+		t.Fatalf("want ErrCompressedTooLarge, got %v", err)
+	}
+	if _, err := DecompressFrame(comp, -1, 1<<20); !errors.Is(err, ErrCompressedTooLarge) {
+		t.Fatalf("negative rawLen: want ErrCompressedTooLarge, got %v", err)
+	}
+}
+
+func TestDecompressFrameRejectsWrongLength(t *testing.T) {
+	raw := bytes.Repeat([]byte{'z'}, 4096)
+	comp, ok := CompressFrame(raw)
+	if !ok {
+		t.Fatal("setup: frame did not compress")
+	}
+	// Understated length: stream inflates past the declaration.
+	if _, err := DecompressFrame(comp, len(raw)-10, 1<<20); err == nil {
+		t.Fatal("understated rawLen accepted")
+	}
+	// Overstated length: stream ends early.
+	if _, err := DecompressFrame(comp, len(raw)+10, 1<<20); !errors.Is(err, ErrCompressedCorrupt) {
+		t.Fatalf("overstated rawLen: want ErrCompressedCorrupt, got %v", err)
+	}
+}
+
+func TestDecompressFrameRejectsGarbage(t *testing.T) {
+	if _, err := DecompressFrame([]byte{0xff, 0x00, 0xab, 0xcd}, 100, 1<<20); err == nil {
+		t.Fatal("garbage deflate stream accepted")
+	}
+}
+
+func TestCompressFrameConcurrent(t *testing.T) {
+	// The pooled writers/readers must be safe under concurrent use
+	// (each goroutine gets its own instance from the pool).
+	raw := bytes.Repeat([]byte("parallel frames "), 512)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				comp, ok := CompressFrame(raw)
+				if !ok {
+					done <- errors.New("did not compress")
+					return
+				}
+				got, err := DecompressFrame(comp, len(raw), 1<<20)
+				if err != nil || !bytes.Equal(got, raw) {
+					done <- errors.New("round trip failed")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

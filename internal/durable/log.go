@@ -619,11 +619,43 @@ func writeSnapshot(dir string, seq uint64, st *State, docs map[string][]byte) (i
 		// arbitrary order, while the registry's name→id pointers depend
 		// on mutation order. The recName records that follow rebuild the
 		// registry exactly.
+		//
+		// Chunk-indexed blocks snapshot as manifests: each unique chunk is
+		// written once (recChunk, first-containing-block order) and the
+		// block itself as a recPutBlkC referencing the hashes, so a
+		// dup-heavy corpus snapshots near its unique size. Blocks below
+		// the chunk threshold — or whose manifest cannot be fully
+		// resolved against the live chunk index — keep the plain
+		// recPutBlk form.
+		chunksWritten := make(map[media.ChunkHash]bool)
 		st.Store.Each(func(b *media.Block) bool {
 			desc, err := encodeDescriptor(b.Descriptor)
 			if err != nil {
 				werr = fmt.Errorf("block %q descriptor: %w", b.Name, err)
 				return false
+			}
+			if hashes, ok := st.Store.Manifest(b.ID); ok {
+				manifest := make([]byte, 0, len(hashes)*len(hashes[0]))
+				resolved := true
+				for _, h := range hashes {
+					data, ok := st.Store.GetChunk(h)
+					if !ok {
+						resolved = false
+						break
+					}
+					if !chunksWritten[h] {
+						if werr = write(recChunk, h[:], data); werr != nil {
+							return false
+						}
+						chunksWritten[h] = true
+					}
+					manifest = append(manifest, h[:]...)
+				}
+				if resolved {
+					werr = write(recPutBlkC,
+						[]byte(b.ID), []byte(b.Name), []byte(b.Medium.String()), desc, manifest, []byte{0})
+					return werr == nil
+				}
 			}
 			werr = write(recPutBlk,
 				[]byte(b.ID), []byte(b.Name), []byte(b.Medium.String()), desc, b.Payload, []byte{0})

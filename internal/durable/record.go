@@ -52,6 +52,20 @@ const (
 	recDelDesc byte = 6
 	// recName points a registry name at a content address: [name, id].
 	recName byte = 7
+	// recChunk stages one unique content-defined chunk: [hash, bytes].
+	// Snapshot-only: WAL appends and replication frames never carry it.
+	// The hash is the chunk's raw SHA-256 (verified on replay); a later
+	// recPutBlkC in the same file assembles payloads from staged chunks.
+	recChunk byte = 8
+	// recPutBlkC stores a chunk-manifest block: [id, name, medium,
+	// descriptor, manifest, register-flag] — recPutBlk with the payload
+	// replaced by a concatenation of chunk hashes, each resolving to a
+	// recChunk staged earlier in the same snapshot. Duplicate chunks are
+	// written once per snapshot instead of once per block, so a
+	// dup-heavy corpus snapshots near its unique size. Snapshot-only,
+	// like recChunk; old snapshots (plain recPutBlk) still load, and old
+	// binaries reject these ops loudly rather than misreading them.
+	recPutBlkC byte = 9
 )
 
 // maxRecordBytes bounds one record's payload; larger lengths in a frame

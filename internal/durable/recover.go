@@ -198,6 +198,9 @@ func recoverDir(dir string, repair bool) (st *State, docs map[string][]byte, wal
 			maxSeq = seq
 		}
 	}
+	// Snapshot chunk staging is replay-only scratch; drop it before the
+	// state goes live so the unique-chunk copies don't shadow the corpus.
+	st.releaseReplayChunks()
 	return st, docs, walBytes, maxSeq, nil
 }
 

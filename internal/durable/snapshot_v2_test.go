@@ -1,0 +1,265 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/media"
+)
+
+// dupHeavyCorpusBlocks stores nBlocks near-duplicate video blocks: one
+// shared base payload with a small per-block splice, so consecutive
+// blocks share almost every content-defined chunk. Returns the sum of
+// payload sizes.
+func dupHeavyCorpusBlocks(t *testing.T, st *State, nBlocks, blockSize int) int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	base := make([]byte, blockSize)
+	rng.Read(base)
+	var logical int64
+	for i := 0; i < nBlocks; i++ {
+		payload := append([]byte(nil), base...)
+		// A 128-byte splice at a block-specific offset: dedupe must keep
+		// the untouched chunks shared and isolate the edit.
+		off := (i * 8191) % (blockSize - 128)
+		rng.Read(payload[off : off+128])
+		b := media.NewBlock(fmt.Sprintf("clip-%02d.vid", i), core.MediumVideo, payload, attr.List{})
+		st.Store.Put(b)
+		logical += int64(len(payload))
+	}
+	return logical
+}
+
+// snapshotOps scans a snapshot file and counts records by op.
+func snapshotOps(t *testing.T, path string) map[byte]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := newRecordScanner(bufio.NewReaderSize(f, 1<<20), path)
+	ops := make(map[byte]int)
+	for {
+		payload, err := sc.next()
+		if err == io.EOF {
+			return ops
+		}
+		if err != nil {
+			t.Fatalf("scanning %s: %v", path, err)
+		}
+		op, _, derr := decodeRecord(payload, nil)
+		if derr != nil {
+			t.Fatalf("decoding record in %s: %v", path, derr)
+		}
+		ops[op]++
+	}
+}
+
+// newestSnapshot returns the path of the highest-sequence snapshot.
+func newestSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	listing, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.snapSeqs) == 0 {
+		t.Fatalf("no snapshot in %s", dir)
+	}
+	return filepath.Join(dir, snapName(listing.snapSeqs[len(listing.snapSeqs)-1]))
+}
+
+// TestSnapshotChunkDedupe: a dup-heavy corpus snapshots near its unique
+// size — unique chunks once (recChunk), blocks as manifests (recPutBlkC)
+// — and recovery rebuilds the identical corpus from that form.
+func TestSnapshotChunkDedupe(t *testing.T) {
+	dir := t.TempDir()
+	l, st := mustOpen(t, dir, Options{Sync: SyncNever})
+	const nBlocks, blockSize = 12, 128 << 10
+	logical := dupHeavyCorpusBlocks(t, st, nBlocks, blockSize)
+	populate(t, l, st) // mix in small blocks, docs, descriptors
+	if err := l.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := newestSnapshot(t, dir)
+	ops := snapshotOps(t, snap)
+	if ops[recPutBlkC] < nBlocks {
+		t.Fatalf("want >= %d recPutBlkC records, got %d (ops %v)", nBlocks, ops[recPutBlkC], ops)
+	}
+	if ops[recChunk] == 0 {
+		t.Fatalf("no recChunk records in snapshot (ops %v)", ops)
+	}
+	if ops[recPutBlk] == 0 {
+		t.Fatalf("small blocks should stay plain recPutBlk (ops %v)", ops)
+	}
+	info, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 near-duplicates of one 128 KiB base: logical is ~1.5 MiB, unique
+	// is ~one base plus the splices. Anything under half logical proves
+	// the chunks deduped; in practice it lands near 1/12th.
+	if info.Size() > logical/2 {
+		t.Fatalf("snapshot %d bytes did not dedupe %d logical bytes", info.Size(), logical)
+	}
+
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	checkEqual(t, st, got)
+	if got.replayChunks != nil {
+		t.Fatal("replay chunk staging not released after recovery")
+	}
+}
+
+// writeLegacySnapshot writes a pre-chunking (v1) snapshot: every block as
+// a plain recPutBlk, exactly what the old writer emitted. The upgrade
+// test uses it to prove old directories still load.
+func writeLegacySnapshot(t *testing.T, dir string, seq uint64, st *State, docs map[string][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	write := func(op byte, fields ...[]byte) {
+		buf.Write(encodeFrame(op, fields...))
+	}
+	names := make([]string, 0, len(docs))
+	for name := range docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		write(recPutDoc, []byte(name), docs[name])
+	}
+	var werr error
+	st.Store.Each(func(b *media.Block) bool {
+		desc, err := encodeDescriptor(b.Descriptor)
+		if err != nil {
+			werr = err
+			return false
+		}
+		write(recPutBlk, []byte(b.ID), []byte(b.Name), []byte(b.Medium.String()), desc, b.Payload, []byte{0})
+		return true
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	for _, name := range st.Store.Names() {
+		if id, ok := st.Store.Resolve(name); ok {
+			write(recName, []byte(name), []byte(id))
+		}
+	}
+	for _, id := range st.DB.IDs() {
+		desc, ok := st.DB.Get(id)
+		if !ok {
+			continue
+		}
+		data, err := encodeDescriptor(desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(recPutDesc, []byte(id), data)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(seq)), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotFormatUpgrade: an old-format snapshot (plain recPutBlk
+// only) recovers, the recovered log re-snapshots in the chunked format,
+// and a second recovery serves byte-identical state — the full upgrade
+// path a deploy rides through.
+func TestSnapshotFormatUpgrade(t *testing.T) {
+	srcDir := t.TempDir()
+	l, src := mustOpen(t, srcDir, Options{Sync: SyncNever})
+	dupHeavyCorpusBlocks(t, src, 8, 64<<10)
+	populate(t, l, src)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lay down an old-format directory: one legacy snapshot, no WAL.
+	oldDir := t.TempDir()
+	docs := make(map[string][]byte)
+	for name, d := range src.Docs {
+		data, err := codec.EncodeBinary(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[name] = data
+	}
+	writeLegacySnapshot(t, oldDir, 1, src, docs)
+
+	ops := snapshotOps(t, newestSnapshot(t, oldDir))
+	if ops[recPutBlkC] != 0 || ops[recChunk] != 0 {
+		t.Fatalf("legacy snapshot must not contain chunk records (ops %v)", ops)
+	}
+
+	// Old snapshot loads under the new code.
+	l2, upgraded := mustOpen(t, oldDir, Options{Sync: SyncNever})
+	checkEqual(t, src, upgraded)
+
+	// Re-snapshot: the recovered store re-indexed its chunks, so the new
+	// snapshot comes out in the deduped format.
+	if err := l2.Snapshot(); err != nil {
+		t.Fatalf("re-snapshot after upgrade: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ops = snapshotOps(t, newestSnapshot(t, oldDir))
+	if ops[recPutBlkC] == 0 || ops[recChunk] == 0 {
+		t.Fatalf("re-snapshot still in legacy format (ops %v)", ops)
+	}
+
+	// Second recovery, from the chunked snapshot: byte-equal serving.
+	final, err := Load(oldDir)
+	if err != nil {
+		t.Fatalf("Load after upgrade: %v", err)
+	}
+	checkEqual(t, src, final)
+	src.Store.Each(func(b *media.Block) bool {
+		g, ok := final.Store.Get(b.ID)
+		if !ok || !bytes.Equal(g.Payload, b.Payload) {
+			t.Fatalf("block %s not byte-equal after upgrade cycle", b.Name)
+		}
+		return true
+	})
+}
+
+// TestSnapshotChunkCorruptionRejected: a recPutBlkC whose manifest
+// references a chunk the snapshot never staged is corruption, not a
+// silent skip.
+func TestSnapshotChunkCorruptionRejected(t *testing.T) {
+	st := newState()
+	var h ChunkHash
+	for i := range h {
+		h[i] = byte(i)
+	}
+	err := st.apply(recPutBlkC, [][]byte{
+		[]byte("someid"), []byte("name"), []byte("text"), []byte("<ext>"), h[:], {0},
+	})
+	if err == nil {
+		t.Fatal("recPutBlkC with unstaged chunk accepted")
+	}
+
+	// A staged chunk whose bytes do not match its recorded hash is
+	// rejected before it can poison later assemblies.
+	err = st.apply(recChunk, [][]byte{h[:], []byte("not the preimage")})
+	if err == nil {
+		t.Fatal("recChunk with wrong hash accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/attr"
+	"repro/internal/chunker"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/ddbms"
@@ -26,7 +27,17 @@ type State struct {
 	// would dominate recovery. Consumers clone before mutating, so
 	// sharing the parsed list is safe.
 	descMemo map[string]attr.List
+
+	// replayChunks stages recChunk records (snapshot-only) so the
+	// recPutBlkC records that follow can reassemble their payloads.
+	// Populated lazily during snapshot replay, released by recovery once
+	// all files are replayed — it holds one copy of each unique chunk,
+	// transiently doubling their footprint, and must not outlive replay.
+	replayChunks map[ChunkHash][]byte
 }
+
+// ChunkHash mirrors media.ChunkHash for the snapshot chunk records.
+type ChunkHash = media.ChunkHash
 
 func newState() *State {
 	return &State{
@@ -110,6 +121,44 @@ func (st *State) apply(op byte, fields [][]byte) error {
 			return err
 		}
 		st.DB.Delete(string(fields[0]))
+	case recChunk:
+		if err := want(2); err != nil {
+			return err
+		}
+		if len(fields[0]) != chunker.HashSize {
+			return fmt.Errorf("chunk: bad hash length %d", len(fields[0]))
+		}
+		var h ChunkHash
+		copy(h[:], fields[0])
+		if chunker.Sum(fields[1]) != h {
+			return fmt.Errorf("chunk %.12x: bytes do not match recorded hash", fields[0])
+		}
+		if st.replayChunks == nil {
+			st.replayChunks = make(map[ChunkHash][]byte)
+		}
+		// Detach from the scanner's scratch buffer; the staged copy is
+		// shared by every block manifest that references it.
+		st.replayChunks[h] = append(make([]byte, 0, len(fields[1])), fields[1]...)
+	case recPutBlkC:
+		if err := want(6); err != nil {
+			return err
+		}
+		if len(fields[5]) != 1 {
+			return fmt.Errorf("putblkc: bad register flag")
+		}
+		payload, err := st.assembleChunks(fields[4])
+		if err != nil {
+			return fmt.Errorf("putblkc %q: %w", fields[1], err)
+		}
+		b, err := st.blockFromParts(fields[1], fields[2], fields[3], payload)
+		if err != nil {
+			return fmt.Errorf("putblkc %q: %w", fields[1], err)
+		}
+		if b.ID != string(fields[0]) {
+			return fmt.Errorf("putblkc %q: recorded content address %.12s does not match payload (%.12s)",
+				fields[1], fields[0], b.ID)
+		}
+		st.Store.PutOwned(b, fields[5][0] == 1)
 	case recName:
 		if err := want(2); err != nil {
 			return err
@@ -126,35 +175,78 @@ func (st *State) apply(op byte, fields [][]byte) error {
 }
 
 // blockFromRecord rebuilds a block from recPutBlk fields, recomputing its
-// content address from medium and payload.
+// content address from medium and payload. The payload detaches from the
+// scanner's scratch buffer exactly once.
 func (st *State) blockFromRecord(fields [][]byte) (*media.Block, error) {
-	medium, err := core.ParseMedium(string(fields[2]))
+	payload := append(make([]byte, 0, len(fields[4])), fields[4]...)
+	return st.blockFromParts(fields[1], fields[2], fields[3], payload)
+}
+
+// blockFromParts assembles a block from replayed parts, taking ownership
+// of payload (callers pass a detached or freshly assembled slice).
+func (st *State) blockFromParts(name, mediumText, descText, payload []byte) (*media.Block, error) {
+	medium, err := core.ParseMedium(string(mediumText))
 	if err != nil {
 		return nil, err
 	}
-	desc, err := st.parseDesc(fields[3])
+	desc, err := st.parseDesc(descText)
 	if err != nil {
 		return nil, fmt.Errorf("descriptor: %w", err)
 	}
-	if n, ok := desc.GetInt(media.DescBytes); ok && n != int64(len(fields[4])) {
+	if n, ok := desc.GetInt(media.DescBytes); ok && n != int64(len(payload)) {
 		return nil, fmt.Errorf("descriptor bytes attribute %d disagrees with %d-byte payload",
-			n, len(fields[4]))
+			n, len(payload))
 	}
 	// Assembled by hand rather than through NewBlock, and inserted via
 	// PutOwned: the journaled descriptor already carries the bytes and
-	// format attributes NewBlock would re-derive, the payload detaches
-	// from the scanner's scratch buffer exactly once, and the memoized
-	// descriptor is shared — immutably — across every block that
-	// repeats its text. Recovery cost per block is one hash, one copy.
-	payload := append(make([]byte, 0, len(fields[4])), fields[4]...)
+	// format attributes NewBlock would re-derive, the payload is copied
+	// exactly once, and the memoized descriptor is shared — immutably —
+	// across every block that repeats its text. Recovery cost per block
+	// is one hash, one copy.
 	return &media.Block{
 		ID:         media.ContentAddress(medium, payload),
-		Name:       string(fields[1]),
+		Name:       string(name),
 		Medium:     medium,
 		Payload:    payload,
 		Descriptor: desc,
 	}, nil
 }
+
+// assembleChunks rebuilds a recPutBlkC payload from its manifest — a
+// concatenation of fixed-size chunk hashes, each staged by an earlier
+// recChunk in the same snapshot. Every chunk's hash was verified when it
+// was staged and the caller verifies the whole payload's content
+// address, so assembly is pure concatenation.
+func (st *State) assembleChunks(manifest []byte) ([]byte, error) {
+	if len(manifest) == 0 || len(manifest)%chunker.HashSize != 0 {
+		return nil, fmt.Errorf("manifest length %d not a multiple of hash size", len(manifest))
+	}
+	total := 0
+	for off := 0; off < len(manifest); off += chunker.HashSize {
+		var h ChunkHash
+		copy(h[:], manifest[off:])
+		data, ok := st.replayChunks[h]
+		if !ok {
+			return nil, fmt.Errorf("manifest references unstaged chunk %.12x", h[:])
+		}
+		total += len(data)
+		if total > maxRecordBytes {
+			return nil, fmt.Errorf("assembled payload exceeds %d bytes", maxRecordBytes)
+		}
+	}
+	payload := make([]byte, 0, total)
+	for off := 0; off < len(manifest); off += chunker.HashSize {
+		var h ChunkHash
+		copy(h[:], manifest[off:])
+		payload = append(payload, st.replayChunks[h]...)
+	}
+	return payload, nil
+}
+
+// releaseReplayChunks drops the chunk staging table once replay is done;
+// the assembled payloads own their bytes and the staging copies would
+// otherwise linger for the process lifetime.
+func (st *State) releaseReplayChunks() { st.replayChunks = nil }
 
 // encodeDescriptor serializes an attribute list as an embedded CMIF
 // fragment — the same representation the wire protocol ships descriptors

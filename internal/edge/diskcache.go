@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/attr"
+	"repro/internal/chunker"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/fsio"
@@ -35,11 +37,21 @@ const DefaultCacheBytes = 256 << 20
 // deleted, never misread.
 var diskMagic = []byte("CMEB1")
 
-// blockExt and nameExt are the cache's two file kinds: content-addressed
-// block bodies and name→address index entries.
+// diskMagicV2 heads chunk-manifest block files: the same four
+// length-prefixed fields as CMEB1, but the fourth is a concatenation of
+// chunk hashes instead of the payload; the chunk bytes live in shared,
+// refcounted .cmc files. Near-duplicate blocks then cost one manifest
+// plus their unique chunks on disk. CMEB1 files written by earlier
+// builds keep reading forever.
+var diskMagicV2 = []byte("CMEB2")
+
+// blockExt, nameExt and chunkExt are the cache's file kinds:
+// content-addressed block bodies (or manifests), name→address index
+// entries, and shared content-defined chunks.
 const (
 	blockExt = ".cmb"
 	nameExt  = ".cmn"
+	chunkExt = ".cmc"
 	tmpExt   = ".tmp"
 )
 
@@ -61,22 +73,40 @@ type DiskCache struct {
 	lru     *list.List               // front = most recently used
 	bytes   int64
 
+	// chunkRefs refcounts the shared .cmc chunk files: one ref per
+	// manifest occurrence across resident CMEB2 entries. A chunk file is
+	// deleted when its last referencing block evicts.
+	chunkRefs map[media.ChunkHash]*chunkRef
+
 	hits, misses, evictions int64
 }
 
-// diskEntry is one cached block's in-memory index record.
-type diskEntry struct {
-	id   string
+// chunkRef is one shared chunk file's index record.
+type chunkRef struct {
 	size int64
+	refs int
+}
+
+// diskEntry is one cached block's in-memory index record. chunks is nil
+// for plain CMEB1 entries; for CMEB2 entries it is the manifest, in
+// order, so eviction can release the references.
+type diskEntry struct {
+	id     string
+	size   int64
+	chunks []media.ChunkHash
 }
 
 // DiskStats snapshots the disk cache's occupancy and effectiveness.
+// Bytes is total disk usage (block files plus chunk files); Chunks and
+// ChunkBytes describe the shared chunk tier inside that total.
 type DiskStats struct {
-	Blocks    int
-	Bytes     int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Blocks     int
+	Bytes      int64
+	Chunks     int
+	ChunkBytes int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
 }
 
 // OpenDiskCache opens (or creates) the cache rooted at dir with the
@@ -94,11 +124,12 @@ func OpenDiskCache(dir string, budget int64) (*DiskCache, error) {
 		return nil, fmt.Errorf("edge: open disk cache: %w", err)
 	}
 	c := &DiskCache{
-		dir:     dir,
-		budget:  budget,
-		entries: make(map[string]*list.Element),
-		names:   make(map[string]string),
-		lru:     list.New(),
+		dir:       dir,
+		budget:    budget,
+		entries:   make(map[string]*list.Element),
+		names:     make(map[string]string),
+		lru:       list.New(),
+		chunkRefs: make(map[media.ChunkHash]*chunkRef),
 	}
 	dents, err := os.ReadDir(dir)
 	if err != nil {
@@ -110,6 +141,7 @@ func OpenDiskCache(dir string, budget int64) (*DiskCache, error) {
 		mtime int64
 	}
 	var blocks []aged
+	chunkSizes := make(map[media.ChunkHash]int64)
 	for _, de := range dents {
 		name := de.Name()
 		switch {
@@ -123,6 +155,19 @@ func OpenDiskCache(dir string, budget int64) (*DiskCache, error) {
 				continue
 			}
 			blocks = append(blocks, aged{id: id, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		case strings.HasSuffix(name, chunkExt):
+			raw, err := hex.DecodeString(strings.TrimSuffix(name, chunkExt))
+			if err != nil || len(raw) != len(media.ChunkHash{}) {
+				_ = os.Remove(filepath.Join(dir, name))
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			var h media.ChunkHash
+			copy(h[:], raw)
+			chunkSizes[h] = info.Size()
 		case strings.HasSuffix(name, nameExt):
 			served, id, ok := readNameFile(filepath.Join(dir, name))
 			if ok {
@@ -136,13 +181,83 @@ func OpenDiskCache(dir string, budget int64) (*DiskCache, error) {
 	// touched survivors.
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].mtime < blocks[j].mtime })
 	for _, b := range blocks {
-		c.entries[b.id] = c.lru.PushFront(&diskEntry{id: b.id, size: b.size})
+		// CMEB2 manifests must be read now to rebuild the chunk
+		// refcounts; they are tiny. CMEB1 bodies stay trusted by name
+		// (content verified on first read), so open cost does not scale
+		// with cached payload bytes.
+		chunks, ok := c.scanBlockChunks(b.id)
+		if !ok {
+			_ = os.Remove(c.blockPath(b.id))
+			continue
+		}
+		for _, h := range chunks {
+			cr := c.chunkRefs[h]
+			if cr == nil {
+				cr = &chunkRef{}
+				c.chunkRefs[h] = cr
+			}
+			cr.refs++
+		}
+		c.entries[b.id] = c.lru.PushFront(&diskEntry{id: b.id, size: b.size, chunks: chunks})
 		c.bytes += b.size
+	}
+	// Referenced chunks join the byte accounting; orphans (their last
+	// referencing block was evicted or lost mid-crash) are swept.
+	for h, size := range chunkSizes {
+		if cr, ok := c.chunkRefs[h]; ok {
+			cr.size = size
+			c.bytes += size
+		} else {
+			_ = os.Remove(c.chunkPath(h))
+		}
 	}
 	c.mu.Lock()
 	c.evictLocked()
 	c.mu.Unlock()
 	return c, nil
+}
+
+// scanBlockChunks classifies one block file at open: nil chunks for a
+// plain CMEB1 body, the manifest hashes for a CMEB2 manifest, ok=false
+// for a file no reader of either format will accept.
+func (c *DiskCache) scanBlockChunks(id string) ([]media.ChunkHash, bool) {
+	f, err := os.Open(c.blockPath(id))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	magic := make([]byte, len(diskMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, false
+	}
+	if string(magic) == string(diskMagic) {
+		return nil, true
+	}
+	if string(magic) != string(diskMagicV2) {
+		return nil, false
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false
+	}
+	fields, err := splitFields(data, 4)
+	if err != nil {
+		return nil, false
+	}
+	return parseManifest(fields[3])
+}
+
+// parseManifest splits a manifest field into chunk hashes.
+func parseManifest(manifest []byte) ([]media.ChunkHash, bool) {
+	hashSize := len(media.ChunkHash{})
+	if len(manifest) == 0 || len(manifest)%hashSize != 0 {
+		return nil, false
+	}
+	hashes := make([]media.ChunkHash, len(manifest)/hashSize)
+	for i := range hashes {
+		copy(hashes[i][:], manifest[i*hashSize:])
+	}
+	return hashes, true
 }
 
 // Dir reports the cache's root directory.
@@ -152,12 +267,18 @@ func (c *DiskCache) Dir() string { return c.dir }
 func (c *DiskCache) Stats() DiskStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var chunkBytes int64
+	for _, cr := range c.chunkRefs {
+		chunkBytes += cr.size
+	}
 	return DiskStats{
-		Blocks:    c.lru.Len(),
-		Bytes:     c.bytes,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Blocks:     c.lru.Len(),
+		Bytes:      c.bytes,
+		Chunks:     len(c.chunkRefs),
+		ChunkBytes: chunkBytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
 	}
 }
 
@@ -180,7 +301,7 @@ func (c *DiskCache) Get(key string) (*media.Block, bool) {
 	c.lru.MoveToFront(el)
 	c.mu.Unlock()
 
-	blk, err := readBlockFile(c.blockPath(id), id)
+	blk, err := c.readBlock(id)
 	if err != nil {
 		c.drop(id)
 		c.mu.Lock()
@@ -202,12 +323,44 @@ func (c *DiskCache) Put(servedName string, b *media.Block) {
 	if b == nil || b.ID == "" {
 		return
 	}
-	data := encodeBlockFile(b)
-	size := int64(len(data))
 	c.mu.Lock()
 	_, exists := c.entries[b.ID]
 	c.mu.Unlock()
+
+	var size int64
+	var hashes []media.ChunkHash
+	sizes := make(map[media.ChunkHash]int64)
 	if !exists {
+		var data []byte
+		if len(b.Payload) >= media.ChunkThreshold {
+			// Chunk-manifest form: shared .cmc files plus a tiny CMEB2
+			// manifest. Chunks already on disk (another block's) are not
+			// rewritten — that sharing is the dedupe.
+			pieces := chunker.Split(b.Payload, chunker.Config{})
+			hashes = make([]media.ChunkHash, len(pieces))
+			manifest := make([]byte, 0, len(pieces)*chunker.HashSize)
+			for i, p := range pieces {
+				h := chunker.Sum(p)
+				hashes[i] = h
+				manifest = append(manifest, h[:]...)
+				if _, seen := sizes[h]; seen {
+					continue
+				}
+				sizes[h] = int64(len(p))
+				c.mu.Lock()
+				have := c.chunkRefs[h] != nil
+				c.mu.Unlock()
+				if !have {
+					if err := fsio.WriteFileNoDirSync(c.chunkPath(h), p, 0o644); err != nil {
+						return
+					}
+				}
+			}
+			data = encodeBlockFileV2(b, manifest)
+		} else {
+			data = encodeBlockFile(b)
+		}
+		size = int64(len(data))
 		if err := fsio.WriteFileNoDirSync(c.blockPath(b.ID), data, 0o644); err != nil {
 			return
 		}
@@ -224,14 +377,30 @@ func (c *DiskCache) Put(servedName string, b *media.Block) {
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[b.ID] = c.lru.PushFront(&diskEntry{id: b.ID, size: size})
+	if exists {
+		// Raced an eviction between the existence check and here: the
+		// files may be gone. The next Put re-caches cleanly.
+		return
+	}
+	for _, h := range hashes {
+		cr := c.chunkRefs[h]
+		if cr == nil {
+			cr = &chunkRef{size: sizes[h]}
+			c.chunkRefs[h] = cr
+			c.bytes += cr.size
+		}
+		cr.refs++
+	}
+	c.entries[b.ID] = c.lru.PushFront(&diskEntry{id: b.ID, size: size, chunks: hashes})
 	c.bytes += size
 	c.evictLocked()
 }
 
 // evictLocked trims least-recently-used block files until the byte
-// budget holds. Name index entries pointing at an evicted block resolve
-// to a miss and are cleaned lazily. Callers hold c.mu.
+// budget holds, releasing chunk references as entries go (a chunk file
+// is deleted with its last referencing block). Name index entries
+// pointing at an evicted block resolve to a miss and are cleaned
+// lazily. Callers hold c.mu.
 func (c *DiskCache) evictLocked() {
 	for c.bytes > c.budget && c.lru.Len() > 0 {
 		el := c.lru.Back()
@@ -241,6 +410,24 @@ func (c *DiskCache) evictLocked() {
 		c.bytes -= ent.size
 		c.evictions++
 		_ = os.Remove(c.blockPath(ent.id))
+		c.releaseChunksLocked(ent.chunks)
+	}
+}
+
+// releaseChunksLocked drops one reference per manifest occurrence,
+// deleting chunk files that reach zero. Callers hold c.mu.
+func (c *DiskCache) releaseChunksLocked(hashes []media.ChunkHash) {
+	for _, h := range hashes {
+		cr := c.chunkRefs[h]
+		if cr == nil {
+			continue
+		}
+		cr.refs--
+		if cr.refs <= 0 {
+			delete(c.chunkRefs, h)
+			c.bytes -= cr.size
+			_ = os.Remove(c.chunkPath(h))
+		}
 	}
 }
 
@@ -253,12 +440,18 @@ func (c *DiskCache) drop(id string) {
 		c.lru.Remove(el)
 		delete(c.entries, id)
 		c.bytes -= ent.size
+		c.releaseChunksLocked(ent.chunks)
 	}
 	_ = os.Remove(c.blockPath(id))
 }
 
 func (c *DiskCache) blockPath(id string) string {
 	return filepath.Join(c.dir, id+blockExt)
+}
+
+// chunkPath addresses a shared chunk file by the hex of its hash.
+func (c *DiskCache) chunkPath(h media.ChunkHash) string {
+	return filepath.Join(c.dir, hex.EncodeToString(h[:])+chunkExt)
 }
 
 // namePath addresses a served name's index file. Names are arbitrary
@@ -285,30 +478,81 @@ func encodeBlockFile(b *media.Block) []byte {
 	return buf
 }
 
-// readBlockFile loads and verifies one cached block: framing must parse,
-// and the payload must hash back to the content address the file is
-// named for. Anything else is an error — the caller drops the file.
-func readBlockFile(path, wantID string) (*media.Block, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// encodeBlockFileV2 serializes a chunk-manifest block file: same field
+// layout as CMEB1, with the manifest in the payload position. The chunk
+// bytes live in the shared .cmc files the manifest references.
+func encodeBlockFileV2(b *media.Block, manifest []byte) []byte {
+	desc := descriptorText(b.Descriptor)
+	var buf []byte
+	buf = append(buf, diskMagicV2...)
+	for _, field := range [][]byte{[]byte(b.Name), []byte(b.Medium.String()), []byte(desc), manifest} {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(field)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, field...)
 	}
-	if len(data) < len(diskMagic) || string(data[:len(diskMagic)]) != string(diskMagic) {
-		return nil, fmt.Errorf("edge: cache file %s: bad magic", filepath.Base(path))
-	}
-	rest := data[len(diskMagic):]
-	fields := make([][]byte, 0, 4)
-	for i := 0; i < 4; i++ {
+	return buf
+}
+
+// splitFields splits n length-prefixed fields from a block file body
+// (the bytes after the magic).
+func splitFields(rest []byte, n int) ([][]byte, error) {
+	fields := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
 		if len(rest) < 4 {
-			return nil, fmt.Errorf("edge: cache file %s: truncated", filepath.Base(path))
+			return nil, fmt.Errorf("truncated")
 		}
 		l := binary.BigEndian.Uint32(rest[:4])
 		rest = rest[4:]
 		if uint32(len(rest)) < l {
-			return nil, fmt.Errorf("edge: cache file %s: truncated field", filepath.Base(path))
+			return nil, fmt.Errorf("truncated field")
 		}
 		fields = append(fields, rest[:l])
 		rest = rest[l:]
+	}
+	return fields, nil
+}
+
+// readBlock loads and verifies one cached block, either format: framing
+// must parse, every chunk must hash back to its manifest entry, and the
+// payload must hash back to the content address the file is named for.
+// Anything else is an error — the caller drops the entry (releasing its
+// chunk references).
+func (c *DiskCache) readBlock(wantID string) (*media.Block, error) {
+	path := c.blockPath(wantID)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(diskMagic) {
+		return nil, fmt.Errorf("edge: cache file %s: short magic", filepath.Base(path))
+	}
+	magic, rest := string(data[:len(diskMagic)]), data[len(diskMagic):]
+	if magic != string(diskMagic) && magic != string(diskMagicV2) {
+		return nil, fmt.Errorf("edge: cache file %s: bad magic", filepath.Base(path))
+	}
+	fields, err := splitFields(rest, 4)
+	if err != nil {
+		return nil, fmt.Errorf("edge: cache file %s: %w", filepath.Base(path), err)
+	}
+	var payload []byte
+	if magic == string(diskMagicV2) {
+		hashes, ok := parseManifest(fields[3])
+		if !ok {
+			return nil, fmt.Errorf("edge: cache file %s: bad manifest", filepath.Base(path))
+		}
+		for _, h := range hashes {
+			cdata, err := os.ReadFile(c.chunkPath(h))
+			if err != nil {
+				return nil, fmt.Errorf("edge: cache file %s: missing chunk: %w", filepath.Base(path), err)
+			}
+			if chunker.Sum(cdata) != h {
+				return nil, fmt.Errorf("edge: cache file %s: chunk hash mismatch", filepath.Base(path))
+			}
+			payload = append(payload, cdata...)
+		}
+	} else {
+		payload = append([]byte(nil), fields[3]...)
 	}
 	medium, err := core.ParseMedium(string(fields[1]))
 	if err != nil {
@@ -318,7 +562,7 @@ func readBlockFile(path, wantID string) (*media.Block, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edge: cache file %s: %w", filepath.Base(path), err)
 	}
-	blk := media.NewBlock(string(fields[0]), medium, append([]byte(nil), fields[3]...), descs)
+	blk := media.NewBlock(string(fields[0]), medium, payload, descs)
 	if blk.ID != wantID {
 		return nil, fmt.Errorf("edge: cache file %s: payload hash mismatch", filepath.Base(path))
 	}

@@ -1,0 +1,173 @@
+package edge
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/media"
+)
+
+// nearDupBlocks builds n large blocks sharing one random base payload,
+// each with a small splice, so they share most content-defined chunks.
+func nearDupBlocks(t *testing.T, n, size int) []*media.Block {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	base := make([]byte, size)
+	rng.Read(base)
+	blocks := make([]*media.Block, n)
+	for i := range blocks {
+		payload := append([]byte(nil), base...)
+		off := (i * 4099) % (size - 64)
+		rng.Read(payload[off : off+64])
+		blocks[i] = media.NewBlock("dup.vid", core.MediumVideo, payload, attr.List{})
+	}
+	return blocks
+}
+
+func countFiles(t *testing.T, dir, ext string) int {
+	t.Helper()
+	dents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range dents {
+		if strings.HasSuffix(de.Name(), ext) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDiskCacheChunkDedupe: near-duplicate blocks share chunk files on
+// disk, total disk usage stays near one payload, and both read back
+// byte-identical — including after a reopen that rebuilds refcounts.
+func TestDiskCacheChunkDedupe(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 128 << 10
+	blocks := nearDupBlocks(t, 4, size)
+	for _, b := range blocks {
+		c.Put(b.Name, b)
+	}
+	st := c.Stats()
+	if st.Chunks == 0 {
+		t.Fatal("no shared chunks recorded")
+	}
+	if st.Bytes > 2*size {
+		t.Fatalf("4 near-duplicates of a %d-byte payload occupy %d disk bytes; dedupe failed", size, st.Bytes)
+	}
+	if got := countFiles(t, dir, chunkExt); got != st.Chunks {
+		t.Fatalf("chunk files on disk %d != indexed chunks %d", got, st.Chunks)
+	}
+	for _, b := range blocks {
+		got, ok := c.Get(b.ID)
+		if !ok || !bytes.Equal(got.Payload, b.Payload) {
+			t.Fatalf("block %.12s did not read back byte-equal (ok=%v)", b.ID, ok)
+		}
+	}
+
+	// Reopen: the manifest scan must rebuild refcounts and byte
+	// accounting, and every block must still read back.
+	c2, err := OpenDiskCache(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := c2.Stats()
+	if st2.Blocks != len(blocks) || st2.Chunks != st.Chunks || st2.Bytes != st.Bytes {
+		t.Fatalf("reopen changed accounting: %+v vs %+v", st2, st)
+	}
+	for _, b := range blocks {
+		got, ok := c2.Get(b.ID)
+		if !ok || !bytes.Equal(got.Payload, b.Payload) {
+			t.Fatalf("block %.12s lost across reopen (ok=%v)", b.ID, ok)
+		}
+	}
+}
+
+// TestDiskCacheLegacyFormatReadable: a CMEB1 file written by an earlier
+// build — full payload inline, whatever its size — still serves.
+func TestDiskCacheLegacyFormatReadable(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("legacy payload "), 4<<10) // ≥ ChunkThreshold
+	b := media.NewBlock("old.vid", core.MediumVideo, payload, attr.List{})
+	if err := fsio.WriteFileNoDirSync(filepath.Join(dir, b.ID+blockExt), encodeBlockFile(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenDiskCache(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(b.ID)
+	if !ok || !bytes.Equal(got.Payload, b.Payload) {
+		t.Fatalf("legacy CMEB1 block unreadable (ok=%v)", ok)
+	}
+	if st := c.Stats(); st.Chunks != 0 {
+		t.Fatalf("legacy block must not grow chunk state: %+v", st)
+	}
+}
+
+// TestDiskCacheEvictionReleasesChunks: evicting the last block that
+// references a chunk deletes its file; shared chunks survive while any
+// referencing block remains.
+func TestDiskCacheEvictionReleasesChunks(t *testing.T) {
+	dir := t.TempDir()
+	const size = 64 << 10
+	c, err := OpenDiskCache(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	// Two unrelated payloads: no chunk sharing between them.
+	p1 := make([]byte, size)
+	p2 := make([]byte, size)
+	rng.Read(p1)
+	rng.Read(p2)
+	b1 := media.NewBlock("one.vid", core.MediumVideo, p1, attr.List{})
+	b2 := media.NewBlock("two.vid", core.MediumVideo, p2, attr.List{})
+	c.Put(b1.Name, b1)
+	c.Put(b2.Name, b2)
+	before := c.Stats()
+
+	// Dropping b1 (corruption path) must remove exactly its chunks.
+	c.drop(b1.ID)
+	after := c.Stats()
+	if after.Blocks != 1 || after.Chunks >= before.Chunks {
+		t.Fatalf("drop did not release chunks: before %+v after %+v", before, after)
+	}
+	if got, ok := c.Get(b2.ID); !ok || !bytes.Equal(got.Payload, p2) {
+		t.Fatalf("surviving block damaged by unrelated drop (ok=%v)", ok)
+	}
+	if got := countFiles(t, dir, chunkExt); got != after.Chunks {
+		t.Fatalf("chunk files on disk %d != indexed %d after drop", got, after.Chunks)
+	}
+
+	// A corrupted chunk file degrades the block to a miss and the entry
+	// is dropped, chunk files cleaned.
+	var victim media.ChunkHash
+	c.mu.Lock()
+	for h := range c.chunkRefs {
+		victim = h
+		break
+	}
+	c.mu.Unlock()
+	if err := os.WriteFile(c.chunkPath(victim), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(b2.ID); ok {
+		t.Fatal("block with corrupt chunk served")
+	}
+	if st := c.Stats(); st.Blocks != 0 || st.Chunks != 0 || st.Bytes != 0 {
+		t.Fatalf("corrupt-chunk drop left residue: %+v", st)
+	}
+}

@@ -67,6 +67,10 @@ type Config struct {
 	MaxInFlight  int
 	Admission    transport.Admission
 	SubQueueCap  int
+	// Compression offers negotiated per-frame compression to downstream
+	// protocol-v4 clients. (Upstream compression is negotiated by the
+	// pool's own dials, independent of this.)
+	Compression bool
 	// Metrics, when non-nil, receives both the standard server metrics
 	// and the edge-specific cmif_edge_* series.
 	Metrics *metrics.Registry
@@ -182,6 +186,7 @@ func New(cfg Config) (*Edge, error) {
 	srv.MaxInFlight = cfg.MaxInFlight
 	srv.Admission = cfg.Admission
 	srv.SubQueueCap = cfg.SubQueueCap
+	srv.Compression = cfg.Compression
 	srv.Loader = e
 	if cfg.Metrics != nil {
 		srv.Metrics = transport.NewServerMetrics(cfg.Metrics)

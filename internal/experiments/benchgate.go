@@ -198,6 +198,136 @@ func CheckWireReport(r *WireBenchReport, committed bool) []string {
 	return v
 }
 
+// LoadWireSatReport reads a BENCH_wire2.json.
+func LoadWireSatReport(path string) (*WireSatReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r WireSatReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckWireSatReport validates a wire-saturation report against the S9
+// gate. The bytes-on-wire arithmetic is machine-independent and exact:
+// every pass delivers exactly Fetches x BlockBytes logical bytes, a
+// plain transfer's wire bytes can never undershoot the payload it
+// carried, the dedupe path's wire bytes plus cache-served bytes must
+// cover the payload, and a warm dedupe pass answers every fetch through
+// the manifest path. committed enforces the repository's headline
+// claims — warm dedupe throughput ≥ 2x and wire bytes ≥ 5x down against
+// the plain transfer on the dup-heavy corpus, compression ≥ 2x down on
+// the text corpus — and, like every reference with a concurrency
+// headline, must have been recorded at GOMAXPROCS ≥ 4.
+func CheckWireSatReport(r *WireSatReport, committed bool) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if len(r.Rows) == 0 {
+		return []string{"wire-saturation report has no rows"}
+	}
+	if r.Env.GoMaxProcs < 1 || r.Env.GoVersion == "" {
+		fail("wire-saturation report env not captured: %+v", r.Env)
+	}
+	if committed && r.Env.GoMaxProcs < 4 {
+		fail("committed wire-saturation report ran at GOMAXPROCS=%d; the warm-throughput headline cannot be gated on a single-core record — re-record with GOMAXPROCS ≥ 4",
+			r.Env.GoMaxProcs)
+	}
+	if !r.Compressed {
+		fail("the v4 clients never negotiated the frame codec; the compress/dedup scenarios measured nothing")
+	}
+
+	type key struct{ scenario, corpus, pass string }
+	rows := map[key]WireSatRow{}
+	for _, row := range r.Rows {
+		rows[key{row.Scenario, row.Corpus, row.Pass}] = row
+
+		if row.Fetches <= 0 {
+			fail("%s/%s/%s: no fetches", row.Scenario, row.Corpus, row.Pass)
+			continue
+		}
+		// Exact payload arithmetic: every fetch delivered the whole block.
+		want := int64(row.Fetches) * int64(r.Config.BlockBytes)
+		if row.PayloadBytes != want {
+			fail("%s/%s/%s: payload_bytes %d != fetches x block_bytes = %d",
+				row.Scenario, row.Corpus, row.Pass, row.PayloadBytes, want)
+		}
+		switch row.Scenario {
+		case "plain-v3":
+			// No codec, no dedupe: the wire carried at least the payload.
+			if row.BytesReceived < row.PayloadBytes {
+				fail("plain-v3/%s/%s: bytes_received %d below the %d payload bytes it must have carried",
+					row.Corpus, row.Pass, row.BytesReceived, row.PayloadBytes)
+			}
+			if row.DedupeFetches != 0 || row.DedupeSaved != 0 {
+				fail("plain-v3/%s/%s: dedupe counters moved (%d fetches, %d bytes) on a pre-dedupe protocol",
+					row.Corpus, row.Pass, row.DedupeFetches, row.DedupeSaved)
+			}
+		case "dedup-v4":
+			// Every logical byte came off the wire or out of the chunk
+			// cache (chunks of the random corpus ship uncompressed, so
+			// wire bytes cannot undershoot the missing-chunk bytes).
+			if row.BytesReceived+row.DedupeSaved < row.PayloadBytes {
+				fail("dedup-v4/%s/%s: bytes_received %d + dedupe_saved %d below the %d payload bytes delivered",
+					row.Corpus, row.Pass, row.BytesReceived, row.DedupeSaved, row.PayloadBytes)
+			}
+			if row.Pass == "warm" && row.DedupeFetches != int64(row.Fetches) {
+				fail("dedup-v4/%s/warm: %d of %d fetches rode the manifest path; a warm cache must answer them all",
+					row.Corpus, row.DedupeFetches, row.Fetches)
+			}
+		case "compress-v4":
+			// The text corpus deflates far below the framing overhead, so
+			// compression winning is deterministic, not a timing claim.
+			if row.BytesReceived >= row.PayloadBytes {
+				fail("compress-v4/%s/%s: bytes_received %d not below the %d payload bytes; the codec never engaged",
+					row.Corpus, row.Pass, row.BytesReceived, row.PayloadBytes)
+			}
+		}
+	}
+	for _, k := range []key{
+		{"plain-v3", "dup", "cold"}, {"plain-v3", "dup", "warm"},
+		{"dedup-v4", "dup", "cold"}, {"dedup-v4", "dup", "warm"},
+		{"plain-v3", "text", "cold"}, {"plain-v3", "text", "warm"},
+		{"compress-v4", "text", "cold"}, {"compress-v4", "text", "warm"},
+	} {
+		if _, ok := rows[k]; !ok {
+			fail("missing %s/%s/%s row", k.scenario, k.corpus, k.pass)
+		}
+	}
+	// A warm dedupe pass never ships more per fetch than its cold pass.
+	if cold, ok := rows[key{"dedup-v4", "dup", "cold"}]; ok && cold.Fetches > 0 {
+		if warmRow, ok := rows[key{"dedup-v4", "dup", "warm"}]; ok && warmRow.Fetches > 0 {
+			coldPer := cold.BytesReceived / int64(cold.Fetches)
+			warmPer := warmRow.BytesReceived / int64(warmRow.Fetches)
+			if warmPer > coldPer {
+				fail("dedup-v4/dup: warm pass shipped %d bytes/fetch, above the cold pass's %d", warmPer, coldPer)
+			}
+		}
+	}
+
+	// The headlines. The wire reductions are byte arithmetic — near
+	// deterministic, so even fresh smoke runs owe a real margin; the
+	// throughput speedup is timing, so fresh runs only have to show the
+	// dedupe path is not slower.
+	minSpeedup, minDup, minText := 1.1, 3.0, 1.2
+	if committed {
+		minSpeedup, minDup, minText = 2.0, 5.0, 2.0
+	}
+	if r.SpeedupWarmDedup < minSpeedup {
+		fail("warm dedupe speedup %.2fx below the %.1fx floor", r.SpeedupWarmDedup, minSpeedup)
+	}
+	if r.WireReductionDup < minDup {
+		fail("dup-corpus wire reduction %.2fx below the %.1fx floor", r.WireReductionDup, minDup)
+	}
+	if r.WireReductionText < minText {
+		fail("text-corpus wire reduction %.2fx below the %.1fx floor", r.WireReductionText, minText)
+	}
+	return v
+}
+
 // CheckSchedReport validates a sched-bench report. committed enforces the
 // repository's headline claims (incremental ≥10x; parallel ≥2x whenever
 // the recorded environment had GOMAXPROCS ≥ 4).

@@ -16,6 +16,7 @@
 package media
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -89,6 +90,24 @@ func computeID(m core.Medium, payload []byte) string {
 func NewBlock(name string, m core.Medium, payload []byte, desc attr.List) *Block {
 	b := &Block{
 		ID:         computeID(m, payload),
+		Name:       name,
+		Medium:     m,
+		Payload:    payload,
+		Descriptor: desc.Clone(),
+	}
+	b.Descriptor.Set(DescBytes, attr.Number(int64(len(payload))))
+	b.Descriptor.SetDefault(DescFormat, attr.ID(defaultFormat(m)))
+	return b
+}
+
+// NewBlockAt builds a block exactly as NewBlock does but takes the
+// content address as given instead of digesting the payload. The caller
+// must have established id == ContentAddress(m, payload) by other means
+// — the dedupe fetch path does, assembling chunk-verified bytes under a
+// manifest whose binding to id was proven on its first assembly.
+func NewBlockAt(id, name string, m core.Medium, payload []byte, desc attr.List) *Block {
+	b := &Block{
+		ID:         id,
 		Name:       name,
 		Medium:     m,
 		Payload:    payload,
@@ -189,6 +208,12 @@ func (b *Block) Verify() error {
 	}
 	return nil
 }
+
+// PayloadReader exposes the payload for random or streaming access
+// without copying it: *bytes.Reader implements io.Reader, io.ReaderAt,
+// io.Seeker and io.WriterTo, so stream senders can io.Copy straight
+// from a (possibly mmap-backed) payload into a connection.
+func (b *Block) PayloadReader() *bytes.Reader { return bytes.NewReader(b.Payload) }
 
 // Clone deep-copies the block.
 func (b *Block) Clone() *Block {

@@ -1,0 +1,14 @@
+//go:build !unix || cmif_nommap
+
+package media
+
+import "os"
+
+// Plain-read fallback for platforms without mmap (and for builds that
+// force it off with -tags cmif_nommap): payloads load through the page
+// cache into ordinary heap slices. Identical semantics, one more copy.
+const mmapSupported = false
+
+func mapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,79 @@
+package media
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+)
+
+// saveTestStore writes a small mixed corpus (including an empty
+// payload, the mmap edge case) and returns it.
+func saveTestStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s := NewStore()
+	rng := rand.New(rand.NewSource(99))
+	big := make([]byte, 300<<10)
+	rng.Read(big)
+	s.Put(NewBlock("big-video", core.MediumVideo, big, attr.List{}))
+	s.Put(NewBlock("note", core.MediumText, []byte("a small text block"), attr.List{}))
+	s.Put(NewBlock("empty", core.MediumText, nil, attr.List{}))
+	if err := SaveDir(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLoadDirMappedParity proves the mapped load path serves the same
+// bytes as the plain one — on mmap builds through real mappings, and
+// under -tags cmif_nommap through the forced plain-read fallback (the
+// CI fallback test runs this same test both ways).
+func TestLoadDirMappedParity(t *testing.T) {
+	dir := t.TempDir()
+	want := saveTestStore(t, dir)
+
+	mapped, err := LoadDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range want.Names() {
+		a, _ := want.GetByName(name)
+		b, ok := mapped.GetByNameRef(name)
+		if !ok {
+			t.Fatalf("mapped store lost %q", name)
+		}
+		if !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("payload mismatch for %q", name)
+		}
+	}
+	t.Logf("mmap supported in this build: %v", MmapSupported())
+}
+
+// TestLoadDirMappedChunksIndexed: dedupe must work over mapped
+// payloads too (chunks subslice the mapping).
+func TestLoadDirMappedChunksIndexed(t *testing.T) {
+	dir := t.TempDir()
+	saveTestStore(t, dir)
+	mapped, err := LoadDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := mapped.Resolve("big-video")
+	if !ok {
+		t.Fatal("big-video missing")
+	}
+	if _, ok := mapped.Manifest(id); !ok {
+		t.Fatal("mapped large block was not chunk-indexed")
+	}
+}
+
+func TestLoadDirMappedMissingDir(t *testing.T) {
+	if _, err := LoadDirMapped(t.TempDir()); err == nil {
+		t.Fatal("want error for empty dir")
+	}
+}

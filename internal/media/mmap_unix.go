@@ -1,0 +1,41 @@
+//go:build unix && !cmif_nommap
+
+package media
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build maps payload files into
+// memory. The cmif_nommap build tag forces the plain-read fallback on
+// platforms that do support mmap — used by tests to prove the fallback
+// path serves identical bytes.
+const mmapSupported = true
+
+// mapFile returns the file's contents as a read-only memory mapping.
+// The mapping lives for the life of the process (the store has no
+// close; payloads loaded this way serve until exit), so no munmap
+// handle is returned. Callers must never write through the slice —
+// stored payloads are immutable by contract, and a write here would
+// fault.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return []byte{}, nil // zero-length mmap is an error; nothing to map
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

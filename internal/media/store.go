@@ -70,12 +70,27 @@ type Store struct {
 	blocks [storeShards]blockShard
 	names  [storeShards]nameShard
 
+	// Content-defined dedupe index (dedupe.go): unique chunks and the
+	// per-block manifests referencing them, both refcounted.
+	chunks    [storeShards]chunkShard
+	manifests [storeShards]manifestShard
+
 	journal Journal
+
+	// dedupeObserver, when set, observes every payload byte the chunk
+	// index collapsed onto an existing entry (SetDedupeObserver).
+	dedupeObserver func(sharedBytes int64)
 }
 
 // SetJournal attaches a mutation journal. Attach before serving: the call
 // itself is not synchronized against concurrent mutations.
 func (s *Store) SetJournal(j Journal) { s.journal = j }
+
+// SetDedupeObserver attaches a callback fired with the byte count each
+// time an incoming payload's chunks dedupe against already-indexed
+// ones — the feed behind the cmif_bytes_saved_total{reason="dedupe"}
+// counter. Attach before serving.
+func (s *Store) SetDedupeObserver(fn func(sharedBytes int64)) { s.dedupeObserver = fn }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -85,6 +100,12 @@ func NewStore() *Store {
 	}
 	for i := range s.names {
 		s.names[i].byName = make(map[string]string)
+	}
+	for i := range s.chunks {
+		s.chunks[i].byHash = make(map[ChunkHash]*chunkEntry)
+	}
+	for i := range s.manifests {
+		s.manifests[i].byID = make(map[string][]ChunkHash)
 	}
 	return s
 }
@@ -110,8 +131,9 @@ func (s *Store) putBlock(b *Block, register, clone bool) string {
 	bs := &s.blocks[shardOf(b.ID)]
 	bs.mu.Lock()
 	_, existed := bs.byID[b.ID]
+	var stored *Block
 	if !existed {
-		stored := b
+		stored = b
 		if clone {
 			stored = b.Clone()
 		}
@@ -123,6 +145,18 @@ func (s *Store) putBlock(b *Block, register, clone bool) string {
 		}
 	}
 	bs.mu.Unlock()
+	if stored != nil {
+		// Chunk-index outside the shard lock (hashing the payload is the
+		// dominant cost). A Delete racing the indexing is resolved like
+		// the name rollback below: whichever runs last unindexes.
+		s.indexChunks(stored)
+		bs.mu.RLock()
+		_, alive := bs.byID[b.ID]
+		bs.mu.RUnlock()
+		if !alive {
+			s.unindexChunks(b.ID)
+		}
+	}
 	if register && b.Name != "" {
 		ns := &s.names[shardOf(b.Name)]
 		ns.mu.Lock()
@@ -230,6 +264,9 @@ func (s *Store) Delete(id string) bool {
 	if !ok {
 		return false
 	}
+	// Release the block's chunk references; entries reaching refcount
+	// zero are dropped (dedupe GC).
+	s.unindexChunks(id)
 	for i := range s.names {
 		ns := &s.names[i]
 		ns.mu.Lock()

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/media"
+)
+
+// DefaultChunkCacheBytes is the byte budget a ChunkCache gets when built
+// with a non-positive budget.
+const DefaultChunkCacheBytes = 64 << 20
+
+// ChunkCache is a client-side LRU cache of content-defined chunks keyed
+// by their content address, bounded by a byte budget rather than an
+// entry count (chunk sizes vary by an order of magnitude). It backs the
+// protocol-v4 dedupe fetch path: a client holding most of a block's
+// chunks fetches only the manifest plus the missing chunks, so a warm
+// near-duplicate re-fetch moves kilobytes instead of megabytes.
+//
+// Chunks are content-addressed, so entries never go stale — a cached
+// chunk is valid forever, whatever block it next appears in. Safe for
+// concurrent use and meant to be shared between clients.
+type ChunkCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recently used
+	items  map[media.ChunkHash]*list.Element
+
+	// verified memoizes (content address, manifest) pairs whose
+	// reassembly has already been checked against the full payload hash,
+	// so repeat warm assemblies skip the redundant whole-payload digest:
+	// every byte is still verified chunk-by-chunk against the manifest,
+	// and the manifest-to-address binding was proven on first assembly.
+	verified map[[32]byte]struct{}
+
+	hits, misses, evictions int64
+	bytesServed             int64
+}
+
+// manifestMemoCap bounds the verified-manifest memo; past it the memo is
+// dropped wholesale (re-verification costs one payload hash per block,
+// so the reset only costs time, never correctness).
+const manifestMemoCap = 4096
+
+// chunkCacheEntry is one resident chunk.
+type chunkCacheEntry struct {
+	key  media.ChunkHash
+	data []byte
+}
+
+// NewChunkCache returns a cache holding up to budget bytes of chunk
+// data; a non-positive budget gets DefaultChunkCacheBytes.
+func NewChunkCache(budget int64) *ChunkCache {
+	if budget <= 0 {
+		budget = DefaultChunkCacheBytes
+	}
+	return &ChunkCache{
+		budget: budget,
+		order:  list.New(),
+		items:  make(map[media.ChunkHash]*list.Element),
+	}
+}
+
+// Get returns the cached chunk under h, marking it recently used. The
+// returned slice is the cache's own copy: read-only, valid until the
+// entry is evicted — copy out of it before the next cache mutation if
+// the bytes must outlive the lookup (the assembly path copies them into
+// the payload it is building immediately).
+func (c *ChunkCache) Get(h media.ChunkHash) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[h]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*chunkCacheEntry)
+	c.hits++
+	c.bytesServed += int64(len(e.data))
+	return e.data, true
+}
+
+// Add stores a copy of data under h, evicting least recently used
+// chunks until the budget holds. A chunk larger than the whole budget
+// is not cached.
+func (c *ChunkCache) Add(h media.ChunkHash, data []byte) {
+	if int64(len(data)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[h]; ok {
+		// Content-addressed: same hash, same bytes. Just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	e := &chunkCacheEntry{key: h, data: append([]byte(nil), data...)}
+	c.items[h] = c.order.PushFront(e)
+	c.used += int64(len(e.data))
+	for c.used > c.budget {
+		last := c.order.Back()
+		c.order.Remove(last)
+		le := last.Value.(*chunkCacheEntry)
+		delete(c.items, le.key)
+		c.used -= int64(len(le.data))
+		c.evictions++
+	}
+}
+
+// ManifestVerified reports whether an assembly under this verification
+// key has already been checked against the full payload hash.
+func (c *ChunkCache) ManifestVerified(key [32]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.verified[key]
+	return ok
+}
+
+// MarkManifestVerified records that an assembly under this verification
+// key checked out against the full payload hash.
+func (c *ChunkCache) MarkManifestVerified(key [32]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.verified == nil || len(c.verified) >= manifestMemoCap {
+		c.verified = make(map[[32]byte]struct{})
+	}
+	c.verified[key] = struct{}{}
+}
+
+// Len reports the number of resident chunks.
+func (c *ChunkCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// ChunkCacheStats is a point-in-time snapshot of cache effectiveness.
+// BytesServed is the total chunk bytes answered from the cache — the
+// payload bytes the dedupe path kept off the wire.
+type ChunkCacheStats struct {
+	Chunks      int
+	Bytes       int64
+	Budget      int64
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	BytesServed int64
+}
+
+// Stats snapshots the counters.
+func (c *ChunkCache) Stats() ChunkCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChunkCacheStats{
+		Chunks:      c.order.Len(),
+		Bytes:       c.used,
+		Budget:      c.budget,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		BytesServed: c.bytesServed,
+	}
+}

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/attr"
+	"repro/internal/chunker"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/media"
@@ -30,12 +33,35 @@ type Client struct {
 	// concurrent misses for the same key into one wire call. Set before
 	// sharing the client across goroutines.
 	Cache *BlockCache
+	// ChunkCache, when non-nil on a protocol-v4 connection, switches
+	// single-block fetches to the dedupe path: fetch the block's chunk
+	// manifest, serve every chunk the cache holds locally, and pull only
+	// the missing ones. Set with WithChunkCache (or directly before
+	// sharing the client across goroutines).
+	ChunkCache *ChunkCache
 
 	// Traffic counters, atomically maintained across goroutines.
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
 	roundTrips    atomic.Int64
 	streamChunks  atomic.Int64
+
+	// Dedupe-path counters: fetches that went through the manifest path,
+	// and payload bytes served from the chunk cache instead of the wire.
+	dedupeFetches    atomic.Int64
+	dedupeBytesSaved atomic.Int64
+
+	// compressedSent counts request frames that actually shipped
+	// deflated; compressedSaved the bytes that saved.
+	compressedSent  atomic.Int64
+	compressedSaved atomic.Int64
+
+	// wantCompress carries the dial-time compression preference into the
+	// hello; serverCodec is the frame codec the server advertised there
+	// (protocol v4), compress whether the request envelope is active.
+	wantCompress bool
+	serverCodec  byte
+	compress     bool
 
 	// version is the negotiated protocol version; mux is non-nil exactly
 	// when version == protoV2.
@@ -59,6 +85,8 @@ type Client struct {
 // dialConfig collects the dial options.
 type dialConfig struct {
 	maxVersion int
+	compress   bool
+	chunkCache *ChunkCache
 }
 
 // DialOption configures Dial/DialContext.
@@ -72,6 +100,22 @@ func WithMaxProtocolVersion(v int) DialOption {
 	return func(c *dialConfig) { c.maxVersion = v }
 }
 
+// WithFrameCompression sets the client's side of the frame-compression
+// negotiation: when on (the default) and the server advertises the
+// flate codec at a v4 hello, request frames at or past the codec floor
+// ship deflated. Off trades wire bytes for CPU on the send side only —
+// compressed responses are always decoded.
+func WithFrameCompression(on bool) DialOption {
+	return func(c *dialConfig) { c.compress = on }
+}
+
+// WithChunkCache attaches a chunk cache, enabling the protocol-v4
+// dedupe fetch path for single-block fetches. The cache may be shared
+// between clients; chunks are content-addressed and never go stale.
+func WithChunkCache(cc *ChunkCache) DialOption {
+	return func(c *dialConfig) { c.chunkCache = cc }
+}
+
 // Dial connects to an interchange server with no cancellation.
 func Dial(addr string, opts ...DialOption) (*Client, error) {
 	return DialContext(context.Background(), addr, opts...)
@@ -83,7 +127,7 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 // client offers protocol v2 and degrades to v1 when the server answers
 // the hello with an error (an old server: "unknown op").
 func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
-	cfg := dialConfig{maxVersion: maxProtoVersion}
+	cfg := dialConfig{maxVersion: maxProtoVersion, compress: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -95,7 +139,7 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, version: protoV1}
+	c := &Client{conn: conn, version: protoV1, wantCompress: cfg.compress, ChunkCache: cfg.chunkCache}
 	if cfg.maxVersion >= protoV2 {
 		if err := c.hello(ctx, cfg.maxVersion); err != nil {
 			conn.Close()
@@ -150,9 +194,20 @@ func (c *Client) hello(ctx context.Context, maxVersion int) error {
 			return fmt.Errorf("transport: server negotiated unsupported version %d", version)
 		}
 		c.version = version
+		// A v4 server advertises its frame codec as a third hello part;
+		// older servers (and older clients, which ignore extra parts)
+		// simply never negotiate compression.
+		if version >= protoV4 && len(resp.parts) >= 3 && len(resp.parts[2]) == 1 {
+			c.serverCodec = resp.parts[2][0]
+		}
+		c.compress = c.wantCompress && version >= protoV4 && c.serverCodec == codec.FrameCodecFlate
 		if version >= protoV2 {
 			maxInFlight := int(uint16(resp.parts[1][0])<<8 | uint16(resp.parts[1][1]))
-			c.mux = newClientMux(c.conn, maxInFlight, &c.bytesSent, &c.bytesReceived, &c.streamChunks)
+			c.mux = newClientMux(c.conn, maxInFlight, &c.bytesSent, &c.bytesReceived, &c.streamChunks,
+				c.compress, func(raw, wire int64) {
+					c.compressedSent.Add(1)
+					c.compressedSaved.Add(raw - wire)
+				})
 		}
 		return nil
 	case opErr:
@@ -164,8 +219,30 @@ func (c *Client) hello(ctx context.Context, maxVersion int) error {
 	}
 }
 
-// Version reports the negotiated protocol version (1 or 2).
+// Version reports the negotiated protocol version.
 func (c *Client) Version() int { return c.version }
+
+// Compressed reports whether the request-side frame-compression
+// envelope was negotiated (protocol v4 against a codec-capable server,
+// and not disabled at dial time). Response decoding does not depend on
+// it: compressed frames are always understood.
+func (c *Client) Compressed() bool { return c.compress }
+
+// DedupeFetches counts single-block fetches answered through the
+// manifest/chunk dedupe path rather than a whole-payload transfer.
+func (c *Client) DedupeFetches() int64 { return c.dedupeFetches.Load() }
+
+// DedupeBytesSaved reports payload bytes served from the chunk cache
+// instead of the wire across dedupe-path fetches.
+func (c *Client) DedupeBytesSaved() int64 { return c.dedupeBytesSaved.Load() }
+
+// CompressedFrames counts request frames that actually shipped
+// deflated; CompressedBytesSaved the wire bytes that saved.
+func (c *Client) CompressedFrames() int64 { return c.compressedSent.Load() }
+
+// CompressedBytesSaved reports request bytes compression kept off the
+// wire.
+func (c *Client) CompressedBytesSaved() int64 { return c.compressedSaved.Load() }
 
 // BytesSent reports accumulated request traffic for the transport-cost
 // experiments.
@@ -380,8 +457,17 @@ func (c *Client) GetBlock(ctx context.Context, name string) (*media.Block, error
 
 // getBlockWire is the uncached single-block fetch: one round trip, with a
 // transparent retry through the chunked stream when the server reports
-// the block exceeds the single-frame limit.
+// the block exceeds the single-frame limit. On a v4 connection with a
+// chunk cache attached, the dedupe path goes first: manifest plus
+// missing chunks, falling back to the plain fetch whenever the server
+// has no manifest or the reassembly does not check out.
 func (c *Client) getBlockWire(ctx context.Context, name string) (*media.Block, error) {
+	if c.ChunkCache != nil && c.version >= protoV4 {
+		blk, handled, err := c.getBlockDedup(ctx, name)
+		if handled || err != nil {
+			return blk, err
+		}
+	}
 	parts, err := c.roundTrip(ctx, opGetBlk, []byte(name))
 	if errors.Is(err, errTooLarge) && c.mux != nil {
 		return c.getBlockStream(ctx, name)
@@ -392,7 +478,177 @@ func (c *Client) getBlockWire(ctx context.Context, name string) (*media.Block, e
 	if len(parts) != 4 {
 		return nil, fmt.Errorf("transport: getblk returned %d parts", len(parts))
 	}
-	return blockFromParts(parts)
+	blk, err := blockFromParts(parts)
+	if err == nil {
+		c.seedChunks(blk.Payload)
+	}
+	return blk, err
+}
+
+// seedChunks cuts a whole payload that arrived over the plain path and
+// caches its chunks, so the very next fetch of this block — or of a
+// near-duplicate sharing most of its content — takes the dedupe path
+// warm. The gear chunker's fixed table guarantees the cuts match the
+// server's.
+func (c *Client) seedChunks(payload []byte) {
+	if c.ChunkCache == nil || c.version < protoV4 || len(payload) < media.ChunkThreshold {
+		return
+	}
+	for _, piece := range chunker.Split(payload, chunker.Config{}) {
+		c.ChunkCache.Add(chunker.Sum(piece), piece)
+	}
+}
+
+// manifestEntrySize is one wire manifest entry: a chunk's content
+// address followed by its length.
+const manifestEntrySize = chunker.HashSize + 4
+
+// getBlockDedup fetches a block through the manifest/chunk path:
+// resolve the manifest, copy every cached chunk into the payload being
+// assembled, pull only the missing chunks (batched up to maxParts per
+// round trip), and verify the reassembled payload against the server's
+// content address. handled is false — and nothing is returned — when
+// the server offers no manifest for the block or any step of the
+// reassembly disagrees with the manifest; the caller then takes the
+// plain whole-payload fetch, which remains the source of truth.
+func (c *Client) getBlockDedup(ctx context.Context, name string) (blk *media.Block, handled bool, err error) {
+	parts, err := c.roundTrip(ctx, opGetBlkManifest, []byte(name))
+	if err != nil {
+		// An old-style failure (or a proxy that does not forward the op)
+		// falls back; a definitive not-found is an answer, not a fallback.
+		if errors.Is(err, ErrNotFound) {
+			return nil, true, err
+		}
+		return nil, false, nil
+	}
+	if len(parts) != 6 {
+		return nil, false, nil
+	}
+	manifest := parts[5]
+	if len(manifest) == 0 || len(manifest)%manifestEntrySize != 0 {
+		return nil, false, nil
+	}
+	totalSize := binary.BigEndian.Uint64(parts[4])
+	if totalSize > uint64(maxStreamBytes) {
+		return nil, false, nil
+	}
+
+	// Lay the payload out from the manifest: cached chunks copy in
+	// immediately, missing ones record their slot for the batched fetch.
+	type slot struct {
+		off  int
+		size int
+	}
+	payload := make([]byte, totalSize)
+	var missing []media.ChunkHash
+	slots := make(map[media.ChunkHash][]slot)
+	off := 0
+	var fromCache int64
+	for e := 0; e < len(manifest); e += manifestEntrySize {
+		var h media.ChunkHash
+		copy(h[:], manifest[e:e+chunker.HashSize])
+		size := int(binary.BigEndian.Uint32(manifest[e+chunker.HashSize : e+manifestEntrySize]))
+		if size <= 0 || off+size > len(payload) {
+			return nil, false, nil
+		}
+		if data, ok := c.ChunkCache.Get(h); ok && len(data) == size {
+			copy(payload[off:off+size], data)
+			fromCache += int64(size)
+		} else {
+			if _, dup := slots[h]; !dup {
+				missing = append(missing, h)
+			}
+			slots[h] = append(slots[h], slot{off: off, size: size})
+		}
+		off += size
+	}
+	if off != len(payload) {
+		return nil, false, nil
+	}
+
+	for start := 0; start < len(missing); start += maxParts {
+		end := start + maxParts
+		if end > len(missing) {
+			end = len(missing)
+		}
+		batch := missing[start:end]
+		req := make([][]byte, len(batch))
+		for i := range batch {
+			req[i] = batch[i][:]
+		}
+		resp, err := c.roundTrip(ctx, opGetChunks, req...)
+		if err != nil {
+			return nil, false, nil
+		}
+		if len(resp) != len(batch) {
+			return nil, false, nil
+		}
+		for i, entry := range resp {
+			fields, flag, err := decodeEntry(entry, 1)
+			if err != nil || flag != entryFound {
+				// The chunk was GCed between manifest and fetch (a
+				// concurrent delete): the manifest is stale, start over
+				// on the plain path.
+				return nil, false, nil
+			}
+			data := fields[0]
+			h := batch[i]
+			if chunker.Sum(data) != h {
+				return nil, false, nil
+			}
+			for _, sl := range slots[h] {
+				if len(data) != sl.size {
+					return nil, false, nil
+				}
+				copy(payload[sl.off:sl.off+sl.size], data)
+			}
+			c.ChunkCache.Add(h, data)
+		}
+	}
+
+	medium, err := core.ParseMedium(string(parts[1]))
+	if err != nil {
+		return nil, false, nil
+	}
+	descNode, err := codec.ParseNode(string(parts[2]))
+	if err != nil {
+		return nil, false, nil
+	}
+	// The manifest fully determines the payload (every chunk above was
+	// verified against its content address), so once an (address,
+	// manifest) pair has survived the whole-payload digest, repeat
+	// assemblies can take the address as proven instead of hashing the
+	// same bytes again — the warm path's throughput lives here.
+	var b *media.Block
+	vkey := manifestVerifyKey(parts[3], parts[1], manifest)
+	if c.ChunkCache.ManifestVerified(vkey) {
+		b = media.NewBlockAt(string(parts[3]), string(parts[0]), medium, payload, descNode.Attrs)
+	} else {
+		b = media.NewBlock(string(parts[0]), medium, payload, descNode.Attrs)
+		if b.ID != string(parts[3]) {
+			// Reassembly disagrees with the server's content address —
+			// whatever went wrong, the plain fetch self-verifies.
+			return nil, false, nil
+		}
+		c.ChunkCache.MarkManifestVerified(vkey)
+	}
+	c.dedupeFetches.Add(1)
+	c.dedupeBytesSaved.Add(fromCache)
+	return b, true, nil
+}
+
+// manifestVerifyKey digests the (content address, medium, manifest)
+// binding the dedupe path proves on first assembly and memoizes after.
+func manifestVerifyKey(id, medium, manifest []byte) [32]byte {
+	h := sha256.New()
+	h.Write(id)
+	h.Write([]byte{0})
+	h.Write(medium)
+	h.Write([]byte{0})
+	h.Write(manifest)
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
 }
 
 // GetBlocks fetches many blocks in batched round trips: up to maxBatch

@@ -301,6 +301,96 @@ func FuzzDecodeChangeFrame(f *testing.F) {
 	})
 }
 
+// seedCompressedFrames builds opCompressed envelopes exactly as the v4
+// frameSender emits them — compressible request and response bodies of
+// assorted shapes — plus the malformed envelopes the decoder must
+// reject: lying rawLen declarations, truncated deflate streams, nested
+// envelopes.
+func seedCompressedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	u32 := func(v uint32) []byte { b := make([]byte, 4); binary.BigEndian.PutUint32(b, v); return b }
+	text := bytes.Repeat([]byte("synchronized multimedia interchange "), 64)
+
+	var frames [][]byte
+	sent := func(op byte, id uint32, parts ...[]byte) {
+		var buf bytes.Buffer
+		s := newFrameSender(&buf)
+		s.compress = true
+		if _, err := s.send(op, id, parts); err != nil {
+			tb.Fatal(err)
+		}
+		if err := s.flush(); err != nil {
+			tb.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	// Healthy compressed shapes, through the real writer.
+	sent(opOK, 3, []byte("story.txt"), []byte("text"), text, text)
+	sent(opPutBlk, 9, []byte("story.txt"), []byte("text"), text[:100], text)
+	sent(opGetBlks, 5, text[:600], text[:600], nil, text[:600])
+
+	// Malformed envelopes, built by hand.
+	raw := func(body []byte) []byte {
+		var buf bytes.Buffer
+		buf.Write(u32(uint32(len(body))))
+		buf.Write(body)
+		return buf.Bytes()
+	}
+	goodComp, ok := codec.CompressFrame(append(append([]byte{opOK, 0, 0, 0, 1, 0, 1}, u32(uint32(len(text)))...), text...))
+	if !ok {
+		tb.Fatal("seed body did not compress")
+	}
+	frames = append(frames,
+		raw(append(append([]byte{opCompressed}, u32(1<<30)...), goodComp...)),      // overstated rawLen
+		raw(append(append([]byte{opCompressed}, u32(4)...), goodComp...)),          // understated rawLen
+		raw(append(append([]byte{opCompressed}, u32(64)...), goodComp[:4]...)),     // truncated deflate
+		raw(append([]byte{opCompressed}, u32(64)...)),                              // empty deflate stream
+		raw([]byte{opCompressed, 0, 0}),                                            // short of the rawLen field
+		raw(append(append([]byte{opCompressed}, u32(uint32(len(text)))...), 1, 2)), // garbage deflate
+	)
+	// A nested envelope: compress a body whose first byte is opCompressed.
+	nested := append([]byte{opCompressed}, bytes.Repeat([]byte{0}, 600)...)
+	if comp, ok := codec.CompressFrame(nested); ok {
+		frames = append(frames, raw(append(append([]byte{opCompressed}, u32(uint32(len(nested)))...), comp...)))
+	}
+	return frames
+}
+
+// FuzzDecodeCompressedFrame drives arbitrary bytes through the v2 frame
+// decoder's opCompressed path: it must never panic, never inflate past
+// the declared length, and anything it accepts must survive a re-encode
+// through the compressing frameSender and decode back identical.
+func FuzzDecodeCompressedFrame(f *testing.F) {
+	for _, frame := range seedCompressedFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frm, err := readFrameV2(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if frm.op == opCompressed {
+			t.Fatal("decoder surfaced a raw opCompressed frame")
+		}
+		var buf bytes.Buffer
+		s := newFrameSender(&buf)
+		s.compress = true
+		if _, err := s.send(frm.op, frm.id, frm.parts); err != nil {
+			t.Fatalf("accepted frame does not re-encode compressed: %v", err)
+		}
+		if err := s.flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := readFrameV2(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if again.op != frm.op || again.id != frm.id || !partsEqual(again.parts, frm.parts) {
+			t.Fatalf("compressed round trip changed the frame: %v -> %v", frm, again)
+		}
+	})
+}
+
 // TestWriteFuzzSeedCorpus materializes the captured frames as corpus
 // files under testdata/fuzz when UPDATE_FUZZ_CORPUS=1, so the committed
 // corpus stays derivable from the transport tests' real traffic.
@@ -324,4 +414,5 @@ func TestWriteFuzzSeedCorpus(t *testing.T) {
 	write("FuzzDecodeFrame", seedFrames(t))
 	write("FuzzReassembleChunks", seedStreams(t))
 	write("FuzzDecodeChangeFrame", seedChangeFrames(t))
+	write("FuzzDecodeCompressedFrame", seedCompressedFrames(t))
 }

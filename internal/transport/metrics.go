@@ -50,6 +50,11 @@ type ServerMetrics struct {
 	subscribers *metrics.Gauge
 	deltas      *metrics.Counter
 	deltaLag    *metrics.Histogram
+
+	framesCompressed   *metrics.Counter
+	bytesSavedCompress *metrics.Counter
+	bytesSavedDedupe   *metrics.Counter
+	compressRatio      *metrics.Histogram
 }
 
 // opNames maps the request ops the server handles to their label values.
@@ -65,6 +70,9 @@ var opNames = map[byte]string{
 	opSubscribe:    "subscribe",
 	opUnsubscribe:  "unsubscribe",
 	opSubmitEdit:   "submitedit",
+
+	opGetBlkManifest: "getblkmanifest",
+	opGetChunks:      "getchunks",
 }
 
 // NewServerMetrics resolves the server instrument set in reg. Attach it
@@ -92,6 +100,15 @@ func NewServerMetrics(reg *metrics.Registry) *ServerMetrics {
 		subscribers: reg.Gauge("cmif_subscribers_active", "live document subscriptions"),
 		deltas:      reg.Counter("cmif_deltas_pushed_total", "change deltas fanned out to subscribers"),
 		deltaLag:    reg.Histogram("cmif_delta_fanout_seconds", "edit broadcast to frame handoff lag"),
+		framesCompressed: reg.Counter("cmif_frames_compressed_total",
+			"response frames shipped deflated (protocol v4)"),
+		bytesSavedCompress: reg.Counter("cmif_bytes_saved_total",
+			"bytes not moved or stored thanks to wire saturation", "reason", "compress"),
+		bytesSavedDedupe: reg.Counter("cmif_bytes_saved_total",
+			"bytes not moved or stored thanks to wire saturation", "reason", "dedupe"),
+		compressRatio: reg.HistogramBuckets("cmif_compress_ratio",
+			"compressed/raw frame size ratio",
+			[]float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}),
 	}
 	for op, name := range opNames {
 		m.requests[op] = reg.Counter("cmif_requests_total", "requests received", "op", name)
@@ -194,6 +211,26 @@ func (m *ServerMetrics) deltaPushed(lag time.Duration) {
 	}
 	m.deltas.Inc()
 	m.deltaLag.Observe(lag)
+}
+
+// frameCompressed records one response frame that actually shipped
+// deflated: raw is the plain encoding's wire size, wire the envelope's.
+func (m *ServerMetrics) frameCompressed(raw, wire int64) {
+	if m == nil {
+		return
+	}
+	m.framesCompressed.Inc()
+	m.bytesSavedCompress.Add(raw - wire)
+	m.compressRatio.ObserveSeconds(float64(wire) / float64(raw))
+}
+
+// DedupeSaved counts payload bytes the content-defined chunk index
+// collapsed — bytes a duplicate-heavy corpus did not store, snapshot
+// or replicate twice. Fed by the store's dedupe observer.
+func (m *ServerMetrics) DedupeSaved(bytes int64) {
+	if m != nil {
+		m.bytesSavedDedupe.Add(bytes)
+	}
 }
 
 // descCacheLookup tallies one descriptor-cache lookup.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -44,6 +45,13 @@ type clientMux struct {
 	// sent/recvd/chunks point into the owning Client's traffic counters.
 	sent, recvd, chunks *atomic.Int64
 
+	// compress enables the opCompressed request envelope (negotiated at a
+	// v4 hello against a codec-capable server); onCompress observes each
+	// request frame that actually shipped deflated. Both are fixed before
+	// the writer goroutine starts.
+	compress   bool
+	onCompress func(raw, wire int64)
+
 	mu      sync.Mutex
 	pending map[uint32]*muxCall
 	nextID  uint32
@@ -66,20 +74,24 @@ type muxCall struct {
 }
 
 // newClientMux starts the writer and reader goroutines over conn.
-// maxInFlight is the server-advertised per-connection bound.
-func newClientMux(conn net.Conn, maxInFlight int, sent, recvd, chunks *atomic.Int64) *clientMux {
+// maxInFlight is the server-advertised per-connection bound; compress
+// enables the request-side opCompressed envelope and onCompress (may be
+// nil) observes frames that actually shipped deflated.
+func newClientMux(conn net.Conn, maxInFlight int, sent, recvd, chunks *atomic.Int64, compress bool, onCompress func(raw, wire int64)) *clientMux {
 	if maxInFlight < 1 {
 		maxInFlight = 1
 	}
 	m := &clientMux{
-		conn:    conn,
-		writeCh: make(chan frameV2, maxInFlight),
-		sem:     make(chan struct{}, maxInFlight),
-		sent:    sent,
-		recvd:   recvd,
-		chunks:  chunks,
-		pending: make(map[uint32]*muxCall),
-		dead:    make(chan struct{}),
+		conn:       conn,
+		writeCh:    make(chan frameV2, maxInFlight),
+		sem:        make(chan struct{}, maxInFlight),
+		sent:       sent,
+		recvd:      recvd,
+		chunks:     chunks,
+		compress:   compress,
+		onCompress: onCompress,
+		pending:    make(map[uint32]*muxCall),
+		dead:       make(chan struct{}),
 	}
 	m.wg.Add(2)
 	go m.writeLoop()
@@ -127,14 +139,17 @@ func (m *clientMux) close() error {
 	return nil
 }
 
-// writeLoop serializes request frames onto the connection, flushing the
-// buffered writer only when the queue stays drained across a scheduler
-// yield — a burst of pipelined requests (or of requesters woken by a
-// batch of responses) coalesces into few syscalls instead of one per
-// frame.
+// writeLoop serializes request frames onto the connection through a
+// frameSender (compression and vectored writes per the negotiated
+// policy), flushing the buffered writer only when the queue stays
+// drained across a scheduler yield — a burst of pipelined requests (or
+// of requesters woken by a batch of responses) coalesces into few
+// syscalls instead of one per frame.
 func (m *clientMux) writeLoop() {
 	defer m.wg.Done()
-	bw := bufio.NewWriterSize(m.conn, muxBufSize)
+	sender := newFrameSender(m.conn)
+	sender.compress = m.compress
+	sender.onCompress = m.onCompress
 	for {
 		var f frameV2
 		select {
@@ -150,7 +165,7 @@ func (m *clientMux) writeLoop() {
 			case <-m.dead:
 				return
 			default:
-				if err := bw.Flush(); err != nil {
+				if err := sender.flush(); err != nil {
 					m.fail(err)
 					return
 				}
@@ -161,12 +176,27 @@ func (m *clientMux) writeLoop() {
 				}
 			}
 		}
-		if err := writeFrameV2(bw, f.op, f.id, f.parts...); err != nil {
+		n, err := sender.send(f.op, f.id, f.parts)
+		if err != nil {
 			m.fail(err)
 			return
 		}
-		m.sent.Add(frameV2Size(f.parts))
+		m.sent.Add(n)
 	}
+}
+
+// countReader counts the bytes actually read off a connection, so the
+// received-traffic counter reflects on-wire sizes — a compressed
+// response frame counts its envelope, not its inflated body.
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
 }
 
 // readLoop demultiplexes response frames to the pending calls. A frame
@@ -174,14 +204,13 @@ func (m *clientMux) writeLoop() {
 // abandoned call — is dropped; the connection itself stays healthy.
 func (m *clientMux) readLoop() {
 	defer m.wg.Done()
-	br := bufio.NewReaderSize(m.conn, muxBufSize)
+	br := bufio.NewReaderSize(&countReader{r: m.conn, n: m.recvd}, muxBufSize)
 	for {
 		f, err := readFrameV2(br)
 		if err != nil {
 			m.fail(err)
 			return
 		}
-		m.recvd.Add(frameV2Size(f.parts))
 		m.mu.Lock()
 		call := m.pending[f.id]
 		m.mu.Unlock()
@@ -391,6 +420,9 @@ func (c *Client) getBlockStream(ctx context.Context, name string) (*media.Block,
 		case opStreamEnd:
 			blk, err := asm.finish(f.parts)
 			m.finish(id, call)
+			if err == nil {
+				c.seedChunks(blk.Payload)
+			}
 			return blk, err
 		default:
 			m.finish(id, call)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chunker"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/media"
@@ -130,6 +131,12 @@ type Server struct {
 	// means the newest this build speaks. Set to 1 to force every
 	// connection onto the legacy protocol. Set before Listen.
 	MaxVersion int
+	// Compression enables per-frame flate compression on connections
+	// that negotiate protocol v4: the hello response advertises the
+	// codec, and response frames past the codec floor ship deflated
+	// unless they prove incompressible. Decoding compressed frames is
+	// always on regardless of this flag. Set before Listen.
+	Compression bool
 	// Admission configures server-wide admission control: a concurrency
 	// bound across all connections with a bounded, deadline-aware queue.
 	// Requests past the bounds are shed with opErrBusy instead of
@@ -460,7 +467,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		ad := make([]byte, 2)
 		binary.BigEndian.PutUint16(ad, uint16(s.maxInFlight()))
-		if err := s.writeV1(conn, opOK, []byte{byte(version)}, ad); err != nil {
+		helloParts := [][]byte{{byte(version)}, ad}
+		if version >= protoV4 {
+			// The codec capability part: pre-v4 clients tolerate extra
+			// hello parts, so it is only meaningful — and only sent —
+			// when v4 was negotiated.
+			frameCodec := codec.FrameCodecNone
+			if s.Compression {
+				frameCodec = codec.FrameCodecFlate
+			}
+			helloParts = append(helloParts, []byte{frameCodec})
+		}
+		if err := s.writeV1(conn, opOK, helloParts...); err != nil {
 			return
 		}
 		if version >= protoV2 {
@@ -587,7 +605,12 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader, version int) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		bw := bufio.NewWriterSize(conn, muxBufSize)
+		sender := newFrameSender(conn)
+		// Response compression is a v4 negotiation outcome; the codec
+		// seam itself decides per frame (size floor, incompressible
+		// bypass).
+		sender.compress = s.Compression && version >= protoV4
+		sender.onCompress = s.Metrics.frameCompressed
 		failed := false
 		flush := func() {
 			if failed {
@@ -596,7 +619,7 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader, version int) {
 			if s.WriteTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 			}
-			if err := bw.Flush(); err != nil {
+			if err := sender.flush(); err != nil {
 				// The connection is gone (or the client too slow): keep
 				// draining respCh so handlers never block, and kill the
 				// read side so the connection goroutine unwinds.
@@ -633,7 +656,7 @@ func (s *Server) serveConnV2(conn net.Conn, in *bufio.Reader, version int) {
 			if s.WriteTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 			}
-			err := writeFrameV2(bw, f.op, f.id, f.parts...)
+			_, err := sender.send(f.op, f.id, f.parts)
 			if f.done != nil {
 				// The frame is in the write buffer (or the buffer's own
 				// flush blocked until the socket drained): release the
@@ -1083,6 +1106,63 @@ func (s *Server) handle(req frame) (byte, [][]byte) {
 			inlined += len(blk.Payload)
 		}
 		return opOK, parts
+	case opGetBlkManifest:
+		if len(req.parts) != 1 {
+			return fail("getblkmanifest: want [name]")
+		}
+		name := string(req.parts[0])
+		blk, ok := s.lookupBlock(name)
+		if !ok {
+			return notFound("getblkmanifest: no block %q", name)
+		}
+		descText, err := s.descriptorText(blk)
+		if err != nil {
+			return fail("getblkmanifest: descriptor: %v", err)
+		}
+		// An empty manifest (block below the chunk threshold, or served
+		// through a loader/cluster miss with no local index) tells the
+		// client to fall back to a plain fetch.
+		var manifest []byte
+		if hashes, ok := s.reg.Store.Manifest(blk.ID); ok {
+			manifest = make([]byte, 0, len(hashes)*(chunker.HashSize+4))
+			for _, h := range hashes {
+				chunk, ok := s.reg.Store.GetChunk(h)
+				if !ok {
+					// Index shifting under a concurrent delete; punt to
+					// the plain path rather than serve a torn manifest.
+					manifest = nil
+					break
+				}
+				manifest = append(manifest, h[:]...)
+				manifest = binary.BigEndian.AppendUint32(manifest, uint32(len(chunk)))
+			}
+		}
+		return opOK, [][]byte{
+			[]byte(blk.Name),
+			[]byte(blk.Medium.String()),
+			[]byte(descText),
+			[]byte(blk.ID),
+			u64be(uint64(len(blk.Payload))),
+			manifest,
+		}
+	case opGetChunks:
+		if len(req.parts) == 0 {
+			return fail("getchunks: want at least one hash")
+		}
+		parts := make([][]byte, len(req.parts))
+		for i, p := range req.parts {
+			if len(p) != chunker.HashSize {
+				return fail("getchunks: hash %d has %d bytes, want %d", i, len(p), chunker.HashSize)
+			}
+			var h media.ChunkHash
+			copy(h[:], p)
+			if data, ok := s.reg.Store.GetChunk(h); ok {
+				parts[i] = encodeEntry(data)
+			} else {
+				parts[i] = []byte{entryMissing}
+			}
+		}
+		return opOK, parts
 	case opGetDescs:
 		if len(req.parts) == 0 {
 			return fail("getdescs: want at least one name")
@@ -1216,11 +1296,16 @@ func (s *Server) durabilityErr() error {
 // lookupBlock resolves a block by registered name first, then by content
 // address — the resolution order every block-fetch op shares. A miss
 // consults the Loader when one is attached (the edge read-through path).
+// Local hits return the store's own immutable block without cloning
+// (media.Store.GetRef): response parts reference the stored — possibly
+// mmap-backed — payload directly, and the vectored writer moves it
+// store → conn with no intermediate copy. Handlers only read the
+// returned block.
 func (s *Server) lookupBlock(name string) (*media.Block, bool) {
-	if blk, ok := s.reg.Store.GetByName(name); ok {
+	if blk, ok := s.reg.Store.GetByNameRef(name); ok {
 		return blk, true
 	}
-	if blk, ok := s.reg.Store.Get(name); ok {
+	if blk, ok := s.reg.Store.GetRef(name); ok {
 		return blk, true
 	}
 	if s.Loader != nil {

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/codec"
 )
 
 // Wire framing: every message is
@@ -75,7 +77,21 @@ const (
 	// rejoin catch-up: request [cursor] ("" starts); response opOK
 	// [frames, nextCursor], where an empty nextCursor ends the walk.
 	opResync byte = 16
-	opOK     byte = 128
+	// opGetBlkManifest fetches a block's chunk manifest instead of its
+	// payload: request [name]; response opOK [name, medium, descriptor,
+	// blockID, totalSize(u64), manifest] where manifest is a sequence of
+	// (hash(32) | chunkLen(u32)) entries in payload order. An empty
+	// manifest means the block is not chunk-indexed (too small, or
+	// served through a loader) and the client falls back to opGetBlk.
+	// Only valid after a v4 hello.
+	opGetBlkManifest byte = 17
+	// opGetChunks fetches chunks by content address: request parts are
+	// raw 32-byte chunk hashes (at most maxParts per frame); the
+	// response carries one entry part per hash, in request order —
+	// entryFound with the chunk bytes as its single field, or
+	// entryMissing. Only valid after a v4 hello.
+	opGetChunks byte = 18
+	opOK        byte = 128
 	// opStreamHdr opens a streamed block response: parts are
 	// [name, medium, descriptor, payloadSize(u64)].
 	opStreamHdr byte = 129
@@ -90,6 +106,18 @@ const (
 	// changeSnapshot [gen(u64), doc], changeDelta [fromGen(u64),
 	// toGen(u64), records] or changeEnd [reason].
 	opChange byte = 132
+	// opCompressed is the envelope marker for a deflated v2 frame:
+	//
+	//	u32 totalLen | u8 opCompressed | u32 rawLen | deflateBytes
+	//
+	// where inflating deflateBytes yields exactly rawLen bytes of an
+	// ordinary v2 frame body (op | reqID | partCount | parts), which is
+	// then parsed as usual. Compression sits above CRC/framing: WAL and
+	// replication record bytes inside parts are unchanged. rawLen is
+	// bounded by maxFrameSize before inflation and a nested opCompressed
+	// is rejected. Senders only emit it on v2 mux connections after a
+	// v4 hello with compression negotiated.
+	opCompressed byte = 192
 	// opErrTooLarge reports that the requested block cannot be framed as a
 	// single response (payload past maxFrameSize); v2 clients retry with
 	// opGetBlkStream.
@@ -109,13 +137,17 @@ const (
 // protocol; version 2 multiplexes pipelined requests over one connection
 // (frames carry a request ID) and adds chunked block streaming; version 3
 // adds document subscriptions — server-push ordered change deltas and
-// multi-writer edit submission over the same mux framing.
+// multi-writer edit submission over the same mux framing; version 4 adds
+// wire saturation: compressed frames (opCompressed, negotiated at hello
+// via a codec capability part) and chunk-dedupe block fetches
+// (opGetBlkManifest / opGetChunks).
 const (
 	protoV1 = 1
 	protoV2 = 2
 	protoV3 = 3
+	protoV4 = 4
 	// maxProtoVersion is the newest version this build speaks.
-	maxProtoVersion = protoV3
+	maxProtoVersion = protoV4
 )
 
 // defaultMaxInFlight bounds how many requests the server processes
@@ -307,19 +339,44 @@ func writeFrameV2(w io.Writer, op byte, id uint32, parts ...[]byte) error {
 	return nil
 }
 
-// readFrameV2 receives and decodes one v2 frame.
+// readFrameV2 receives and decodes one v2 frame, transparently
+// inflating a compressed envelope (opCompressed) back into the plain
+// frame it carries. Decoding is unconditional — any v4-capable build
+// understands compressed frames regardless of what it negotiated — but
+// the declared inflated size is bounded by maxFrameSize before any
+// inflation happens and nested envelopes are rejected.
 func readFrameV2(r io.Reader) (frameV2, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return frameV2{}, err
 	}
 	total := binary.BigEndian.Uint32(lenBuf[:])
-	if total < 7 || total > maxFrameSize {
+	if total < 5 || total > maxFrameSize {
 		return frameV2{}, fmt.Errorf("transport: v2 frame length %d out of range", total)
 	}
 	body := make([]byte, total)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return frameV2{}, err
+	}
+	if body[0] == opCompressed {
+		rawLen := int(binary.BigEndian.Uint32(body[1:5]))
+		raw, err := codec.DecompressFrame(body[5:], rawLen, maxFrameSize)
+		if err != nil {
+			return frameV2{}, fmt.Errorf("transport: %w", err)
+		}
+		if len(raw) > 0 && raw[0] == opCompressed {
+			return frameV2{}, fmt.Errorf("transport: nested compressed frame")
+		}
+		body = raw
+	}
+	return parseFrameV2Body(body)
+}
+
+// parseFrameV2Body decodes a plain v2 frame body (everything after the
+// totalLen prefix, after any decompression).
+func parseFrameV2Body(body []byte) (frameV2, error) {
+	if len(body) < 7 {
+		return frameV2{}, fmt.Errorf("transport: v2 frame body of %d bytes too short", len(body))
 	}
 	f := frameV2{op: body[0], id: binary.BigEndian.Uint32(body[1:5])}
 	count := int(binary.BigEndian.Uint16(body[5:7]))

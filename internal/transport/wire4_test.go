@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/chunker"
+	"repro/internal/core"
+	"repro/internal/media"
+)
+
+// startServerV4 starts a server with the given compression setting over
+// a store of its own.
+func startServerV4(t *testing.T, store *media.Store, compress bool) (string, *Server) {
+	t.Helper()
+	srv := NewServer(NewRegistry(store))
+	srv.Compression = compress
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+// randomBlock builds a block with an incompressible pseudo-random
+// payload (seeded, so tests are deterministic).
+func randomBlock(name string, size int, seed int64) *media.Block {
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, size)
+	rng.Read(payload)
+	return media.NewBlock(name, core.MediumVideo, payload, attr.List{})
+}
+
+// textBlock builds a highly compressible text payload.
+func textBlockV4(name string, size int) *media.Block {
+	payload := bytes.Repeat([]byte("the quick brown CMIF document fox "), size/34+1)[:size]
+	return media.NewBlock(name, core.MediumText, payload, attr.List{})
+}
+
+// TestHelloNegotiationMatrix pins the version/codec negotiation grid:
+// who ends up on which protocol version, and when the compressed
+// request envelope actually activates.
+func TestHelloNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name           string
+		serverCompress bool
+		opts           []DialOption
+		wantVersion    int
+		wantCompressed bool
+	}{
+		{"v4 both, codec on", true, nil, protoV4, true},
+		{"v4 both, server codec off", false, nil, protoV4, false},
+		{"v4 both, client declines", true, []DialOption{WithFrameCompression(false)}, protoV4, false},
+		{"client capped at v3", true, []DialOption{WithMaxProtocolVersion(protoV3)}, protoV3, false},
+		{"client capped at v2", true, []DialOption{WithMaxProtocolVersion(protoV2)}, protoV2, false},
+		{"client capped at v1", true, []DialOption{WithMaxProtocolVersion(protoV1)}, protoV1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := media.NewStore()
+			store.Put(textBlockV4("t.txt", 2048))
+			addr, _ := startServerV4(t, store, tc.serverCompress)
+			c, err := Dial(addr, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Version() != tc.wantVersion {
+				t.Fatalf("negotiated v%d, want v%d", c.Version(), tc.wantVersion)
+			}
+			if c.Compressed() != tc.wantCompressed {
+				t.Fatalf("Compressed() = %v, want %v", c.Compressed(), tc.wantCompressed)
+			}
+			// Whatever was negotiated, a fetch still round-trips.
+			blk, err := c.GetBlock(context.Background(), "t.txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blk.Payload) != 2048 {
+				t.Fatalf("payload %d bytes, want 2048", len(blk.Payload))
+			}
+		})
+	}
+}
+
+// TestCompressedRoundTrip moves compressible payloads both directions
+// under the negotiated codec and checks the wire actually shrank.
+func TestCompressedRoundTrip(t *testing.T) {
+	addr, _ := startServerV4(t, media.NewStore(), true)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Compressed() {
+		t.Fatal("compression not negotiated")
+	}
+	ctx := context.Background()
+
+	// Client -> server: a compressible put must ship deflated.
+	blk := textBlockV4("story.txt", 256<<10)
+	if _, err := c.PutBlock(ctx, blk); err != nil {
+		t.Fatal(err)
+	}
+	if c.CompressedFrames() == 0 {
+		t.Error("compressible put shipped no compressed request frames")
+	}
+	if c.CompressedBytesSaved() <= 0 {
+		t.Errorf("CompressedBytesSaved = %d, want > 0", c.CompressedBytesSaved())
+	}
+	if c.BytesSent() >= int64(len(blk.Payload)) {
+		t.Errorf("sent %d bytes for a %d-byte compressible payload", c.BytesSent(), len(blk.Payload))
+	}
+
+	// Server -> client: the response frame deflates too.
+	before := c.BytesReceived()
+	got, err := c.GetBlock(ctx, "story.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, blk.Payload) {
+		t.Fatal("payload corrupted through the compressed round trip")
+	}
+	respBytes := c.BytesReceived() - before
+	if respBytes >= int64(len(blk.Payload)) {
+		t.Errorf("received %d bytes for a %d-byte compressible payload", respBytes, len(blk.Payload))
+	}
+
+	// Incompressible payloads bypass the envelope but stay intact.
+	rnd := randomBlock("noise.bin", 128<<10, 7)
+	if _, err := c.PutBlock(ctx, rnd); err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.GetBlock(ctx, rnd.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Payload, rnd.Payload) {
+		t.Fatal("incompressible payload corrupted")
+	}
+}
+
+// TestDedupeFetchPath exercises the manifest/chunk path end to end: a
+// cold fetch seeds the chunk cache, a warm re-fetch moves only the
+// manifest, and a near-duplicate moves only its changed chunks.
+func TestDedupeFetchPath(t *testing.T) {
+	store := media.NewStore()
+	base := randomBlock("video.v1", 512<<10, 42)
+	store.Put(base)
+
+	// A near-duplicate: same payload with a small splice in the middle.
+	edited := append([]byte(nil), base.Payload...)
+	copy(edited[256<<10:], []byte(strings.Repeat("EDIT", 64)))
+	variant := media.NewBlock("video.v2", base.Medium, edited, attr.List{})
+	store.Put(variant)
+
+	addr, _ := startServerV4(t, store, false)
+	c, err := Dial(addr, WithChunkCache(NewChunkCache(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Cold fetch: the manifest path runs but every chunk misses, so the
+	// payload still crosses the wire once (as chunks) and seeds the cache.
+	cold, err := c.GetBlock(ctx, "video.v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Payload, base.Payload) {
+		t.Fatal("cold dedupe fetch corrupted the payload")
+	}
+	if c.DedupeFetches() != 1 {
+		t.Fatalf("DedupeFetches = %d after cold fetch, want 1", c.DedupeFetches())
+	}
+
+	// Warm re-fetch: everything is cached; only the manifest moves.
+	before := c.BytesReceived()
+	warm, err := c.GetBlock(ctx, "video.v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm.Payload, base.Payload) {
+		t.Fatal("warm dedupe fetch corrupted the payload")
+	}
+	warmBytes := c.BytesReceived() - before
+	if warmBytes >= int64(len(base.Payload))/10 {
+		t.Errorf("warm re-fetch moved %d bytes for a %d-byte block", warmBytes, len(base.Payload))
+	}
+	if c.DedupeBytesSaved() < int64(len(base.Payload)) {
+		t.Errorf("DedupeBytesSaved = %d, want >= %d", c.DedupeBytesSaved(), len(base.Payload))
+	}
+
+	// Near-duplicate: most chunks are already cached from v1.
+	before = c.BytesReceived()
+	got, err := c.GetBlock(ctx, "video.v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, edited) {
+		t.Fatal("variant dedupe fetch corrupted the payload")
+	}
+	variantBytes := c.BytesReceived() - before
+	if variantBytes >= int64(len(edited))/2 {
+		t.Errorf("near-duplicate fetch moved %d of %d bytes", variantBytes, len(edited))
+	}
+}
+
+// TestDedupeFallback pins every road back to the plain path: blocks
+// below the chunk threshold, servers older than v4, and a client
+// without a cache all still serve correct bytes.
+func TestDedupeFallback(t *testing.T) {
+	store := media.NewStore()
+	small := textBlockV4("small.txt", 512) // below media.ChunkThreshold
+	store.Put(small)
+	big := randomBlock("big.bin", 64<<10, 3)
+	store.Put(big)
+
+	addr, _ := startServerV4(t, store, false)
+
+	t.Run("small block falls back", func(t *testing.T) {
+		c, err := Dial(addr, WithChunkCache(NewChunkCache(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		got, err := c.GetBlock(context.Background(), "small.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Payload, small.Payload) {
+			t.Fatal("payload mismatch")
+		}
+		if c.DedupeFetches() != 0 {
+			t.Errorf("DedupeFetches = %d for a sub-threshold block", c.DedupeFetches())
+		}
+	})
+
+	t.Run("v3 client ignores the cache", func(t *testing.T) {
+		c, err := Dial(addr, WithChunkCache(NewChunkCache(0)), WithMaxProtocolVersion(protoV3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		got, err := c.GetBlock(context.Background(), "big.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Payload, big.Payload) {
+			t.Fatal("payload mismatch")
+		}
+		if c.DedupeFetches() != 0 {
+			t.Errorf("DedupeFetches = %d on a v3 connection", c.DedupeFetches())
+		}
+	})
+
+	t.Run("missing block is still not found", func(t *testing.T) {
+		c, err := Dial(addr, WithChunkCache(NewChunkCache(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.GetBlock(context.Background(), "ghost"); err == nil {
+			t.Fatal("fetch of a missing block succeeded")
+		} else if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+// TestVectoredWritePath forces every frame through the writev gather
+// path and checks payloads survive byte-for-byte.
+func TestVectoredWritePath(t *testing.T) {
+	old := vectoredThreshold
+	vectoredThreshold = 1
+	t.Cleanup(func() { vectoredThreshold = old })
+
+	store := media.NewStore()
+	blk := randomBlock("clip.bin", 256<<10, 99)
+	store.Put(blk)
+	addr, _ := startServerV4(t, store, false)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.GetBlock(context.Background(), "clip.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, blk.Payload) {
+		t.Fatal("payload corrupted through the vectored path")
+	}
+	// A batch with empty and non-empty parts exercises the prefix
+	// folding in the gather list.
+	names := []string{"clip.bin", "no-such-block", "clip.bin"}
+	blks, err := c.GetBlocks(context.Background(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blks[0] == nil || blks[1] != nil || blks[2] == nil {
+		t.Fatalf("batch shape wrong: %v", blks)
+	}
+}
+
+// TestChunkCacheBudget pins the byte-budget LRU behaviour.
+func TestChunkCacheBudget(t *testing.T) {
+	cc := NewChunkCache(10 << 10)
+	data := make([]byte, 4<<10)
+	var keys []media.ChunkHash
+	for i := 0; i < 4; i++ {
+		data[0] = byte(i)
+		h := chunker.Sum(data)
+		cc.Add(h, data)
+		keys = append(keys, h)
+	}
+	st := cc.Stats()
+	if st.Bytes > st.Budget {
+		t.Fatalf("cache holds %d bytes over a %d budget", st.Bytes, st.Budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the budget")
+	}
+	// The most recent insert is resident, the oldest is gone.
+	if _, ok := cc.Get(keys[3]); !ok {
+		t.Error("most recent chunk evicted")
+	}
+	if _, ok := cc.Get(keys[0]); ok {
+		t.Error("oldest chunk survived over budget")
+	}
+	// An over-budget chunk is refused outright.
+	huge := make([]byte, 16<<10)
+	cc.Add(chunker.Sum(huge), huge)
+	if cc.Stats().Bytes > 10<<10 {
+		t.Error("over-budget chunk was cached")
+	}
+}

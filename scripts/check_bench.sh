@@ -1,11 +1,12 @@
 #!/bin/sh
 # Bench-regression gate: run cmifbench's S1 (store), S2 (scheduler),
 # S3 (wire protocol), S4 (durability), S6 (live-document fan-out),
-# S7 (edge tier) and S8 (cluster tier) scenarios plus cmifsoak's S5
-# (production soak) in quick smoke mode and validate both the fresh
-# results and the committed BENCH_store.json / BENCH_sched.json /
-# BENCH_wire.json / BENCH_durable.json / BENCH_soak.json /
-# BENCH_subs.json / BENCH_edge.json / BENCH_cluster.json reference
+# S7 (edge tier), S8 (cluster tier) and S9 (wire saturation: dedupe +
+# compression) scenarios plus cmifsoak's S5 (production soak) in quick
+# smoke mode and validate both the fresh results and the committed
+# BENCH_store.json / BENCH_sched.json / BENCH_wire.json /
+# BENCH_durable.json / BENCH_soak.json / BENCH_subs.json /
+# BENCH_edge.json / BENCH_cluster.json / BENCH_wire2.json reference
 # files against the regression invariants:
 #
 #   - wire-call arithmetic (per-block == one round trip per fetch, batched
@@ -48,7 +49,15 @@
 #     loses zero acknowledged writes, reads continue through the kill
 #     within the no-read-gap SLO, and the committed BENCH_cluster.json
 #     covers the 1/3/5-node ladder with 3-node read throughput ≥ 2x the
-#     single node's, at GOMAXPROCS ≥ 4.
+#     single node's, at GOMAXPROCS ≥ 4;
+#   - the wire-saturation invariants (S9): bytes-on-wire arithmetic is
+#     exact against the dedupe/compression counters (plain receives at
+#     least the payload bytes, dedupe's received+saved covers the
+#     payload, every warm dedupe fetch is manifest-assembled, compressed
+#     text moves fewer bytes than it delivers), and the committed
+#     BENCH_wire2.json records ≥ 2x warm dedupe throughput over the
+#     plain-v3 path, ≥ 5x bytes-on-wire reduction on the dup-heavy
+#     corpus and ≥ 2x on compressible text, at GOMAXPROCS ≥ 4.
 #
 # Fresh results land in $BENCH_DIR (default: a temp dir) so CI can upload
 # them as an artifact. Run from the repository root: ./scripts/check_bench.sh
@@ -72,8 +81,8 @@ trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
 # the offending record is visible in the failure output.
 procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}"
 if [ "$procs" -lt 4 ]; then
-    echo "error: GOMAXPROCS=$procs < 4; the S2/S3/S5/S6/S7/S8 concurrency gates require >= 4 procs" >&2
-    for f in BENCH_sched.json BENCH_wire.json BENCH_soak.json BENCH_subs.json BENCH_edge.json BENCH_cluster.json; do
+    echo "error: GOMAXPROCS=$procs < 4; the S2/S3/S5/S6/S7/S8/S9 concurrency gates require >= 4 procs" >&2
+    for f in BENCH_sched.json BENCH_wire.json BENCH_soak.json BENCH_subs.json BENCH_edge.json BENCH_cluster.json BENCH_wire2.json; do
         if [ -f "$f" ]; then
             echo "$f recorded env:" >&2
             grep -A6 '"env"' "$f" | head -7 >&2
@@ -90,6 +99,7 @@ go run ./cmd/cmifbench -smoke \
     -subs-out "$BENCH_DIR/BENCH_subs.json" \
     -edge-out "$BENCH_DIR/BENCH_edge.json" \
     -cluster-out "$BENCH_DIR/BENCH_cluster.json" \
+    -wire2-out "$BENCH_DIR/BENCH_wire2.json" \
     -check-store BENCH_store.json \
     -check-sched BENCH_sched.json \
     -check-wire BENCH_wire.json \
@@ -97,7 +107,8 @@ go run ./cmd/cmifbench -smoke \
     -check-subs BENCH_subs.json \
     -check-edge BENCH_edge.json \
     -check-cluster BENCH_cluster.json \
-    S1 S2 S3 S4 S6 S7 S8
+    -check-wire2 BENCH_wire2.json \
+    S1 S2 S3 S4 S6 S7 S8 S9
 
 go run ./cmd/cmifsoak -smoke \
     -out "$BENCH_DIR/BENCH_soak.json" \

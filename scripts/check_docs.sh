@@ -14,9 +14,10 @@
 #     internal/sched (the scheduler-internals section of ARCHITECTURE.md);
 #   - every backticked `durable.Xxx` / `media.Xxx` / `ddbms.Xxx` /
 #     `metrics.Xxx` / `corpus.Xxx` / `edge.Xxx` / `cluster.Xxx` /
-#     `daemon.Xxx` symbol in docs/ must appear in the corresponding
-#     internal package, and every `recXxx` record op named in the
-#     durability section must appear in internal/durable/record.go;
+#     `daemon.Xxx` / `codec.Xxx` / `chunker.Xxx` symbol in docs/ must
+#     appear in the corresponding internal package, and every `recXxx`
+#     record op named in the durability section must appear in
+#     internal/durable/record.go;
 #   - the redesigned client API must stay documented: the docs must
 #     reference `cmif.Fetcher`, the typed option sets (`cmif.DialOption`,
 #     `cmif.ServeOption`, `cmif.EdgeOption`, `cmif.JoinOption`,
@@ -66,7 +67,7 @@ done
 # Durability-layer symbols (ARCHITECTURE.md "Durable server state") plus
 # the observability and corpus packages (ARCHITECTURE.md "Observability
 # & load").
-for pkg in durable media ddbms metrics corpus edge cluster daemon; do
+for pkg in durable media ddbms metrics corpus edge cluster daemon codec chunker; do
     for sym in $(grep -ho "\`$pkg\.[A-Za-z.()]*\`" docs/*.md | sed "s/\`$pkg\.\([A-Za-z]*\).*/\1/" | sort -u); do
         if ! grep -q "\b$sym\b" "internal/$pkg"/*.go; then
             echo "docs reference \`$pkg.$sym\`, which no longer exists in internal/$pkg" >&2
@@ -77,7 +78,16 @@ done
 
 # Metric names documented in the observability section: each must be
 # registered somewhere in the source (internal packages or the facade).
+# cmif_nommap shares the prefix but is a build tag, not a metric — it
+# must exist as a //go:build constraint instead.
 for name in $(grep -ho '`cmif_[a-z_]*`' docs/*.md | tr -d '`' | sort -u); do
+    if [ "$name" = "cmif_nommap" ]; then
+        if ! grep -rq "go:build.*cmif_nommap" internal; then
+            echo "docs reference build tag \`cmif_nommap\`, which no longer constrains any file" >&2
+            fail=1
+        fi
+        continue
+    fi
     if ! grep -rq "\"$name\"" internal cmif; then
         echo "docs reference metric \`$name\`, which is never registered in the source" >&2
         fail=1

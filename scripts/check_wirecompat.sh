@@ -1,0 +1,95 @@
+#!/bin/sh
+# Wire-compatibility matrix: the current tree must interoperate with the
+# previous release on the wire, in BOTH directions:
+#
+#   1. current client -> previous server: the hello negotiation must
+#      settle on the older protocol/feature set and every fetch must
+#      round-trip (a new client never strands deployed servers);
+#   2. previous client -> current server: the current server must keep
+#      answering the older hello exactly as before (a rollout never
+#      strands deployed clients).
+#
+# "Previous" is the latest tag when one exists, else the parent commit —
+# the newest code a real deployment could be running. The check builds
+# cmifd + cmifget from that ref in a temporary git worktree, preloads
+# both servers with the same deterministic -news corpus, and requires
+# the documents fetched across versions to be byte-identical to the
+# current-vs-current baseline (inline fetches included, so block
+# payloads cross the version boundary too).
+#
+# Needs full git history (CI: fetch-depth 0). Run from the repository
+# root: ./scripts/check_wirecompat.sh
+set -eu
+
+NEW_ADDR=127.0.0.1:7961
+OLD_ADDR=127.0.0.1:7962
+
+prev=$(git describe --tags --abbrev=0 2>/dev/null || git rev-parse HEAD~1)
+echo "wirecompat: current HEAD vs $prev"
+
+work=$(mktemp -d)
+newd=""; oldd=""
+cleanup() {
+    for pid in $newd $oldd; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in $newd $oldd; do
+        wait "$pid" 2>/dev/null || true
+    done
+    git worktree remove --force "$work/prev" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/new/" ./cmd/cmifd ./cmd/cmifget
+git worktree add --detach "$work/prev" "$prev" >/dev/null
+(cd "$work/prev" && go build -o "$work/old/" ./cmd/cmifd ./cmd/cmifget)
+
+"$work/new/cmifd" -addr "$NEW_ADDR" -news 2 &
+newd=$!
+"$work/old/cmifd" -addr "$OLD_ADDR" -news 2 &
+oldd=$!
+
+wait_up() { # getter addr
+    i=0
+    until "$1" -addr "$2" -timeout 2s list >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] && { echo "server $2 never came up" >&2; exit 1; }
+        sleep 0.2
+    done
+}
+wait_up "$work/new/cmifget" "$NEW_ADDR"
+wait_up "$work/old/cmifget" "$OLD_ADDR"
+
+# fetch CLIENT SERVER OUT: every surface a deployed pairing exercises —
+# the listing, the structured document, and the inline fetch that moves
+# the block payloads themselves across the version boundary.
+fetch() {
+    "$1" -addr "$2" list >"$3.list"
+    "$1" -addr "$2" doc news >"$3.doc"
+    "$1" -addr "$2" -inline doc news >"$3.inline"
+}
+
+# Each client is compared against its own same-version baseline, so a
+# deliberate change in the TOOL's output format cannot masquerade as (or
+# mask) a wire incompatibility: only the server on the other end varies
+# within each pair.
+fetch "$work/new/cmifget" "$NEW_ADDR" "$work/nc-ns"  # new client baseline
+fetch "$work/new/cmifget" "$OLD_ADDR" "$work/nc-os"  # new client, old server
+fetch "$work/old/cmifget" "$OLD_ADDR" "$work/oc-os"  # old client baseline
+fetch "$work/old/cmifget" "$NEW_ADDR" "$work/oc-ns"  # old client, new server
+
+fail=0
+for pair in "nc-ns nc-os" "oc-os oc-ns"; do
+    base=${pair% *}; side=${pair#* }
+    for what in list doc inline; do
+        if ! cmp -s "$work/$base.$what" "$work/$side.$what"; then
+            echo "wirecompat: $side $what differs from the $base baseline:" >&2
+            diff "$work/$base.$what" "$work/$side.$what" >&2 || true
+            fail=1
+        fi
+    done
+done
+[ "$fail" -ne 0 ] && exit 1
+
+echo "wirecompat: both directions byte-identical to baseline against $prev"
